@@ -1,0 +1,98 @@
+// Command sieskeys performs the manual provisioning of the SIES setup phase
+// (paper §IV-A): it generates the long-term key material for a deployment
+// and writes one credential file per party, mirroring how an operator would
+// flash keys onto motes before fielding the network. cmd/siesnode consumes
+// the files.
+//
+//	sieskeys -n 16 -out ./deploy            # generate a 16-source deployment
+//	sieskeys -inspect ./deploy/querier.json # show what a file contains
+//
+// Layout of -out:
+//
+//	querier.json     — K, every k_i, and p   (kept by the querier, secret)
+//	aggregator.json  — p only                (safe to install anywhere)
+//	source-<i>.json  — K, k_i, and p         (one per source)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sies/sies/internal/creds"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+var (
+	flagN       = flag.Int("n", 16, "number of sources")
+	flagOut     = flag.String("out", "", "directory to write credential files to")
+	flagInspect = flag.String("inspect", "", "credential file to summarise")
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	switch {
+	case *flagInspect != "":
+		err = inspect(*flagInspect)
+	case *flagOut != "":
+		err = generate(*flagN, *flagOut)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sieskeys:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(n int, dir string) error {
+	ring, err := prf.NewKeyRing(n)
+	if err != nil {
+		return err
+	}
+	if err := creds.SaveDeployment(dir, ring, uint256.DefaultPrime()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote credentials for %d sources to %s\n", n, dir)
+	fmt.Println("install source-<i>.json on each mote, aggregator.json on every aggregator,")
+	fmt.Println("and keep querier.json with the querier — it holds every secret.")
+	return nil
+}
+
+func inspect(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return err
+	}
+	switch probe.Kind {
+	case creds.KindQuerier:
+		var f creds.QuerierFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return err
+		}
+		fmt.Printf("querier credentials: %d sources, global key %d bytes, modulus %d bytes\n",
+			f.N, len(f.Global)/2, len(f.Modulus)/2)
+	case creds.KindSource:
+		var f creds.SourceFile
+		if err := json.Unmarshal(data, &f); err != nil {
+			return err
+		}
+		fmt.Printf("source %d credentials: global + private key (%d bytes each), modulus %d bytes\n",
+			f.ID, len(f.Key)/2, len(f.Modulus)/2)
+	case creds.KindAggregator:
+		fmt.Println("aggregator credentials: public modulus only (no secrets)")
+	default:
+		return fmt.Errorf("unknown credential kind %q", probe.Kind)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Command siesnode runs one party of a networked SIES deployment over TCP.
+// Keys come from credential files written by cmd/sieskeys; the wire protocol
+// is internal/transport's framed PSR exchange.
+//
+// A minimal 4-source, single-aggregator cluster on one machine:
+//
+//	sieskeys -n 4 -out ./deploy
+//	siesnode -role querier    -creds ./deploy/querier.json    -listen :7000 &
+//	siesnode -role aggregator -creds ./deploy/aggregator.json \
+//	         -listen :7001 -parent 127.0.0.1:7000 -children 4 &
+//	siesnode -role source -creds ./deploy/source-0.json -parent 127.0.0.1:7001 \
+//	         -epochs 10 -value 100 &
+//	... (sources 1–3 likewise)
+//
+// Sources can send a fixed -value per epoch or a synthetic temperature
+// stream (-value 0 switches to the workload generator).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/creds"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/transport"
+	"github.com/sies/sies/internal/workload"
+)
+
+var (
+	flagRole     = flag.String("role", "", "node role: querier, aggregator, or source")
+	flagCreds    = flag.String("creds", "", "credential file from sieskeys")
+	flagListen   = flag.String("listen", "", "listen address (querier, aggregator)")
+	flagParent   = flag.String("parent", "", "parent address (aggregator, source)")
+	flagChildren = flag.Int("children", 0, "number of children to wait for (aggregator)")
+	flagTimeout  = flag.Duration("timeout", 2*time.Second, "per-epoch child timeout (aggregator)")
+	flagEpochs   = flag.Int("epochs", 10, "epochs to report (source)")
+	flagPeriod   = flag.Duration("period", time.Second, "epoch duration T (source)")
+	flagValue    = flag.Uint64("value", 0, "fixed reading per epoch; 0 = synthetic temperatures (source)")
+	flagN        = flag.Int("n", 0, "total sources in the deployment (querier; default from creds)")
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	switch *flagRole {
+	case "querier":
+		err = runQuerier()
+	case "aggregator":
+		err = runAggregator()
+	case "source":
+		err = runSource()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "siesnode:", err)
+		os.Exit(1)
+	}
+}
+
+func runQuerier() error {
+	ring, field, err := creds.LoadQuerier(*flagCreds)
+	if err != nil {
+		return err
+	}
+	n := ring.N()
+	if *flagN != 0 && *flagN != n {
+		return fmt.Errorf("-n %d disagrees with credential file (%d sources)", *flagN, n)
+	}
+	params, err := core.NewParams(n, core.WithField(field))
+	if err != nil {
+		return err
+	}
+	q, err := core.NewQuerier(ring, params)
+	if err != nil {
+		return err
+	}
+	node, err := transport.NewQuerierNode(*flagListen, q)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("querier listening on %s for %d sources\n", node.Addr(), n)
+	go func() {
+		for res := range node.Results {
+			if res.Err != nil {
+				fmt.Printf("epoch %d: REJECTED (%v)\n", res.Epoch, res.Err)
+				continue
+			}
+			fmt.Printf("epoch %d: SUM = %d from %d sources (failed: %v)\n",
+				res.Epoch, res.Sum, res.Contributors, res.Failed)
+		}
+	}()
+	return node.Run()
+}
+
+func runAggregator() error {
+	field, err := creds.LoadAggregator(*flagCreds)
+	if err != nil {
+		return err
+	}
+	if *flagChildren < 1 {
+		return fmt.Errorf("aggregator needs -children ≥ 1")
+	}
+	node, err := transport.NewAggregatorNode(transport.AggregatorConfig{
+		ListenAddr:  *flagListen,
+		ParentAddr:  *flagParent,
+		NumChildren: *flagChildren,
+		Timeout:     *flagTimeout,
+	}, field)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aggregator up: %d children, covering sources %v\n", *flagChildren, node.Covers())
+	return node.Run()
+}
+
+func runSource() error {
+	id, global, key, field, err := creds.LoadSource(*flagCreds)
+	if err != nil {
+		return err
+	}
+	// The layout is sized by the deployment; a standalone source only needs
+	// an upper bound on N for its padding, which the querier's layout also
+	// uses. Sources learn N at provisioning time; here we conservatively use
+	// the maximum the 32-bit layout allows, which keeps padding compatible
+	// across all deployment sizes ≤ 2^64 ... but padding must MATCH the
+	// querier's. We therefore require -n.
+	if *flagN < 1 {
+		return fmt.Errorf("source needs -n (total sources, as provisioned)")
+	}
+	params, err := core.NewParams(*flagN, core.WithField(field))
+	if err != nil {
+		return err
+	}
+	src, err := core.NewSource(id, global, key, params)
+	if err != nil {
+		return err
+	}
+	node, err := transport.DialSource(*flagParent, src)
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	var gen *workload.Generator
+	if *flagValue == 0 {
+		if gen, err = workload.NewGenerator(1, int64(id)+1); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("source %d reporting %d epochs every %v\n", id, *flagEpochs, *flagPeriod)
+	for epoch := prf.Epoch(1); epoch <= prf.Epoch(*flagEpochs); epoch++ {
+		v := *flagValue
+		if gen != nil {
+			v = gen.Readings(workload.Scale100)[0]
+		}
+		if err := node.Report(epoch, v); err != nil {
+			return err
+		}
+		if epoch < prf.Epoch(*flagEpochs) {
+			time.Sleep(*flagPeriod)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package sies_test
+
+import (
+	"errors"
+	"fmt"
+
+	sies "github.com/sies/sies"
+)
+
+// The high-level API: deploy a network, push readings, get a verified SUM.
+func ExampleNetwork() {
+	net, err := sies.NewNetwork(4, 2)
+	if err != nil {
+		panic(err)
+	}
+	sum, err := net.RunEpoch(1, []uint64{10, 20, 30, 40})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sum)
+	// Output: 100
+}
+
+// The protocol primitives: encrypt at sources, merge anywhere, evaluate and
+// verify at the querier.
+func ExampleSetup() {
+	querier, sources, err := sies.Setup(3)
+	if err != nil {
+		panic(err)
+	}
+	agg := sies.NewAggregator(querier)
+
+	var final sies.PSR
+	for i, src := range sources {
+		psr, err := src.Encrypt(7, uint64(i+1)) // epoch 7, readings 1,2,3
+		if err != nil {
+			panic(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	res, err := querier.Evaluate(7, final)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Sum)
+	// Output: 6
+}
+
+// Tampering anywhere in the network rejects the epoch instead of silently
+// corrupting the result.
+func ExampleQuerier_Evaluate_tamperDetection() {
+	querier, sources, err := sies.Setup(2)
+	if err != nil {
+		panic(err)
+	}
+	agg := sies.NewAggregator(querier)
+	a, _ := sources[0].Encrypt(1, 5)
+	b, _ := sources[1].Encrypt(1, 5)
+	final := agg.Merge(a, b)
+
+	// A compromised aggregator adds the same PSR twice.
+	tampered := agg.MergeInto(final, a)
+
+	_, err = querier.Evaluate(1, tampered)
+	fmt.Println(errors.Is(err, sies.ErrIntegrity) || errors.Is(err, sies.ErrResultOverflow))
+	// Output: true
+}
+
+// Derived statistics with a WHERE predicate.
+func ExampleNewStatisticsNetwork() {
+	inRange := func(v uint64) bool { return v >= 10 && v <= 100 }
+	sn, err := sies.NewStatisticsNetwork(4, 2, inRange)
+	if err != nil {
+		panic(err)
+	}
+	stats, err := sn.RunEpoch(1, []uint64{5, 20, 40, 500}, nil) // 5 and 500 filtered
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(stats.Sum, stats.Count, stats.Avg)
+	// Output: 60 2 30
+}

@@ -1,0 +1,132 @@
+// TCP cluster: a full SIES deployment as real networked processes — here as
+// goroutines for a self-contained example, but each node is exactly what
+// cmd/siesnode runs as a separate OS process on separate machines.
+//
+// Topology over loopback TCP:
+//
+//	querier ← root aggregator ← {leaf A ← sensors 0–3, leaf B ← sensors 4–7}
+//
+// Halfway through, sensor 6 dies; the leaf aggregator times it out, reports
+// the failure upstream, and the querier keeps verifying the surviving
+// subset.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	sies "github.com/sies/sies"
+	"github.com/sies/sies/internal/transport"
+)
+
+const (
+	numSensors = 8
+	epochs     = 6
+)
+
+// freePort reserves a loopback address for a node to listen on.
+func freePort() string {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func main() {
+	// Setup phase: generate keys (in production, sieskeys + credential
+	// files; here the deployment shares memory).
+	querier, sources, err := sies.Setup(numSensors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	field := querier.Params().Field()
+
+	// Querier node.
+	qn, err := transport.NewQuerierNode("127.0.0.1:0", querier)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go qn.Run()
+
+	rootAddr, leafA, leafB := freePort(), freePort(), freePort()
+	var wg sync.WaitGroup
+	startAgg := func(listen, parent string, children int, timeout time.Duration) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node, err := transport.NewAggregatorNode(transport.AggregatorConfig{
+				ListenAddr: listen, ParentAddr: parent,
+				NumChildren: children, Timeout: timeout,
+			}, field)
+			if err != nil {
+				log.Fatalf("aggregator %s: %v", listen, err)
+			}
+			if err := node.Run(); err != nil {
+				log.Fatalf("aggregator %s: %v", listen, err)
+			}
+		}()
+	}
+	// Root waits longer than the leaves: timeouts cascade up the tree.
+	startAgg(rootAddr, qn.Addr(), 2, 1500*time.Millisecond)
+	startAgg(leafA, rootAddr, 4, 400*time.Millisecond)
+	startAgg(leafB, rootAddr, 4, 400*time.Millisecond)
+	time.Sleep(100 * time.Millisecond) // listeners up
+
+	// Sensor nodes dial their leaf aggregator.
+	nodes := make([]*transport.SourceNode, numSensors)
+	for i, s := range sources {
+		addr := leafA
+		if i >= 4 {
+			addr = leafB
+		}
+		if nodes[i], err = transport.DialSource(addr, s); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Run epochs; sensor 6 dies before epoch 4.
+	go func() {
+		for epoch := sies.Epoch(1); epoch <= epochs; epoch++ {
+			if epoch == 4 {
+				fmt.Println("  -- sensor 6 stops responding --")
+				nodes[6].Close()
+			}
+			for i, n := range nodes {
+				if epoch >= 4 && i == 6 {
+					continue
+				}
+				if err := n.Report(epoch, uint64(100*int(epoch)+i)); err != nil {
+					log.Fatalf("sensor %d: %v", i, err)
+				}
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		// Shut the cluster down: closing the sensors unwinds the tree.
+		for i, n := range nodes {
+			if i != 6 {
+				n.Close()
+			}
+		}
+	}()
+
+	fmt.Printf("TCP cluster up: querier %s, root %s, leaves %s / %s\n\n",
+		qn.Addr(), rootAddr, leafA, leafB)
+	for res := range qn.Results {
+		if res.Err != nil {
+			fmt.Printf("epoch %d: REJECTED (%v)\n", res.Epoch, res.Err)
+			continue
+		}
+		fmt.Printf("epoch %d: SUM = %4d from %d sensors (failed: %v)\n",
+			res.Epoch, res.Sum, res.Contributors, res.Failed)
+	}
+	wg.Wait()
+	fmt.Println("\ncluster drained cleanly")
+}

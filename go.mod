@@ -1,0 +1,3 @@
+module github.com/sies/sies
+
+go 1.22

@@ -1,0 +1,174 @@
+package sies_test
+
+import (
+	"math/rand"
+	"testing"
+
+	sies "github.com/sies/sies"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/workload"
+)
+
+// TestCrossSchemeDifferential runs SIES and CMT over identical topologies
+// and workloads and checks both against a plaintext oracle: the two exact
+// schemes must agree with the oracle bit for bit, epoch after epoch.
+func TestCrossSchemeDifferential(t *testing.T) {
+	configs := []struct{ n, fanout int }{
+		{4, 2}, {16, 4}, {33, 3}, {100, 5}, {256, 4},
+	}
+	for _, cfg := range configs {
+		topoS, err := network.CompleteTree(cfg.n, cfg.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		topoC, err := network.CompleteTree(cfg.n, cfg.fanout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		siesProto, err := network.NewSIESProtocol(cfg.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmtProto, err := network.NewCMTProtocol(cfg.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		siesEng, err := network.NewEngine(topoS, siesProto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmtEng, err := network.NewEngine(topoC, cmtProto)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		r := rand.New(rand.NewSource(int64(cfg.n)))
+		for epoch := prf.Epoch(1); epoch <= 8; epoch++ {
+			values := workload.UniformReadings(cfg.n, workload.Scale100, r)
+			var oracle uint64
+			for _, v := range values {
+				oracle += v
+			}
+			gotS, err := siesEng.RunEpoch(epoch, values)
+			if err != nil {
+				t.Fatalf("n=%d f=%d epoch %d: SIES: %v", cfg.n, cfg.fanout, epoch, err)
+			}
+			gotC, err := cmtEng.RunEpoch(epoch, values)
+			if err != nil {
+				t.Fatalf("n=%d f=%d epoch %d: CMT: %v", cfg.n, cfg.fanout, epoch, err)
+			}
+			if gotS != float64(oracle) || gotC != float64(oracle) {
+				t.Fatalf("n=%d f=%d epoch %d: SIES=%f CMT=%f oracle=%d",
+					cfg.n, cfg.fanout, epoch, gotS, gotC, oracle)
+			}
+		}
+	}
+}
+
+// TestLongRunSoak drives one deployment through many epochs with churn:
+// random failures and recoveries every epoch, verifying every accepted
+// result against the oracle over live contributors.
+func TestLongRunSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const n = 64
+	nw, err := sies.NewNetwork(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := sies.NewTemperatureWorkload(n, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(99))
+	failed := map[int]bool{}
+	for epoch := sies.Epoch(1); epoch <= 100; epoch++ {
+		// Churn: each epoch one random source may fail or recover.
+		id := r.Intn(n)
+		if failed[id] {
+			nw.RecoverSource(id)
+			delete(failed, id)
+		} else if len(failed) < n-1 {
+			if err := nw.FailSource(id); err != nil {
+				t.Fatal(err)
+			}
+			failed[id] = true
+		}
+
+		readings := gen.Readings(sies.Scale100)
+		var oracle uint64
+		for i, v := range readings {
+			if !failed[i] {
+				oracle += v
+			}
+		}
+		got, err := nw.RunEpoch(epoch, readings)
+		if err != nil {
+			t.Fatalf("epoch %d (%d failed): %v", epoch, len(failed), err)
+		}
+		if got != oracle {
+			t.Fatalf("epoch %d: SUM %d != oracle %d", epoch, got, oracle)
+		}
+	}
+}
+
+// TestEpochIndependence verifies that evaluating epochs out of order and
+// re-evaluating an epoch both work: the protocol is stateless across epochs
+// on the querier side.
+func TestEpochIndependence(t *testing.T) {
+	q, sources, err := sies.Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sies.NewAggregator(q)
+	finals := map[sies.Epoch]sies.PSR{}
+	for _, epoch := range []sies.Epoch{5, 2, 9, 2} { // out of order, repeated
+		var final sies.PSR
+		for i, s := range sources {
+			psr, err := s.Encrypt(epoch, uint64(i)+uint64(epoch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			final = agg.MergeInto(final, psr)
+		}
+		finals[epoch] = final
+	}
+	for epoch, final := range finals {
+		res, err := q.Evaluate(epoch, final)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		want := uint64(28) + 8*uint64(epoch)
+		if res.Sum != want {
+			t.Fatalf("epoch %d: SUM %d, want %d", epoch, res.Sum, want)
+		}
+	}
+}
+
+// TestPSRsAreBindingAcrossDeployments verifies that PSRs from one deployment
+// never verify in another: fresh Setup means fresh keys.
+func TestPSRsAreBindingAcrossDeployments(t *testing.T) {
+	q1, s1, err := sies.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, s2, err := sies.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sies.NewAggregator(q1)
+	a, err := s1[0].Encrypt(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second contribution comes from the WRONG deployment.
+	b, err := s2[1].Encrypt(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q1.Evaluate(1, agg.Merge(a, b)); err == nil {
+		t.Fatal("cross-deployment PSR accepted")
+	}
+}

@@ -1,0 +1,207 @@
+// Package attack provides the adversary harness used by the security tests
+// and the example applications: reusable interceptors for every attack the
+// paper's threat model covers (§III-C, §IV-B) and a runner that classifies
+// whether a scheme detected the attack.
+//
+// The attacks modelled are:
+//
+//   - Injection/tampering — add a delta to a ciphertext in flight
+//     (SIES detects via the share secret; CMT accepts silently).
+//   - Drop — a blackhole aggregator discards a subtree's contribution
+//     (SIES detects; CMT under-reports silently).
+//   - Replay — a stale final PSR is served for a newer epoch
+//     (detected via epoch-bound shares, Theorem 4).
+//   - Duplicate — a PSR is aggregated twice
+//     (detected: the share sum doubles).
+//   - Eavesdrop — record ciphertexts for offline analysis
+//     (SIES/CMT reveal nothing; SECOA_S leaks the value magnitude).
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/cmt"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// Outcome reports what the querier experienced under attack.
+type Outcome struct {
+	Detected bool    // the querier rejected the epoch
+	Err      error   // the rejection error, when detected
+	Result   float64 // the accepted result, when not detected
+}
+
+// Run installs the interceptor, runs one epoch, restores the engine and
+// classifies the outcome. An error return means the attack run itself could
+// not be carried out (misconfiguration), not that the attack was detected.
+func Run(eng *network.Engine, t prf.Epoch, values []uint64, ic network.Interceptor) (Outcome, error) {
+	eng.SetInterceptor(ic)
+	defer eng.SetInterceptor(nil)
+	res, err := eng.RunEpoch(t, values)
+	if err != nil {
+		return Outcome{Detected: true, Err: err}, nil
+	}
+	return Outcome{Result: res}, nil
+}
+
+// SIESInject returns an interceptor that adds delta to the ciphertext on
+// every edge of the given kind — the injection attack of §II-D applied to
+// SIES PSRs.
+func SIESInject(f *uint256.Field, kind network.EdgeKind, delta uint64) network.Interceptor {
+	d := uint256.NewInt(delta)
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != kind {
+			return m
+		}
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return m
+		}
+		return core.PSR{C: f.Add(psr.C, d)}
+	}
+}
+
+// SIESInjectAligned adds delta directly into the *value field* of the
+// plaintext by shifting it past the share region — the strongest algebraic
+// attack an adversary knowing the layout (but not K_t) can mount. Without
+// the multiplier key K_t the shifted delta still lands on a random plaintext
+// offset, so verification fails.
+func SIESInjectAligned(f *uint256.Field, shareRegionBits uint, kind network.EdgeKind, delta uint64) network.Interceptor {
+	d := uint256.NewInt(delta).Lsh(shareRegionBits)
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != kind {
+			return m
+		}
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return m
+		}
+		return core.PSR{C: f.Add(psr.C, d)}
+	}
+}
+
+// CMTInject adds delta to CMT ciphertexts on the given edge kind. CMT cannot
+// detect it — the attack the paper uses to motivate SIES.
+func CMTInject(kind network.EdgeKind, delta uint64) network.Interceptor {
+	var d cmt.Ciphertext
+	for i := 0; i < 8; i++ {
+		d[cmt.CiphertextSize-1-i] = byte(delta >> (8 * i))
+	}
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != kind {
+			return m
+		}
+		c, ok := m.(cmt.Ciphertext)
+		if !ok {
+			return m
+		}
+		return cmt.Aggregate(c, d)
+	}
+}
+
+// DropEdge discards every message on edges matching kind and source id
+// (from = -1 matches any sender) — the blackhole attack.
+func DropEdge(kind network.EdgeKind, from int) network.Interceptor {
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind == kind && (from == -1 || e.From == from) {
+			return nil
+		}
+		return m
+	}
+}
+
+// Duplicate re-aggregates a copy of a chosen source's PSR into itself,
+// modelling a compromised aggregator counting one child twice. Only
+// meaningful for additively aggregated schemes (SIES, CMT).
+func Duplicate(f *uint256.Field, source int) network.Interceptor {
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != network.EdgeSA || e.From != source {
+			return m
+		}
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return m
+		}
+		return core.PSR{C: f.Add(psr.C, psr.C)} // the PSR added twice
+	}
+}
+
+// Replayer records the final (A-Q) message of a victim epoch and substitutes
+// it for the final message of every later epoch — the replay attack of
+// Theorem 4.
+type Replayer struct {
+	victim   prf.Epoch
+	recorded network.Message
+}
+
+// NewReplayer targets the given victim epoch.
+func NewReplayer(victim prf.Epoch) *Replayer { return &Replayer{victim: victim} }
+
+// Interceptor returns the replayer's hook.
+func (r *Replayer) Interceptor() network.Interceptor {
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != network.EdgeAQ {
+			return m
+		}
+		if t == r.victim {
+			r.recorded = m
+			return m
+		}
+		if r.recorded != nil {
+			return r.recorded
+		}
+		return m
+	}
+}
+
+// HasRecording reports whether the victim epoch has been captured.
+func (r *Replayer) HasRecording() bool { return r.recorded != nil }
+
+// Eavesdropper records every message on a chosen edge kind for offline
+// analysis — the passive adversary of the confidentiality theorems.
+type Eavesdropper struct {
+	kind     network.EdgeKind
+	Captured []network.Message
+}
+
+// NewEavesdropper listens on the given edge kind.
+func NewEavesdropper(kind network.EdgeKind) *Eavesdropper {
+	return &Eavesdropper{kind: kind}
+}
+
+// Interceptor returns the passive hook.
+func (ev *Eavesdropper) Interceptor() network.Interceptor {
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind == ev.kind {
+			ev.Captured = append(ev.Captured, m)
+		}
+		return m
+	}
+}
+
+// CapturedPSRBytes returns the wire bytes of captured SIES PSRs, the raw
+// material a confidentiality analysis works with.
+func (ev *Eavesdropper) CapturedPSRBytes() ([][core.PSRSize]byte, error) {
+	out := make([][core.PSRSize]byte, 0, len(ev.Captured))
+	for _, m := range ev.Captured {
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return nil, errors.New("attack: captured message is not a SIES PSR")
+		}
+		out = append(out, psr.Bytes())
+	}
+	return out, nil
+}
+
+// ExpectDetected asserts an outcome was detected; used by examples to keep
+// their control flow flat.
+func ExpectDetected(o Outcome, attack string) error {
+	if !o.Detected {
+		return fmt.Errorf("attack %q was NOT detected (result %.0f accepted)", attack, o.Result)
+	}
+	return nil
+}

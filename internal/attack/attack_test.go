@@ -1,0 +1,363 @@
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"github.com/sies/sies/internal/rsax"
+	"github.com/sies/sies/internal/secoa"
+	"github.com/sies/sies/internal/sketch"
+	"testing"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+)
+
+func siesSetup(t *testing.T, n, fanout int) (*network.Engine, *network.SIESProtocol) {
+	t.Helper()
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := network.NewSIESProtocol(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := network.NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, proto
+}
+
+func cmtSetup(t *testing.T, n, fanout int) *network.Engine {
+	t.Helper()
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := network.NewCMTProtocol(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := network.NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func values(n int, v uint64) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestSIESDetectsInjectionEverywhere(t *testing.T) {
+	for _, kind := range []network.EdgeKind{network.EdgeSA, network.EdgeAA, network.EdgeAQ} {
+		eng, proto := siesSetup(t, 16, 4)
+		f := proto.Querier.Params().Field()
+		out, err := Run(eng, 1, values(16, 100), SIESInject(f, kind, 77))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Detected {
+			t.Fatalf("%v injection not detected: result %f", kind, out.Result)
+		}
+	}
+}
+
+func TestSIESDetectsAlignedInjection(t *testing.T) {
+	eng, proto := siesSetup(t, 16, 4)
+	layout := proto.Querier.Params().Layout()
+	region := uint(160 + layout.PadBits())
+	f := proto.Querier.Params().Field()
+	out, err := Run(eng, 1, values(16, 100), SIESInjectAligned(f, region, network.EdgeAQ, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("aligned injection not detected: result %f", out.Result)
+	}
+}
+
+func TestCMTAcceptsInjection(t *testing.T) {
+	eng := cmtSetup(t, 16, 4)
+	out, err := Run(eng, 1, values(16, 100), CMTInject(network.EdgeAQ, 500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Detected {
+		t.Fatalf("CMT unexpectedly detected injection: %v", out.Err)
+	}
+	if out.Result != 16*100+500 {
+		t.Fatalf("tampered CMT result = %f, want %d", out.Result, 2100)
+	}
+	if err := ExpectDetected(out, "cmt-injection"); err == nil {
+		t.Fatal("ExpectDetected passed on undetected attack")
+	}
+}
+
+func TestSIESDetectsDroppedSource(t *testing.T) {
+	eng, _ := siesSetup(t, 16, 4)
+	out, err := Run(eng, 1, values(16, 10), DropEdge(network.EdgeSA, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("dropped source not detected: result %f", out.Result)
+	}
+}
+
+func TestSIESDetectsDroppedSubtree(t *testing.T) {
+	eng, _ := siesSetup(t, 16, 4)
+	out, err := Run(eng, 1, values(16, 10), DropEdge(network.EdgeAA, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("dropped subtree not detected: result %f", out.Result)
+	}
+}
+
+func TestCMTDropYieldsGarbageNotAttribution(t *testing.T) {
+	// Dropping a ciphertext leaves an unmatched key in CMT's subtraction, so
+	// the decryption yields a 160-bit garbage value. The querier notices
+	// *something* is wrong only because the value overflows — it cannot
+	// verify or attribute anything.
+	eng := cmtSetup(t, 16, 4)
+	out, err := Run(eng, 1, values(16, 10), DropEdge(network.EdgeSA, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("drop produced a plausible value by chance: %f", out.Result)
+	}
+}
+
+func TestCMTAcceptsDropWithSpoofedFailureReport(t *testing.T) {
+	// The silent CMT drop attack: a compromised aggregator drops source 5's
+	// ciphertext and falsely reports the source as failed. The querier
+	// decrypts the reduced subset and admits the wrong SUM with no way to
+	// verify. (SIES narrows this to the paper's documented residual risk:
+	// the querier is instructed to manually check reported failures, §IV-B.)
+	eng := cmtSetup(t, 16, 4)
+	if err := eng.FailSource(5); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunEpoch(1, values(16, 10))
+	if err != nil {
+		t.Fatalf("CMT rejected the spoofed-failure epoch: %v", err)
+	}
+	if got != 150 {
+		t.Fatalf("CMT accepted %f, want the silently reduced 150", got)
+	}
+}
+
+func TestSIESDetectsDuplicate(t *testing.T) {
+	eng, proto := siesSetup(t, 8, 4)
+	f := proto.Querier.Params().Field()
+	out, err := Run(eng, 1, values(8, 10), Duplicate(f, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("duplicate not detected: result %f", out.Result)
+	}
+}
+
+func TestSIESDetectsReplay(t *testing.T) {
+	eng, _ := siesSetup(t, 8, 4)
+	r := NewReplayer(1)
+	eng.SetInterceptor(r.Interceptor())
+	defer eng.SetInterceptor(nil)
+
+	// Victim epoch passes (the replayer only records).
+	if _, err := eng.RunEpoch(1, values(8, 50)); err != nil {
+		t.Fatalf("victim epoch rejected: %v", err)
+	}
+	if !r.HasRecording() {
+		t.Fatal("replayer recorded nothing")
+	}
+	// Later epoch receives the stale PSR: must be rejected.
+	_, err := eng.RunEpoch(2, values(8, 60))
+	if !errors.Is(err, core.ErrIntegrity) && !errors.Is(err, core.ErrResultOverflow) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+func TestDropFinalMessage(t *testing.T) {
+	// Dropping the A-Q message is a DoS the paper's model treats as
+	// trivially detectable (the querier receives nothing).
+	eng, _ := siesSetup(t, 4, 4)
+	out, err := Run(eng, 1, values(4, 1), DropEdge(network.EdgeAQ, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatal("missing final message went unnoticed")
+	}
+}
+
+func TestEavesdropperSeesOnlyRandomLookingBytes(t *testing.T) {
+	// Two engines with identical readings produce unrelated PSR streams
+	// (fresh keys per deployment and per epoch): a smoke check that the
+	// ciphertext carries no plaintext structure. Identical plaintext, two
+	// epochs, same source — ciphertexts must differ.
+	eng, _ := siesSetup(t, 4, 4)
+	ev := NewEavesdropper(network.EdgeSA)
+	eng.SetInterceptor(ev.Interceptor())
+	defer eng.SetInterceptor(nil)
+	if _, err := eng.RunEpoch(1, values(4, 42)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunEpoch(2, values(4, 42)); err != nil {
+		t.Fatal(err)
+	}
+	caps, err := ev.CapturedPSRBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(caps) != 8 {
+		t.Fatalf("captured %d PSRs", len(caps))
+	}
+	// Source 0's epoch-1 vs epoch-2 PSR for the same reading must differ.
+	if bytes.Equal(caps[0][:], caps[4][:]) {
+		t.Fatal("identical plaintext produced identical ciphertexts across epochs")
+	}
+	// Two sources with the same reading in the same epoch must differ.
+	if bytes.Equal(caps[0][:], caps[1][:]) {
+		t.Fatal("two sources produced identical ciphertexts")
+	}
+}
+
+func TestEavesdropperTypeCheck(t *testing.T) {
+	eng := cmtSetup(t, 4, 4)
+	ev := NewEavesdropper(network.EdgeSA)
+	eng.SetInterceptor(ev.Interceptor())
+	defer eng.SetInterceptor(nil)
+	if _, err := eng.RunEpoch(1, values(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.CapturedPSRBytes(); err == nil {
+		t.Fatal("CMT ciphertexts accepted as PSRs")
+	}
+}
+
+func TestCleanRunAfterAttack(t *testing.T) {
+	// Run() must restore the engine: a follow-up epoch verifies cleanly.
+	eng, proto := siesSetup(t, 8, 4)
+	f := proto.Querier.Params().Field()
+	if _, err := Run(eng, 1, values(8, 5), SIESInject(f, network.EdgeAQ, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.RunEpoch(2, values(8, 5))
+	if err != nil {
+		t.Fatalf("clean epoch rejected after attack run: %v", err)
+	}
+	if got != 40 {
+		t.Fatalf("clean SUM = %f", got)
+	}
+}
+
+func TestExpectDetected(t *testing.T) {
+	if err := ExpectDetected(Outcome{Detected: true}, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExpectDetected(Outcome{Detected: false, Result: 5}, "x"); err == nil {
+		t.Fatal("undetected outcome passed")
+	}
+}
+
+func TestSIESDetectionIsRobustOverEpochs(t *testing.T) {
+	// Property-style sweep: random deltas on random edges over many epochs —
+	// detection probability must be 1 in practice (failure probability 2^-224).
+	eng, proto := siesSetup(t, 8, 2)
+	f := proto.Querier.Params().Field()
+	for epoch := prf.Epoch(1); epoch <= 25; epoch++ {
+		kind := []network.EdgeKind{network.EdgeSA, network.EdgeAA, network.EdgeAQ}[int(epoch)%3]
+		delta := uint64(epoch)*7919 + 1
+		out, err := Run(eng, epoch, values(8, uint64(epoch)), SIESInject(f, kind, delta))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Detected {
+			t.Fatalf("epoch %d: injection (%v, %d) not detected", epoch, kind, delta)
+		}
+	}
+}
+
+func TestCompromisedSourceBoundary(t *testing.T) {
+	// Paper §III-C: a compromised source can lie about its own reading and
+	// no scheme detects it — SIES's guarantee is that the lie stays bounded
+	// to that source's contribution (SUM shifts by the lie, nothing else
+	// breaks, and other sources' secrets stay safe). Pin that boundary.
+	eng, _ := siesSetup(t, 8, 4)
+	honest := values(8, 10)
+	lying := append([]uint64(nil), honest...)
+	lying[3] = 9999 // source 3 reports a fabricated reading
+
+	got, err := eng.RunEpoch(1, lying)
+	if err != nil {
+		t.Fatalf("epoch with lying source rejected: %v", err)
+	}
+	if got != 7*10+9999 {
+		t.Fatalf("SUM = %f, want %d", got, 7*10+9999)
+	}
+	// The next epoch with honest readings verifies normally: the lie did not
+	// poison the deployment.
+	got, err = eng.RunEpoch(2, honest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 80 {
+		t.Fatalf("SUM = %f, want 80", got)
+	}
+}
+
+func TestSECOAInflationViaInterceptor(t *testing.T) {
+	// Network-level SECOA attack: a man-in-the-middle inflates a sketch
+	// value on the final edge. The querier's certificate check rejects it.
+	topo, err := network.CompleteTree(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := rsax.GenerateKey(512, rsax.DefaultExponent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := secoa.Params{Sketch: sketch.Params{J: 8, MaxLevel: 24}, Key: key}
+	proto, err := network.NewSECOAProtocol(4, params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := network.NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inflate := func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != network.EdgeAQ {
+			return m
+		}
+		msg, ok := m.(*secoa.Message)
+		if !ok {
+			return m
+		}
+		bad := msg.Clone()
+		bad.X[0]++
+		return bad
+	}
+	out, err := Run(eng, 1, values(4, 500), inflate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatalf("SECOA inflation not detected: %f", out.Result)
+	}
+	// Honest epoch still verifies.
+	if _, err := eng.RunEpoch(2, values(4, 500)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package cmt implements the CMT benchmark scheme (Castelluccia, Mykletun,
+// Tsudik — "Efficient aggregation of encrypted data in wireless sensor
+// networks", MobiQuitous 2005), as described in §II-D of the SIES paper.
+//
+// Each source i shares a long-term key kᵢ with the querier and encrypts its
+// reading as cᵢ = vᵢ + k_{i,t} (mod 2^160), where the per-epoch key
+// k_{i,t} = HM1(kᵢ, t) provides freshness (paper §V, cost model of CMT).
+// Aggregators add ciphertexts modulo 2^160; the querier recovers
+// Σ vᵢ = c − Σ k_{i,t}. The scheme is confidentiality-only: any party can
+// add a delta to a ciphertext and shift the decrypted SUM undetected, which
+// the attack tests demonstrate.
+package cmt
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// CiphertextSize is the wire size of a CMT ciphertext: 20 bytes, matching
+// the paper's communication-cost analysis (Table V).
+const CiphertextSize = 20
+
+// Ciphertext is a 160-bit residue stored big-endian.
+type Ciphertext [CiphertextSize]byte
+
+// add160 returns a+b mod 2^160 over big-endian 20-byte arrays.
+func add160(a, b Ciphertext) Ciphertext {
+	var out Ciphertext
+	var carry uint16
+	for i := CiphertextSize - 1; i >= 0; i-- {
+		s := uint16(a[i]) + uint16(b[i]) + carry
+		out[i] = byte(s)
+		carry = s >> 8
+	}
+	return out
+}
+
+// sub160 returns a−b mod 2^160.
+func sub160(a, b Ciphertext) Ciphertext {
+	var out Ciphertext
+	var borrow int16
+	for i := CiphertextSize - 1; i >= 0; i-- {
+		d := int16(a[i]) - int16(b[i]) - borrow
+		if d < 0 {
+			d += 256
+			borrow = 1
+		} else {
+			borrow = 0
+		}
+		out[i] = byte(d)
+	}
+	return out
+}
+
+// fromUint64 embeds v into the low-order bytes of a residue.
+func fromUint64(v uint64) Ciphertext {
+	var c Ciphertext
+	for i := 0; i < 8; i++ {
+		c[CiphertextSize-1-i] = byte(v >> (8 * i))
+	}
+	return c
+}
+
+// toUint64 extracts the low 8 bytes and reports whether the higher bytes are
+// all zero (i.e. the value fits a uint64).
+func (c Ciphertext) toUint64() (uint64, bool) {
+	for i := 0; i < CiphertextSize-8; i++ {
+		if c[i] != 0 {
+			return 0, false
+		}
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(c[CiphertextSize-8+i])
+	}
+	return v, true
+}
+
+// Source encrypts readings under a per-source long-term key.
+type Source struct {
+	id int
+	ki []byte
+}
+
+// NewSource returns source i holding long-term key ki.
+func NewSource(id int, ki []byte) *Source { return &Source{id: id, ki: ki} }
+
+// ID returns the source identifier.
+func (s *Source) ID() int { return s.id }
+
+// Encrypt computes cᵢ = v + HM1(kᵢ, t) mod 2^160.
+func (s *Source) Encrypt(t prf.Epoch, v uint64) Ciphertext {
+	key := prf.HM1Epoch(s.ki, t)
+	return add160(fromUint64(v), Ciphertext(key))
+}
+
+// Aggregate adds ciphertexts modulo 2^160 — the whole merging phase.
+func Aggregate(cs ...Ciphertext) Ciphertext {
+	var acc Ciphertext
+	for _, c := range cs {
+		acc = add160(acc, c)
+	}
+	return acc
+}
+
+// Querier decrypts aggregates using the full key ring.
+type Querier struct {
+	keys [][]byte
+}
+
+// NewQuerier returns a querier holding the kᵢ of all n sources.
+func NewQuerier(keys [][]byte) (*Querier, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("cmt: querier needs at least one source key")
+	}
+	return &Querier{keys: keys}, nil
+}
+
+// Decrypt recovers Σ vᵢ from the aggregate of the given contributors (nil
+// means all). CMT has no integrity check: whatever the subtraction yields is
+// returned, which is exactly the weakness the SIES paper targets.
+func (q *Querier) Decrypt(t prf.Epoch, agg Ciphertext, contributors []int) (uint64, error) {
+	ids := contributors
+	if ids == nil {
+		ids = make([]int, len(q.keys))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	var keySum Ciphertext
+	for _, id := range ids {
+		if id < 0 || id >= len(q.keys) {
+			return 0, fmt.Errorf("cmt: contributor %d out of range", id)
+		}
+		keySum = add160(keySum, Ciphertext(prf.HM1Epoch(q.keys[id], t)))
+	}
+	plain := sub160(agg, keySum)
+	v, ok := plain.toUint64()
+	if !ok {
+		return 0, errors.New("cmt: decrypted SUM exceeds 64 bits (wrong epoch, contributors, or tampering)")
+	}
+	return v, nil
+}

@@ -1,0 +1,201 @@
+package cmt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+func setup(t testing.TB, n int) (*Querier, []*Source) {
+	t.Helper()
+	keys := make([][]byte, n)
+	sources := make([]*Source, n)
+	for i := range keys {
+		k, err := prf.NewLongTermKey()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = k
+		sources[i] = NewSource(i, k)
+	}
+	q, err := NewQuerier(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, sources
+}
+
+func TestArith160AgainstBig(t *testing.T) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 160)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		var a, b Ciphertext
+		r.Read(a[:])
+		r.Read(b[:])
+		ab := new(big.Int).SetBytes(a[:])
+		bb := new(big.Int).SetBytes(b[:])
+
+		sum := add160(a, b)
+		want := new(big.Int).Mod(new(big.Int).Add(ab, bb), mod)
+		if new(big.Int).SetBytes(sum[:]).Cmp(want) != 0 {
+			t.Fatalf("add160 mismatch at %d", i)
+		}
+
+		diff := sub160(a, b)
+		want = new(big.Int).Mod(new(big.Int).Sub(ab, bb), mod)
+		if new(big.Int).SetBytes(diff[:]).Cmp(want) != 0 {
+			t.Fatalf("sub160 mismatch at %d", i)
+		}
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 255, 1 << 32, ^uint64(0)} {
+		got, ok := fromUint64(v).toUint64()
+		if !ok || got != v {
+			t.Fatalf("round trip %d → %d (%v)", v, got, ok)
+		}
+	}
+	var big Ciphertext
+	big[0] = 1
+	if _, ok := big.toUint64(); ok {
+		t.Fatal("160-bit value claimed to fit uint64")
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	q, sources := setup(t, 10)
+	r := rand.New(rand.NewSource(2))
+	for epoch := prf.Epoch(0); epoch < 5; epoch++ {
+		var agg Ciphertext
+		var want uint64
+		for _, s := range sources {
+			v := uint64(r.Intn(5000))
+			agg = Aggregate(agg, s.Encrypt(epoch, v))
+			want += v
+		}
+		got, err := q.Decrypt(epoch, agg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("epoch %d: SUM = %d, want %d", epoch, got, want)
+		}
+	}
+}
+
+func TestSubsetDecrypt(t *testing.T) {
+	q, sources := setup(t, 5)
+	agg := Aggregate(sources[1].Encrypt(3, 10), sources[4].Encrypt(3, 20))
+	got, err := q.Decrypt(3, agg, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("subset SUM = %d", got)
+	}
+	if _, err := q.Decrypt(3, agg, []int{1, 9}); err == nil {
+		t.Fatal("out-of-range contributor accepted")
+	}
+}
+
+func TestNoIntegrity(t *testing.T) {
+	// The defining weakness of CMT (paper §II-D): an adversary adds v' to
+	// the aggregate and the querier happily returns SUM+v'.
+	q, sources := setup(t, 3)
+	var agg Ciphertext
+	for _, s := range sources {
+		agg = Aggregate(agg, s.Encrypt(1, 100))
+	}
+	tampered := add160(agg, fromUint64(555))
+	got, err := q.Decrypt(1, tampered, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 300+555 {
+		t.Fatalf("tampered SUM = %d, want %d (undetected injection)", got, 855)
+	}
+}
+
+func TestWrongEpochYieldsGarbage(t *testing.T) {
+	q, sources := setup(t, 3)
+	var agg Ciphertext
+	for _, s := range sources {
+		agg = Aggregate(agg, s.Encrypt(1, 100))
+	}
+	// Decrypting with epoch-2 keys gives a (detectable only by luck)
+	// overflowing value; either an error or a wrong sum is acceptable, but
+	// it must not equal the true sum.
+	got, err := q.Decrypt(2, agg, nil)
+	if err == nil && got == 300 {
+		t.Fatal("stale ciphertext decrypted to the correct sum")
+	}
+}
+
+func TestFreshKeysPerEpoch(t *testing.T) {
+	_, sources := setup(t, 1)
+	if sources[0].Encrypt(1, 5) == sources[0].Encrypt(2, 5) {
+		t.Fatal("same ciphertext across epochs")
+	}
+}
+
+func TestNewQuerierValidation(t *testing.T) {
+	if _, err := NewQuerier(nil); err == nil {
+		t.Fatal("empty key ring accepted")
+	}
+}
+
+func TestSourceID(t *testing.T) {
+	s := NewSource(7, []byte("k"))
+	if s.ID() != 7 {
+		t.Fatalf("ID = %d", s.ID())
+	}
+}
+
+func BenchmarkSourceEncrypt(b *testing.B) {
+	k := make([]byte, prf.LongTermKeySize)
+	s := NewSource(0, k)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Encrypt(prf.Epoch(i), 4242)
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	var a, c Ciphertext
+	for i := range a {
+		a[i], c[i] = byte(i), byte(255-i)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a = add160(a, c)
+	}
+}
+
+func BenchmarkQuerierDecrypt1024(b *testing.B) {
+	keys := make([][]byte, 1024)
+	sources := make([]*Source, 1024)
+	for i := range keys {
+		keys[i] = make([]byte, prf.LongTermKeySize)
+		keys[i][0] = byte(i)
+		keys[i][1] = byte(i >> 8)
+		sources[i] = NewSource(i, keys[i])
+	}
+	q, err := NewQuerier(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var agg Ciphertext
+	for _, s := range sources {
+		agg = Aggregate(agg, s.Encrypt(1, 100))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Decrypt(1, agg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package commitattest implements a representative commit-and-attest secure
+// aggregation scheme (the model of SIA, SDAP, SecureDAV — paper §II-B),
+// the approach SIES is designed to outperform at scale.
+//
+// One epoch runs in two phases:
+//
+//	Commit  — sources send their raw readings up the tree; the sink builds a
+//	          sum-augmented Merkle commitment over all N readings and hands
+//	          (SUM, root) to the querier.
+//	Attest  — the querier broadcasts (epoch, SUM, root) to every sensor over
+//	          μTesla; the sink disseminates each sensor's O(log N) audit
+//	          path; every sensor verifies that its reading is included and
+//	          that the committed partial sums are consistent with SUM, then
+//	          answers with an authenticated acknowledgement, XOR-aggregated
+//	          on the way up. The querier accepts iff the aggregate ack
+//	          matches its own expectation.
+//
+// The scheme provides integrity (any tampering breaks some sensor's audit)
+// but no confidentiality (readings travel in plaintext), and — the paper's
+// point — its attestation traffic and latency grow with N, whereas SIES
+// needs no sensor participation in verification at all. The Stats returned
+// per epoch quantify exactly that.
+package commitattest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/merkle"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+)
+
+// Wire-size constants (bytes).
+const (
+	recordSize    = 12                          // id(4) + value(8), commit phase
+	claimSize     = 8 + merkle.DigestSize       // SUM + root, sink → querier
+	broadcastSize = 8 + 8 + merkle.DigestSize + // epoch + SUM + root
+		prf.Size1 + 32 // μTesla MAC + disclosed key
+	ackSize = prf.Size1 // XOR-aggregated acknowledgement
+)
+
+// ErrAttestFailed is returned when the aggregate acknowledgement does not
+// match: at least one sensor's audit failed.
+var ErrAttestFailed = errors.New("commitattest: attestation failed (some sensor audit rejected)")
+
+// Stats quantifies one epoch's cost.
+type Stats struct {
+	CommitBytes  int // raw readings up the tree + claim to the querier
+	AttestBytes  int // broadcast down + audit paths down + acks up
+	CommitMsgs   int
+	AttestMsgs   int
+	Rounds       int // protocol rounds (latency proxy): up, claim, down, audit, acks
+	SensorHashes int // total hash evaluations performed by sensors during audits
+}
+
+// Adversary models a compromised sink.
+type Adversary struct {
+	// TamperSource ≥ 0 makes the sink replace that source's reading with
+	// reading+TamperDelta before committing.
+	TamperSource int
+	TamperDelta  uint64
+	// ClaimDelta makes the sink report SUM+ClaimDelta while committing to
+	// the honest readings.
+	ClaimDelta uint64
+}
+
+// NoAdversary is the honest-sink configuration.
+func NoAdversary() Adversary { return Adversary{TamperSource: -1} }
+
+// Deployment holds the per-source acknowledgement keys and the topology.
+type Deployment struct {
+	topo    *network.Topology
+	ackKeys [][]byte
+}
+
+// New provisions a deployment over the given topology.
+func New(topo *network.Topology) (*Deployment, error) {
+	if topo == nil {
+		return nil, errors.New("commitattest: nil topology")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	keys := make([][]byte, topo.NumSources())
+	for i := range keys {
+		k, err := prf.NewLongTermKey()
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+	}
+	return &Deployment{topo: topo, ackKeys: keys}, nil
+}
+
+// ack computes source id's authenticated verdict for an epoch/root pair.
+func (d *Deployment) ack(id int, t prf.Epoch, root merkle.Digest, ok bool) [prf.Size1]byte {
+	msg := make([]byte, 8+merkle.DigestSize+1)
+	binary.BigEndian.PutUint64(msg, uint64(t))
+	copy(msg[8:], root[:])
+	if ok {
+		msg[8+merkle.DigestSize] = 1
+	}
+	return prf.HM1(d.ackKeys[id], msg)
+}
+
+// RunEpoch executes both phases and returns the verified SUM plus the cost
+// accounting. A non-nil error means the querier rejected the epoch.
+func (d *Deployment) RunEpoch(t prf.Epoch, values []uint64, adv Adversary) (uint64, *Stats, error) {
+	topo := d.topo
+	n := topo.NumSources()
+	if len(values) != n {
+		return 0, nil, fmt.Errorf("commitattest: %d values for %d sources", len(values), n)
+	}
+	st := &Stats{}
+
+	// --- Commit phase: raw readings flow to the sink -------------------
+	subtree := make([]int, topo.NumAggregators())
+	var count func(agg int) int
+	count = func(agg int) int {
+		c := len(topo.ChildSources(agg))
+		st.CommitMsgs += len(topo.ChildSources(agg)) // one record per S-A edge
+		st.CommitBytes += len(topo.ChildSources(agg)) * recordSize
+		for _, child := range topo.ChildAggregators(agg) {
+			cc := count(child)
+			st.CommitMsgs++ // one batched message per A-A edge
+			st.CommitBytes += cc * recordSize
+			c += cc
+		}
+		subtree[agg] = c
+		return c
+	}
+	count(topo.Root())
+
+	// The (possibly compromised) sink commits.
+	committed := append([]uint64(nil), values...)
+	if adv.TamperSource >= 0 && adv.TamperSource < n {
+		committed[adv.TamperSource] += adv.TamperDelta
+	}
+	tree, err := merkle.BuildSum(committed)
+	if err != nil {
+		return 0, nil, err
+	}
+	claimedSum := tree.Total() + adv.ClaimDelta
+	root := tree.Root()
+	st.CommitMsgs++
+	st.CommitBytes += claimSize
+	st.Rounds += topo.Depth() + 1 // readings up + claim
+
+	// --- Attest phase ----------------------------------------------------
+	// Broadcast (epoch, SUM, root) over μTesla: one message per tree edge
+	// (aggregators relay it downward) reaching every sensor.
+	edges := n + topo.NumAggregators() // S-A + A-A edges + root-querier edge ≈ every link once
+	st.AttestMsgs += edges
+	st.AttestBytes += edges * broadcastSize
+	st.Rounds += topo.Depth() + 1
+
+	// Audit-path dissemination: each edge carries the paths of the sensors
+	// below it.
+	var pathBytes func(agg int) (int, error)
+	pathBytes = func(agg int) (int, error) {
+		total := 0
+		for _, src := range topo.ChildSources(agg) {
+			p, err := tree.ProveSum(src)
+			if err != nil {
+				return 0, err
+			}
+			st.AttestMsgs++
+			st.AttestBytes += p.Size()
+			total += p.Size()
+		}
+		for _, child := range topo.ChildAggregators(agg) {
+			sub, err := pathBytes(child)
+			if err != nil {
+				return 0, err
+			}
+			st.AttestMsgs++
+			st.AttestBytes += sub
+			total += sub
+		}
+		return total, nil
+	}
+	if _, err := pathBytes(topo.Root()); err != nil {
+		return 0, nil, err
+	}
+	st.Rounds += topo.Depth()
+
+	// Sensor audits + acknowledgement aggregation.
+	var aggregateAck [prf.Size1]byte
+	for id := 0; id < n; id++ {
+		p, err := tree.ProveSum(id)
+		if err != nil {
+			return 0, nil, err
+		}
+		ok := merkle.VerifySum(root, claimedSum, id, values[id], p)
+		st.SensorHashes += len(p.Steps) + 1
+		a := d.ack(id, t, root, ok)
+		for b := range aggregateAck {
+			aggregateAck[b] ^= a[b]
+		}
+	}
+	st.AttestMsgs += edges
+	st.AttestBytes += edges * ackSize
+	st.Rounds += topo.Depth() + 1
+
+	// Querier: expected aggregate = XOR of all-OK acks.
+	var expected [prf.Size1]byte
+	for id := 0; id < n; id++ {
+		a := d.ack(id, t, root, true)
+		for b := range expected {
+			expected[b] ^= a[b]
+		}
+	}
+	if expected != aggregateAck {
+		return 0, st, ErrAttestFailed
+	}
+	return claimedSum, st, nil
+}

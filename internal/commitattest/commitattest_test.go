@@ -1,0 +1,153 @@
+package commitattest
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/network"
+)
+
+func deploy(t *testing.T, n, fanout int) *Deployment {
+	t.Helper()
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func values(n int, seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(r.Intn(5000))
+	}
+	return out
+}
+
+func TestHonestEpochAccepted(t *testing.T) {
+	d := deploy(t, 64, 4)
+	vs := values(64, 1)
+	var want uint64
+	for _, v := range vs {
+		want += v
+	}
+	sum, st, err := d.RunEpoch(1, vs, NoAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != want {
+		t.Fatalf("SUM = %d, want %d", sum, want)
+	}
+	if st.CommitBytes <= 0 || st.AttestBytes <= 0 || st.Rounds <= 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestTamperedReadingRejected(t *testing.T) {
+	d := deploy(t, 32, 4)
+	vs := values(32, 2)
+	adv := Adversary{TamperSource: 7, TamperDelta: 1000}
+	_, _, err := d.RunEpoch(1, vs, adv)
+	if !errors.Is(err, ErrAttestFailed) {
+		t.Fatalf("tampered reading accepted: %v", err)
+	}
+}
+
+func TestInflatedClaimRejected(t *testing.T) {
+	d := deploy(t, 32, 4)
+	vs := values(32, 3)
+	adv := NoAdversary()
+	adv.ClaimDelta = 500
+	_, _, err := d.RunEpoch(1, vs, adv)
+	if !errors.Is(err, ErrAttestFailed) {
+		t.Fatalf("inflated claim accepted: %v", err)
+	}
+}
+
+func TestValueCountValidated(t *testing.T) {
+	d := deploy(t, 8, 4)
+	if _, _, err := d.RunEpoch(1, values(4, 1), NoAdversary()); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+	if _, err := New(nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestCostsGrowWithN(t *testing.T) {
+	// The paper's scalability argument (§II-B): attestation traffic and
+	// sensor involvement grow with N; SIES's per-edge cost is constant.
+	small := deploy(t, 64, 4)
+	big := deploy(t, 1024, 4)
+	_, stSmall, err := small.RunEpoch(1, values(64, 4), NoAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stBig, err := big.RunEpoch(1, values(1024, 4), NoAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBig.AttestBytes <= stSmall.AttestBytes*4 {
+		t.Fatalf("attest bytes did not scale: %d vs %d", stSmall.AttestBytes, stBig.AttestBytes)
+	}
+	if stBig.SensorHashes <= stSmall.SensorHashes {
+		t.Fatal("sensor work did not grow with N")
+	}
+	if stBig.Rounds <= stSmall.Rounds {
+		t.Fatal("latency rounds did not grow with depth")
+	}
+	// Per-sensor audit work is logarithmic.
+	perSensorSmall := float64(stSmall.SensorHashes) / 64
+	perSensorBig := float64(stBig.SensorHashes) / 1024
+	if perSensorBig < perSensorSmall {
+		t.Fatal("per-sensor audit work shrank with N")
+	}
+}
+
+func TestCommitBytesDominatedByRelaying(t *testing.T) {
+	// Raw readings are relayed hop by hop: total commit bytes exceed
+	// N·recordSize by the relaying factor (≈ depth).
+	d := deploy(t, 256, 4)
+	_, st, err := d.RunEpoch(1, values(256, 5), NoAdversary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CommitBytes <= 256*recordSize {
+		t.Fatalf("commit bytes %d do not show relaying", st.CommitBytes)
+	}
+}
+
+func TestEpochsIndependent(t *testing.T) {
+	d := deploy(t, 16, 4)
+	vs := values(16, 6)
+	for epoch := 1; epoch <= 3; epoch++ {
+		if _, _, err := d.RunEpoch(1, vs, NoAdversary()); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+	}
+}
+
+func BenchmarkCommitAttest1024(b *testing.B) {
+	topo, err := network.CompleteTree(1024, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := New(topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vs := values(1024, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := d.RunEpoch(1, vs, NoAdversary()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

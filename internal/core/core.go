@@ -1,0 +1,421 @@
+// Package core implements the SIES protocol — the paper's primary
+// contribution (§IV): Secure In-network processing of Exact SUM queries with
+// data confidentiality, integrity, authentication and freshness.
+//
+// The protocol has four phases:
+//
+//	Setup          — the querier generates long-term keys (K, k₁..k_N) and a
+//	                 256-bit prime p, registers (K, kᵢ, p) at each source and
+//	                 p at each aggregator.
+//	Initialization — at epoch t each source derives K_t = HM256(K,t),
+//	                 k_{i,t} = HM256(kᵢ,t) and ss_{i,t} = HM1(kᵢ,t), packs
+//	                 m_{i,t} = v‖0-pad‖ss and emits the 32-byte partial state
+//	                 record PSR_{i,t} = E(m_{i,t}, K_t, k_{i,t}, p).
+//	Merging        — an aggregator adds the PSRs of its children modulo p.
+//	Evaluation     — the querier decrypts the final PSR with (K_t, Σ k_{i,t}),
+//	                 splits it into the SUM result and the aggregate secret
+//	                 s_t, and accepts iff s_t equals Σ HM1(kᵢ,t) over the
+//	                 contributing sources.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/homomorphic"
+	"github.com/sies/sies/internal/message"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/secretshare"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// PSRSize is the wire size of a partial state record: one 32-byte field
+// element, constant per network edge (paper Table V).
+const PSRSize = 32
+
+// Errors reported by the protocol.
+var (
+	// ErrIntegrity means the aggregate secret embedded in the final PSR does
+	// not match the querier's recomputation: the result was tampered with,
+	// a PSR was dropped or injected, or a stale PSR was replayed.
+	ErrIntegrity = errors.New("sies: integrity verification failed")
+	// ErrResultOverflow means the aggregated SUM exceeded the layout's value
+	// field, so the extracted result would be meaningless.
+	ErrResultOverflow = errors.New("sies: SUM result overflows the value field")
+	// ErrBadPSR is returned when parsing a malformed wire PSR.
+	ErrBadPSR = errors.New("sies: malformed PSR")
+)
+
+// PSR is a partial state record: a ciphertext in [0, p).
+type PSR struct {
+	C uint256.Int
+}
+
+// Bytes serialises the PSR to its 32-byte wire form.
+func (r PSR) Bytes() [PSRSize]byte { return r.C.Bytes() }
+
+// ParsePSR decodes a wire PSR and range-checks it against the modulus.
+func ParsePSR(buf []byte, f *uint256.Field) (PSR, error) {
+	if len(buf) != PSRSize {
+		return PSR{}, fmt.Errorf("%w: length %d", ErrBadPSR, len(buf))
+	}
+	c, err := uint256.SetBytes(buf)
+	if err != nil {
+		return PSR{}, fmt.Errorf("%w: %v", ErrBadPSR, err)
+	}
+	if c.Cmp(f.Modulus()) >= 0 {
+		return PSR{}, fmt.Errorf("%w: ciphertext not in [0, p)", ErrBadPSR)
+	}
+	return PSR{C: c}, nil
+}
+
+// Params carries the public protocol configuration shared by all parties.
+type Params struct {
+	layout message.Layout
+	scheme *homomorphic.Scheme
+}
+
+// Option customises Setup.
+type Option func(*setupConfig) error
+
+type setupConfig struct {
+	field     *uint256.Field
+	valueBits int
+}
+
+// WithField selects a specific prime field instead of the default
+// p = 2^256 − 189.
+func WithField(f *uint256.Field) Option {
+	return func(c *setupConfig) error {
+		if f == nil {
+			return errors.New("sies: nil field")
+		}
+		c.field = f
+		return nil
+	}
+}
+
+// WithWideValues switches the plaintext layout to 8-byte values, raising the
+// maximum exact SUM from 2^32−1 to 2^64−1 (paper footnote 1) at the cost of
+// supporting at most 2^32 sources.
+func WithWideValues() Option {
+	return func(c *setupConfig) error {
+		c.valueBits = message.ValueBits64
+		return nil
+	}
+}
+
+// NewParams validates and assembles protocol parameters for n sources.
+func NewParams(n int, opts ...Option) (Params, error) {
+	cfg := setupConfig{field: uint256.NewDefaultField(), valueBits: message.ValueBits32}
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return Params{}, err
+		}
+	}
+	layout, err := message.New(n, cfg.valueBits)
+	if err != nil {
+		return Params{}, err
+	}
+	scheme := homomorphic.New(cfg.field)
+	if !layout.FitsField(cfg.field) {
+		return Params{}, fmt.Errorf("sies: layout (n=%d, %d-bit values) can overflow modulus %v",
+			n, cfg.valueBits, cfg.field.Modulus())
+	}
+	return Params{layout: layout, scheme: scheme}, nil
+}
+
+// Layout returns the plaintext layout in use.
+func (p Params) Layout() message.Layout { return p.layout }
+
+// Field returns the prime field in use; aggregators need only this.
+func (p Params) Field() *uint256.Field { return p.scheme.Field() }
+
+// Scheme returns the homomorphic cipher bound to the field.
+func (p Params) Scheme() *homomorphic.Scheme { return p.scheme }
+
+// N returns the number of sources the deployment was set up for.
+func (p Params) N() int { return p.layout.Sources() }
+
+// Setup runs the setup phase for n sources: it generates the key ring and
+// returns the querier plus one Source per id. In a real deployment the
+// (K, kᵢ, p) triples are installed manually on the motes; here the caller
+// distributes the returned Source values.
+func Setup(n int, opts ...Option) (*Querier, []*Source, error) {
+	params, err := NewParams(n, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	ring, err := prf.NewKeyRing(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := &Querier{params: params, ring: ring}
+	sources := make([]*Source, n)
+	for i := range sources {
+		global, ki, err := ring.SourceCredentials(i)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources[i] = &Source{id: i, params: params, global: global, ki: ki}
+	}
+	return q, sources, nil
+}
+
+// NewSource reconstructs a source from provisioned credentials (K, kᵢ) —
+// the path taken by a networked deployment where keys were installed by a
+// provisioning tool rather than generated in-process by Setup.
+func NewSource(id int, global, ki []byte, params Params) (*Source, error) {
+	if id < 0 || id >= params.N() {
+		return nil, fmt.Errorf("sies: source id %d out of range [0,%d)", id, params.N())
+	}
+	if len(global) == 0 || len(ki) == 0 {
+		return nil, errors.New("sies: source needs both the global and its private key")
+	}
+	return &Source{id: id, params: params,
+		global: append([]byte(nil), global...), ki: append([]byte(nil), ki...)}, nil
+}
+
+// NewQuerier reconstructs a querier from a provisioned key ring.
+func NewQuerier(ring *prf.KeyRing, params Params) (*Querier, error) {
+	if ring == nil {
+		return nil, errors.New("sies: nil key ring")
+	}
+	if ring.N() != params.N() {
+		return nil, fmt.Errorf("sies: key ring covers %d sources, params expect %d", ring.N(), params.N())
+	}
+	return &Querier{params: params, ring: ring}, nil
+}
+
+// Source is a leaf sensor holding (K, kᵢ, p). It caches the epoch-global key
+// K_t of the most recent epoch, mirroring that all sources can derive K_t
+// once per epoch regardless of how many readings they encrypt.
+type Source struct {
+	id     int
+	params Params
+	global []byte // K
+	ki     []byte // k_i
+
+	cachedEpoch prf.Epoch
+	cachedKt    uint256.Int
+	haveCache   bool
+}
+
+// ID returns the source's identifier (its index in the key ring).
+func (s *Source) ID() int { return s.id }
+
+// Params returns the protocol parameters.
+func (s *Source) Params() Params { return s.params }
+
+// epochKey returns K_t reduced into the field, deriving and caching it on
+// first use per epoch.
+func (s *Source) epochKey(t prf.Epoch) uint256.Int {
+	if s.haveCache && s.cachedEpoch == t {
+		return s.cachedKt
+	}
+	kt := prf.HM256Epoch(s.global, t)
+	Kt := s.params.Field().Reduce(uint256.MustSetBytes(kt[:]))
+	if Kt.IsZero() {
+		// Probability 2^-256; substituting 1 keeps the protocol total.
+		Kt = uint256.One
+	}
+	s.cachedEpoch, s.cachedKt, s.haveCache = t, Kt, true
+	return Kt
+}
+
+// Encrypt runs the initialization phase: it derives the epoch keys and the
+// secret share, packs the plaintext and returns PSR_{i,t}. A source whose
+// reading fails the query predicate calls Encrypt with v = 0 (paper §III-B).
+func (s *Source) Encrypt(t prf.Epoch, v uint64) (PSR, error) {
+	Kt := s.epochKey(t)
+	kitRaw := prf.HM256Epoch(s.ki, t)
+	kit := uint256.MustSetBytes(kitRaw[:])
+	ss := secretshare.Derive(s.ki, t)
+	m, err := s.params.layout.Pack(v, ss)
+	if err != nil {
+		return PSR{}, fmt.Errorf("sies: source %d: %w", s.id, err)
+	}
+	c, err := s.params.scheme.Encrypt(m, Kt, kit)
+	if err != nil {
+		return PSR{}, fmt.Errorf("sies: source %d: %w", s.id, err)
+	}
+	return PSR{C: c}, nil
+}
+
+// Aggregator performs the merging phase. It holds only the public modulus —
+// compromising an aggregator reveals no key material (paper §IV-B).
+type Aggregator struct {
+	field *uint256.Field
+}
+
+// NewAggregator returns an aggregator for the deployment's field.
+func NewAggregator(f *uint256.Field) *Aggregator { return &Aggregator{field: f} }
+
+// Merge folds the children's PSRs into one: Σ PSRᵢ mod p.
+func (a *Aggregator) Merge(children ...PSR) PSR {
+	var acc uint256.Int
+	for _, ch := range children {
+		acc = a.field.Add(acc, ch.C)
+	}
+	return PSR{C: acc}
+}
+
+// MergeInto adds one child PSR into a running accumulator, the streaming
+// form used by the network engine.
+func (a *Aggregator) MergeInto(acc, child PSR) PSR {
+	return PSR{C: a.field.Add(acc.C, child.C)}
+}
+
+// Result is a verified evaluation outcome.
+type Result struct {
+	Epoch prf.Epoch
+	Sum   uint64 // exact SUM over the contributing sources
+	N     int    // number of contributing sources
+}
+
+// Querier holds the full key ring and runs the evaluation phase.
+type Querier struct {
+	params Params
+	ring   *prf.KeyRing
+}
+
+// Params returns the protocol parameters.
+func (q *Querier) Params() Params { return q.params }
+
+// KeyRing exposes the long-term keys; needed by provisioning tools and by
+// the μTesla broadcaster, never by aggregators.
+func (q *Querier) KeyRing() *prf.KeyRing { return q.ring }
+
+// Evaluate decrypts and verifies the final PSR of epoch t, assuming all N
+// sources contributed.
+func (q *Querier) Evaluate(t prf.Epoch, final PSR) (Result, error) {
+	return q.EvaluateSubset(t, final, nil)
+}
+
+// EvaluateSubset decrypts and verifies a final PSR produced by only the
+// given contributor ids (nil means all sources). This implements the node-
+// failure handling of §IV-B: after a reported (and manually checked) source
+// failure, the querier sums keys and shares over the surviving subset only.
+func (q *Querier) EvaluateSubset(t prf.Epoch, final PSR, contributors []int) (Result, error) {
+	es, err := q.PrepareEpoch(t, contributors)
+	if err != nil {
+		return Result{}, err
+	}
+	return es.Evaluate(final)
+}
+
+// EpochState holds the querier-side per-epoch precomputation: K_t⁻¹, the
+// blinding-key sum and the expected secret for a fixed contributor set.
+// Preparing it once amortises the Θ(N) key derivations when a querier
+// evaluates several candidate PSRs for the same epoch (duplicate sinks,
+// retransmissions, or forensic re-checks); each Evaluate is then a constant
+// number of field operations.
+type EpochState struct {
+	querier  *Querier
+	epoch    prf.Epoch
+	n        int
+	kInv     uint256.Int // K_t⁻¹
+	kSum     uint256.Int // Σ k_{i,t} mod p
+	expected uint256.Int // Σ ss_{i,t} (plain 256-bit sum)
+}
+
+// PrepareEpoch derives every per-epoch quantity for the given contributor
+// set (nil means all sources).
+func (q *Querier) PrepareEpoch(t prf.Epoch, contributors []int) (*EpochState, error) {
+	ids := contributors
+	if ids == nil {
+		ids = allIDs(q.ring.N())
+	}
+	if len(ids) == 0 {
+		return nil, errors.New("sies: no contributing sources")
+	}
+	field := q.params.Field()
+
+	ktRaw := q.ring.EpochGlobalKey(t)
+	Kt := field.Reduce(uint256.MustSetBytes(ktRaw[:]))
+	if Kt.IsZero() {
+		Kt = uint256.One // mirror Source.epochKey
+	}
+	kInv, err := field.Inv(Kt)
+	if err != nil {
+		return nil, err
+	}
+
+	var kSum uint256.Int
+	shares := make([]secretshare.Share, 0, len(ids))
+	for _, id := range ids {
+		kit, err := q.ring.EpochSourceKey(id, t)
+		if err != nil {
+			return nil, err
+		}
+		kSum = field.Add(kSum, field.Reduce(uint256.MustSetBytes(kit[:])))
+		ss, err := q.ring.EpochShare(id, t)
+		if err != nil {
+			return nil, err
+		}
+		shares = append(shares, ss)
+	}
+	return &EpochState{
+		querier:  q,
+		epoch:    t,
+		n:        len(ids),
+		kInv:     kInv,
+		kSum:     kSum,
+		expected: secretshare.SumShares(shares),
+	}, nil
+}
+
+// Evaluate decrypts and verifies one final PSR against the prepared epoch.
+func (es *EpochState) Evaluate(final PSR) (Result, error) {
+	q := es.querier
+	m, err := q.params.scheme.DecryptWithInverse(final.C, es.kInv, es.kSum)
+	if err != nil {
+		return Result{}, err
+	}
+	sum, secret, err := q.params.layout.Unpack(m)
+	if err != nil {
+		// An overflowing value field implies tampering or misuse, but the
+		// secret cannot be checked, so report overflow distinctly.
+		return Result{}, fmt.Errorf("%w: %v", ErrResultOverflow, err)
+	}
+	if secret != es.expected {
+		return Result{}, fmt.Errorf("%w (epoch %d, %d contributors)", ErrIntegrity, es.epoch, es.n)
+	}
+	return Result{Epoch: es.epoch, Sum: sum, N: es.n}, nil
+}
+
+func allIDs(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// EncodeContributors serialises a contributor-id list for transport in
+// failure reports (sorted ids, varint-free fixed encoding).
+func EncodeContributors(ids []int) []byte {
+	buf := make([]byte, 4+4*len(ids))
+	binary.BigEndian.PutUint32(buf, uint32(len(ids)))
+	for i, id := range ids {
+		binary.BigEndian.PutUint32(buf[4+4*i:], uint32(id))
+	}
+	return buf
+}
+
+// DecodeContributors parses a contributor-id list.
+func DecodeContributors(buf []byte) ([]int, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("sies: short contributor list")
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if uint32(len(buf)-4) != 4*n {
+		return nil, errors.New("sies: contributor list length mismatch")
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = int(binary.BigEndian.Uint32(buf[4+4*i:]))
+	}
+	return ids, nil
+}

@@ -1,0 +1,667 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// runEpoch drives one full epoch through a flat topology: every source
+// encrypts, a single aggregator merges everything, the querier evaluates.
+func runEpoch(t *testing.T, q *Querier, sources []*Source, epoch prf.Epoch, values []uint64) (Result, error) {
+	t.Helper()
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for i, s := range sources {
+		psr, err := s.Encrypt(epoch, values[i])
+		if err != nil {
+			t.Fatalf("source %d encrypt: %v", i, err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	return q.Evaluate(epoch, final)
+}
+
+func TestEndToEndSum(t *testing.T) {
+	q, sources, err := Setup(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	values := make([]uint64, 16)
+	var want uint64
+	for i := range values {
+		values[i] = uint64(r.Intn(5000))
+		want += values[i]
+	}
+	res, err := runEpoch(t, q, sources, 1, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != want {
+		t.Fatalf("SUM = %d, want %d", res.Sum, want)
+	}
+	if res.N != 16 || res.Epoch != 1 {
+		t.Fatalf("result metadata %+v", res)
+	}
+}
+
+func TestMultipleEpochs(t *testing.T) {
+	q, sources, err := Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(2))
+	for epoch := prf.Epoch(0); epoch < 20; epoch++ {
+		values := make([]uint64, 8)
+		var want uint64
+		for i := range values {
+			values[i] = uint64(r.Intn(100))
+			want += values[i]
+		}
+		res, err := runEpoch(t, q, sources, epoch, values)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if res.Sum != want {
+			t.Fatalf("epoch %d: SUM = %d, want %d", epoch, res.Sum, want)
+		}
+	}
+}
+
+func TestZeroReadings(t *testing.T) {
+	// Sources failing the WHERE predicate transmit 0 (paper §III-B).
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runEpoch(t, q, sources, 3, []uint64{0, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 0 {
+		t.Fatalf("SUM of zeros = %d", res.Sum)
+	}
+}
+
+func TestTreeMergingEqualsFlatMerging(t *testing.T) {
+	// Merging is modular addition, hence associative: any tree shape yields
+	// the same final PSR.
+	q, sources, err := Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	agg := NewAggregator(q.Params().Field())
+
+	psrs := make([]PSR, 8)
+	for i, s := range sources {
+		psr, err := s.Encrypt(5, values[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		psrs[i] = psr
+	}
+	flat := agg.Merge(psrs...)
+	// Two-level tree: pairs, then pairs of pairs.
+	l1 := []PSR{
+		agg.Merge(psrs[0], psrs[1]), agg.Merge(psrs[2], psrs[3]),
+		agg.Merge(psrs[4], psrs[5]), agg.Merge(psrs[6], psrs[7]),
+	}
+	tree := agg.Merge(agg.Merge(l1[0], l1[1]), agg.Merge(l1[2], l1[3]))
+	if flat != tree {
+		t.Fatal("tree merge differs from flat merge")
+	}
+	res, err := q.Evaluate(5, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 36 {
+		t.Fatalf("SUM = %d, want 36", res.Sum)
+	}
+}
+
+func TestTamperingDetected(t *testing.T) {
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for _, s := range sources {
+		psr, err := s.Encrypt(1, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	// CMT-style injection attack: add an arbitrary delta to the ciphertext.
+	f := q.Params().Field()
+	tampered := PSR{C: f.Add(final.C, uint256.NewInt(7))}
+	if _, err := q.Evaluate(1, tampered); !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("tampered PSR accepted: %v", err)
+	}
+}
+
+func TestDroppedPSRDetected(t *testing.T) {
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for i, s := range sources {
+		if i == 2 {
+			continue // malicious aggregator silently drops source 2
+		}
+		psr, err := s.Encrypt(1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	if _, err := q.Evaluate(1, final); !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("dropped PSR accepted: %v", err)
+	}
+}
+
+func TestInjectedPSRDetected(t *testing.T) {
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for _, s := range sources {
+		psr, err := s.Encrypt(1, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	// Inject a spurious PSR encrypted by a replayed source 0 (duplicate).
+	dup, err := sources[0].Encrypt(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final = agg.MergeInto(final, dup)
+	if _, err := q.Evaluate(1, final); !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("injected PSR accepted: %v", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	// A legitimate final PSR from epoch 1 presented at epoch 2 must fail:
+	// freshness comes from epoch-bound shares (Theorem 4).
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var old PSR
+	for _, s := range sources {
+		psr, err := s.Encrypt(1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old = agg.MergeInto(old, psr)
+	}
+	if _, err := q.Evaluate(2, old); !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("replayed PSR accepted: %v", err)
+	}
+}
+
+func TestFailedSourceSubsetEvaluation(t *testing.T) {
+	// Node-failure handling (§IV-B): source 3 fails; the querier verifies
+	// against the surviving subset.
+	q, sources, err := Setup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	contributors := []int{0, 1, 2, 4}
+	var want uint64
+	for _, id := range contributors {
+		psr, err := sources[id].Encrypt(7, uint64(id)+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+		want += uint64(id) + 100
+	}
+	res, err := q.EvaluateSubset(7, final, contributors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != want || res.N != 4 {
+		t.Fatalf("subset result %+v, want sum %d", res, want)
+	}
+	// Full-set evaluation of the same PSR must fail.
+	if _, err := q.Evaluate(7, final); !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("missing source accepted in full-set evaluation: %v", err)
+	}
+	// A lying failure report (excluding a source that did contribute) fails.
+	if _, err := q.EvaluateSubset(7, final, []int{0, 1, 2}); !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("wrong subset accepted: %v", err)
+	}
+}
+
+func TestEvaluateSubsetEmpty(t *testing.T) {
+	q, _, err := Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EvaluateSubset(1, PSR{}, []int{}); err == nil {
+		t.Fatal("empty contributor set accepted")
+	}
+}
+
+func TestMaxSumBoundary(t *testing.T) {
+	// Two sources at 2^31 readings sum to 2^32, overflowing the 32-bit value
+	// field — must be reported, not silently wrapped.
+	q, sources, err := Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	a, err := sources[0].Encrypt(1, 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sources[1].Encrypt(1, 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Evaluate(1, agg.Merge(a, b)); !errors.Is(err, ErrResultOverflow) {
+		t.Fatalf("overflowing SUM: %v", err)
+	}
+}
+
+func TestWideValues(t *testing.T) {
+	q, sources, err := Setup(2, WithWideValues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	big := uint64(1) << 40
+	a, err := sources[0].Encrypt(1, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sources[1].Encrypt(1, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Evaluate(1, agg.Merge(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 2*big {
+		t.Fatalf("wide SUM = %d, want %d", res.Sum, 2*big)
+	}
+}
+
+func TestCustomField(t *testing.T) {
+	f, err := uint256.RandomPrimeField()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sources, err := Setup(3, WithField(f))
+	if err != nil {
+		// A random 256-bit prime may genuinely be too small for the maximal
+		// aggregate; retry once with the default is not meaningful here, so
+		// only tolerate the specific layout-overflow error.
+		t.Skipf("random field rejected: %v", err)
+	}
+	res, err := runEpoch(t, q, sources, 2, []uint64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 60 {
+		t.Fatalf("SUM = %d", res.Sum)
+	}
+}
+
+func TestSourceValueRange(t *testing.T) {
+	_, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sources[0].Encrypt(1, 1<<33); err == nil {
+		t.Fatal("oversized reading accepted by 32-bit layout")
+	}
+}
+
+func TestPSRWireRoundTrip(t *testing.T) {
+	q, sources, err := Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psr, err := sources[0].Encrypt(1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := psr.Bytes()
+	back, err := ParsePSR(wire[:], q.Params().Field())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != psr {
+		t.Fatal("PSR wire round trip failed")
+	}
+}
+
+func TestParsePSRErrors(t *testing.T) {
+	f := uint256.NewDefaultField()
+	if _, err := ParsePSR(make([]byte, 31), f); !errors.Is(err, ErrBadPSR) {
+		t.Fatalf("short PSR: %v", err)
+	}
+	// 2^256-1 ≥ p must be rejected.
+	bad := make([]byte, 32)
+	for i := range bad {
+		bad[i] = 0xff
+	}
+	if _, err := ParsePSR(bad, f); !errors.Is(err, ErrBadPSR) {
+		t.Fatalf("out-of-range PSR: %v", err)
+	}
+}
+
+func TestSetupValidation(t *testing.T) {
+	if _, _, err := Setup(0); err == nil {
+		t.Fatal("Setup(0) accepted")
+	}
+	if _, err := NewParams(3, WithField(nil)); err == nil {
+		t.Fatal("nil field accepted")
+	}
+}
+
+func TestEpochKeyCaching(t *testing.T) {
+	_, sources, err := Setup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sources[0]
+	k1 := s.epochKey(9)
+	k2 := s.epochKey(9)
+	if k1 != k2 {
+		t.Fatal("cached epoch key differs")
+	}
+	k3 := s.epochKey(10)
+	if k3 == k1 {
+		t.Fatal("epoch keys identical across epochs")
+	}
+}
+
+func TestContributorCodecRoundTrip(t *testing.T) {
+	ids := []int{0, 5, 17, 1023}
+	back, err := DecodeContributors(EncodeContributors(ids))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ids) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for i := range ids {
+		if back[i] != ids[i] {
+			t.Fatalf("ids[%d] = %d, want %d", i, back[i], ids[i])
+		}
+	}
+	if _, err := DecodeContributors([]byte{1, 2}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if _, err := DecodeContributors(append(EncodeContributors(ids), 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestLargeDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large deployment test")
+	}
+	const n = 1024
+	q, sources, err := Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	var want uint64
+	for i, s := range sources {
+		v := uint64(i * 3)
+		psr, err := s.Encrypt(11, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+		want += v
+	}
+	res, err := q.Evaluate(11, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != want {
+		t.Fatalf("SUM = %d, want %d", res.Sum, want)
+	}
+}
+
+func BenchmarkSourceEncrypt(b *testing.B) {
+	_, sources, err := Setup(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sources[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encrypt(prf.Epoch(i), 4242); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregatorMerge(b *testing.B) {
+	q, sources, err := Setup(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	psrs := make([]PSR, 4)
+	for i, s := range sources {
+		psrs[i], err = s.Encrypt(1, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg.Merge(psrs...)
+	}
+}
+
+func BenchmarkQuerierEvaluate1024(b *testing.B) {
+	const n = 1024
+	q, sources, err := Setup(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for _, s := range sources {
+		psr, err := s.Encrypt(1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := q.Evaluate(1, final); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPrepareEpochReuse(t *testing.T) {
+	// One EpochState must evaluate many PSRs of the same epoch correctly and
+	// still reject tampered ones.
+	q, sources, err := Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	es, err := q.PrepareEpoch(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		var final PSR
+		var want uint64
+		for i, s := range sources {
+			v := uint64(trial*100 + i)
+			psr, err := s.Encrypt(3, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final = agg.MergeInto(final, psr)
+			want += v
+		}
+		res, err := es.Evaluate(final)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Sum != want {
+			t.Fatalf("trial %d: SUM %d, want %d", trial, res.Sum, want)
+		}
+		tampered := PSR{C: q.Params().Field().Add(final.C, uint256.One)}
+		if _, err := es.Evaluate(tampered); err == nil {
+			t.Fatalf("trial %d: tampered PSR accepted by prepared state", trial)
+		}
+	}
+}
+
+func TestPrepareEpochSubset(t *testing.T) {
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	es, err := q.PrepareEpoch(1, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sources[0].Encrypt(1, 10)
+	c, _ := sources[2].Encrypt(1, 30)
+	res, err := es.Evaluate(agg.Merge(a, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 40 || res.N != 2 {
+		t.Fatalf("subset result %+v", res)
+	}
+	if _, err := q.PrepareEpoch(1, []int{}); err == nil {
+		t.Fatal("empty contributor set accepted")
+	}
+}
+
+func BenchmarkEpochStateEvaluate1024(b *testing.B) {
+	const n = 1024
+	q, sources, err := Setup(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for _, s := range sources {
+		psr, err := s.Encrypt(1, 100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	es, err := q.PrepareEpoch(1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := es.Evaluate(final); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestReconstructedPartiesInteroperate(t *testing.T) {
+	// Parties rebuilt from exported key material (the networked deployment
+	// path) must interoperate with the original deployment.
+	q, sources, err := Setup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := q.Params()
+	ring := q.KeyRing()
+
+	rebuiltQ, err := NewQuerier(ring, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, k1, err := ring.SourceCredentials(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuiltS1, err := NewSource(1, global, k1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	agg := NewAggregator(params.Field())
+	a, err := sources[0].Encrypt(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rebuiltS1.Encrypt(2, 20) // rebuilt source
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := sources[2].Encrypt(2, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rebuiltQ.Evaluate(2, agg.Merge(a, b, c)) // rebuilt querier
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 60 {
+		t.Fatalf("SUM = %d", res.Sum)
+	}
+}
+
+func TestNewSourceValidation(t *testing.T) {
+	q, _, err := Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := q.Params()
+	if _, err := NewSource(5, []byte{1}, []byte{2}, params); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+	if _, err := NewSource(0, nil, []byte{2}, params); err == nil {
+		t.Fatal("missing global key accepted")
+	}
+	if _, err := NewQuerier(nil, params); err == nil {
+		t.Fatal("nil ring accepted")
+	}
+	other, _, err := Setup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQuerier(other.KeyRing(), params); err == nil {
+		t.Fatal("ring/params size mismatch accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// FuzzParsePSR checks that arbitrary wire bytes never panic the PSR parser
+// and that accepted PSRs round-trip.
+func FuzzParsePSR(f *testing.F) {
+	field := uint256.NewDefaultField()
+	f.Add(make([]byte, PSRSize))
+	f.Add([]byte{})
+	f.Add(make([]byte, PSRSize-1))
+	full := make([]byte, PSRSize)
+	for i := range full {
+		full[i] = 0xff
+	}
+	f.Add(full)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		psr, err := ParsePSR(data, field)
+		if err != nil {
+			return
+		}
+		wire := psr.Bytes()
+		back, err := ParsePSR(wire[:], field)
+		if err != nil {
+			t.Fatalf("accepted PSR failed to re-parse: %v", err)
+		}
+		if back != psr {
+			t.Fatal("PSR wire round trip not stable")
+		}
+	})
+}
+
+// FuzzDecodeContributors checks the contributor-list codec on hostile input.
+func FuzzDecodeContributors(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeContributors([]int{0, 1, 2}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ids, err := DecodeContributors(data)
+		if err != nil {
+			return
+		}
+		back, err := DecodeContributors(EncodeContributors(ids))
+		if err != nil {
+			t.Fatalf("accepted list failed to re-encode: %v", err)
+		}
+		if len(back) != len(ids) {
+			t.Fatal("contributor list round trip changed length")
+		}
+	})
+}
+
+// FuzzEvaluateHostilePSR feeds arbitrary final PSRs to a real querier: any
+// outcome except a panic or a false accept is fine. A random 256-bit value
+// passing verification would contradict Theorem 2.
+func FuzzEvaluateHostilePSR(f *testing.F) {
+	q, sources, err := Setup(2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+	a, _ := sources[0].Encrypt(1, 3)
+	b, _ := sources[1].Encrypt(1, 4)
+	good := agg.Merge(a, b).Bytes()
+	f.Add(good[:], uint64(1))
+	f.Add(make([]byte, PSRSize), uint64(1))
+	f.Fuzz(func(t *testing.T, data []byte, epoch uint64) {
+		psr, err := ParsePSR(data, q.Params().Field())
+		if err != nil {
+			return
+		}
+		res, err := q.Evaluate(prf.Epoch(epoch), psr)
+		if err != nil {
+			return
+		}
+		// The only PSR that may verify for epoch 1 is the genuine one.
+		if epoch == 1 {
+			wire := psr.Bytes()
+			if wire != [PSRSize]byte(good) {
+				t.Fatalf("forged PSR accepted with sum %d", res.Sum)
+			}
+		}
+	})
+}

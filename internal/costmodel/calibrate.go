@@ -1,0 +1,122 @@
+package costmodel
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/sies/sies/internal/cmt"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/rsax"
+	"github.com/sies/sies/internal/sketch"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// timeOp measures the per-call cost of f in seconds, adaptively growing the
+// iteration count until the sample is long enough to trust.
+func timeOp(f func(n int)) float64 {
+	const target = 20 * time.Millisecond
+	n := 64
+	for {
+		start := time.Now()
+		f(n)
+		elapsed := time.Since(start)
+		if elapsed >= target || n >= 1<<22 {
+			return elapsed.Seconds() / float64(n)
+		}
+		n *= 4
+	}
+}
+
+// Calibrate measures the Table II micro-costs on the current machine using
+// this repository's own primitives, so that the analytical models and the
+// live benchmarks share one cost basis. It takes a few hundred milliseconds.
+func Calibrate() (MicroCosts, error) {
+	var m MicroCosts
+
+	key := make([]byte, prf.LongTermKeySize)
+	m.Chm1 = timeOp(func(n int) {
+		for i := 0; i < n; i++ {
+			prf.HM1Epoch(key, prf.Epoch(i))
+		}
+	})
+	m.Chm256 = timeOp(func(n int) {
+		for i := 0; i < n; i++ {
+			prf.HM256Epoch(key, prf.Epoch(i))
+		}
+	})
+
+	// 20-byte modular addition via the CMT aggregator.
+	var c1, c2 cmt.Ciphertext
+	for i := range c1 {
+		c1[i], c2[i] = byte(i), byte(255-i)
+	}
+	m.Ca20 = timeOp(func(n int) {
+		for i := 0; i < n; i++ {
+			c1 = cmt.Aggregate(c1, c2)
+		}
+	})
+
+	// 32-byte field operations.
+	field := uint256.NewDefaultField()
+	x, err := field.Rand()
+	if err != nil {
+		return MicroCosts{}, err
+	}
+	y, err := field.RandNonZero()
+	if err != nil {
+		return MicroCosts{}, err
+	}
+	m.Ca32 = timeOp(func(n int) {
+		for i := 0; i < n; i++ {
+			x = field.Add(x, y)
+		}
+	})
+	m.Cm32 = timeOp(func(n int) {
+		for i := 0; i < n; i++ {
+			x = field.Mul(x, y)
+		}
+	})
+	m.Cmi32 = timeOp(func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := field.Inv(y); err != nil {
+				panic(err) // y is nonzero by construction
+			}
+		}
+	})
+
+	// 1024-bit RSA encryption and 128-byte modular multiplication.
+	pk, err := rsax.GenerateKey(rsax.DefaultModulusBits, rsax.DefaultExponent)
+	if err != nil {
+		return MicroCosts{}, err
+	}
+	seed := pk.SeedFromBytes([]byte("calibration seed"))
+	m.Crsa = timeOp(func(n int) {
+		cur := seed
+		for i := 0; i < n; i++ {
+			next, err := pk.Encrypt(cur)
+			if err != nil {
+				panic(err)
+			}
+			cur = next
+		}
+	})
+	other := pk.SeedFromBytes([]byte("other"))
+	m.Cm128 = timeOp(func(n int) {
+		cur := seed
+		for i := 0; i < n; i++ {
+			cur = pk.Fold(cur, other)
+		}
+	})
+
+	// Sketch insertion cost: amortised over a large honest generation.
+	p := sketch.Params{J: 1, MaxLevel: 24}
+	rng := rand.New(rand.NewSource(1))
+	const insertions = 1 << 17
+	start := time.Now()
+	if _, err := sketch.Generate(p, insertions, rng); err != nil {
+		return MicroCosts{}, err
+	}
+	m.Csk = time.Since(start).Seconds() / insertions
+
+	return m, nil
+}

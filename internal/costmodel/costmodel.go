@@ -1,0 +1,204 @@
+// Package costmodel encodes the analytical cost models of the paper's §V:
+// Equations 1–9 (computational cost at source, aggregator and querier for
+// CMT, SECOA_S and SIES) and Equations 10–11 (communication cost per network
+// edge), parameterised by the micro-cost constants of Table II.
+//
+// SIES and CMT costs are dataset-independent; SECOA_S costs depend on the
+// dataset through the source value v and the sketch values x_i, which are
+// bounded by the domain: x_i ∈ [0, ceil(log2(N·D_U))]. Bounding those
+// variables yields the best-/worst-case envelopes drawn as error bars in
+// Figure 4 and reported in Tables III and V.
+//
+// Micro-costs can come from the paper (PaperMicroCosts, the Table II column
+// measured on the authors' 2.66 GHz Core i7 with GMP/OpenSSL) or from a live
+// calibration of this repository's own primitives (Calibrate), which is what
+// the benchmark harness uses so that model and measurement share a machine.
+package costmodel
+
+import (
+	"errors"
+	"math"
+)
+
+// MicroCosts holds the per-operation costs of Table II, in seconds.
+type MicroCosts struct {
+	Csk    float64 // generate one sketch insertion
+	Crsa   float64 // one RSA encryption (1024-bit, small exponent)
+	Chm1   float64 // one HMAC-SHA1
+	Chm256 float64 // one HMAC-SHA256
+	Ca20   float64 // 20-byte modular addition
+	Ca32   float64 // 32-byte modular addition
+	Cm32   float64 // 32-byte modular multiplication
+	Cm128  float64 // 128-byte modular multiplication
+	Cmi32  float64 // 32-byte modular inverse
+}
+
+// Message-component sizes in bytes (Table II).
+const (
+	SizeSketch = 1   // S_sk: one sketch instance value
+	SizeInf    = 20  // S_inf: one (aggregate) inflation certificate
+	SizeSEAL   = 128 // S_SEAL: one SEAL (1024-bit RSA modulus)
+	SizeCMT    = 20  // CMT ciphertext
+	SizeSIES   = 32  // SIES PSR
+)
+
+const microsecond = 1e-6
+
+// PaperMicroCosts returns the Table II "typical value" column.
+func PaperMicroCosts() MicroCosts {
+	return MicroCosts{
+		Csk:    0.037 * microsecond,
+		Crsa:   5.36 * microsecond,
+		Chm1:   0.46 * microsecond,
+		Chm256: 1.02 * microsecond,
+		Ca20:   0.15 * microsecond,
+		Ca32:   0.37 * microsecond,
+		Cm32:   0.45 * microsecond,
+		Cm128:  1.39 * microsecond,
+		Cmi32:  3.2 * microsecond,
+	}
+}
+
+// Config carries the system parameters of Table IV.
+type Config struct {
+	N  int    // number of sources
+	J  int    // number of sketch instances (300 in the paper)
+	F  int    // aggregator fanout
+	DL uint64 // domain lower bound
+	DU uint64 // domain upper bound
+}
+
+// DefaultConfig is the paper's default: N=1024, J=300, F=4, D=[1800,5000].
+func DefaultConfig() Config { return Config{N: 1024, J: 300, F: 4, DL: 1800, DU: 5000} }
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.N < 1 || c.J < 1 || c.F < 2 || c.DU < c.DL || c.DU == 0 {
+		return errors.New("costmodel: invalid configuration")
+	}
+	return nil
+}
+
+// XBound returns the maximum sketch value ceil(log2(N·D_U)), the upper end
+// of the x_i range in Table II (23 for the default configuration).
+func (c Config) XBound() int {
+	return int(math.Ceil(math.Log2(float64(c.N) * float64(c.DU))))
+}
+
+// RollBound returns the maximum per-SEAL rolling count, XBound−1 (22 for the
+// defaults, matching Table II's rl_i ∈ [0, 22]).
+func (c Config) RollBound() int { return c.XBound() - 1 }
+
+// Bounds is a best-/worst-case envelope in seconds (or bytes for the
+// communication models).
+type Bounds struct{ Min, Max float64 }
+
+// --- Computational cost at a source ---
+
+// CMTSource implements Equation 1: one HM1 key derivation plus one 20-byte
+// modular addition.
+func (m MicroCosts) CMTSource() float64 { return m.Chm1 + m.Ca20 }
+
+// SIESSource implements Equation 3: two HM256, one HM1, one 32-byte modular
+// multiplication and one addition.
+func (m MicroCosts) SIESSource() float64 {
+	return 2*m.Chm256 + m.Chm1 + m.Cm32 + m.Ca32
+}
+
+// SECOASource implements Equation 2 for a specific source value v and total
+// sketch-roll count sumX = Σ x_i.
+func (m MicroCosts) SECOASource(cfg Config, v uint64, sumX int) float64 {
+	return float64(cfg.J)*(float64(v)*m.Csk+2*m.Chm1) + float64(sumX)*m.Crsa
+}
+
+// SECOASourceBounds bounds Equation 2 over the domain: v ∈ [D_L, D_U],
+// Σ x_i ∈ [0, J·XBound].
+func (m MicroCosts) SECOASourceBounds(cfg Config) Bounds {
+	return Bounds{
+		Min: m.SECOASource(cfg, cfg.DL, 0),
+		Max: m.SECOASource(cfg, cfg.DU, cfg.J*cfg.XBound()),
+	}
+}
+
+// --- Computational cost at an aggregator ---
+
+// CMTAggregator implements Equation 4: F−1 modular additions.
+func (m MicroCosts) CMTAggregator(f int) float64 { return float64(f-1) * m.Ca20 }
+
+// SIESAggregator implements Equation 6: F−1 32-byte modular additions.
+func (m MicroCosts) SIESAggregator(f int) float64 { return float64(f-1) * m.Ca32 }
+
+// SECOAAggregator implements Equation 5 for a total rolling count
+// sumRolls = Σ rl_i.
+func (m MicroCosts) SECOAAggregator(cfg Config, sumRolls int) float64 {
+	return float64(cfg.J)*float64(cfg.F-1)*m.Cm128 + float64(sumRolls)*m.Crsa
+}
+
+// SECOAAggregatorBounds bounds Equation 5: Σ rl_i ∈ [0, J·RollBound].
+func (m MicroCosts) SECOAAggregatorBounds(cfg Config) Bounds {
+	return Bounds{
+		Min: m.SECOAAggregator(cfg, 0),
+		Max: m.SECOAAggregator(cfg, cfg.J*cfg.RollBound()),
+	}
+}
+
+// --- Computational cost at the querier ---
+
+// CMTQuerier implements Equation 7: N key derivations and subtractions.
+func (m MicroCosts) CMTQuerier(n int) float64 { return float64(n) * (m.Chm1 + m.Ca20) }
+
+// SIESQuerier implements Equation 9: N share derivations (HM1), N+1 key
+// derivations (HM256), 2N−1 modular additions, one inverse and one
+// multiplication.
+func (m MicroCosts) SIESQuerier(n int) float64 {
+	return float64(n)*m.Chm1 + float64(n+1)*m.Chm256 +
+		float64(2*n-1)*m.Ca32 + m.Cmi32 + m.Cm32
+}
+
+// SECOAQuerier implements Equation 8 for concrete dataset variables: the
+// number of collected SEALs, the total rolling count over those SEALs, and
+// the maximum sketch value xmax.
+func (m MicroCosts) SECOAQuerier(cfg Config, seals, sumRolls, xmax int) float64 {
+	jn := float64(cfg.J) * float64(cfg.N)
+	return jn*m.Chm1 +
+		(float64(seals)+jn-2)*m.Cm128 +
+		(float64(sumRolls)+float64(xmax))*m.Crsa +
+		float64(cfg.J)*m.Chm1
+}
+
+// SECOAQuerierBounds bounds Equation 8: seals ∈ [1, XBound], total rolls
+// ∈ [0, RollBound], xmax ∈ [0, XBound].
+func (m MicroCosts) SECOAQuerierBounds(cfg Config) Bounds {
+	return Bounds{
+		Min: m.SECOAQuerier(cfg, 1, 0, 0),
+		Max: m.SECOAQuerier(cfg, cfg.XBound(), cfg.RollBound(), cfg.XBound()),
+	}
+}
+
+// --- Communication cost per network edge (bytes) ---
+
+// CMTComm is the constant 20-byte CMT ciphertext on every edge.
+func CMTComm() int { return SizeCMT }
+
+// SIESComm is the constant 32-byte PSR on every edge.
+func SIESComm() int { return SizeSIES }
+
+// SECOACommSA implements Equation 10 — the source→aggregator and
+// aggregator→aggregator edges carry J sketch values, J SEALs and one
+// aggregate certificate.
+func SECOACommSA(cfg Config) int {
+	return cfg.J*SizeSketch + cfg.J*SizeSEAL + SizeInf
+}
+
+// SECOACommAQ implements Equation 11 for a concrete SEAL count.
+func SECOACommAQ(cfg Config, seals int) int {
+	return cfg.J*SizeSketch + seals*SizeSEAL + SizeInf
+}
+
+// SECOACommAQBounds bounds Equation 11: seals ∈ [1, XBound].
+func SECOACommAQBounds(cfg Config) Bounds {
+	return Bounds{
+		Min: float64(SECOACommAQ(cfg, 1)),
+		Max: float64(SECOACommAQ(cfg, cfg.XBound())),
+	}
+}

@@ -1,0 +1,203 @@
+// Package creds defines the on-disk credential format produced by the
+// provisioning tool (cmd/sieskeys) and consumed by networked nodes
+// (cmd/siesnode): one JSON file per party, mirroring the manual key
+// registration of the paper's setup phase (§IV-A).
+//
+//	querier.json     — K, every kᵢ, and p   (querier only, all secrets)
+//	source-<i>.json  — K, kᵢ, and p         (one per source)
+//	aggregator.json  — p only               (no secrets)
+package creds
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// File kinds.
+const (
+	KindQuerier    = "querier"
+	KindSource     = "source"
+	KindAggregator = "aggregator"
+)
+
+// QuerierFile is the querier's complete key material.
+type QuerierFile struct {
+	Kind    string   `json:"kind"`
+	N       int      `json:"n"`
+	Global  string   `json:"global_key_hex"`
+	Sources []string `json:"source_keys_hex"`
+	Modulus string   `json:"modulus_hex"`
+}
+
+// SourceFile is one source's credentials.
+type SourceFile struct {
+	Kind    string `json:"kind"`
+	ID      int    `json:"id"`
+	Global  string `json:"global_key_hex"`
+	Key     string `json:"source_key_hex"`
+	Modulus string `json:"modulus_hex"`
+}
+
+// AggregatorFile carries only the public modulus.
+type AggregatorFile struct {
+	Kind    string `json:"kind"`
+	Modulus string `json:"modulus_hex"`
+}
+
+// SaveDeployment writes the full credential set for a key ring under dir.
+func SaveDeployment(dir string, ring *prf.KeyRing, modulus uint256.Int) error {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return err
+	}
+	p := modulus.Bytes()
+	modHex := hex.EncodeToString(p[:])
+
+	qf := QuerierFile{Kind: KindQuerier, N: ring.N(), Global: hex.EncodeToString(ring.Global), Modulus: modHex}
+	for i := 0; i < ring.N(); i++ {
+		_, ki, err := ring.SourceCredentials(i)
+		if err != nil {
+			return err
+		}
+		qf.Sources = append(qf.Sources, hex.EncodeToString(ki))
+		sf := SourceFile{
+			Kind: KindSource, ID: i,
+			Global: hex.EncodeToString(ring.Global), Key: hex.EncodeToString(ki),
+			Modulus: modHex,
+		}
+		if err := writeJSON(filepath.Join(dir, fmt.Sprintf("source-%d.json", i)), sf); err != nil {
+			return err
+		}
+	}
+	if err := writeJSON(filepath.Join(dir, "querier.json"), qf); err != nil {
+		return err
+	}
+	return writeJSON(filepath.Join(dir, "aggregator.json"),
+		AggregatorFile{Kind: KindAggregator, Modulus: modHex})
+}
+
+func writeJSON(path string, v interface{}) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o600)
+}
+
+// readKind sniffs a credential file's kind.
+func readKind(data []byte) (string, error) {
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", err
+	}
+	return probe.Kind, nil
+}
+
+func parseModulus(hexMod string) (*uint256.Field, error) {
+	raw, err := hex.DecodeString(hexMod)
+	if err != nil {
+		return nil, fmt.Errorf("creds: bad modulus hex: %w", err)
+	}
+	p, err := uint256.SetBytes(raw)
+	if err != nil {
+		return nil, err
+	}
+	return uint256.NewField(p)
+}
+
+// LoadQuerier parses querier.json into a key ring and field.
+func LoadQuerier(path string) (*prf.KeyRing, *uint256.Field, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	kind, err := readKind(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != KindQuerier {
+		return nil, nil, fmt.Errorf("creds: %s is a %q file, want querier", path, kind)
+	}
+	var f QuerierFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, nil, err
+	}
+	global, err := hex.DecodeString(f.Global)
+	if err != nil {
+		return nil, nil, fmt.Errorf("creds: bad global key hex: %w", err)
+	}
+	sources := make([][]byte, len(f.Sources))
+	for i, s := range f.Sources {
+		if sources[i], err = hex.DecodeString(s); err != nil {
+			return nil, nil, fmt.Errorf("creds: bad source %d key hex: %w", i, err)
+		}
+	}
+	ring, err := prf.NewKeyRingFromKeys(global, sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.N != ring.N() {
+		return nil, nil, fmt.Errorf("creds: file claims %d sources but carries %d keys", f.N, ring.N())
+	}
+	field, err := parseModulus(f.Modulus)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ring, field, nil
+}
+
+// LoadSource parses source-<i>.json.
+func LoadSource(path string) (id int, global, key []byte, field *uint256.Field, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	kind, err := readKind(data)
+	if err != nil {
+		return 0, nil, nil, nil, err
+	}
+	if kind != KindSource {
+		return 0, nil, nil, nil, fmt.Errorf("creds: %s is a %q file, want source", path, kind)
+	}
+	var f SourceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	if global, err = hex.DecodeString(f.Global); err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("creds: bad global key hex: %w", err)
+	}
+	if key, err = hex.DecodeString(f.Key); err != nil {
+		return 0, nil, nil, nil, fmt.Errorf("creds: bad source key hex: %w", err)
+	}
+	if field, err = parseModulus(f.Modulus); err != nil {
+		return 0, nil, nil, nil, err
+	}
+	return f.ID, global, key, field, nil
+}
+
+// LoadAggregator parses aggregator.json.
+func LoadAggregator(path string) (*uint256.Field, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := readKind(data)
+	if err != nil {
+		return nil, err
+	}
+	if kind != KindAggregator {
+		return nil, fmt.Errorf("creds: %s is a %q file, want aggregator", path, kind)
+	}
+	var f AggregatorFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, err
+	}
+	return parseModulus(f.Modulus)
+}

@@ -1,0 +1,133 @@
+package creds
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+func writeDeployment(t *testing.T, n int) (string, *prf.KeyRing) {
+	t.Helper()
+	dir := t.TempDir()
+	ring, err := prf.NewKeyRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveDeployment(dir, ring, uint256.DefaultPrime()); err != nil {
+		t.Fatal(err)
+	}
+	return dir, ring
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir, ring := writeDeployment(t, 3)
+
+	loadedRing, field, err := LoadQuerier(filepath.Join(dir, "querier.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadedRing.N() != 3 {
+		t.Fatalf("N = %d", loadedRing.N())
+	}
+	if field.Modulus() != uint256.DefaultPrime() {
+		t.Fatal("modulus mismatch")
+	}
+	// Keys must round-trip exactly: derivations agree.
+	for i := 0; i < 3; i++ {
+		a, err := ring.EpochShare(i, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loadedRing.EpochShare(i, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("source %d share mismatch after reload", i)
+		}
+	}
+
+	id, global, key, field2, err := LoadSource(filepath.Join(dir, "source-1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("id = %d", id)
+	}
+	if string(global) != string(ring.Global) {
+		t.Fatal("global key mismatch")
+	}
+	wantG, wantK, err := ring.SourceCredentials(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(global) != string(wantG) || string(key) != string(wantK) {
+		t.Fatal("source credentials mismatch")
+	}
+	if field2.Modulus() != uint256.DefaultPrime() {
+		t.Fatal("source modulus mismatch")
+	}
+
+	field3, err := LoadAggregator(filepath.Join(dir, "aggregator.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if field3.Modulus() != uint256.DefaultPrime() {
+		t.Fatal("aggregator modulus mismatch")
+	}
+}
+
+func TestKindMismatchRejected(t *testing.T) {
+	dir, _ := writeDeployment(t, 2)
+	if _, _, err := LoadQuerier(filepath.Join(dir, "aggregator.json")); err == nil {
+		t.Fatal("aggregator file accepted as querier")
+	}
+	if _, _, _, _, err := LoadSource(filepath.Join(dir, "querier.json")); err == nil {
+		t.Fatal("querier file accepted as source")
+	}
+	if _, err := LoadAggregator(filepath.Join(dir, "source-0.json")); err == nil {
+		t.Fatal("source file accepted as aggregator")
+	}
+}
+
+func TestCorruptFilesRejected(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadQuerier(bad); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+	// Valid JSON, bad hex.
+	if err := os.WriteFile(bad, []byte(`{"kind":"aggregator","modulus_hex":"zz"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAggregator(bad); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+	// Composite modulus rejected by the field constructor.
+	if err := os.WriteFile(bad, []byte(`{"kind":"aggregator","modulus_hex":"f000000000000000000000000000000000000000000000000000000000000000"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAggregator(bad); err == nil {
+		t.Fatal("composite modulus accepted")
+	}
+	if _, _, err := LoadQuerier(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestFilePermissions(t *testing.T) {
+	dir, _ := writeDeployment(t, 1)
+	info, err := os.Stat(filepath.Join(dir, "querier.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o600 {
+		t.Fatalf("querier.json mode = %v, want 0600", info.Mode().Perm())
+	}
+}

@@ -1,0 +1,189 @@
+// Package energy models sensor-node energy expenditure — the motivation for
+// in-network aggregation in the first place (paper §I): battery life is
+// dominated by radio transmission, and nodes near the sink die first when
+// raw data is routed instead of aggregated.
+//
+// The radio follows the standard first-order model (Heinzelman et al.):
+//
+//	E_tx(k bits, d meters) = E_elec·k + ε_amp·k·d²
+//	E_rx(k bits)           = E_elec·k
+//
+// CPU energy is active-power × time. Defaults approximate a MicaZ-class
+// mote: 50 nJ/bit radio electronics, 100 pJ/bit/m² amplifier, 24 mW active
+// CPU, a pair of AA cells ≈ 18.7 kJ.
+//
+// Lifetime reports compare three strategies over one topology:
+//
+//   - naive collection — every reading is routed raw to the querier, so an
+//     aggregator relays its whole subtree's traffic;
+//   - in-network aggregation with a constant-size message (SIES: 32 B,
+//     CMT: 20 B) — every edge carries one message per epoch;
+//   - SECOA_S in-network aggregation with its tens-of-KB messages.
+package energy
+
+import (
+	"errors"
+
+	"github.com/sies/sies/internal/network"
+)
+
+// RadioModel is the first-order radio energy model.
+type RadioModel struct {
+	ElecJPerBit float64 // E_elec: electronics energy per bit (tx and rx)
+	AmpJPerBit  float64 // ε_amp: amplifier energy per bit per m²
+	RangeMeters float64 // transmission distance d
+}
+
+// CPUModel is active-power CPU energy.
+type CPUModel struct {
+	ActiveWatts float64 // power while computing
+}
+
+// Model bundles radio, CPU, and battery.
+type Model struct {
+	Radio         RadioModel
+	CPU           CPUModel
+	BatteryJoules float64
+}
+
+// DefaultModel returns MicaZ-class constants.
+func DefaultModel() Model {
+	return Model{
+		Radio: RadioModel{
+			ElecJPerBit: 50e-9,
+			AmpJPerBit:  100e-12,
+			RangeMeters: 50,
+		},
+		CPU:           CPUModel{ActiveWatts: 24e-3},
+		BatteryJoules: 18720, // 2×AA: 2600 mAh × 2 × 3.6 V ≈ 18.7 kJ
+	}
+}
+
+// TxEnergy returns the energy to transmit n bytes.
+func (r RadioModel) TxEnergy(n int) float64 {
+	bits := float64(n * 8)
+	return bits*r.ElecJPerBit + bits*r.AmpJPerBit*r.RangeMeters*r.RangeMeters
+}
+
+// RxEnergy returns the energy to receive n bytes.
+func (r RadioModel) RxEnergy(n int) float64 {
+	return float64(n*8) * r.ElecJPerBit
+}
+
+// Energy returns CPU energy for a computation lasting the given seconds.
+func (c CPUModel) Energy(seconds float64) float64 { return c.ActiveWatts * seconds }
+
+// PerEpoch is the energy one node spends in one epoch.
+type PerEpoch struct {
+	Tx, Rx, CPU float64
+}
+
+// Total sums the components.
+func (p PerEpoch) Total() float64 { return p.Tx + p.Rx + p.CPU }
+
+// Workload describes one scheme's per-epoch behaviour for the estimator.
+type Workload struct {
+	MessageBytes int     // bytes per edge (constant-size schemes)
+	SourceCPU    float64 // seconds of CPU per epoch at a source
+	AggCPUPerMsg float64 // seconds of CPU per received message at an aggregator
+}
+
+// Report summarises a scheme's energy profile over a topology.
+type Report struct {
+	Source         PerEpoch // any leaf source
+	LeafAggregator PerEpoch // an aggregator with only sources below it
+	Bottleneck     PerEpoch // the most loaded node (root aggregator)
+	// LifetimeEpochs is how many epochs the bottleneck node survives on one
+	// battery — the network's effective lifetime.
+	LifetimeEpochs float64
+}
+
+// InNetwork estimates the profile of a constant-message-size in-network
+// scheme (SIES, CMT, or SECOA_S with its larger constant) on the topology.
+func InNetwork(topo *network.Topology, w Workload, m Model) (Report, error) {
+	if topo == nil {
+		return Report{}, errors.New("energy: nil topology")
+	}
+	if w.MessageBytes <= 0 {
+		return Report{}, errors.New("energy: message size must be positive")
+	}
+	src := PerEpoch{
+		Tx:  m.Radio.TxEnergy(w.MessageBytes),
+		CPU: m.CPU.Energy(w.SourceCPU),
+	}
+	mk := func(children int) PerEpoch {
+		return PerEpoch{
+			Tx:  m.Radio.TxEnergy(w.MessageBytes),
+			Rx:  m.Radio.RxEnergy(w.MessageBytes * children),
+			CPU: m.CPU.Energy(w.AggCPUPerMsg * float64(children)),
+		}
+	}
+	root := topo.Root()
+	rootChildren := len(topo.ChildAggregators(root)) + len(topo.ChildSources(root))
+	bottleneck := mk(rootChildren)
+	leaf := mk(maxLeafChildren(topo))
+
+	rep := Report{Source: src, LeafAggregator: leaf, Bottleneck: bottleneck}
+	if e := bottleneck.Total(); e > 0 {
+		rep.LifetimeEpochs = m.BatteryJoules / e
+	}
+	return rep, nil
+}
+
+// Naive estimates the profile of naive raw-data collection: every reading
+// (readingBytes each) is relayed hop by hop to the querier, so a node
+// forwards one message per source in its subtree.
+func Naive(topo *network.Topology, readingBytes int, m Model) (Report, error) {
+	if topo == nil {
+		return Report{}, errors.New("energy: nil topology")
+	}
+	if readingBytes <= 0 {
+		return Report{}, errors.New("energy: reading size must be positive")
+	}
+	src := PerEpoch{Tx: m.Radio.TxEnergy(readingBytes)}
+
+	// A relay node receives and re-transmits its whole subtree's readings.
+	subtree := subtreeSizes(topo)
+	root := topo.Root()
+	bottleneck := PerEpoch{
+		Tx: m.Radio.TxEnergy(readingBytes * subtree[root]),
+		Rx: m.Radio.RxEnergy(readingBytes * subtree[root]),
+	}
+	leafCount := maxLeafChildren(topo)
+	leaf := PerEpoch{
+		Tx: m.Radio.TxEnergy(readingBytes * leafCount),
+		Rx: m.Radio.RxEnergy(readingBytes * leafCount),
+	}
+	rep := Report{Source: src, LeafAggregator: leaf, Bottleneck: bottleneck}
+	if e := bottleneck.Total(); e > 0 {
+		rep.LifetimeEpochs = m.BatteryJoules / e
+	}
+	return rep, nil
+}
+
+// subtreeSizes returns, per aggregator, the number of sources below it.
+func subtreeSizes(topo *network.Topology) []int {
+	sizes := make([]int, topo.NumAggregators())
+	var walk func(agg int) int
+	walk = func(agg int) int {
+		n := len(topo.ChildSources(agg))
+		for _, c := range topo.ChildAggregators(agg) {
+			n += walk(c)
+		}
+		sizes[agg] = n
+		return n
+	}
+	walk(topo.Root())
+	return sizes
+}
+
+// maxLeafChildren returns the largest direct-source count of any aggregator.
+func maxLeafChildren(topo *network.Topology) int {
+	max := 0
+	for agg := 0; agg < topo.NumAggregators(); agg++ {
+		if n := len(topo.ChildSources(agg)); n > max {
+			max = n
+		}
+	}
+	return max
+}

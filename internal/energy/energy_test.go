@@ -1,0 +1,148 @@
+package energy
+
+import (
+	"testing"
+
+	"github.com/sies/sies/internal/network"
+)
+
+func topo(t *testing.T, n, f int) *network.Topology {
+	t.Helper()
+	tp, err := network.CompleteTree(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestRadioModel(t *testing.T) {
+	r := DefaultModel().Radio
+	// Tx must cost strictly more than Rx (amplifier term).
+	if r.TxEnergy(32) <= r.RxEnergy(32) {
+		t.Fatal("tx not more expensive than rx")
+	}
+	// Linear in bytes.
+	if r.TxEnergy(64) != 2*r.TxEnergy(32) {
+		t.Fatal("tx not linear in size")
+	}
+	if r.RxEnergy(0) != 0 || r.TxEnergy(0) != 0 {
+		t.Fatal("zero bytes cost energy")
+	}
+}
+
+func TestCPUModel(t *testing.T) {
+	c := DefaultModel().CPU
+	if c.Energy(2) != 2*c.Energy(1) {
+		t.Fatal("cpu energy not linear in time")
+	}
+}
+
+func TestInNetworkConstantPerNode(t *testing.T) {
+	m := DefaultModel()
+	w := Workload{MessageBytes: 32, SourceCPU: 3.5e-6, AggCPUPerMsg: 0.4e-6}
+	rep, err := InNetwork(topo(t, 1024, 4), w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bottleneck transmits one 32-byte message regardless of N: its tx
+	// energy equals a source's tx energy.
+	if rep.Bottleneck.Tx != rep.Source.Tx {
+		t.Fatalf("bottleneck tx %g != source tx %g", rep.Bottleneck.Tx, rep.Source.Tx)
+	}
+	if rep.LifetimeEpochs <= 0 {
+		t.Fatal("no lifetime estimate")
+	}
+	// Larger networks must not change per-node energy (the whole point).
+	rep2, err := InNetwork(topo(t, 16384, 4), w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Bottleneck.Total() != rep.Bottleneck.Total() {
+		t.Fatal("in-network bottleneck energy grew with N")
+	}
+}
+
+func TestNaiveBottleneckGrowsWithN(t *testing.T) {
+	m := DefaultModel()
+	small, err := Naive(topo(t, 64, 4), 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Naive(topo(t, 4096, 4), 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Bottleneck.Total() <= small.Bottleneck.Total() {
+		t.Fatal("naive bottleneck energy did not grow with N")
+	}
+	if big.LifetimeEpochs >= small.LifetimeEpochs {
+		t.Fatal("naive lifetime did not shrink with N")
+	}
+}
+
+func TestInNetworkBeatsNaiveAtScale(t *testing.T) {
+	// The paper's motivating claim: despite 32-byte PSRs being 8× larger
+	// than a 4-byte raw reading, SIES in-network aggregation outlives naive
+	// collection by orders of magnitude at scale.
+	m := DefaultModel()
+	tp := topo(t, 1024, 4)
+	sies, err := InNetwork(tp, Workload{MessageBytes: 32, SourceCPU: 3.5e-6, AggCPUPerMsg: 0.4e-6}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Naive(tp, 4, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sies.LifetimeEpochs < 10*naive.LifetimeEpochs {
+		t.Fatalf("SIES lifetime %.0f not ≥10× naive %.0f", sies.LifetimeEpochs, naive.LifetimeEpochs)
+	}
+}
+
+func TestSECOAEnergyFarAboveSIES(t *testing.T) {
+	// SECOA_S sends ~38.7 KB per edge vs 32 B: its radio energy per epoch
+	// must be ~3 orders of magnitude higher.
+	m := DefaultModel()
+	tp := topo(t, 1024, 4)
+	sies, err := InNetwork(tp, Workload{MessageBytes: 32}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secoa, err := InNetwork(tp, Workload{MessageBytes: 38720}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := secoa.Bottleneck.Total() / sies.Bottleneck.Total()
+	if ratio < 500 {
+		t.Fatalf("SECOA/SIES bottleneck energy ratio = %.0f, want ≥ 500", ratio)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := DefaultModel()
+	if _, err := InNetwork(nil, Workload{MessageBytes: 32}, m); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := InNetwork(topo(t, 4, 4), Workload{}, m); err == nil {
+		t.Fatal("zero message size accepted")
+	}
+	if _, err := Naive(nil, 4, m); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := Naive(topo(t, 4, 4), 0, m); err == nil {
+		t.Fatal("zero reading size accepted")
+	}
+}
+
+func TestSubtreeSizes(t *testing.T) {
+	tp := topo(t, 16, 4)
+	sizes := subtreeSizes(tp)
+	if sizes[tp.Root()] != 16 {
+		t.Fatalf("root subtree = %d", sizes[tp.Root()])
+	}
+	for _, c := range tp.ChildAggregators(tp.Root()) {
+		if sizes[c] != 4 {
+			t.Fatalf("leaf agg subtree = %d", sizes[c])
+		}
+	}
+}

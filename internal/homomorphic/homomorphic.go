@@ -1,0 +1,111 @@
+// Package homomorphic implements the additively homomorphic symmetric
+// cipher at the heart of SIES (paper §III-D).
+//
+// Encryption of a plaintext m < p under an epoch-global multiplier K ≠ 0 and
+// a per-source one-time blinding key k is
+//
+//	E(m, K, k, p) = K·m + k   (mod p)
+//
+// and decryption is D(c, K, k, p) = (c − k)·K⁻¹ (mod p). The scheme is
+// additively homomorphic: ciphertexts under the same K simply add, and the
+// sum decrypts with the summed blinding keys:
+//
+//	Σ cᵢ = E(Σ mᵢ, K, Σ kᵢ, p)
+//
+// With k used exactly once, the construction is a one-time pad and hides m
+// information-theoretically; K contributes nothing to confidentiality but is
+// essential for integrity (without it an adversary knowing the plaintext
+// layout could add a forged share-consistent delta).
+package homomorphic
+
+import (
+	"errors"
+
+	"github.com/sies/sies/internal/uint256"
+)
+
+// Errors reported by Scheme operations.
+var (
+	ErrZeroMultiplier  = errors.New("homomorphic: multiplier key K must be nonzero mod p")
+	ErrPlaintextRange  = errors.New("homomorphic: plaintext not in [0, p)")
+	ErrCiphertextRange = errors.New("homomorphic: ciphertext not in [0, p)")
+)
+
+// Scheme binds the cipher to one prime field. It is immutable and safe for
+// concurrent use.
+type Scheme struct {
+	field *uint256.Field
+}
+
+// New returns a Scheme over the given field.
+func New(field *uint256.Field) *Scheme { return &Scheme{field: field} }
+
+// NewDefault returns a Scheme over the default SIES field (p = 2^256 − 189).
+func NewDefault() *Scheme { return New(uint256.NewDefaultField()) }
+
+// Field exposes the underlying prime field.
+func (s *Scheme) Field() *uint256.Field { return s.field }
+
+// Encrypt computes E(m, K, k, p) = K·m + k mod p.
+func (s *Scheme) Encrypt(m, K, k uint256.Int) (uint256.Int, error) {
+	if m.Cmp(s.field.Modulus()) >= 0 {
+		return uint256.Int{}, ErrPlaintextRange
+	}
+	Kr := s.field.Reduce(K)
+	if Kr.IsZero() {
+		return uint256.Int{}, ErrZeroMultiplier
+	}
+	kr := s.field.Reduce(k)
+	return s.field.Add(s.field.Mul(Kr, m), kr), nil
+}
+
+// Decrypt computes D(c, K, kSum, p) = (c − kSum)·K⁻¹ mod p. kSum is the sum
+// (mod p) of every blinding key folded into c.
+func (s *Scheme) Decrypt(c, K, kSum uint256.Int) (uint256.Int, error) {
+	if c.Cmp(s.field.Modulus()) >= 0 {
+		return uint256.Int{}, ErrCiphertextRange
+	}
+	Kr := s.field.Reduce(K)
+	if Kr.IsZero() {
+		return uint256.Int{}, ErrZeroMultiplier
+	}
+	inv, err := s.field.Inv(Kr)
+	if err != nil {
+		return uint256.Int{}, err
+	}
+	return s.field.Mul(s.field.Sub(c, s.field.Reduce(kSum)), inv), nil
+}
+
+// DecryptWithInverse is Decrypt with a precomputed K⁻¹, letting a querier
+// that evaluates many PSRs per epoch amortise the one inversion.
+func (s *Scheme) DecryptWithInverse(c, kInv, kSum uint256.Int) (uint256.Int, error) {
+	if c.Cmp(s.field.Modulus()) >= 0 {
+		return uint256.Int{}, ErrCiphertextRange
+	}
+	return s.field.Mul(s.field.Sub(c, s.field.Reduce(kSum)), kInv), nil
+}
+
+// Aggregate adds two ciphertexts modulo p — the entire merging phase of an
+// aggregator (paper §IV-A): PSR' = PSR₁ + PSR₂ mod p.
+func (s *Scheme) Aggregate(c1, c2 uint256.Int) uint256.Int {
+	return s.field.Add(c1, c2)
+}
+
+// AggregateAll folds any number of ciphertexts.
+func (s *Scheme) AggregateAll(cs ...uint256.Int) uint256.Int {
+	var acc uint256.Int
+	for _, c := range cs {
+		acc = s.field.Add(acc, c)
+	}
+	return acc
+}
+
+// SumKeys adds blinding keys modulo p for use as the kSum argument of
+// Decrypt.
+func (s *Scheme) SumKeys(ks ...uint256.Int) uint256.Int {
+	var acc uint256.Int
+	for _, k := range ks {
+		acc = s.field.Add(acc, s.field.Reduce(k))
+	}
+	return acc
+}

@@ -1,0 +1,222 @@
+package homomorphic
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/sies/sies/internal/uint256"
+)
+
+func testScheme(t testing.TB) *Scheme {
+	t.Helper()
+	return NewDefault()
+}
+
+// randomElems draws reduced field elements for property tests.
+func randomElems(s *Scheme, r *rand.Rand) func([]reflect.Value, *rand.Rand) {
+	return func(vals []reflect.Value, _ *rand.Rand) {
+		for i := range vals {
+			var x uint256.Int
+			for j := range x {
+				x[j] = r.Uint64()
+			}
+			vals[i] = reflect.ValueOf(s.Field().Reduce(x))
+		}
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s := testScheme(t)
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{MaxCount: 500, Values: randomElems(s, r)}
+	f := func(m, K, k uint256.Int) bool {
+		if K.IsZero() {
+			K = uint256.One
+		}
+		c, err := s.Encrypt(m, K, k)
+		if err != nil {
+			return false
+		}
+		got, err := s.Decrypt(c, K, k)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	// E(m1,K,k1) + E(m2,K,k2) decrypts to m1+m2 under k1+k2 (paper §III-D).
+	s := testScheme(t)
+	r := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{MaxCount: 300, Values: randomElems(s, r)}
+	f := func(m1, m2, K, k1, k2 uint256.Int) bool {
+		if K.IsZero() {
+			K = uint256.One
+		}
+		c1, err1 := s.Encrypt(m1, K, k1)
+		c2, err2 := s.Encrypt(m2, K, k2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		sum := s.Aggregate(c1, c2)
+		got, err := s.Decrypt(sum, K, s.SumKeys(k1, k2))
+		want := s.Field().Add(m1, m2)
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyPartyAggregation(t *testing.T) {
+	s := testScheme(t)
+	r := rand.New(rand.NewSource(3))
+	const n = 64
+	K, _ := s.Field().RandNonZero()
+	var cs, ks []uint256.Int
+	var wantSum uint256.Int
+	for i := 0; i < n; i++ {
+		m := uint256.NewInt(uint64(r.Intn(1 << 30)))
+		k, _ := s.Field().Rand()
+		c, err := s.Encrypt(m, K, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+		ks = append(ks, k)
+		wantSum = s.Field().Add(wantSum, m)
+	}
+	got, err := s.Decrypt(s.AggregateAll(cs...), K, s.SumKeys(ks...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != wantSum {
+		t.Fatalf("aggregate decrypt = %v, want %v", got, wantSum)
+	}
+}
+
+func TestDecryptWithInverseMatchesDecrypt(t *testing.T) {
+	s := testScheme(t)
+	K, _ := s.Field().RandNonZero()
+	k, _ := s.Field().Rand()
+	m := uint256.NewInt(987654321)
+	c, err := s.Encrypt(m, K, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := s.Field().Inv(K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.DecryptWithInverse(c, inv, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("DecryptWithInverse = %v, want %v", got, m)
+	}
+}
+
+func TestZeroMultiplierRejected(t *testing.T) {
+	s := testScheme(t)
+	if _, err := s.Encrypt(uint256.One, uint256.Zero, uint256.One); err != ErrZeroMultiplier {
+		t.Fatalf("Encrypt with K=0: err = %v", err)
+	}
+	if _, err := s.Decrypt(uint256.One, uint256.Zero, uint256.One); err != ErrZeroMultiplier {
+		t.Fatalf("Decrypt with K=0: err = %v", err)
+	}
+	// K ≡ 0 (mod p) must also be rejected.
+	if _, err := s.Encrypt(uint256.One, s.Field().Modulus(), uint256.One); err != ErrZeroMultiplier {
+		t.Fatalf("Encrypt with K=p: err = %v", err)
+	}
+}
+
+func TestPlaintextRangeChecked(t *testing.T) {
+	s := testScheme(t)
+	if _, err := s.Encrypt(s.Field().Modulus(), uint256.One, uint256.Zero); err != ErrPlaintextRange {
+		t.Fatalf("Encrypt(p): err = %v", err)
+	}
+}
+
+func TestCiphertextRangeChecked(t *testing.T) {
+	s := testScheme(t)
+	big := uint256.Mask(256) // 2^256-1 ≥ p
+	if _, err := s.Decrypt(big, uint256.One, uint256.Zero); err != ErrCiphertextRange {
+		t.Fatalf("Decrypt(2^256-1): err = %v", err)
+	}
+	if _, err := s.DecryptWithInverse(big, uint256.One, uint256.Zero); err != ErrCiphertextRange {
+		t.Fatalf("DecryptWithInverse(2^256-1): err = %v", err)
+	}
+}
+
+func TestConfidentialityOneTimePad(t *testing.T) {
+	// For fixed m and K, the ciphertext ranges over the whole field as k
+	// does — sample that E(m,K,k) = target has a solution k for arbitrary
+	// target, i.e. the cipher is a bijection in k (information-theoretic
+	// hiding argument of Theorem 1).
+	s := testScheme(t)
+	K, _ := s.Field().RandNonZero()
+	m := uint256.NewInt(123456)
+	target, _ := s.Field().Rand()
+	// Solve k = target − K·m.
+	k := s.Field().Sub(target, s.Field().Mul(K, m))
+	c, err := s.Encrypt(m, K, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != target {
+		t.Fatal("cipher not bijective in k")
+	}
+}
+
+func TestAggregateAllEmpty(t *testing.T) {
+	s := testScheme(t)
+	if got := s.AggregateAll(); !got.IsZero() {
+		t.Fatalf("AggregateAll() = %v", got)
+	}
+	if got := s.SumKeys(); !got.IsZero() {
+		t.Fatalf("SumKeys() = %v", got)
+	}
+}
+
+func BenchmarkEncrypt(b *testing.B) {
+	s := NewDefault()
+	K, _ := s.Field().RandNonZero()
+	k, _ := s.Field().Rand()
+	m := uint256.NewInt(4242)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encrypt(m, K, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAggregate(b *testing.B) {
+	s := NewDefault()
+	c1, _ := s.Field().Rand()
+	c2, _ := s.Field().Rand()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c1 = s.Aggregate(c1, c2)
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	s := NewDefault()
+	K, _ := s.Field().RandNonZero()
+	k, _ := s.Field().Rand()
+	c, _ := s.Encrypt(uint256.NewInt(99), K, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Decrypt(c, K, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

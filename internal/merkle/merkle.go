@@ -1,0 +1,141 @@
+// Package merkle implements a Merkle hash tree (Merkle, CRYPTO 1989) — the
+// commitment structure of the commit-and-attest secure-aggregation schemes
+// the paper surveys in §II-B (SIA, SDAP, SecureDAV, …). Aggregators commit
+// to the partial results they produce by publishing the root digest;
+// individual sensors later audit their inclusion with an O(log n)
+// authentication path.
+package merkle
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// DigestSize is the size of tree digests (SHA-256).
+const DigestSize = sha256.Size
+
+// Digest is one tree node hash.
+type Digest [DigestSize]byte
+
+// Domain-separation prefixes: leaves and interior nodes hash differently so
+// a leaf can never be reinterpreted as an interior node (second-preimage
+// hardening).
+const (
+	leafPrefix     = 0x00
+	interiorPrefix = 0x01
+)
+
+func hashLeaf(data []byte) Digest {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+func hashInterior(left, right Digest) Digest {
+	h := sha256.New()
+	h.Write([]byte{interiorPrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// Tree is an immutable Merkle tree over a fixed leaf sequence. Odd levels
+// promote the unpaired node unchanged (Bitcoin-style duplication is avoided
+// to keep proofs unambiguous).
+type Tree struct {
+	levels [][]Digest // levels[0] = leaf digests, last = [root]
+}
+
+// ErrEmpty is returned when building over zero leaves.
+var ErrEmpty = errors.New("merkle: tree needs at least one leaf")
+
+// Build constructs the tree over the given leaf payloads.
+func Build(leaves [][]byte) (*Tree, error) {
+	if len(leaves) == 0 {
+		return nil, ErrEmpty
+	}
+	level := make([]Digest, len(leaves))
+	for i, l := range leaves {
+		level[i] = hashLeaf(l)
+	}
+	t := &Tree{levels: [][]Digest{level}}
+	for len(level) > 1 {
+		next := make([]Digest, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashInterior(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i]) // promote the odd node
+			}
+		}
+		t.levels = append(t.levels, next)
+		level = next
+	}
+	return t, nil
+}
+
+// Root returns the tree's root digest — the commitment.
+func (t *Tree) Root() Digest { return t.levels[len(t.levels)-1][0] }
+
+// Leaves returns the number of leaves.
+func (t *Tree) Leaves() int { return len(t.levels[0]) }
+
+// ProofStep is one sibling on an authentication path.
+type ProofStep struct {
+	Sibling Digest
+	// Left reports whether the sibling sits to the left of the running hash.
+	Left bool
+}
+
+// Proof is an authentication path from a leaf to the root.
+type Proof struct {
+	Index int
+	Steps []ProofStep
+}
+
+// Size returns the proof's wire size in bytes (per step: digest + side bit,
+// packed as one byte).
+func (p Proof) Size() int { return 4 + len(p.Steps)*(DigestSize+1) }
+
+// Prove returns the authentication path for leaf i.
+func (t *Tree) Prove(i int) (Proof, error) {
+	if i < 0 || i >= t.Leaves() {
+		return Proof{}, fmt.Errorf("merkle: leaf %d out of range [0,%d)", i, t.Leaves())
+	}
+	p := Proof{Index: i}
+	idx := i
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		level := t.levels[lvl]
+		var sib int
+		if idx%2 == 0 {
+			sib = idx + 1
+		} else {
+			sib = idx - 1
+		}
+		if sib < len(level) {
+			p.Steps = append(p.Steps, ProofStep{Sibling: level[sib], Left: sib < idx})
+		}
+		// When the node is promoted unpaired, no step is emitted.
+		idx /= 2
+	}
+	return p, nil
+}
+
+// Verify checks that leaf data sits at the proof's position under root.
+func Verify(root Digest, leaf []byte, p Proof) bool {
+	cur := hashLeaf(leaf)
+	for _, step := range p.Steps {
+		if step.Left {
+			cur = hashInterior(step.Sibling, cur)
+		} else {
+			cur = hashInterior(cur, step.Sibling)
+		}
+	}
+	return cur == root
+}

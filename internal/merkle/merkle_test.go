@@ -1,0 +1,217 @@
+package merkle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil); err != ErrEmpty {
+		t.Fatalf("empty build: %v", err)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr, err := Build(leaves(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 0 {
+		t.Fatalf("single-leaf proof has %d steps", len(p.Steps))
+	}
+	if !Verify(tr.Root(), []byte("leaf-0"), p) {
+		t.Fatal("single-leaf proof rejected")
+	}
+}
+
+func TestAllProofsVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 100, 1000} {
+		ls := leaves(n)
+		tr, err := Build(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Leaves() != n {
+			t.Fatalf("n=%d: Leaves()=%d", n, tr.Leaves())
+		}
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !Verify(tr.Root(), ls[i], p) {
+				t.Fatalf("n=%d: proof for leaf %d rejected", n, i)
+			}
+		}
+	}
+}
+
+func TestWrongLeafRejected(t *testing.T) {
+	ls := leaves(10)
+	tr, err := Build(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.Prove(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(tr.Root(), []byte("forged"), p) {
+		t.Fatal("forged leaf accepted")
+	}
+	// A proof for leaf 3 must not verify leaf 4's data.
+	if Verify(tr.Root(), ls[4], p) {
+		t.Fatal("cross-leaf proof accepted")
+	}
+}
+
+func TestTamperedProofRejected(t *testing.T) {
+	ls := leaves(16)
+	tr, err := Build(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.Prove(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Steps[1].Sibling[0] ^= 1
+	if Verify(tr.Root(), ls[5], p) {
+		t.Fatal("tampered proof accepted")
+	}
+	p.Steps[1].Sibling[0] ^= 1
+	p.Steps[0].Left = !p.Steps[0].Left
+	if Verify(tr.Root(), ls[5], p) {
+		t.Fatal("side-flipped proof accepted")
+	}
+}
+
+func TestWrongRootRejected(t *testing.T) {
+	ls := leaves(8)
+	tr, err := Build(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Build(leaves(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Verify(other.Root(), ls[0], p) {
+		t.Fatal("proof accepted under foreign root")
+	}
+}
+
+func TestProveRange(t *testing.T) {
+	tr, err := Build(leaves(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Prove(-1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := tr.Prove(4); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestLeafInteriorDomainSeparation(t *testing.T) {
+	// A two-leaf tree's root must differ from hashing the concatenated leaf
+	// digests as a leaf — the prefixes must separate the domains.
+	ls := leaves(2)
+	tr, err := Build(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0, l1 := hashLeaf(ls[0]), hashLeaf(ls[1])
+	concat := append(append([]byte{}, l0[:]...), l1[:]...)
+	if tr.Root() == hashLeaf(concat) {
+		t.Fatal("leaf/interior domains collide")
+	}
+}
+
+func TestProofSizeLogarithmic(t *testing.T) {
+	tr, err := Build(leaves(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.Prove(777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 10 {
+		t.Fatalf("1024-leaf proof has %d steps, want 10", len(p.Steps))
+	}
+	if p.Size() != 4+10*(DigestSize+1) {
+		t.Fatalf("Size() = %d", p.Size())
+	}
+}
+
+func TestRandomizedProofs(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(200)
+		ls := make([][]byte, n)
+		for i := range ls {
+			ls[i] = make([]byte, r.Intn(64))
+			r.Read(ls[i])
+		}
+		tr, err := Build(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := r.Intn(n)
+		p, err := tr.Prove(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !Verify(tr.Root(), ls[i], p) {
+			t.Fatalf("trial %d: proof rejected", trial)
+		}
+	}
+}
+
+func BenchmarkBuild1024(b *testing.B) {
+	ls := leaves(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(ls); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerify1024(b *testing.B) {
+	ls := leaves(1024)
+	tr, err := Build(ls)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := tr.Prove(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !Verify(tr.Root(), ls[512], p) {
+			b.Fatal("proof rejected")
+		}
+	}
+}

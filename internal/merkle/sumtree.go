@@ -1,0 +1,152 @@
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+)
+
+func newHash() hash.Hash { return sha256.New() }
+
+// SumTree is the aggregation-commitment structure of the commit-and-attest
+// schemes (SDAP-style): a Merkle tree whose interior nodes additionally
+// commit to the SUM of the values below them. A sensor auditing its
+// authentication path simultaneously checks (a) its reading is included and
+// (b) the partial sums along the path add up consistently to the root total,
+// so an aggregator cannot claim a SUM that disagrees with the committed
+// readings without some sensor's audit failing.
+type SumTree struct {
+	digests [][]Digest
+	sums    [][]uint64
+}
+
+// sumLeaf commits to the record (id, value).
+func sumLeaf(id int, value uint64) Digest {
+	var rec [12]byte
+	binary.BigEndian.PutUint32(rec[0:4], uint32(id))
+	binary.BigEndian.PutUint64(rec[4:12], value)
+	return hashLeaf(rec[:])
+}
+
+// sumInterior commits to two children and their combined sum.
+func sumInterior(left, right Digest, sum uint64) Digest {
+	var buf [2*DigestSize + 8]byte
+	copy(buf[:DigestSize], left[:])
+	copy(buf[DigestSize:], right[:])
+	binary.BigEndian.PutUint64(buf[2*DigestSize:], sum)
+	return hashLeafDomain(interiorPrefix, buf[:])
+}
+
+// hashLeafDomain hashes data under the given domain prefix.
+func hashLeafDomain(prefix byte, data []byte) Digest {
+	h := newHash()
+	h.Write([]byte{prefix})
+	h.Write(data)
+	var d Digest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// BuildSum constructs the commitment over per-source values (index = id).
+func BuildSum(values []uint64) (*SumTree, error) {
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	digests := make([]Digest, len(values))
+	sums := append([]uint64(nil), values...)
+	for i, v := range values {
+		digests[i] = sumLeaf(i, v)
+	}
+	t := &SumTree{digests: [][]Digest{digests}, sums: [][]uint64{sums}}
+	for len(digests) > 1 {
+		nd := make([]Digest, 0, (len(digests)+1)/2)
+		ns := make([]uint64, 0, (len(digests)+1)/2)
+		for i := 0; i < len(digests); i += 2 {
+			if i+1 < len(digests) {
+				s := sums[i] + sums[i+1]
+				nd = append(nd, sumInterior(digests[i], digests[i+1], s))
+				ns = append(ns, s)
+			} else {
+				nd = append(nd, digests[i])
+				ns = append(ns, sums[i])
+			}
+		}
+		t.digests = append(t.digests, nd)
+		t.sums = append(t.sums, ns)
+		digests, sums = nd, ns
+	}
+	return t, nil
+}
+
+// Root returns the root digest (the commitment).
+func (t *SumTree) Root() Digest { return t.digests[len(t.digests)-1][0] }
+
+// Total returns the committed SUM.
+func (t *SumTree) Total() uint64 { return t.sums[len(t.sums)-1][0] }
+
+// Leaves returns the number of committed sources.
+func (t *SumTree) Leaves() int { return len(t.digests[0]) }
+
+// SumProofStep is one audit step: the sibling's digest and partial sum.
+type SumProofStep struct {
+	Sibling Digest
+	Sum     uint64
+	Left    bool
+}
+
+// SumProof is a sensor's audit path.
+type SumProof struct {
+	Index int
+	Steps []SumProofStep
+}
+
+// Size returns the proof's wire size (per step: digest + sum + side byte).
+func (p SumProof) Size() int { return 4 + len(p.Steps)*(DigestSize+8+1) }
+
+// ProveSum returns the audit path of source id.
+func (t *SumTree) ProveSum(id int) (SumProof, error) {
+	if id < 0 || id >= t.Leaves() {
+		return SumProof{}, fmt.Errorf("merkle: source %d out of range [0,%d)", id, t.Leaves())
+	}
+	p := SumProof{Index: id}
+	idx := id
+	for lvl := 0; lvl < len(t.digests)-1; lvl++ {
+		level := t.digests[lvl]
+		var sib int
+		if idx%2 == 0 {
+			sib = idx + 1
+		} else {
+			sib = idx - 1
+		}
+		if sib < len(level) {
+			p.Steps = append(p.Steps, SumProofStep{
+				Sibling: level[sib],
+				Sum:     t.sums[lvl][sib],
+				Left:    sib < idx,
+			})
+		}
+		idx /= 2
+	}
+	return p, nil
+}
+
+// VerifySum audits that (id, value) is committed under root and that the
+// partial sums along the path accumulate to exactly total — the sensor-side
+// attestation check.
+func VerifySum(root Digest, total uint64, id int, value uint64, p SumProof) bool {
+	if p.Index != id {
+		return false
+	}
+	cur := sumLeaf(id, value)
+	sum := value
+	for _, step := range p.Steps {
+		sum += step.Sum
+		if step.Left {
+			cur = sumInterior(step.Sibling, cur, sum)
+		} else {
+			cur = sumInterior(cur, step.Sibling, sum)
+		}
+	}
+	return cur == root && sum == total
+}

@@ -1,0 +1,153 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func values(n int, seed int64) []uint64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(r.Intn(5000))
+	}
+	return out
+}
+
+func TestBuildSumEmpty(t *testing.T) {
+	if _, err := BuildSum(nil); err != ErrEmpty {
+		t.Fatalf("empty build: %v", err)
+	}
+}
+
+func TestSumTreeTotal(t *testing.T) {
+	vs := values(100, 1)
+	var want uint64
+	for _, v := range vs {
+		want += v
+	}
+	tr, err := BuildSum(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Total() != want {
+		t.Fatalf("Total = %d, want %d", tr.Total(), want)
+	}
+	if tr.Leaves() != 100 {
+		t.Fatalf("Leaves = %d", tr.Leaves())
+	}
+}
+
+func TestAllAuditsVerify(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 17, 64, 100} {
+		vs := values(n, int64(n))
+		tr, err := BuildSum(vs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id := 0; id < n; id++ {
+			p, err := tr.ProveSum(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !VerifySum(tr.Root(), tr.Total(), id, vs[id], p) {
+				t.Fatalf("n=%d: audit for source %d failed", n, id)
+			}
+		}
+	}
+}
+
+func TestAuditDetectsWrongValue(t *testing.T) {
+	vs := values(16, 2)
+	tr, err := BuildSum(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.ProveSum(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifySum(tr.Root(), tr.Total(), 5, vs[5]+1, p) {
+		t.Fatal("modified reading passed the audit")
+	}
+}
+
+func TestAuditDetectsWrongTotal(t *testing.T) {
+	// The sum-consistency check: the committed root is honest but the
+	// aggregator claims a different total.
+	vs := values(16, 3)
+	tr, err := BuildSum(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.ProveSum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifySum(tr.Root(), tr.Total()+100, 0, vs[0], p) {
+		t.Fatal("inflated total passed the audit")
+	}
+}
+
+func TestAuditDetectsInconsistentCommitment(t *testing.T) {
+	// An aggregator that inflates one sibling sum inside the tree produces a
+	// root whose audits fail for the sources under the altered node.
+	vs := values(8, 4)
+	tr, err := BuildSum(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.ProveSum(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Steps[0].Sum += 7 // lie about the sibling's value
+	if VerifySum(tr.Root(), tr.Total(), 2, vs[2], p) {
+		t.Fatal("inconsistent path sums passed the audit")
+	}
+}
+
+func TestAuditWrongIndex(t *testing.T) {
+	vs := values(8, 5)
+	tr, err := BuildSum(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.ProveSum(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VerifySum(tr.Root(), tr.Total(), 3, vs[3], p) {
+		t.Fatal("proof accepted for foreign id")
+	}
+	if _, err := tr.ProveSum(99); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+func TestSumProofSize(t *testing.T) {
+	tr, err := BuildSum(values(1024, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.ProveSum(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 10 {
+		t.Fatalf("steps = %d", len(p.Steps))
+	}
+	if p.Size() != 4+10*(DigestSize+8+1) {
+		t.Fatalf("Size = %d", p.Size())
+	}
+}
+
+func BenchmarkBuildSum1024(b *testing.B) {
+	vs := values(1024, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSum(vs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package message implements the SIES plaintext layout m_{i,t} (paper §IV-A,
+// Figure 2).
+//
+// A plaintext is a single 256-bit integer partitioned, from most to least
+// significant, into three fields:
+//
+//	| value (32 or 64 bits) | zero padding (ceil(log2 N) bits) | share (160 bits) |
+//
+// The share field carries ss_{i,t}; summing up to N plaintexts makes the
+// share field overflow by at most log2(N) bits, which the zero padding
+// absorbs, so the value field accumulates Σ v_{i,t} exactly. The layout is
+// valid when value+pad+share ≤ 256 bits and the maximal possible sum is
+// below the field modulus.
+package message
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/secretshare"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// Value field widths supported by the layout. The paper uses 4-byte values
+// and notes (footnote 1) that an 8-byte field handles results ≥ 2^32.
+const (
+	ValueBits32 = 32
+	ValueBits64 = 64
+)
+
+// Errors reported by layout construction and packing.
+var (
+	ErrTooManySources = errors.New("message: layout cannot host this many sources in 256 bits")
+	ErrValueBits      = errors.New("message: value width must be 32 or 64 bits")
+	ErrValueRange     = errors.New("message: value exceeds the layout's value field")
+	ErrNoSources      = errors.New("message: layout needs at least one source")
+)
+
+// Layout describes one partitioning of the 256-bit plaintext.
+type Layout struct {
+	valueBits int
+	padBits   int
+	n         int // maximum number of sources
+}
+
+// New returns the layout for n sources with the given value width.
+// padBits = ceil(log2 n) with a minimum of 0 (n = 1 needs no padding).
+func New(n int, valueBits int) (Layout, error) {
+	if n < 1 {
+		return Layout{}, ErrNoSources
+	}
+	if valueBits != ValueBits32 && valueBits != ValueBits64 {
+		return Layout{}, ErrValueBits
+	}
+	pad := ceilLog2(n)
+	if valueBits+pad+secretshare.ShareBits > 256 {
+		return Layout{}, fmt.Errorf("%w: n=%d needs %d pad bits, %d total",
+			ErrTooManySources, n, pad, valueBits+pad+secretshare.ShareBits)
+	}
+	return Layout{valueBits: valueBits, padBits: pad, n: n}, nil
+}
+
+// MustNew is New for parameters known to be valid; it panics on error.
+func MustNew(n, valueBits int) Layout {
+	l, err := New(n, valueBits)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// ValueBits returns the width of the value field in bits.
+func (l Layout) ValueBits() int { return l.valueBits }
+
+// PadBits returns the width of the zero padding in bits.
+func (l Layout) PadBits() int { return l.padBits }
+
+// Sources returns the maximum number of sources the layout supports.
+func (l Layout) Sources() int { return l.n }
+
+// TotalBits returns the number of plaintext bits in use.
+func (l Layout) TotalBits() int { return l.valueBits + l.padBits + secretshare.ShareBits }
+
+// shareRegionBits is the width of the low region holding share sums:
+// share bits plus padding headroom.
+func (l Layout) shareRegionBits() uint { return uint(secretshare.ShareBits + l.padBits) }
+
+// MaxValue returns the largest per-source value the layout can carry.
+func (l Layout) MaxValue() uint64 {
+	if l.valueBits == 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(l.valueBits) - 1
+}
+
+// Pack assembles m = v·2^(160+pad) + ss.
+func (l Layout) Pack(v uint64, ss secretshare.Share) (uint256.Int, error) {
+	if l.valueBits < 64 && v > l.MaxValue() {
+		return uint256.Int{}, fmt.Errorf("%w: v=%d > %d", ErrValueRange, v, l.MaxValue())
+	}
+	m := uint256.NewInt(v).Lsh(l.shareRegionBits())
+	m, carry := m.Add(ss.Int())
+	if carry != 0 {
+		return uint256.Int{}, errors.New("message: internal overflow packing plaintext")
+	}
+	return m, nil
+}
+
+// Unpack splits an aggregated plaintext into the summed value and the summed
+// share region (the secret s_t, up to 160+pad bits).
+func (l Layout) Unpack(m uint256.Int) (sum uint64, secret uint256.Int, err error) {
+	region := l.shareRegionBits()
+	high := m.Rsh(region)
+	v, fits := high.Uint64()
+	if !fits || (l.valueBits < 64 && v > l.MaxValue()) {
+		return 0, uint256.Int{}, fmt.Errorf("%w: aggregated value overflows the %d-bit field",
+			ErrValueRange, l.valueBits)
+	}
+	return v, m.And(uint256.Mask(region)), nil
+}
+
+// FitsField reports whether every possible aggregate under this layout stays
+// below the modulus p, i.e. whether modular wrap-around can corrupt an exact
+// sum. With the default p = 2^256 − 189 this can only fail for the 64-bit
+// value layout at its extreme corner.
+func (l Layout) FitsField(f *uint256.Field) bool {
+	// Max aggregate: value field all-ones times 2^(region) plus a full
+	// share region (sum of n max shares < 2^region).
+	maxAgg := uint256.Mask(uint(l.valueBits)).Lsh(l.shareRegionBits())
+	maxAgg, carry := maxAgg.Add(uint256.Mask(l.shareRegionBits()))
+	if carry != 0 {
+		return false
+	}
+	return maxAgg.Cmp(f.Modulus()) < 0
+}
+
+// ceilLog2 returns ceil(log2 n) for n ≥ 1.
+func ceilLog2(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

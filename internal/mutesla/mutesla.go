@@ -1,0 +1,286 @@
+// Package mutesla implements a μTesla-style authenticated broadcast channel
+// (Perrig et al., "SPINS: Security protocols for sensor networks", 2001).
+//
+// SIES uses μTesla during setup: the querier broadcasts the continuous query
+// to the sources and each source verifies that the query really originated
+// from the querier (paper §IV-A, Theorem 3), defeating querier
+// impersonation.
+//
+// The mechanism is a one-way hash chain K_n → K_{n−1} → … → K_0 with
+// K_{i−1} = H(K_i). K_0 (the commitment) is installed on every receiver at
+// setup. Time is divided into intervals; a packet broadcast in interval i is
+// MACed with a key derived from K_i, and K_i itself is disclosed d intervals
+// later. A receiver accepts a packet only if it arrived while K_i was still
+// secret (the security condition), buffers it, and verifies the MAC once the
+// disclosed key authenticates against the chain.
+package mutesla
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// KeySize is the size of chain keys (SHA-256 digests).
+const KeySize = sha256.Size
+
+// Errors reported by the broadcast channel.
+var (
+	ErrIntervalRange   = errors.New("mutesla: interval outside the chain length")
+	ErrSecurityWindow  = errors.New("mutesla: packet arrived after its key could have been disclosed")
+	ErrKeyVerification = errors.New("mutesla: disclosed key does not authenticate against the commitment")
+	ErrBadMAC          = errors.New("mutesla: packet MAC verification failed")
+)
+
+// hashKey is one step backward in the chain.
+func hashKey(k []byte) []byte {
+	h := sha256.Sum256(k)
+	return h[:]
+}
+
+// macKey derives the per-interval MAC key from the chain key, keeping MAC
+// and chain domains separate as in SPINS.
+func macKey(chainKey []byte) []byte {
+	m := prf.HM256(chainKey, []byte("mutesla-mac"))
+	return m[:]
+}
+
+// computeMAC authenticates interval ‖ payload.
+func computeMAC(chainKey []byte, interval int, payload []byte) [prf.Size1]byte {
+	msg := make([]byte, 4+len(payload))
+	msg[0] = byte(interval >> 24)
+	msg[1] = byte(interval >> 16)
+	msg[2] = byte(interval >> 8)
+	msg[3] = byte(interval)
+	copy(msg[4:], payload)
+	return prf.HM1(macKey(chainKey), msg)
+}
+
+// Chain is the sender-side one-way key chain. keys[i] is the key of
+// interval i; keys[0] is the commitment and is never used for MACs.
+type Chain struct {
+	keys [][]byte
+}
+
+// NewChain generates a chain covering intervals 1..length.
+func NewChain(length int) (*Chain, error) {
+	if length < 1 {
+		return nil, errors.New("mutesla: chain length must be positive")
+	}
+	last := make([]byte, KeySize)
+	if _, err := rand.Read(last); err != nil {
+		return nil, fmt.Errorf("mutesla: generating chain anchor: %w", err)
+	}
+	keys := make([][]byte, length+1)
+	keys[length] = last
+	for i := length - 1; i >= 0; i-- {
+		keys[i] = hashKey(keys[i+1])
+	}
+	return &Chain{keys: keys}, nil
+}
+
+// Length returns the number of usable intervals.
+func (c *Chain) Length() int { return len(c.keys) - 1 }
+
+// Commitment returns K_0, to be installed on receivers at setup.
+func (c *Chain) Commitment() []byte { return append([]byte(nil), c.keys[0]...) }
+
+// key returns K_i.
+func (c *Chain) key(i int) ([]byte, error) {
+	if i < 0 || i >= len(c.keys) {
+		return nil, ErrIntervalRange
+	}
+	return c.keys[i], nil
+}
+
+// Packet is one authenticated broadcast message.
+type Packet struct {
+	Interval     int    // interval whose (still secret) key MACed the payload
+	Payload      []byte // the broadcast content, e.g. an encoded query
+	MAC          [prf.Size1]byte
+	DisclosedFor int    // interval whose key is being disclosed (0 if none)
+	DisclosedKey []byte // K_{DisclosedFor}, nil if none
+}
+
+// Broadcaster is the querier side of the channel.
+type Broadcaster struct {
+	chain *Chain
+	delay int // d: key of interval i is disclosed in interval i+d
+}
+
+// NewBroadcaster wraps a chain with disclosure delay d ≥ 1.
+func NewBroadcaster(chain *Chain, delay int) (*Broadcaster, error) {
+	if delay < 1 {
+		return nil, errors.New("mutesla: disclosure delay must be at least 1")
+	}
+	return &Broadcaster{chain: chain, delay: delay}, nil
+}
+
+// Delay returns the disclosure delay d.
+func (b *Broadcaster) Delay() int { return b.delay }
+
+// Broadcast MACs payload with the key of the given interval and piggybacks
+// the key disclosed for interval−delay (when one exists).
+func (b *Broadcaster) Broadcast(interval int, payload []byte) (Packet, error) {
+	k, err := b.chain.key(interval)
+	if err != nil {
+		return Packet{}, err
+	}
+	if interval < 1 {
+		return Packet{}, ErrIntervalRange
+	}
+	p := Packet{
+		Interval: interval,
+		Payload:  append([]byte(nil), payload...),
+		MAC:      computeMAC(k, interval, payload),
+	}
+	if disc := interval - b.delay; disc >= 1 {
+		dk, err := b.chain.key(disc)
+		if err != nil {
+			return Packet{}, err
+		}
+		p.DisclosedFor = disc
+		p.DisclosedKey = append([]byte(nil), dk...)
+	}
+	return p, nil
+}
+
+// DisclosePacket emits a key-disclosure-only packet for the given interval,
+// used after the last data broadcast so buffered packets can be verified.
+func (b *Broadcaster) DisclosePacket(interval int) (Packet, error) {
+	dk, err := b.chain.key(interval)
+	if err != nil {
+		return Packet{}, err
+	}
+	if interval < 1 {
+		return Packet{}, ErrIntervalRange
+	}
+	return Packet{DisclosedFor: interval, DisclosedKey: append([]byte(nil), dk...)}, nil
+}
+
+// Verified is an authenticated broadcast delivered to the application.
+type Verified struct {
+	Interval int
+	Payload  []byte
+}
+
+// Receiver is the source side of the channel. It holds only the public
+// commitment; loose time synchronisation is modelled by the caller passing
+// the current interval to Receive.
+type Receiver struct {
+	delay    int
+	authKey  []byte // most recent authenticated chain key
+	authIdx  int    // its interval (0 = commitment)
+	buffered map[int][]Packet
+}
+
+// NewReceiver initialises a receiver with the chain commitment K_0 and the
+// disclosure delay d agreed at setup.
+func NewReceiver(commitment []byte, delay int) (*Receiver, error) {
+	if len(commitment) != KeySize {
+		return nil, errors.New("mutesla: commitment must be a chain key")
+	}
+	if delay < 1 {
+		return nil, errors.New("mutesla: disclosure delay must be at least 1")
+	}
+	return &Receiver{
+		delay:    delay,
+		authKey:  append([]byte(nil), commitment...),
+		authIdx:  0,
+		buffered: map[int][]Packet{},
+	}, nil
+}
+
+// authenticateKey verifies a disclosed key for interval idx by hashing it
+// back to the most recently authenticated key, then advances the
+// authentication frontier.
+func (r *Receiver) authenticateKey(idx int, key []byte) error {
+	if idx <= r.authIdx {
+		// The frontier already covers this interval: the disclosed key must
+		// match the one derivable from the frontier.
+		if want := r.keyFor(idx); !bytes.Equal(key, want) {
+			return ErrKeyVerification
+		}
+		return nil
+	}
+	cur := append([]byte(nil), key...)
+	for i := idx; i > r.authIdx; i-- {
+		cur = hashKey(cur)
+	}
+	if !bytes.Equal(cur, r.authKey) {
+		return ErrKeyVerification
+	}
+	r.authKey = append(r.authKey[:0], key...)
+	r.authIdx = idx
+	return nil
+}
+
+// keyFor returns the authenticated chain key of interval idx ≤ authIdx by
+// hashing the frontier key backward. Returns nil if unavailable.
+func (r *Receiver) keyFor(idx int) []byte {
+	if idx > r.authIdx || idx < 0 {
+		return nil
+	}
+	cur := append([]byte(nil), r.authKey...)
+	for i := r.authIdx; i > idx; i-- {
+		cur = hashKey(cur)
+	}
+	return cur
+}
+
+// Receive processes a packet observed during currentInterval. Packets whose
+// MAC key may already be public are rejected (security condition); fresh
+// packets are buffered. Any piggybacked key disclosure is authenticated and
+// releases every buffered packet it can verify; those are returned.
+func (r *Receiver) Receive(p Packet, currentInterval int) ([]Verified, error) {
+	if p.Payload != nil || p.Interval != 0 {
+		// Security condition: the MAC key of interval i is disclosed in
+		// interval i+d, so the packet must arrive strictly before that.
+		if currentInterval >= p.Interval+r.delay {
+			return nil, ErrSecurityWindow
+		}
+		if p.Interval < 1 {
+			return nil, ErrIntervalRange
+		}
+		r.buffered[p.Interval] = append(r.buffered[p.Interval], p)
+	}
+
+	if p.DisclosedKey == nil {
+		return nil, nil
+	}
+	if err := r.authenticateKey(p.DisclosedFor, p.DisclosedKey); err != nil {
+		return nil, err
+	}
+
+	// Flush every buffered interval now covered by the frontier.
+	var out []Verified
+	for idx := range r.buffered {
+		if idx > r.authIdx {
+			continue
+		}
+		k := r.keyFor(idx)
+		for _, bp := range r.buffered[idx] {
+			want := computeMAC(k, bp.Interval, bp.Payload)
+			if hmac.Equal(want[:], bp.MAC[:]) {
+				out = append(out, Verified{Interval: bp.Interval, Payload: bp.Payload})
+			}
+			// Packets failing the MAC are forged and silently dropped.
+		}
+		delete(r.buffered, idx)
+	}
+	return out, nil
+}
+
+// Buffered returns the number of packets awaiting key disclosure.
+func (r *Receiver) Buffered() int {
+	n := 0
+	for _, ps := range r.buffered {
+		n += len(ps)
+	}
+	return n
+}

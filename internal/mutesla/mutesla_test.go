@@ -1,0 +1,270 @@
+package mutesla
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func setup(t *testing.T, length, delay int) (*Broadcaster, *Receiver) {
+	t.Helper()
+	chain, err := NewChain(length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBroadcaster(chain, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(chain.Commitment(), delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, r
+}
+
+func TestChainConstruction(t *testing.T) {
+	chain, err := NewChain(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chain.Length() != 10 {
+		t.Fatalf("Length = %d", chain.Length())
+	}
+	// K_{i-1} == H(K_i) all the way to the commitment.
+	for i := 10; i >= 1; i-- {
+		ki, err := chain.key(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := chain.key(i - 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(hashKey(ki), prev) {
+			t.Fatalf("chain broken at %d", i)
+		}
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := NewChain(0); err == nil {
+		t.Fatal("zero-length chain accepted")
+	}
+	chain, _ := NewChain(3)
+	if _, err := chain.key(4); !errors.Is(err, ErrIntervalRange) {
+		t.Fatal("out-of-range key served")
+	}
+	if _, err := NewBroadcaster(chain, 0); err == nil {
+		t.Fatal("zero delay accepted")
+	}
+	if _, err := NewReceiver([]byte("short"), 1); err == nil {
+		t.Fatal("short commitment accepted")
+	}
+	if _, err := NewReceiver(chain.Commitment(), 0); err == nil {
+		t.Fatal("zero receiver delay accepted")
+	}
+}
+
+func TestBroadcastVerifyFlow(t *testing.T) {
+	b, r := setup(t, 10, 2)
+
+	// Interval 1: broadcast the query; nothing disclosed yet.
+	p1, err := b.Broadcast(1, []byte("SELECT SUM(temp)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive(p1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 || r.Buffered() != 1 {
+		t.Fatalf("expected buffering, got %d verified, %d buffered", len(got), r.Buffered())
+	}
+
+	// Interval 3: a new broadcast discloses K_1, releasing the buffer.
+	p3, err := b.Broadcast(3, []byte("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.Receive(p3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "SELECT SUM(temp)" {
+		t.Fatalf("verified = %+v", got)
+	}
+
+	// Interval 5: disclosure-only packet releases the second broadcast.
+	d5, err := b.DisclosePacket(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = r.Receive(d5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0].Payload) != "second" {
+		t.Fatalf("verified = %+v", got)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("buffer not drained: %d", r.Buffered())
+	}
+}
+
+func TestSecurityWindowRejectsLatePackets(t *testing.T) {
+	b, r := setup(t, 10, 2)
+	p, err := b.Broadcast(1, []byte("stale"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arriving at interval 3 == 1+delay: K_1 may already be public.
+	if _, err := r.Receive(p, 3); !errors.Is(err, ErrSecurityWindow) {
+		t.Fatalf("late packet accepted: %v", err)
+	}
+}
+
+func TestForgedMACDropped(t *testing.T) {
+	b, r := setup(t, 10, 1)
+	p, err := b.Broadcast(1, []byte("genuine"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Payload = []byte("forged!") // adversary rewrites the query in flight
+	if _, err := r.Receive(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.DisclosePacket(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("forged packet verified: %+v", got)
+	}
+}
+
+func TestForgedKeyRejected(t *testing.T) {
+	b, r := setup(t, 10, 1)
+	p, err := b.Broadcast(1, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	fake := Packet{DisclosedFor: 1, DisclosedKey: make([]byte, KeySize)}
+	if _, err := r.Receive(fake, 2); !errors.Is(err, ErrKeyVerification) {
+		t.Fatalf("forged key accepted: %v", err)
+	}
+	// The genuine packet must still be releasable by the real key.
+	d, err := b.DisclosePacket(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("genuine packet lost after forged-key attempt")
+	}
+}
+
+func TestSkippedIntervalsStillAuthenticate(t *testing.T) {
+	// Receiver that misses intermediate disclosures must authenticate a key
+	// several steps ahead of its frontier by hashing back to the commitment.
+	b, r := setup(t, 20, 1)
+	p, err := b.Broadcast(15, []byte("late query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive(p, 15); err != nil {
+		t.Fatal(err)
+	}
+	d, err := b.DisclosePacket(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Receive(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatal("packet not released after long-jump authentication")
+	}
+}
+
+func TestRedisclosedKeyConsistency(t *testing.T) {
+	b, r := setup(t, 10, 1)
+	d, err := b.DisclosePacket(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive(d, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Re-disclosing the same key is fine.
+	if _, err := r.Receive(d, 4); err != nil {
+		t.Fatal(err)
+	}
+	// Re-disclosing a different key for the same interval is an attack.
+	bad := Packet{DisclosedFor: 2, DisclosedKey: make([]byte, KeySize)}
+	if _, err := r.Receive(bad, 4); !errors.Is(err, ErrKeyVerification) {
+		t.Fatalf("conflicting key accepted: %v", err)
+	}
+}
+
+func TestBroadcastIntervalValidation(t *testing.T) {
+	chain, err := NewChain(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBroadcaster(chain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Broadcast(0, []byte("x")); err == nil {
+		t.Fatal("interval 0 accepted")
+	}
+	if _, err := b.Broadcast(6, []byte("x")); !errors.Is(err, ErrIntervalRange) {
+		t.Fatal("interval beyond chain accepted")
+	}
+	if _, err := b.DisclosePacket(0); err == nil {
+		t.Fatal("disclosure of interval 0 accepted")
+	}
+}
+
+func TestCommitmentIsCopied(t *testing.T) {
+	chain, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chain.Commitment()
+	c[0] ^= 0xff
+	if bytes.Equal(c, chain.Commitment()) {
+		t.Fatal("Commitment exposes internal storage")
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	chain, err := NewChain(b.N + 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc, err := NewBroadcaster(chain, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("SELECT SUM(attr) FROM Sensors WHERE pred EPOCH DURATION T")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bc.Broadcast(i+1, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// FromParents builds a topology from explicit parent assignments: aggParent
+// maps each aggregator to its parent aggregator (−1 for the root, which must
+// be aggregator 0; every parent index must be smaller than its child, i.e.
+// aggregators are listed in topological order), and sourceParent maps each
+// source to its hosting aggregator. The paper's tree "can be arbitrary"
+// (§III-A); this is the entry point for such trees. fanout only caps
+// Validate's per-node check and must cover the widest node.
+func FromParents(aggParent, sourceParent []int, fanout int) (*Topology, error) {
+	if len(aggParent) == 0 {
+		return nil, errors.New("network: need at least one aggregator")
+	}
+	if len(sourceParent) == 0 {
+		return nil, errors.New("network: need at least one source")
+	}
+	if aggParent[0] != -1 {
+		return nil, errors.New("network: aggregator 0 must be the root (parent −1)")
+	}
+	if fanout < 2 {
+		return nil, errors.New("network: fanout must be at least 2")
+	}
+	t := &Topology{
+		fanout:       fanout,
+		parentOfAgg:  append([]int(nil), aggParent...),
+		childAggs:    make([][]int, len(aggParent)),
+		childSources: make([][]int, len(aggParent)),
+		sourceParent: append([]int(nil), sourceParent...),
+	}
+	for agg := 1; agg < len(aggParent); agg++ {
+		p := aggParent[agg]
+		if p < 0 || p >= agg {
+			return nil, fmt.Errorf("network: aggregator %d has invalid parent %d (must precede it)", agg, p)
+		}
+		t.childAggs[p] = append(t.childAggs[p], agg)
+	}
+	for src, p := range sourceParent {
+		if p < 0 || p >= len(aggParent) {
+			return nil, fmt.Errorf("network: source %d has invalid parent %d", src, p)
+		}
+		t.childSources[p] = append(t.childSources[p], src)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RandomTree grows a random topology for n sources: aggregators are added
+// until every source finds a slot, each new aggregator attaching to a random
+// existing one with spare capacity. Deterministic in seed. Exercises the
+// protocol on irregular shapes — chains, lopsided stars, everything between.
+func RandomTree(n, maxFanout int, seed int64) (*Topology, error) {
+	if n < 1 {
+		return nil, errors.New("network: need at least one source")
+	}
+	if maxFanout < 2 {
+		return nil, errors.New("network: fanout must be at least 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	aggParent := []int{-1}
+	slots := []int{maxFanout} // spare child capacity per aggregator
+	spare := maxFanout
+	addAgg := func() {
+		cand := candidates(slots)
+		p := cand[rng.Intn(len(cand))]
+		slots[p]--
+		aggParent = append(aggParent, p)
+		slots = append(slots, maxFanout)
+		spare += maxFanout - 1 // one slot consumed, maxFanout gained
+	}
+
+	sourceParent := make([]int, n)
+	for src := 0; src < n; src++ {
+		// Invariant: keep ≥2 spare slots before attaching, so a slot always
+		// remains to grow the tree (each growth nets ≥+1 slot for
+		// maxFanout ≥ 2); exhaustion is impossible.
+		for spare < 2 {
+			addAgg()
+		}
+		// Occasionally deepen anyway, for shape diversity.
+		if rng.Intn(4) == 0 {
+			addAgg()
+		}
+		cand := candidates(slots)
+		parent := cand[rng.Intn(len(cand))]
+		slots[parent]--
+		spare--
+		sourceParent[src] = parent
+	}
+	// Random growth can leave childless aggregators, which Validate rejects;
+	// compact removes and renumbers.
+	return compact(aggParent, sourceParent, maxFanout)
+}
+
+// candidates returns aggregator ids with spare capacity.
+func candidates(slots []int) []int {
+	var out []int
+	for i, s := range slots {
+		if s > 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// compact removes childless aggregators (iteratively, since removal can
+// orphan a parent) and renumbers the survivors in topological order.
+func compact(aggParent, sourceParent []int, fanout int) (*Topology, error) {
+	n := len(aggParent)
+	hasChild := make([]bool, n)
+	alive := func(a int) bool { return aggParent[a] != -2 }
+	for {
+		for i := range hasChild {
+			hasChild[i] = false
+		}
+		// Mark parents of live aggregators and of sources.
+		for agg := 1; agg < n; agg++ {
+			if alive(agg) {
+				hasChild[aggParent[agg]] = true
+			}
+		}
+		for _, p := range sourceParent {
+			hasChild[p] = true
+		}
+		removed := false
+		for agg := n - 1; agg >= 1; agg-- {
+			if alive(agg) && !hasChild[agg] {
+				aggParent[agg] = -2 // tombstone
+				removed = true
+			}
+		}
+		if !removed {
+			break
+		}
+	}
+	// Renumber.
+	newID := make([]int, n)
+	var keptParents []int
+	for agg := 0; agg < n; agg++ {
+		if aggParent[agg] == -2 {
+			newID[agg] = -1
+			continue
+		}
+		newID[agg] = len(keptParents)
+		if agg == 0 {
+			keptParents = append(keptParents, -1)
+		} else {
+			keptParents = append(keptParents, newID[aggParent[agg]])
+		}
+	}
+	newSources := make([]int, len(sourceParent))
+	for i, p := range sourceParent {
+		newSources[i] = newID[p]
+	}
+	return FromParents(keptParents, newSources, fanout)
+}

@@ -1,0 +1,137 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+func TestFromParentsChain(t *testing.T) {
+	// A pathological chain: root ← a1 ← a2, sources hanging off each level.
+	topo, err := FromParents([]int{-1, 0, 1}, []int{0, 1, 2, 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Depth() != 3 {
+		t.Fatalf("depth = %d", topo.Depth())
+	}
+	if topo.NumAggregators() != 3 || topo.NumSources() != 4 {
+		t.Fatalf("aggs=%d sources=%d", topo.NumAggregators(), topo.NumSources())
+	}
+}
+
+func TestFromParentsValidation(t *testing.T) {
+	cases := []struct {
+		name       string
+		aggs, srcs []int
+		fanout     int
+	}{
+		{"no aggregators", nil, []int{0}, 4},
+		{"no sources", []int{-1}, nil, 4},
+		{"root not first", []int{0, -1}, []int{0, 1}, 4},
+		{"forward parent", []int{-1, 2, 0}, []int{1, 2}, 4},
+		{"source bad parent", []int{-1}, []int{3}, 4},
+		{"childless aggregator", []int{-1, 0}, []int{0}, 4},
+		{"fanout exceeded", []int{-1}, []int{0, 0, 0}, 2},
+		{"fanout too small", []int{-1}, []int{0}, 1},
+	}
+	for _, c := range cases {
+		if _, err := FromParents(c.aggs, c.srcs, c.fanout); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRandomTreeValidates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		for _, n := range []int{1, 2, 7, 50, 300} {
+			for _, f := range []int{2, 3, 6} {
+				topo, err := RandomTree(n, f, seed)
+				if err != nil {
+					t.Fatalf("n=%d f=%d seed=%d: %v", n, f, seed, err)
+				}
+				if err := topo.Validate(); err != nil {
+					t.Fatalf("n=%d f=%d seed=%d: %v", n, f, seed, err)
+				}
+				if topo.NumSources() != n {
+					t.Fatalf("n=%d f=%d seed=%d: sources=%d", n, f, seed, topo.NumSources())
+				}
+			}
+		}
+	}
+}
+
+func TestRandomTreeDeterministic(t *testing.T) {
+	a, err := RandomTree(64, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTree(64, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAggregators() != b.NumAggregators() {
+		t.Fatal("random trees differ for equal seeds")
+	}
+	for src := 0; src < 64; src++ {
+		if a.SourceParent(src) != b.SourceParent(src) {
+			t.Fatal("source placement differs for equal seeds")
+		}
+	}
+}
+
+func TestRandomTreeShapesDiverge(t *testing.T) {
+	a, err := RandomTree(64, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTree(64, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumAggregators() == b.NumAggregators() && a.Depth() == b.Depth() {
+		same := true
+		for src := 0; src < 64; src++ {
+			if a.SourceParent(src) != b.SourceParent(src) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical trees")
+		}
+	}
+}
+
+func TestSIESOnArbitraryTopologies(t *testing.T) {
+	// The protocol result must be independent of tree shape: run the same
+	// deployment over many random trees and a chain, expect identical sums.
+	const n = 25
+	proto, err := NewSIESProtocol(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, n)
+	var want uint64
+	for i := range values {
+		values[i] = uint64(i * i)
+		want += values[i]
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		topo, err := RandomTree(n, 3, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewEngine(topo, proto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.RunEpoch(prf.Epoch(seed+1), values)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != float64(want) {
+			t.Fatalf("seed %d: SUM %f, want %d", seed, got, want)
+		}
+	}
+}

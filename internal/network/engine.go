@@ -1,0 +1,244 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// Message is a scheme-specific partial state record flowing along an edge.
+// Protocol implementations define the concrete type.
+type Message interface{}
+
+// Protocol abstracts one aggregation scheme (SIES, CMT, SECOA_S) so a single
+// engine can drive all three over identical topologies and workloads.
+type Protocol interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// SourceEmit runs the initialization phase at source src for epoch t.
+	SourceEmit(src int, t prf.Epoch, v uint64) (Message, error)
+	// Merge runs the merging phase over the children's messages.
+	Merge(t prf.Epoch, msgs []Message) (Message, error)
+	// SinkFinalize post-processes the root's message before it leaves for
+	// the querier (SECOA's SEAL folding; identity for SIES and CMT).
+	SinkFinalize(t prf.Epoch, m Message) (Message, error)
+	// Evaluate runs the evaluation phase at the querier over the given
+	// contributors (nil = all sources) and returns the SUM (exact schemes)
+	// or its estimate (SECOA_S).
+	Evaluate(t prf.Epoch, m Message, contributors []int) (float64, error)
+	// WireSize returns the bytes the message occupies on a network edge.
+	WireSize(m Message) int
+}
+
+// EdgeKind classifies edges for the paper's communication accounting
+// (Table V): source→aggregator, aggregator→aggregator, aggregator→querier.
+type EdgeKind int
+
+// Edge classes.
+const (
+	EdgeSA EdgeKind = iota // source → aggregator
+	EdgeAA                 // aggregator → aggregator
+	EdgeAQ                 // root aggregator → querier
+)
+
+// String names the edge class as in the paper's tables.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeSA:
+		return "S-A"
+	case EdgeAA:
+		return "A-A"
+	case EdgeAQ:
+		return "A-Q"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", int(k))
+	}
+}
+
+// Edge identifies one link during an epoch.
+type Edge struct {
+	Kind EdgeKind
+	From int // source id for S-A, aggregator id otherwise
+	To   int // aggregator id; -1 denotes the querier
+}
+
+// Interceptor lets an adversary observe, replace, or drop a message in
+// flight. Returning the input unchanged models pure eavesdropping; returning
+// nil drops the message entirely (a jamming/blackhole adversary).
+type Interceptor func(t prf.Epoch, e Edge, m Message) Message
+
+// EdgeStats accumulates traffic for one edge class.
+type EdgeStats struct {
+	Messages int
+	Bytes    int
+	MaxBytes int
+}
+
+// add records one message of size b.
+func (s *EdgeStats) add(b int) {
+	s.Messages++
+	s.Bytes += b
+	if b > s.MaxBytes {
+		s.MaxBytes = b
+	}
+}
+
+// AvgBytes returns the mean message size on the edge class.
+func (s EdgeStats) AvgBytes() float64 {
+	if s.Messages == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.Messages)
+}
+
+// Stats aggregates per-class traffic over the epochs an engine has run.
+type Stats struct {
+	PerKind map[EdgeKind]*EdgeStats
+	Epochs  int
+}
+
+func newStats() *Stats {
+	return &Stats{PerKind: map[EdgeKind]*EdgeStats{
+		EdgeSA: {}, EdgeAA: {}, EdgeAQ: {},
+	}}
+}
+
+// Engine drives one protocol over one topology, epoch by epoch.
+type Engine struct {
+	topo        *Topology
+	proto       Protocol
+	stats       *Stats
+	failed      map[int]bool
+	interceptor Interceptor
+}
+
+// NewEngine assembles an engine. The topology is validated once here.
+func NewEngine(topo *Topology, proto Protocol) (*Engine, error) {
+	if topo == nil || proto == nil {
+		return nil, errors.New("network: engine needs a topology and a protocol")
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{topo: topo, proto: proto, stats: newStats(), failed: map[int]bool{}}, nil
+}
+
+// Stats returns the accumulated traffic counters.
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// Topology returns the tree the engine runs over.
+func (e *Engine) Topology() *Topology { return e.topo }
+
+// SetInterceptor installs (or clears, with nil) the adversary hook.
+func (e *Engine) SetInterceptor(ic Interceptor) { e.interceptor = ic }
+
+// FailSource marks a source as failed: it stops emitting and is reported to
+// the querier as a non-contributor (paper §IV-B discussion).
+func (e *Engine) FailSource(id int) error {
+	if id < 0 || id >= e.topo.NumSources() {
+		return fmt.Errorf("network: source %d out of range", id)
+	}
+	e.failed[id] = true
+	return nil
+}
+
+// RecoverSource clears a failure.
+func (e *Engine) RecoverSource(id int) { delete(e.failed, id) }
+
+// Contributors returns the sorted ids of currently live sources, or nil when
+// every source is live (the common fast path).
+func (e *Engine) Contributors() []int {
+	if len(e.failed) == 0 {
+		return nil
+	}
+	var ids []int
+	for i := 0; i < e.topo.NumSources(); i++ {
+		if !e.failed[i] {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// deliver applies the interceptor (if any) and records traffic. The second
+// return value is false when the adversary dropped the message.
+func (e *Engine) deliver(t prf.Epoch, edge Edge, m Message) (Message, bool) {
+	if e.interceptor != nil {
+		m = e.interceptor(t, edge, m)
+		if m == nil {
+			return nil, false
+		}
+	}
+	e.stats.PerKind[edge.Kind].add(e.proto.WireSize(m))
+	return m, true
+}
+
+// RunEpoch pushes one epoch of readings (values[i] is source i's reading)
+// through the tree and evaluates at the querier. Failed sources' values are
+// ignored. It returns the querier's result.
+func (e *Engine) RunEpoch(t prf.Epoch, values []uint64) (float64, error) {
+	if len(values) != e.topo.NumSources() {
+		return 0, fmt.Errorf("network: %d values for %d sources", len(values), e.topo.NumSources())
+	}
+
+	var process func(agg int) (Message, bool, error)
+	process = func(agg int) (Message, bool, error) {
+		var inbox []Message
+		for _, src := range e.topo.ChildSources(agg) {
+			if e.failed[src] {
+				continue
+			}
+			m, err := e.proto.SourceEmit(src, t, values[src])
+			if err != nil {
+				return nil, false, fmt.Errorf("network: source %d: %w", src, err)
+			}
+			if dm, ok := e.deliver(t, Edge{Kind: EdgeSA, From: src, To: agg}, m); ok {
+				inbox = append(inbox, dm)
+			}
+		}
+		for _, child := range e.topo.ChildAggregators(agg) {
+			m, ok, err := process(child)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				continue // whole subtree failed
+			}
+			if dm, ok := e.deliver(t, Edge{Kind: EdgeAA, From: child, To: agg}, m); ok {
+				inbox = append(inbox, dm)
+			}
+		}
+		if len(inbox) == 0 {
+			return nil, false, nil
+		}
+		merged, err := e.proto.Merge(t, inbox)
+		if err != nil {
+			return nil, false, fmt.Errorf("network: aggregator %d: %w", agg, err)
+		}
+		return merged, true, nil
+	}
+
+	rootMsg, ok, err := process(e.topo.Root())
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, errors.New("network: every source failed; nothing to evaluate")
+	}
+	final, err := e.proto.SinkFinalize(t, rootMsg)
+	if err != nil {
+		return 0, fmt.Errorf("network: sink: %w", err)
+	}
+	final, ok = e.deliver(t, Edge{Kind: EdgeAQ, From: e.topo.Root(), To: -1}, final)
+	if !ok {
+		return 0, errors.New("network: final message dropped before reaching the querier")
+	}
+
+	res, err := e.proto.Evaluate(t, final, e.Contributors())
+	if err != nil {
+		return 0, err
+	}
+	e.stats.Epochs++
+	return res, nil
+}

@@ -1,0 +1,285 @@
+package network
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/sies/sies/internal/cmt"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/rsax"
+	"github.com/sies/sies/internal/secoa"
+	"github.com/sies/sies/internal/sketch"
+	"github.com/sies/sies/internal/uint256"
+	"github.com/sies/sies/internal/workload"
+)
+
+var (
+	rsaOnce sync.Once
+	rsaKey  *rsax.PublicKey
+	rsaErr  error
+)
+
+func secoaParams(t testing.TB, J int) secoa.Params {
+	t.Helper()
+	rsaOnce.Do(func() { rsaKey, rsaErr = rsax.GenerateKey(512, rsax.DefaultExponent) })
+	if rsaErr != nil {
+		t.Fatal(rsaErr)
+	}
+	return secoa.Params{Sketch: sketch.Params{J: J, MaxLevel: 24}, Key: rsaKey}
+}
+
+func siesEngine(t testing.TB, n, fanout int) (*Engine, *SIESProtocol) {
+	t.Helper()
+	topo, err := CompleteTree(n, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewSIESProtocol(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, proto
+}
+
+func TestSIESEngineExactSum(t *testing.T) {
+	eng, _ := siesEngine(t, 64, 4)
+	r := rand.New(rand.NewSource(1))
+	for epoch := prf.Epoch(0); epoch < 5; epoch++ {
+		values := workload.UniformReadings(64, workload.Scale100, r)
+		var want uint64
+		for _, v := range values {
+			want += v
+		}
+		got, err := eng.RunEpoch(epoch, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != float64(want) {
+			t.Fatalf("epoch %d: SUM = %f, want %d", epoch, got, want)
+		}
+	}
+	if eng.Stats().Epochs != 5 {
+		t.Fatalf("epochs = %d", eng.Stats().Epochs)
+	}
+}
+
+func TestCMTEngineExactSum(t *testing.T) {
+	topo, err := CompleteTree(27, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewCMTProtocol(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, 27)
+	var want uint64
+	for i := range values {
+		values[i] = uint64(i * 11)
+		want += values[i]
+	}
+	got, err := eng.RunEpoch(3, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(want) {
+		t.Fatalf("SUM = %f, want %d", got, want)
+	}
+}
+
+func TestSECOAEngineEstimates(t *testing.T) {
+	topo, err := CompleteTree(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewSECOAProtocol(8, secoaParams(t, 300), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []uint64{500, 500, 500, 500, 500, 500, 500, 500}
+	got, err := eng.RunEpoch(1, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(got-4000) / 4000
+	if rel > 0.4 {
+		t.Fatalf("estimate %f, relative error %.2f", got, rel)
+	}
+}
+
+func TestByteAccountingSIES(t *testing.T) {
+	// Table V shape: SIES sends exactly 32 bytes on every edge.
+	eng, _ := siesEngine(t, 16, 4)
+	values := make([]uint64, 16)
+	if _, err := eng.RunEpoch(1, values); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.PerKind[EdgeSA].Messages != 16 {
+		t.Fatalf("S-A messages = %d", st.PerKind[EdgeSA].Messages)
+	}
+	// 16 sources / fanout 4 → 4 leaf aggs + root: 4 A-A edges.
+	if st.PerKind[EdgeAA].Messages != 4 {
+		t.Fatalf("A-A messages = %d", st.PerKind[EdgeAA].Messages)
+	}
+	if st.PerKind[EdgeAQ].Messages != 1 {
+		t.Fatalf("A-Q messages = %d", st.PerKind[EdgeAQ].Messages)
+	}
+	for kind, s := range st.PerKind {
+		if s.Messages > 0 && (s.AvgBytes() != core.PSRSize || s.MaxBytes != core.PSRSize) {
+			t.Fatalf("%v: avg=%f max=%d, want 32", kind, s.AvgBytes(), s.MaxBytes)
+		}
+	}
+}
+
+func TestFailureHandling(t *testing.T) {
+	eng, _ := siesEngine(t, 8, 4)
+	if err := eng.FailSource(3); err != nil {
+		t.Fatal(err)
+	}
+	values := []uint64{1, 2, 4, 8, 16, 32, 64, 128}
+	got, err := eng.RunEpoch(1, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(1 + 2 + 16 + 32 + 64 + 128 + 4) // all minus source 3's 8
+	if got != want {
+		t.Fatalf("SUM with failure = %f, want %f", got, want)
+	}
+	eng.RecoverSource(3)
+	got, err = eng.RunEpoch(2, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 255 {
+		t.Fatalf("SUM after recovery = %f", got)
+	}
+}
+
+func TestAllSourcesFailed(t *testing.T) {
+	eng, _ := siesEngine(t, 2, 2)
+	if err := eng.FailSource(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FailSource(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunEpoch(1, []uint64{1, 2}); err == nil {
+		t.Fatal("empty network evaluated")
+	}
+	if err := eng.FailSource(9); err == nil {
+		t.Fatal("out-of-range failure accepted")
+	}
+}
+
+func TestInterceptorTamperDetectedBySIES(t *testing.T) {
+	eng, proto := siesEngine(t, 8, 4)
+	f := proto.Querier.Params().Field()
+	eng.SetInterceptor(func(_ prf.Epoch, e Edge, m Message) Message {
+		if e.Kind == EdgeAQ {
+			psr := m.(core.PSR)
+			return core.PSR{C: f.Add(psr.C, uint256.NewInt(999))}
+		}
+		return m
+	})
+	values := make([]uint64, 8)
+	if _, err := eng.RunEpoch(1, values); !errors.Is(err, core.ErrIntegrity) && !errors.Is(err, core.ErrResultOverflow) {
+		t.Fatalf("tampering not detected: %v", err)
+	}
+	eng.SetInterceptor(nil)
+	if _, err := eng.RunEpoch(2, values); err != nil {
+		t.Fatalf("clean epoch after clearing interceptor: %v", err)
+	}
+}
+
+func TestInterceptorTamperUndetectedByCMT(t *testing.T) {
+	// The same attack on CMT silently shifts the result — the gap SIES closes.
+	topo, err := CompleteTree(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewCMTProtocol(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const injected = 999
+	var delta cmt.Ciphertext
+	delta[len(delta)-2] = byte(uint16(injected) >> 8)
+	delta[len(delta)-1] = byte(uint16(injected) & 0xff)
+	eng.SetInterceptor(func(_ prf.Epoch, e Edge, m Message) Message {
+		if e.Kind == EdgeAQ {
+			return cmt.Aggregate(m.(cmt.Ciphertext), delta)
+		}
+		return m
+	})
+	values := []uint64{10, 10, 10, 10, 10, 10, 10, 10}
+	got, err := eng.RunEpoch(1, values)
+	if err != nil {
+		t.Fatalf("CMT rejected tampering it cannot detect: %v", err)
+	}
+	if got != 80+injected {
+		t.Fatalf("tampered CMT SUM = %f, want %d", got, 80+injected)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	topo, err := CompleteTree(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(nil, nil); err == nil {
+		t.Fatal("nil engine parts accepted")
+	}
+	proto, err := NewSIESProtocol(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunEpoch(1, []uint64{1, 2}); err == nil {
+		t.Fatal("wrong value count accepted")
+	}
+}
+
+func TestSECOANoSubsetEvaluation(t *testing.T) {
+	topo, err := CompleteTree(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewSECOAProtocol(4, secoaParams(t, 8), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FailSource(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunEpoch(1, []uint64{1, 2, 3, 4}); err == nil {
+		t.Fatal("SECOA subset evaluation accepted")
+	}
+}

@@ -1,0 +1,72 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeTraffic is one node's per-epoch radio activity: what it transmitted
+// upstream and received from its children. Combined with an energy model
+// this identifies the deployment's battery hotspots.
+type NodeTraffic struct {
+	// Aggregator id, or -1 rows represent sources (see SourceTx).
+	Aggregator int
+	TxBytes    int // bytes sent to the parent (or querier)
+	RxBytes    int // bytes received from children
+}
+
+// TrafficReport summarises one epoch's per-node load over a topology for a
+// scheme with the given per-edge message sizes. SIES/CMT messages are
+// constant-size, so the report is exact; for SECOA_S pass the S-A/A-A size
+// from Equation 10.
+type TrafficReport struct {
+	SourceTx    int           // every source transmits one message
+	Aggregators []NodeTraffic // sorted by total energy-relevant bytes, descending
+}
+
+// TrafficPerEpoch computes the report analytically from the tree shape.
+func TrafficPerEpoch(topo *Topology, msgBytes int) (*TrafficReport, error) {
+	if topo == nil {
+		return nil, fmt.Errorf("network: nil topology")
+	}
+	if msgBytes <= 0 {
+		return nil, fmt.Errorf("network: message size must be positive")
+	}
+	rep := &TrafficReport{SourceTx: msgBytes}
+	for agg := 0; agg < topo.NumAggregators(); agg++ {
+		children := len(topo.ChildAggregators(agg)) + len(topo.ChildSources(agg))
+		rep.Aggregators = append(rep.Aggregators, NodeTraffic{
+			Aggregator: agg,
+			TxBytes:    msgBytes,
+			RxBytes:    children * msgBytes,
+		})
+	}
+	sort.Slice(rep.Aggregators, func(i, j int) bool {
+		ti := rep.Aggregators[i].TxBytes + rep.Aggregators[i].RxBytes
+		tj := rep.Aggregators[j].TxBytes + rep.Aggregators[j].RxBytes
+		if ti != tj {
+			return ti > tj
+		}
+		return rep.Aggregators[i].Aggregator < rep.Aggregators[j].Aggregator
+	})
+	return rep, nil
+}
+
+// Hotspot returns the most loaded aggregator — the node whose battery
+// bounds the network lifetime under this scheme.
+func (r *TrafficReport) Hotspot() NodeTraffic {
+	if len(r.Aggregators) == 0 {
+		return NodeTraffic{Aggregator: -1}
+	}
+	return r.Aggregators[0]
+}
+
+// TotalBytes sums every node's radio bytes for one epoch, including the
+// sources' transmissions.
+func (r *TrafficReport) TotalBytes(numSources int) int {
+	total := numSources * r.SourceTx
+	for _, n := range r.Aggregators {
+		total += n.TxBytes + n.RxBytes
+	}
+	return total
+}

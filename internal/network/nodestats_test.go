@@ -1,0 +1,103 @@
+package network
+
+import "testing"
+
+func TestTrafficPerEpoch(t *testing.T) {
+	topo, err := CompleteTree(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := TrafficPerEpoch(topo, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SourceTx != 32 {
+		t.Fatalf("SourceTx = %d", rep.SourceTx)
+	}
+	if len(rep.Aggregators) != topo.NumAggregators() {
+		t.Fatalf("rows = %d", len(rep.Aggregators))
+	}
+	// Every aggregator in the perfect 16/4 tree has exactly 4 children.
+	for _, n := range rep.Aggregators {
+		if n.TxBytes != 32 || n.RxBytes != 4*32 {
+			t.Fatalf("node %d: tx=%d rx=%d", n.Aggregator, n.TxBytes, n.RxBytes)
+		}
+	}
+	hot := rep.Hotspot()
+	if hot.TxBytes+hot.RxBytes != 5*32 {
+		t.Fatalf("hotspot load %d", hot.TxBytes+hot.RxBytes)
+	}
+	// Total: 16 source tx + 5 aggs × (1 tx + 4 rx) each × 32.
+	if got := rep.TotalBytes(16); got != 16*32+5*5*32 {
+		t.Fatalf("TotalBytes = %d", got)
+	}
+}
+
+func TestTrafficHotspotOnRaggedTree(t *testing.T) {
+	// A ragged tree has aggregators with differing child counts: the
+	// hotspot must be one with the maximum fan-in.
+	topo, err := FromParents([]int{-1, 0}, []int{0, 1, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := TrafficPerEpoch(topo, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := rep.Hotspot()
+	if hot.Aggregator != 1 || hot.RxBytes != 3*20 {
+		t.Fatalf("hotspot %+v", hot)
+	}
+}
+
+func TestTrafficValidation(t *testing.T) {
+	if _, err := TrafficPerEpoch(nil, 32); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	topo, err := CompleteTree(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrafficPerEpoch(topo, 0); err == nil {
+		t.Fatal("zero message size accepted")
+	}
+	empty := &TrafficReport{}
+	if empty.Hotspot().Aggregator != -1 {
+		t.Fatal("empty report hotspot")
+	}
+}
+
+func TestTrafficMatchesEngineAccounting(t *testing.T) {
+	// The analytical per-node report must agree with the engine's measured
+	// per-edge totals: Σ node tx == Σ edge bytes (every edge has exactly one
+	// transmitter).
+	topo, err := CompleteTree(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewSIESProtocol(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.RunEpoch(1, make([]uint64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	measured := st.PerKind[EdgeSA].Bytes + st.PerKind[EdgeAA].Bytes + st.PerKind[EdgeAQ].Bytes
+
+	rep, err := TrafficPerEpoch(topo, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := 64*rep.SourceTx + 0
+	for _, n := range rep.Aggregators {
+		analytic += n.TxBytes
+	}
+	if analytic != measured {
+		t.Fatalf("analytic tx %d != measured %d", analytic, measured)
+	}
+}

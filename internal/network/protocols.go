@@ -1,0 +1,232 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/cmt"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/secoa"
+)
+
+// SIESProtocol adapts the SIES core (package core) to the engine interface.
+type SIESProtocol struct {
+	Querier *core.Querier
+	Sources []*core.Source
+	agg     *core.Aggregator
+}
+
+// NewSIESProtocol runs SIES setup for n sources and wraps the deployment.
+func NewSIESProtocol(n int, opts ...core.Option) (*SIESProtocol, error) {
+	q, sources, err := core.Setup(n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &SIESProtocol{
+		Querier: q,
+		Sources: sources,
+		agg:     core.NewAggregator(q.Params().Field()),
+	}, nil
+}
+
+// Name implements Protocol.
+func (p *SIESProtocol) Name() string { return "SIES" }
+
+// SourceEmit implements Protocol.
+func (p *SIESProtocol) SourceEmit(src int, t prf.Epoch, v uint64) (Message, error) {
+	if src < 0 || src >= len(p.Sources) {
+		return nil, fmt.Errorf("sies: source %d out of range", src)
+	}
+	return p.Sources[src].Encrypt(t, v)
+}
+
+// Merge implements Protocol.
+func (p *SIESProtocol) Merge(_ prf.Epoch, msgs []Message) (Message, error) {
+	var acc core.PSR
+	for _, m := range msgs {
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return nil, errors.New("sies: foreign message in merge")
+		}
+		acc = p.agg.MergeInto(acc, psr)
+	}
+	return acc, nil
+}
+
+// SinkFinalize implements Protocol (identity for SIES).
+func (p *SIESProtocol) SinkFinalize(_ prf.Epoch, m Message) (Message, error) { return m, nil }
+
+// Evaluate implements Protocol.
+func (p *SIESProtocol) Evaluate(t prf.Epoch, m Message, contributors []int) (float64, error) {
+	psr, ok := m.(core.PSR)
+	if !ok {
+		return 0, errors.New("sies: foreign message at querier")
+	}
+	res, err := p.Querier.EvaluateSubset(t, psr, contributors)
+	if err != nil {
+		return 0, err
+	}
+	return float64(res.Sum), nil
+}
+
+// WireSize implements Protocol: every SIES PSR is 32 bytes.
+func (p *SIESProtocol) WireSize(Message) int { return core.PSRSize }
+
+// CMTProtocol adapts the CMT baseline.
+type CMTProtocol struct {
+	Querier *cmt.Querier
+	Sources []*cmt.Source
+}
+
+// NewCMTProtocol generates keys and wraps a CMT deployment of n sources.
+func NewCMTProtocol(n int) (*CMTProtocol, error) {
+	if n < 1 {
+		return nil, errors.New("cmt: need at least one source")
+	}
+	keys := make([][]byte, n)
+	sources := make([]*cmt.Source, n)
+	for i := range keys {
+		k, err := prf.NewLongTermKey()
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+		sources[i] = cmt.NewSource(i, k)
+	}
+	q, err := cmt.NewQuerier(keys)
+	if err != nil {
+		return nil, err
+	}
+	return &CMTProtocol{Querier: q, Sources: sources}, nil
+}
+
+// Name implements Protocol.
+func (p *CMTProtocol) Name() string { return "CMT" }
+
+// SourceEmit implements Protocol.
+func (p *CMTProtocol) SourceEmit(src int, t prf.Epoch, v uint64) (Message, error) {
+	if src < 0 || src >= len(p.Sources) {
+		return nil, fmt.Errorf("cmt: source %d out of range", src)
+	}
+	return p.Sources[src].Encrypt(t, v), nil
+}
+
+// Merge implements Protocol.
+func (p *CMTProtocol) Merge(_ prf.Epoch, msgs []Message) (Message, error) {
+	var acc cmt.Ciphertext
+	for _, m := range msgs {
+		c, ok := m.(cmt.Ciphertext)
+		if !ok {
+			return nil, errors.New("cmt: foreign message in merge")
+		}
+		acc = cmt.Aggregate(acc, c)
+	}
+	return acc, nil
+}
+
+// SinkFinalize implements Protocol (identity).
+func (p *CMTProtocol) SinkFinalize(_ prf.Epoch, m Message) (Message, error) { return m, nil }
+
+// Evaluate implements Protocol.
+func (p *CMTProtocol) Evaluate(t prf.Epoch, m Message, contributors []int) (float64, error) {
+	c, ok := m.(cmt.Ciphertext)
+	if !ok {
+		return 0, errors.New("cmt: foreign message at querier")
+	}
+	sum, err := p.Querier.Decrypt(t, c, contributors)
+	if err != nil {
+		return 0, err
+	}
+	return float64(sum), nil
+}
+
+// WireSize implements Protocol: every CMT ciphertext is 20 bytes.
+func (p *CMTProtocol) WireSize(Message) int { return cmt.CiphertextSize }
+
+// SECOAProtocol adapts the SECOA_S baseline. Fast sketch sampling keeps
+// large simulations tractable; the benchmark harness measures the honest
+// generator separately.
+type SECOAProtocol struct {
+	Deployment *secoa.Deployment
+	agg        *secoa.Aggregator
+	// UseHonestSketch switches Produce to the Θ(J·v) generator used when
+	// measuring the paper's source-side cost.
+	UseHonestSketch bool
+}
+
+// NewSECOAProtocol builds a SECOA_S deployment of n sources.
+func NewSECOAProtocol(n int, params secoa.Params, seed int64) (*SECOAProtocol, error) {
+	d, err := secoa.NewDeployment(n, params, seed)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := secoa.NewAggregator(params)
+	if err != nil {
+		return nil, err
+	}
+	return &SECOAProtocol{Deployment: d, agg: agg}, nil
+}
+
+// Name implements Protocol.
+func (p *SECOAProtocol) Name() string { return "SECOAS" }
+
+// SourceEmit implements Protocol.
+func (p *SECOAProtocol) SourceEmit(src int, t prf.Epoch, v uint64) (Message, error) {
+	if src < 0 || src >= len(p.Deployment.Sources) {
+		return nil, fmt.Errorf("secoa: source %d out of range", src)
+	}
+	if p.UseHonestSketch {
+		return p.Deployment.Sources[src].Produce(t, v)
+	}
+	return p.Deployment.Sources[src].ProduceFast(t, v)
+}
+
+// Merge implements Protocol.
+func (p *SECOAProtocol) Merge(_ prf.Epoch, msgs []Message) (Message, error) {
+	children := make([]*secoa.Message, len(msgs))
+	for i, m := range msgs {
+		sm, ok := m.(*secoa.Message)
+		if !ok {
+			return nil, errors.New("secoa: foreign message in merge")
+		}
+		children[i] = sm
+	}
+	return p.agg.Merge(children...)
+}
+
+// SinkFinalize implements Protocol: fold SEALs by chain position.
+func (p *SECOAProtocol) SinkFinalize(_ prf.Epoch, m Message) (Message, error) {
+	sm, ok := m.(*secoa.Message)
+	if !ok {
+		return nil, errors.New("secoa: foreign message at sink")
+	}
+	return p.agg.SinkFold(sm)
+}
+
+// Evaluate implements Protocol. SECOA_S has no subset evaluation in the
+// paper; failed sources would require re-keying, so contributors must be nil
+// or complete.
+func (p *SECOAProtocol) Evaluate(t prf.Epoch, m Message, contributors []int) (float64, error) {
+	if contributors != nil && len(contributors) != len(p.Deployment.Sources) {
+		return 0, errors.New("secoa: partial contributor sets are not supported")
+	}
+	sm, ok := m.(*secoa.Message)
+	if !ok {
+		return 0, errors.New("secoa: foreign message at querier")
+	}
+	res, err := p.Deployment.Querier.Verify(t, sm)
+	if err != nil {
+		return 0, err
+	}
+	return res.Estimate, nil
+}
+
+// WireSize implements Protocol using the paper's accounting.
+func (p *SECOAProtocol) WireSize(m Message) int {
+	sm, ok := m.(*secoa.Message)
+	if !ok {
+		return 0
+	}
+	return sm.WireSize(p.Deployment.Params.Key.Size())
+}

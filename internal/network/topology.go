@@ -1,0 +1,155 @@
+// Package network simulates the in-network aggregation infrastructure of
+// the paper (§III-A): sources at the leaves of an aggregator tree, a querier
+// attached to the root (the sink), epoch-driven push-based collection, and
+// per-edge communication accounting.
+//
+// The paper evaluates CPU cost on a desktop and *counts* message bytes
+// rather than transmitting over radio; this package follows the same
+// methodology, so no substitution fidelity is lost by simulating the
+// network in memory.
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Topology is an aggregator tree with sources attached to leaf aggregators.
+// Aggregator 0 is the root (the sink talking to the querier).
+type Topology struct {
+	fanout       int
+	parentOfAgg  []int   // parent aggregator id, -1 for the root
+	childAggs    [][]int // child aggregators per aggregator
+	childSources [][]int // child sources per aggregator
+	sourceParent []int   // parent aggregator per source
+}
+
+// CompleteTree builds the paper's experimental topology: nSources sources
+// under an (as balanced as possible) fanout-F aggregator tree. Every
+// aggregator has at most F children (counting both child aggregators and
+// directly attached sources), matching "the sources and the aggregators
+// form a complete tree" (§VI).
+func CompleteTree(nSources, fanout int) (*Topology, error) {
+	if nSources < 1 {
+		return nil, errors.New("network: need at least one source")
+	}
+	if fanout < 2 {
+		return nil, errors.New("network: fanout must be at least 2")
+	}
+	t := &Topology{fanout: fanout, sourceParent: make([]int, nSources)}
+	nextSource := 0
+	var build func(parent, count int) int
+	build = func(parent, count int) int {
+		id := len(t.parentOfAgg)
+		t.parentOfAgg = append(t.parentOfAgg, parent)
+		t.childAggs = append(t.childAggs, nil)
+		t.childSources = append(t.childSources, nil)
+		if count <= fanout {
+			// Leaf aggregator: attach sources directly.
+			for i := 0; i < count; i++ {
+				t.childSources[id] = append(t.childSources[id], nextSource)
+				t.sourceParent[nextSource] = id
+				nextSource++
+			}
+			return id
+		}
+		// Split the sources into fanout groups as evenly as possible.
+		base := count / fanout
+		extra := count % fanout
+		for i := 0; i < fanout; i++ {
+			group := base
+			if i < extra {
+				group++
+			}
+			if group == 0 {
+				continue
+			}
+			child := build(id, group)
+			t.childAggs[id] = append(t.childAggs[id], child)
+		}
+		return id
+	}
+	build(-1, nSources)
+	return t, nil
+}
+
+// NumAggregators returns the number of aggregators in the tree.
+func (t *Topology) NumAggregators() int { return len(t.parentOfAgg) }
+
+// NumSources returns the number of sources.
+func (t *Topology) NumSources() int { return len(t.sourceParent) }
+
+// Fanout returns the configured fanout F.
+func (t *Topology) Fanout() int { return t.fanout }
+
+// Root returns the sink aggregator id.
+func (t *Topology) Root() int { return 0 }
+
+// ChildAggregators returns the child aggregator ids of agg.
+func (t *Topology) ChildAggregators(agg int) []int { return t.childAggs[agg] }
+
+// ChildSources returns the source ids attached to agg.
+func (t *Topology) ChildSources(agg int) []int { return t.childSources[agg] }
+
+// ParentOf returns the parent aggregator of agg (-1 for the root).
+func (t *Topology) ParentOf(agg int) int { return t.parentOfAgg[agg] }
+
+// SourceParent returns the aggregator a source reports to.
+func (t *Topology) SourceParent(src int) int { return t.sourceParent[src] }
+
+// Depth returns the number of aggregator levels on the longest root-to-leaf
+// path.
+func (t *Topology) Depth() int {
+	var depth func(agg int) int
+	depth = func(agg int) int {
+		max := 0
+		for _, c := range t.childAggs[agg] {
+			if d := depth(c); d > max {
+				max = d
+			}
+		}
+		return max + 1
+	}
+	return depth(t.Root())
+}
+
+// Validate checks structural invariants; topologies from CompleteTree always
+// pass, and hand-built ones can be vetted before use.
+func (t *Topology) Validate() error {
+	seen := make([]bool, t.NumSources())
+	for agg := 0; agg < t.NumAggregators(); agg++ {
+		kids := len(t.childAggs[agg]) + len(t.childSources[agg])
+		if kids == 0 {
+			return fmt.Errorf("network: aggregator %d has no children", agg)
+		}
+		if kids > t.fanout {
+			return fmt.Errorf("network: aggregator %d exceeds fanout (%d > %d)", agg, kids, t.fanout)
+		}
+		for _, s := range t.childSources[agg] {
+			if s < 0 || s >= t.NumSources() {
+				return fmt.Errorf("network: aggregator %d references source %d", agg, s)
+			}
+			if seen[s] {
+				return fmt.Errorf("network: source %d attached twice", s)
+			}
+			seen[s] = true
+			if t.sourceParent[s] != agg {
+				return fmt.Errorf("network: source %d parent mismatch", s)
+			}
+		}
+		for _, c := range t.childAggs[agg] {
+			if c <= agg || c >= t.NumAggregators() {
+				return fmt.Errorf("network: aggregator %d has invalid child %d", agg, c)
+			}
+			if t.parentOfAgg[c] != agg {
+				return fmt.Errorf("network: aggregator %d parent mismatch", c)
+			}
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			return fmt.Errorf("network: source %d not attached", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package network
+
+import "testing"
+
+func TestCompleteTreeValidation(t *testing.T) {
+	if _, err := CompleteTree(0, 4); err == nil {
+		t.Fatal("zero sources accepted")
+	}
+	if _, err := CompleteTree(4, 1); err == nil {
+		t.Fatal("fanout 1 accepted")
+	}
+}
+
+func TestCompleteTreeSmall(t *testing.T) {
+	// 4 sources, fanout 4 → a single leaf aggregator is the root.
+	topo, err := CompleteTree(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumAggregators() != 1 || topo.NumSources() != 4 {
+		t.Fatalf("aggs=%d sources=%d", topo.NumAggregators(), topo.NumSources())
+	}
+	if topo.Depth() != 1 {
+		t.Fatalf("depth = %d", topo.Depth())
+	}
+	if len(topo.ChildSources(0)) != 4 {
+		t.Fatalf("root sources = %d", len(topo.ChildSources(0)))
+	}
+}
+
+func TestCompleteTreePaperDefault(t *testing.T) {
+	// N=1024, F=4: perfect 4-ary tree with 256 leaf aggregators.
+	topo, err := CompleteTree(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 256 leaves + 64 + 16 + 4 + 1 root = 341 aggregators.
+	if topo.NumAggregators() != 341 {
+		t.Fatalf("aggregators = %d, want 341", topo.NumAggregators())
+	}
+	if topo.Depth() != 5 {
+		t.Fatalf("depth = %d, want 5", topo.Depth())
+	}
+	// Every aggregator has exactly F children in the perfect case.
+	for agg := 0; agg < topo.NumAggregators(); agg++ {
+		kids := len(topo.ChildAggregators(agg)) + len(topo.ChildSources(agg))
+		if kids != 4 {
+			t.Fatalf("aggregator %d has %d children", agg, kids)
+		}
+	}
+}
+
+func TestCompleteTreeRagged(t *testing.T) {
+	// Non-power sizes still validate and attach every source exactly once.
+	for _, n := range []int{1, 2, 3, 5, 7, 17, 100, 1000} {
+		for _, f := range []int{2, 3, 4, 5, 6} {
+			topo, err := CompleteTree(n, f)
+			if err != nil {
+				t.Fatalf("n=%d f=%d: %v", n, f, err)
+			}
+			if err := topo.Validate(); err != nil {
+				t.Fatalf("n=%d f=%d: %v", n, f, err)
+			}
+			if topo.NumSources() != n {
+				t.Fatalf("n=%d f=%d: sources=%d", n, f, topo.NumSources())
+			}
+		}
+	}
+}
+
+func TestParentChildConsistency(t *testing.T) {
+	topo, err := CompleteTree(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.ParentOf(topo.Root()) != -1 {
+		t.Fatal("root has a parent")
+	}
+	for agg := 1; agg < topo.NumAggregators(); agg++ {
+		parent := topo.ParentOf(agg)
+		found := false
+		for _, c := range topo.ChildAggregators(parent) {
+			if c == agg {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("aggregator %d missing from parent %d's children", agg, parent)
+		}
+	}
+	for src := 0; src < topo.NumSources(); src++ {
+		parent := topo.SourceParent(src)
+		found := false
+		for _, s := range topo.ChildSources(parent) {
+			if s == src {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("source %d missing from parent %d", src, parent)
+		}
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if EdgeSA.String() != "S-A" || EdgeAA.String() != "A-A" || EdgeAQ.String() != "A-Q" {
+		t.Fatal("edge kind names wrong")
+	}
+	if EdgeKind(9).String() == "" {
+		t.Fatal("unknown kind has empty name")
+	}
+}

@@ -1,0 +1,168 @@
+// Package prf provides the pseudo-random functions and the key hierarchy of
+// SIES and its benchmark schemes.
+//
+// Following the paper (§II-A, §IV-A), all PRFs are HMACs: HM1 is HMAC-SHA1
+// with 20-byte digests and HM256 is HMAC-SHA256 with 32-byte digests. Every
+// per-epoch quantity is derived by feeding the epoch number t (encoded as an
+// 8-byte big-endian integer) to an HMAC keyed with a long-term secret:
+//
+//	K_t     = HM256(K,   t)   // epoch-global encryption key, known to all sources
+//	k_{i,t} = HM256(k_i, t)   // per-source blinding key
+//	ss_{i,t} = HM1(k_i,  t)   // per-source 20-byte secret share
+//
+// Note: SHA-1 appears here exactly as in the paper — as a PRF inside HMAC,
+// where collision attacks on the underlying hash do not apply. The package
+// also exposes a SHA-256 share variant used by the ablation benchmarks.
+package prf
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Sizes of the long-term keys and PRF outputs, in bytes. The paper sets
+// long-term keys to 20 bytes (§IV-A) "diminishing the probability of a
+// random guess".
+const (
+	LongTermKeySize = 20
+	Size1           = sha1.Size   // 20: HM1 output, secret shares
+	Size256         = sha256.Size // 32: HM256 output, encryption keys
+)
+
+// Epoch identifies one transmission period t. All parties are loosely
+// synchronised on epochs (paper §III-B).
+type Epoch uint64
+
+// Bytes returns the canonical 8-byte big-endian encoding of t used as the
+// HMAC message for every key derivation.
+func (t Epoch) Bytes() [8]byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(t))
+	return b
+}
+
+// HM1 computes HMAC-SHA1(key, msg).
+func HM1(key, msg []byte) [Size1]byte {
+	mac := hmac.New(sha1.New, key)
+	mac.Write(msg)
+	var out [Size1]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// HM256 computes HMAC-SHA256(key, msg).
+func HM256(key, msg []byte) [Size256]byte {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(msg)
+	var out [Size256]byte
+	copy(out[:], mac.Sum(nil))
+	return out
+}
+
+// HM1Epoch computes HM1(key, t) — the secret-share PRF of the paper.
+func HM1Epoch(key []byte, t Epoch) [Size1]byte {
+	b := t.Bytes()
+	return HM1(key, b[:])
+}
+
+// HM256Epoch computes HM256(key, t) — the key-derivation PRF of the paper.
+func HM256Epoch(key []byte, t Epoch) [Size256]byte {
+	b := t.Bytes()
+	return HM256(key, b[:])
+}
+
+// NewLongTermKey draws a fresh 20-byte long-term key from crypto/rand.
+func NewLongTermKey() ([]byte, error) {
+	k := make([]byte, LongTermKeySize)
+	if _, err := rand.Read(k); err != nil {
+		return nil, fmt.Errorf("prf: generating long-term key: %w", err)
+	}
+	return k, nil
+}
+
+// KeyRing holds the querier's complete long-term key material for a network
+// of N sources: the global key K (shared with every source) and one k_i per
+// source. It is created once during the setup phase.
+type KeyRing struct {
+	Global  []byte   // K
+	Source  [][]byte // k_i, indexed by source id
+	numSrcs int
+}
+
+// NewKeyRing generates fresh key material for n sources.
+func NewKeyRing(n int) (*KeyRing, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("prf: key ring needs at least one source, got %d", n)
+	}
+	global, err := NewLongTermKey()
+	if err != nil {
+		return nil, err
+	}
+	src := make([][]byte, n)
+	for i := range src {
+		if src[i], err = NewLongTermKey(); err != nil {
+			return nil, err
+		}
+	}
+	return &KeyRing{Global: global, Source: src, numSrcs: n}, nil
+}
+
+// NewKeyRingFromKeys reconstructs a ring from provisioned key material, the
+// path a networked querier takes after loading credentials from disk.
+func NewKeyRingFromKeys(global []byte, sources [][]byte) (*KeyRing, error) {
+	if len(global) == 0 {
+		return nil, fmt.Errorf("prf: missing global key")
+	}
+	if len(sources) == 0 {
+		return nil, fmt.Errorf("prf: key ring needs at least one source key")
+	}
+	src := make([][]byte, len(sources))
+	for i, k := range sources {
+		if len(k) == 0 {
+			return nil, fmt.Errorf("prf: source %d key is empty", i)
+		}
+		src[i] = append([]byte(nil), k...)
+	}
+	return &KeyRing{
+		Global:  append([]byte(nil), global...),
+		Source:  src,
+		numSrcs: len(src),
+	}, nil
+}
+
+// N returns the number of sources the ring was built for.
+func (kr *KeyRing) N() int { return kr.numSrcs }
+
+// SourceCredentials returns the material registered at source i during the
+// manual setup phase: (K, k_i). It returns an error for out-of-range ids.
+func (kr *KeyRing) SourceCredentials(i int) (global, source []byte, err error) {
+	if i < 0 || i >= kr.numSrcs {
+		return nil, nil, fmt.Errorf("prf: source id %d out of range [0,%d)", i, kr.numSrcs)
+	}
+	return kr.Global, kr.Source[i], nil
+}
+
+// EpochGlobalKey derives K_t.
+func (kr *KeyRing) EpochGlobalKey(t Epoch) [Size256]byte {
+	return HM256Epoch(kr.Global, t)
+}
+
+// EpochSourceKey derives k_{i,t}.
+func (kr *KeyRing) EpochSourceKey(i int, t Epoch) ([Size256]byte, error) {
+	if i < 0 || i >= kr.numSrcs {
+		return [Size256]byte{}, fmt.Errorf("prf: source id %d out of range [0,%d)", i, kr.numSrcs)
+	}
+	return HM256Epoch(kr.Source[i], t), nil
+}
+
+// EpochShare derives ss_{i,t}.
+func (kr *KeyRing) EpochShare(i int, t Epoch) ([Size1]byte, error) {
+	if i < 0 || i >= kr.numSrcs {
+		return [Size1]byte{}, fmt.Errorf("prf: source id %d out of range [0,%d)", i, kr.numSrcs)
+	}
+	return HM1Epoch(kr.Source[i], t), nil
+}

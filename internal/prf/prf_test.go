@@ -1,0 +1,238 @@
+package prf
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+func TestEpochBytesBigEndian(t *testing.T) {
+	b := Epoch(0x0102030405060708).Bytes()
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(b[:], want) {
+		t.Fatalf("Epoch.Bytes() = %x", b)
+	}
+}
+
+// RFC 2202 test case 1 for HMAC-SHA1.
+func TestHM1RFC2202(t *testing.T) {
+	key := bytes.Repeat([]byte{0x0b}, 20)
+	got := HM1(key, []byte("Hi There"))
+	want, _ := hex.DecodeString("b617318655057264e28bc0b6fb378c8ef146be00")
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("HM1 = %x, want %x", got, want)
+	}
+}
+
+// RFC 4231 test case 2 for HMAC-SHA256.
+func TestHM256RFC4231(t *testing.T) {
+	got := HM256([]byte("Jefe"), []byte("what do ya want for nothing?"))
+	want, _ := hex.DecodeString(
+		"5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843")
+	if !bytes.Equal(got[:], want) {
+		t.Fatalf("HM256 = %x, want %x", got, want)
+	}
+}
+
+func TestEpochPRFsMatchManualHMAC(t *testing.T) {
+	key := []byte("some long-term key material.")
+	te := Epoch(42)
+	msg := te.Bytes()
+
+	m1 := hmac.New(sha1.New, key)
+	m1.Write(msg[:])
+	got1 := HM1Epoch(key, te)
+	if !bytes.Equal(got1[:], m1.Sum(nil)) {
+		t.Fatal("HM1Epoch mismatch")
+	}
+
+	m256 := hmac.New(sha256.New, key)
+	m256.Write(msg[:])
+	got256 := HM256Epoch(key, te)
+	if !bytes.Equal(got256[:], m256.Sum(nil)) {
+		t.Fatal("HM256Epoch mismatch")
+	}
+}
+
+func TestEpochSeparation(t *testing.T) {
+	key := []byte("k")
+	if HM1Epoch(key, 1) == HM1Epoch(key, 2) {
+		t.Fatal("HM1 identical across epochs")
+	}
+	if HM256Epoch(key, 1) == HM256Epoch(key, 2) {
+		t.Fatal("HM256 identical across epochs")
+	}
+}
+
+func TestNewLongTermKey(t *testing.T) {
+	a, err := NewLongTermKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewLongTermKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != LongTermKeySize || len(b) != LongTermKeySize {
+		t.Fatalf("key sizes %d, %d", len(a), len(b))
+	}
+	if bytes.Equal(a, b) {
+		t.Fatal("two fresh keys identical")
+	}
+}
+
+func TestNewKeyRing(t *testing.T) {
+	kr, err := NewKeyRing(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kr.N() != 8 {
+		t.Fatalf("N() = %d", kr.N())
+	}
+	seen := map[string]bool{string(kr.Global): true}
+	for i := 0; i < 8; i++ {
+		g, s, err := kr.SourceCredentials(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(g, kr.Global) {
+			t.Fatal("global key differs per source")
+		}
+		if seen[string(s)] {
+			t.Fatal("duplicate source key")
+		}
+		seen[string(s)] = true
+	}
+}
+
+func TestNewKeyRingRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -5} {
+		if _, err := NewKeyRing(n); err == nil {
+			t.Fatalf("NewKeyRing(%d) accepted", n)
+		}
+	}
+}
+
+func TestKeyRingOutOfRange(t *testing.T) {
+	kr, err := NewKeyRing(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := kr.SourceCredentials(2); err == nil {
+		t.Fatal("SourceCredentials(2) accepted")
+	}
+	if _, err := kr.EpochSourceKey(-1, 0); err == nil {
+		t.Fatal("EpochSourceKey(-1) accepted")
+	}
+	if _, err := kr.EpochShare(99, 0); err == nil {
+		t.Fatal("EpochShare(99) accepted")
+	}
+}
+
+func TestKeyRingDerivationsConsistent(t *testing.T) {
+	kr, err := NewKeyRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := Epoch(7)
+	if kr.EpochGlobalKey(te) != HM256Epoch(kr.Global, te) {
+		t.Fatal("EpochGlobalKey mismatch")
+	}
+	for i := 0; i < 3; i++ {
+		sk, err := kr.EpochSourceKey(i, te)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sk != HM256Epoch(kr.Source[i], te) {
+			t.Fatal("EpochSourceKey mismatch")
+		}
+		ss, err := kr.EpochShare(i, te)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss != HM1Epoch(kr.Source[i], te) {
+			t.Fatal("EpochShare mismatch")
+		}
+	}
+}
+
+func TestSharesDifferAcrossSources(t *testing.T) {
+	kr, err := NewKeyRing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[Size1]byte]bool{}
+	for i := 0; i < 4; i++ {
+		ss, err := kr.EpochShare(i, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ss] {
+			t.Fatal("share collision across sources")
+		}
+		seen[ss] = true
+	}
+}
+
+func BenchmarkHM1(b *testing.B) {
+	key := make([]byte, LongTermKeySize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HM1Epoch(key, Epoch(i))
+	}
+}
+
+func BenchmarkHM256(b *testing.B) {
+	key := make([]byte, LongTermKeySize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HM256Epoch(key, Epoch(i))
+	}
+}
+
+func TestNewKeyRingFromKeys(t *testing.T) {
+	orig, err := NewKeyRing(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := NewKeyRingFromKeys(orig.Global, orig.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.N() != 3 {
+		t.Fatalf("N = %d", rebuilt.N())
+	}
+	for i := 0; i < 3; i++ {
+		a, err := orig.EpochShare(i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rebuilt.EpochShare(i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("source %d derivations differ after rebuild", i)
+		}
+	}
+	// The rebuilt ring must not alias the caller's slices.
+	orig.Global[0] ^= 0xff
+	if rebuilt.EpochGlobalKey(1) == HM256Epoch(orig.Global, 1) {
+		t.Fatal("rebuilt ring aliases caller storage")
+	}
+}
+
+func TestNewKeyRingFromKeysValidation(t *testing.T) {
+	if _, err := NewKeyRingFromKeys(nil, [][]byte{{1}}); err == nil {
+		t.Fatal("missing global key accepted")
+	}
+	if _, err := NewKeyRingFromKeys([]byte{1}, nil); err == nil {
+		t.Fatal("empty source list accepted")
+	}
+	if _, err := NewKeyRingFromKeys([]byte{1}, [][]byte{{1}, nil}); err == nil {
+		t.Fatal("empty source key accepted")
+	}
+}

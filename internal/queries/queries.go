@@ -1,0 +1,163 @@
+// Package queries derives the paper's wider query class from exact SUM
+// (§III-B): COUNT reduces to SUM of 0/1 indicators, AVG = SUM/COUNT, and
+// VARIANCE/STDDEV combine SUM with a parallel SUM of squares. A WHERE
+// predicate is evaluated locally at each source; sources failing it
+// contribute zero, exactly as the query template prescribes.
+//
+// A Deployment therefore runs three independent SIES instances side by
+// side — values, squared values (with the 8-byte wide layout, since squares
+// of domain-scaled readings exceed 2^32), and indicator counts — each with
+// its own keys, so a compromise of one instance does not leak another.
+package queries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+// Predicate is the WHERE clause, evaluated on the integer (domain-scaled)
+// reading at the source.
+type Predicate func(reading uint64) bool
+
+// All accepts every reading — the plain SUM query.
+func All(uint64) bool { return true }
+
+// Range returns a predicate accepting readings in [lo, hi].
+func Range(lo, hi uint64) Predicate {
+	return func(v uint64) bool { return v >= lo && v <= hi }
+}
+
+// TripleSize is the wire size of a Triple: three PSRs.
+const TripleSize = 3 * core.PSRSize
+
+// Triple carries the three parallel PSRs of one epoch.
+type Triple struct {
+	Sum core.PSR // Σ v
+	Sq  core.PSR // Σ v²
+	Cnt core.PSR // Σ [pred(v)]
+}
+
+// Result is a verified epoch outcome with every derived aggregate.
+type Result struct {
+	Epoch    prf.Epoch
+	Sum      uint64
+	SumSq    uint64
+	Count    uint64
+	Avg      float64
+	Variance float64
+	Stddev   float64
+}
+
+// Deployment bundles the three SIES instances.
+type Deployment struct {
+	n    int
+	pred Predicate
+
+	sumQ, sqQ, cntQ *core.Querier
+	sumS, sqS, cntS []*core.Source
+
+	sumAgg, sqAgg, cntAgg *core.Aggregator
+}
+
+// NewDeployment sets up the triple-instance deployment for n sources with
+// the given predicate (nil means All).
+func NewDeployment(n int, pred Predicate) (*Deployment, error) {
+	if pred == nil {
+		pred = All
+	}
+	sumQ, sumS, err := core.Setup(n)
+	if err != nil {
+		return nil, fmt.Errorf("queries: sum instance: %w", err)
+	}
+	sqQ, sqS, err := core.Setup(n, core.WithWideValues())
+	if err != nil {
+		return nil, fmt.Errorf("queries: square instance: %w", err)
+	}
+	cntQ, cntS, err := core.Setup(n)
+	if err != nil {
+		return nil, fmt.Errorf("queries: count instance: %w", err)
+	}
+	return &Deployment{
+		n: n, pred: pred,
+		sumQ: sumQ, sqQ: sqQ, cntQ: cntQ,
+		sumS: sumS, sqS: sqS, cntS: cntS,
+		sumAgg: core.NewAggregator(sumQ.Params().Field()),
+		sqAgg:  core.NewAggregator(sqQ.Params().Field()),
+		cntAgg: core.NewAggregator(cntQ.Params().Field()),
+	}, nil
+}
+
+// N returns the number of sources.
+func (d *Deployment) N() int { return d.n }
+
+// Emit runs the initialization phase of all three instances at source src.
+// Readings failing the predicate contribute (0, 0, 0).
+func (d *Deployment) Emit(src int, t prf.Epoch, reading uint64) (Triple, error) {
+	if src < 0 || src >= d.n {
+		return Triple{}, fmt.Errorf("queries: source %d out of range", src)
+	}
+	var v, sq, cnt uint64
+	if d.pred(reading) {
+		v = reading
+		if reading > math.MaxUint32 {
+			return Triple{}, errors.New("queries: reading exceeds the 32-bit sum layout")
+		}
+		sq = reading * reading
+		cnt = 1
+	}
+	sumPSR, err := d.sumS[src].Encrypt(t, v)
+	if err != nil {
+		return Triple{}, err
+	}
+	sqPSR, err := d.sqS[src].Encrypt(t, sq)
+	if err != nil {
+		return Triple{}, err
+	}
+	cntPSR, err := d.cntS[src].Encrypt(t, cnt)
+	if err != nil {
+		return Triple{}, err
+	}
+	return Triple{Sum: sumPSR, Sq: sqPSR, Cnt: cntPSR}, nil
+}
+
+// Merge folds two triples — the aggregator phase.
+func (d *Deployment) Merge(a, b Triple) Triple {
+	return Triple{
+		Sum: d.sumAgg.MergeInto(a.Sum, b.Sum),
+		Sq:  d.sqAgg.MergeInto(a.Sq, b.Sq),
+		Cnt: d.cntAgg.MergeInto(a.Cnt, b.Cnt),
+	}
+}
+
+// Evaluate verifies all three instances and derives every aggregate.
+// contributors follows core.EvaluateSubset semantics (nil = all sources).
+func (d *Deployment) Evaluate(t prf.Epoch, final Triple, contributors []int) (Result, error) {
+	sum, err := d.sumQ.EvaluateSubset(t, final.Sum, contributors)
+	if err != nil {
+		return Result{}, fmt.Errorf("queries: sum instance: %w", err)
+	}
+	sq, err := d.sqQ.EvaluateSubset(t, final.Sq, contributors)
+	if err != nil {
+		return Result{}, fmt.Errorf("queries: square instance: %w", err)
+	}
+	cnt, err := d.cntQ.EvaluateSubset(t, final.Cnt, contributors)
+	if err != nil {
+		return Result{}, fmt.Errorf("queries: count instance: %w", err)
+	}
+
+	res := Result{Epoch: t, Sum: sum.Sum, SumSq: sq.Sum, Count: cnt.Sum}
+	if res.Count > 0 {
+		res.Avg = float64(res.Sum) / float64(res.Count)
+		// Var = E[v²] − E[v]²; clamp tiny negative rounding residue.
+		res.Variance = float64(res.SumSq)/float64(res.Count) - res.Avg*res.Avg
+		if res.Variance < 0 {
+			res.Variance = 0
+		}
+		res.Stddev = math.Sqrt(res.Variance)
+	}
+	return res, nil
+}

@@ -1,0 +1,220 @@
+package queries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// runEpoch pushes readings through a flat merge and evaluates.
+func runEpoch(t *testing.T, d *Deployment, epoch prf.Epoch, readings []uint64, contributors []int) (Result, error) {
+	t.Helper()
+	var final Triple
+	ids := contributors
+	if ids == nil {
+		ids = make([]int, len(readings))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	for _, id := range ids {
+		tr, err := d.Emit(id, epoch, readings[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = d.Merge(final, tr)
+	}
+	return d.Evaluate(epoch, final, contributors)
+}
+
+func TestSumCountAvg(t *testing.T) {
+	d, err := NewDeployment(8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	res, err := runEpoch(t, d, 1, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 360 || res.Count != 8 {
+		t.Fatalf("sum=%d count=%d", res.Sum, res.Count)
+	}
+	if res.Avg != 45 {
+		t.Fatalf("avg=%f", res.Avg)
+	}
+}
+
+func TestVarianceAndStddev(t *testing.T) {
+	d, err := NewDeployment(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{2, 4, 6, 8} // mean 5, variance 5
+	res, err := runEpoch(t, d, 1, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Variance-5) > 1e-9 {
+		t.Fatalf("variance=%f, want 5", res.Variance)
+	}
+	if math.Abs(res.Stddev-math.Sqrt(5)) > 1e-9 {
+		t.Fatalf("stddev=%f", res.Stddev)
+	}
+}
+
+func TestPredicateFiltering(t *testing.T) {
+	// WHERE 20 <= v <= 60: readings outside contribute (0,0,0).
+	d, err := NewDeployment(5, Range(20, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{10, 20, 40, 60, 100}
+	res, err := runEpoch(t, d, 1, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 120 || res.Count != 3 {
+		t.Fatalf("sum=%d count=%d, want 120/3", res.Sum, res.Count)
+	}
+	if res.Avg != 40 {
+		t.Fatalf("avg=%f", res.Avg)
+	}
+}
+
+func TestNoMatchingReadings(t *testing.T) {
+	d, err := NewDeployment(3, Range(1000, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runEpoch(t, d, 1, []uint64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 0 || res.Count != 0 || res.Avg != 0 || res.Variance != 0 {
+		t.Fatalf("empty result %+v", res)
+	}
+}
+
+func TestLargeReadingsSquares(t *testing.T) {
+	// Domain ×10^4 readings: squares near 2.5·10^11 need the wide layout.
+	d, err := NewDeployment(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{500000, 480000, 300000, 180000}
+	res, err := runEpoch(t, d, 1, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantSum, wantSq uint64
+	for _, v := range readings {
+		wantSum += v
+		wantSq += v * v
+	}
+	if res.Sum != wantSum || res.SumSq != wantSq {
+		t.Fatalf("sum=%d sumsq=%d, want %d/%d", res.Sum, res.SumSq, wantSum, wantSq)
+	}
+}
+
+func TestReadingTooLargeRejected(t *testing.T) {
+	d, err := NewDeployment(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Emit(0, 1, uint64(math.MaxUint32)+1); err == nil {
+		t.Fatal("oversized reading accepted")
+	}
+	if _, err := d.Emit(7, 1, 5); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestSubsetEvaluation(t *testing.T) {
+	d, err := NewDeployment(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{10, 20, 30, 40, 50}
+	contributors := []int{0, 2, 4}
+	res, err := runEpoch(t, d, 3, readings, contributors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 90 || res.Count != 3 || res.Avg != 30 {
+		t.Fatalf("subset result %+v", res)
+	}
+}
+
+func TestTamperingAnyInstanceDetected(t *testing.T) {
+	d, err := NewDeployment(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{5, 10, 15}
+	var final Triple
+	for i, v := range readings {
+		tr, err := d.Emit(i, 1, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = d.Merge(final, tr)
+	}
+	// Tamper with the count instance only: AVG would silently shift if the
+	// count were not independently protected.
+	bad := final
+	bad.Cnt = d.cntAgg.MergeInto(bad.Cnt, bad.Cnt) // double it
+	if _, err := d.Evaluate(1, bad, nil); err == nil {
+		t.Fatal("count tampering accepted")
+	}
+	// The untouched triple still verifies.
+	if _, err := d.Evaluate(1, final, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatisticalConsistency(t *testing.T) {
+	// Random readings: derived aggregates must match a plaintext oracle.
+	d, err := NewDeployment(32, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	readings := make([]uint64, 32)
+	for i := range readings {
+		readings[i] = uint64(r.Intn(5000))
+	}
+	res, err := runEpoch(t, d, 2, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sq float64
+	for _, v := range readings {
+		sum += float64(v)
+		sq += float64(v) * float64(v)
+	}
+	mean := sum / 32
+	wantVar := sq/32 - mean*mean
+	if math.Abs(res.Avg-mean) > 1e-9 {
+		t.Fatalf("avg=%f, want %f", res.Avg, mean)
+	}
+	if math.Abs(res.Variance-wantVar) > 1e-6*wantVar {
+		t.Fatalf("variance=%f, want %f", res.Variance, wantVar)
+	}
+}
+
+func BenchmarkEmitTriple(b *testing.B) {
+	d, err := NewDeployment(16, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Emit(0, prf.Epoch(i), 3000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

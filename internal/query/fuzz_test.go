@@ -1,0 +1,28 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the parser never panics on arbitrary input, and that
+// every accepted query re-renders to a string that parses to the same
+// canonical form (idempotent canonicalisation).
+func FuzzParse(f *testing.F) {
+	f.Add("SELECT SUM(attr) FROM Sensors WHERE pred > 1 EPOCH DURATION 30s")
+	f.Add("select count(*) from s epoch duration 1m")
+	f.Add("SELECT SUM(v) FROM s WHERE (v BETWEEN 1 AND 2 OR NOT v != 3) AND v <= 4 EPOCH DURATION 1m30s")
+	f.Add("")
+	f.Add("SELECT")
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		canon := q.String()
+		q2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q failed to parse: %v", canon, err)
+		}
+		if q2.String() != canon {
+			t.Fatalf("canonicalisation not idempotent:\n%s\n%s", canon, q2.String())
+		}
+	})
+}

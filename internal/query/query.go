@@ -1,0 +1,611 @@
+// Package query parses the paper's continuous-query template (§III-B):
+//
+//	SELECT SUM(attr) FROM Sensors
+//	WHERE pred
+//	EPOCH DURATION T
+//
+// extended with the derived aggregates the paper reduces to SUM (COUNT, AVG,
+// VARIANCE, STDDEV) and a boolean predicate grammar over numeric attributes:
+//
+//	query    := SELECT agg {',' agg} FROM ident [WHERE pred] EPOCH DURATION dur
+//	agg      := (SUM|COUNT|AVG|VARIANCE|STDDEV) '(' (ident|'*') ')'
+//	pred     := and {OR and}
+//	and      := cmp {AND cmp}
+//	cmp      := ident op number
+//	          | ident BETWEEN number AND number
+//	          | NOT cmp
+//	          | '(' pred ')'
+//	op       := '<' | '<=' | '>' | '>=' | '=' | '!='
+//	dur      := Go duration literal ("30s", "5m", …)
+//
+// Keywords are case-insensitive. The parsed predicate compiles to the
+// integer predicate the SIES sources evaluate (internal/queries.Predicate),
+// given the domain scale that maps readings onto protocol integers.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// Aggregate kinds of the derived query class.
+type Aggregate int
+
+// Supported aggregates.
+const (
+	Sum Aggregate = iota
+	Count
+	Avg
+	Variance
+	Stddev
+)
+
+// String renders the aggregate keyword.
+func (a Aggregate) String() string {
+	switch a {
+	case Sum:
+		return "SUM"
+	case Count:
+		return "COUNT"
+	case Avg:
+		return "AVG"
+	case Variance:
+		return "VARIANCE"
+	case Stddev:
+		return "STDDEV"
+	default:
+		return fmt.Sprintf("Aggregate(%d)", int(a))
+	}
+}
+
+// AggSpec is one selected aggregate.
+type AggSpec struct {
+	Kind Aggregate
+	Attr string // "*" for COUNT(*)
+}
+
+// Query is a parsed continuous query.
+type Query struct {
+	Aggregates []AggSpec
+	Table      string
+	Where      Expr // nil when absent
+	Epoch      time.Duration
+}
+
+// Attr returns the single attribute the query aggregates over. Aggregates
+// must agree on it (COUNT(*) is attribute-neutral).
+func (q *Query) Attr() (string, error) {
+	attr := ""
+	for _, a := range q.Aggregates {
+		if a.Attr == "*" {
+			continue
+		}
+		if attr == "" {
+			attr = a.Attr
+		} else if attr != a.Attr {
+			return "", fmt.Errorf("query: mixed attributes %q and %q", attr, a.Attr)
+		}
+	}
+	if attr == "" {
+		attr = "*"
+	}
+	return attr, nil
+}
+
+// String re-renders the query canonically.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, a := range q.Aggregates {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(%s)", a.Kind, a.Attr)
+	}
+	fmt.Fprintf(&b, " FROM %s", q.Table)
+	if q.Where != nil {
+		fmt.Fprintf(&b, " WHERE %s", q.Where)
+	}
+	fmt.Fprintf(&b, " EPOCH DURATION %s", q.Epoch)
+	return b.String()
+}
+
+// Expr is a boolean predicate over named numeric attributes.
+type Expr interface {
+	fmt.Stringer
+	// Eval evaluates against attribute values in application units.
+	Eval(attrs map[string]float64) bool
+}
+
+// cmpExpr is attr op value.
+type cmpExpr struct {
+	attr string
+	op   string
+	val  float64
+}
+
+func (c cmpExpr) String() string { return fmt.Sprintf("%s %s %g", c.attr, c.op, c.val) }
+
+func (c cmpExpr) Eval(attrs map[string]float64) bool {
+	v := attrs[c.attr]
+	switch c.op {
+	case "<":
+		return v < c.val
+	case "<=":
+		return v <= c.val
+	case ">":
+		return v > c.val
+	case ">=":
+		return v >= c.val
+	case "=":
+		return v == c.val
+	case "!=":
+		return v != c.val
+	default:
+		return false
+	}
+}
+
+// betweenExpr is attr BETWEEN lo AND hi (inclusive).
+type betweenExpr struct {
+	attr   string
+	lo, hi float64
+}
+
+func (b betweenExpr) String() string {
+	return fmt.Sprintf("%s BETWEEN %g AND %g", b.attr, b.lo, b.hi)
+}
+
+func (b betweenExpr) Eval(attrs map[string]float64) bool {
+	v := attrs[b.attr]
+	return v >= b.lo && v <= b.hi
+}
+
+type andExpr struct{ terms []Expr }
+
+func (a andExpr) String() string { return joinExpr(a.terms, " AND ") }
+
+func (a andExpr) Eval(attrs map[string]float64) bool {
+	for _, t := range a.terms {
+		if !t.Eval(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+type orExpr struct{ terms []Expr }
+
+func (o orExpr) String() string { return joinExpr(o.terms, " OR ") }
+
+func (o orExpr) Eval(attrs map[string]float64) bool {
+	for _, t := range o.terms {
+		if t.Eval(attrs) {
+			return true
+		}
+	}
+	return false
+}
+
+type notExpr struct{ inner Expr }
+
+func (n notExpr) String() string { return "NOT (" + n.inner.String() + ")" }
+
+func (n notExpr) Eval(attrs map[string]float64) bool { return !n.inner.Eval(attrs) }
+
+func joinExpr(terms []Expr, sep string) string {
+	parts := make([]string, len(terms))
+	for i, t := range terms {
+		parts[i] = "(" + t.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// --- lexer -------------------------------------------------------------------
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // ( ) , and comparison operators
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		switch {
+		case unicode.IsSpace(rune(ch)):
+			l.pos++
+		case ch == '(' || ch == ')' || ch == ',' || ch == '*':
+			l.toks = append(l.toks, token{tokSymbol, string(ch), l.pos})
+			l.pos++
+		case ch == '<' || ch == '>' || ch == '=' || ch == '!':
+			start := l.pos
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			if text == "!" {
+				return nil, fmt.Errorf("query: stray '!' at offset %d", start)
+			}
+			l.toks = append(l.toks, token{tokSymbol, text, start})
+		case ch >= '0' && ch <= '9' || ch == '-' || ch == '.':
+			start := l.pos
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' ||
+				l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, l.src[start:l.pos], start})
+		case unicode.IsLetter(rune(ch)) || ch == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (unicode.IsLetter(rune(l.src[l.pos])) ||
+				unicode.IsDigit(rune(l.src[l.pos])) || l.src[l.pos] == '_') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, l.src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at offset %d", ch, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(l.src)})
+	return l.toks, nil
+}
+
+// --- parser ------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// keyword consumes the given case-insensitive keyword or fails.
+func (p *parser) keyword(kw string) error {
+	t := p.next()
+	if t.kind != tokIdent || !strings.EqualFold(t.text, kw) {
+		return fmt.Errorf("query: expected %s at offset %d, found %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+// isKeyword reports whether the next token is the given keyword.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) symbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("query: expected %q at offset %d, found %q", sym, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) number() (float64, error) {
+	t := p.next()
+	if t.kind != tokNumber {
+		return 0, fmt.Errorf("query: expected number at offset %d, found %q", t.pos, t.text)
+	}
+	v, err := strconv.ParseFloat(t.text, 64)
+	if err != nil {
+		return 0, fmt.Errorf("query: bad number %q: %w", t.text, err)
+	}
+	return v, nil
+}
+
+var aggKeywords = map[string]Aggregate{
+	"SUM": Sum, "COUNT": Count, "AVG": Avg, "VARIANCE": Variance, "STDDEV": Stddev,
+}
+
+// Parse parses one continuous query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{}
+
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("query: expected aggregate at offset %d", t.pos)
+		}
+		kind, ok := aggKeywords[strings.ToUpper(t.text)]
+		if !ok {
+			return nil, fmt.Errorf("query: unknown aggregate %q", t.text)
+		}
+		if err := p.symbol("("); err != nil {
+			return nil, err
+		}
+		arg := p.next()
+		attr := arg.text
+		if arg.kind != tokIdent && attr != "*" {
+			return nil, fmt.Errorf("query: expected attribute or * at offset %d", arg.pos)
+		}
+		if attr == "*" && kind != Count {
+			return nil, fmt.Errorf("query: %s(*) is not meaningful", kind)
+		}
+		if err := p.symbol(")"); err != nil {
+			return nil, err
+		}
+		q.Aggregates = append(q.Aggregates, AggSpec{Kind: kind, Attr: attr})
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := q.Attr(); err != nil {
+		return nil, err
+	}
+
+	if err := p.keyword("FROM"); err != nil {
+		return nil, err
+	}
+	tbl := p.next()
+	if tbl.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected table name at offset %d", tbl.pos)
+	}
+	q.Table = tbl.text
+
+	if p.isKeyword("WHERE") {
+		p.next()
+		expr, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+
+	if err := p.keyword("EPOCH"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("DURATION"); err != nil {
+		return nil, err
+	}
+	// A duration literal lexes as number + ident (e.g. "30" "s") or, for
+	// forms like "1m30s", number ident number ident…; re-join the raw text.
+	start := p.peek().pos
+	var durEnd int
+	for p.peek().kind == tokNumber || (p.peek().kind == tokIdent && !p.isKeyword("")) {
+		t := p.next()
+		durEnd = t.pos + len(t.text)
+		if p.peek().kind == tokEOF {
+			break
+		}
+	}
+	if durEnd <= start {
+		return nil, errors.New("query: missing epoch duration")
+	}
+	dur, err := time.ParseDuration(strings.TrimSpace(src[start:durEnd]))
+	if err != nil {
+		return nil, fmt.Errorf("query: bad epoch duration: %w", err)
+	}
+	if dur <= 0 {
+		return nil, errors.New("query: epoch duration must be positive")
+	}
+	q.Epoch = dur
+
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("query: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return q, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.isKeyword("OR") {
+		p.next()
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return orExpr{terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.isKeyword("AND") {
+		p.next()
+		t, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return first, nil
+	}
+	return andExpr{terms: terms}, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	if p.isKeyword("NOT") {
+		p.next()
+		inner, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{inner: inner}, nil
+	}
+	if t := p.peek(); t.kind == tokSymbol && t.text == "(" {
+		p.next()
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.symbol(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	attrTok := p.next()
+	if attrTok.kind != tokIdent {
+		return nil, fmt.Errorf("query: expected attribute at offset %d", attrTok.pos)
+	}
+	if p.isKeyword("BETWEEN") {
+		p.next()
+		lo, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.keyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if lo > hi {
+			return nil, fmt.Errorf("query: BETWEEN bounds inverted (%g > %g)", lo, hi)
+		}
+		return betweenExpr{attr: attrTok.text, lo: lo, hi: hi}, nil
+	}
+	opTok := p.next()
+	switch opTok.text {
+	case "<", "<=", ">", ">=", "=", "!=":
+	default:
+		return nil, fmt.Errorf("query: expected comparison operator at offset %d, found %q", opTok.pos, opTok.text)
+	}
+	v, err := p.number()
+	if err != nil {
+		return nil, err
+	}
+	return cmpExpr{attr: attrTok.text, op: opTok.text, val: v}, nil
+}
+
+// CompilePredicate turns the WHERE clause into the integer predicate the
+// SIES sources evaluate: the protocol reading is attr·scale, so the clause
+// is evaluated at reading/scale in application units. A nil WHERE accepts
+// everything. Only the aggregated attribute may appear in the clause (each
+// source measures one attribute per query).
+func (q *Query) CompilePredicate(scale float64) (func(reading uint64) bool, error) {
+	if scale <= 0 {
+		return nil, errors.New("query: scale must be positive")
+	}
+	if q.Where == nil {
+		return func(uint64) bool { return true }, nil
+	}
+	attr, err := q.Attr()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAttrs(q.Where, attr); err != nil {
+		return nil, err
+	}
+	if attr == "*" {
+		// COUNT(*)-only query: the WHERE clause names the measured
+		// attribute; it must name exactly one.
+		refs := map[string]bool{}
+		collectAttrs(q.Where, refs)
+		if len(refs) != 1 {
+			return nil, fmt.Errorf("query: WHERE must reference exactly one attribute, found %d", len(refs))
+		}
+		for a := range refs {
+			attr = a
+		}
+	}
+	expr := q.Where
+	boundAttr := attr
+	return func(reading uint64) bool {
+		return expr.Eval(map[string]float64{boundAttr: float64(reading) / scale})
+	}, nil
+}
+
+// collectAttrs gathers every attribute name the clause references.
+func collectAttrs(e Expr, out map[string]bool) {
+	switch v := e.(type) {
+	case cmpExpr:
+		out[v.attr] = true
+	case betweenExpr:
+		out[v.attr] = true
+	case andExpr:
+		for _, t := range v.terms {
+			collectAttrs(t, out)
+		}
+	case orExpr:
+		for _, t := range v.terms {
+			collectAttrs(t, out)
+		}
+	case notExpr:
+		collectAttrs(v.inner, out)
+	}
+}
+
+// checkAttrs verifies every attribute in the clause matches the aggregated
+// one ("*" permits any single attribute).
+func checkAttrs(e Expr, attr string) error {
+	switch v := e.(type) {
+	case cmpExpr:
+		if attr != "*" && v.attr != attr {
+			return fmt.Errorf("query: WHERE references %q but the query aggregates %q", v.attr, attr)
+		}
+	case betweenExpr:
+		if attr != "*" && v.attr != attr {
+			return fmt.Errorf("query: WHERE references %q but the query aggregates %q", v.attr, attr)
+		}
+	case andExpr:
+		for _, t := range v.terms {
+			if err := checkAttrs(t, attr); err != nil {
+				return err
+			}
+		}
+	case orExpr:
+		for _, t := range v.terms {
+			if err := checkAttrs(t, attr); err != nil {
+				return err
+			}
+		}
+	case notExpr:
+		return checkAttrs(v.inner, attr)
+	}
+	return nil
+}

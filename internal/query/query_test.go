@@ -1,0 +1,221 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePaperTemplate(t *testing.T) {
+	q, err := Parse("SELECT SUM(attr) FROM Sensors WHERE attr > 10 EPOCH DURATION 30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggregates) != 1 || q.Aggregates[0].Kind != Sum || q.Aggregates[0].Attr != "attr" {
+		t.Fatalf("aggregates %+v", q.Aggregates)
+	}
+	if q.Table != "Sensors" {
+		t.Fatalf("table %q", q.Table)
+	}
+	if q.Epoch != 30*time.Second {
+		t.Fatalf("epoch %v", q.Epoch)
+	}
+	if q.Where == nil {
+		t.Fatal("missing WHERE")
+	}
+}
+
+func TestParseNoWhere(t *testing.T) {
+	q, err := Parse("select count(*) from sensors epoch duration 1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where != nil {
+		t.Fatal("unexpected WHERE")
+	}
+	if q.Epoch != time.Minute {
+		t.Fatalf("epoch %v", q.Epoch)
+	}
+	pred, err := q.CompilePredicate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(0) || !pred(99999) {
+		t.Fatal("nil WHERE must accept everything")
+	}
+}
+
+func TestParseMultipleAggregates(t *testing.T) {
+	q, err := Parse("SELECT SUM(temp), AVG(temp), COUNT(*), STDDEV(temp) FROM Sensors EPOCH DURATION 5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Aggregates) != 4 {
+		t.Fatalf("aggregates %+v", q.Aggregates)
+	}
+	attr, err := q.Attr()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attr != "temp" {
+		t.Fatalf("attr %q", attr)
+	}
+}
+
+func TestParseComplexPredicate(t *testing.T) {
+	q, err := Parse(`SELECT SUM(temp) FROM Sensors
+		WHERE (temp BETWEEN 20 AND 30 OR temp > 45.5) AND NOT temp = 25
+		EPOCH DURATION 10s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := func(v float64) bool { return q.Where.Eval(map[string]float64{"temp": v}) }
+	cases := map[float64]bool{
+		25:   false, // excluded by NOT
+		22:   true,  // in BETWEEN
+		46:   true,  // > 45.5
+		35:   false, // in neither branch
+		30:   true,  // BETWEEN inclusive
+		45.5: false, // strict >
+	}
+	for v, want := range cases {
+		if eval(v) != want {
+			t.Errorf("pred(%g) = %v, want %v", v, !want, want)
+		}
+	}
+}
+
+func TestCompilePredicateScaling(t *testing.T) {
+	// Domain ×100: protocol readings are centi-degrees.
+	q, err := Parse("SELECT SUM(temp) FROM Sensors WHERE temp BETWEEN 25 AND 45 EPOCH DURATION 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := q.CompilePredicate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(2500) || !pred(4500) || !pred(3000) {
+		t.Fatal("in-range scaled readings rejected")
+	}
+	if pred(2499) || pred(4501) {
+		t.Fatal("out-of-range scaled readings accepted")
+	}
+	if _, err := q.CompilePredicate(0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+}
+
+func TestCompilePredicateAttrMismatch(t *testing.T) {
+	q, err := Parse("SELECT SUM(temp) FROM Sensors WHERE humidity > 10 EPOCH DURATION 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.CompilePredicate(1); err == nil {
+		t.Fatal("foreign attribute accepted")
+	}
+}
+
+func TestAttrConflicts(t *testing.T) {
+	if _, err := Parse("SELECT SUM(a), AVG(b) FROM s EPOCH DURATION 1s"); err == nil {
+		t.Fatal("mixed attributes accepted")
+	}
+	if _, err := Parse("SELECT SUM(*) FROM s EPOCH DURATION 1s"); err == nil {
+		t.Fatal("SUM(*) accepted")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := "SELECT SUM(temp), COUNT(*) FROM Sensors WHERE temp >= 20 AND temp <= 40 EPOCH DURATION 30s"
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", q.String(), err)
+	}
+	if re.String() != q.String() {
+		t.Fatalf("round trip unstable:\n%s\n%s", q.String(), re.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT FROM s EPOCH DURATION 1s",
+		"SELECT MAX(v) FROM s EPOCH DURATION 1s",                         // unsupported aggregate
+		"SELECT SUM(v FROM s EPOCH DURATION 1s",                          // missing paren
+		"SELECT SUM(v) s EPOCH DURATION 1s",                              // missing FROM
+		"SELECT SUM(v) FROM s WHERE EPOCH DURATION 1s",                   // empty WHERE
+		"SELECT SUM(v) FROM s WHERE v >",                                 // dangling op
+		"SELECT SUM(v) FROM s WHERE v ~ 3 EPOCH DURATION 1s",             // bad operator
+		"SELECT SUM(v) FROM s WHERE v BETWEEN 9 AND 1 EPOCH DURATION 1s", // inverted bounds
+		"SELECT SUM(v) FROM s EPOCH DURATION",                            // missing duration
+		"SELECT SUM(v) FROM s EPOCH DURATION banana",                     // bad duration
+		"SELECT SUM(v) FROM s EPOCH DURATION -5s",                        // negative duration
+		"SELECT SUM(v) FROM s EPOCH DURATION 1s trailing",                // trailing tokens
+		"SELECT SUM(v) FROM s WHERE v ! 3 EPOCH DURATION 1s",             // stray !
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q, err := Parse("select sum(v) from s where v between 1 and 2 or not v = 5 epoch duration 500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Epoch != 500*time.Millisecond {
+		t.Fatalf("epoch %v", q.Epoch)
+	}
+}
+
+func TestCompoundDuration(t *testing.T) {
+	q, err := Parse("SELECT SUM(v) FROM s EPOCH DURATION 1m30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Epoch != 90*time.Second {
+		t.Fatalf("epoch %v", q.Epoch)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	q, err := Parse("SELECT SUM(v) FROM s WHERE NOT (v < 1 OR v > 9) AND v != 5 EPOCH DURATION 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.Where.String()
+	for _, frag := range []string{"NOT", "OR", "AND", "!="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered predicate %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestCompilePredicateCountStar(t *testing.T) {
+	// COUNT(*) queries bind the WHERE attribute to the one the clause names.
+	q, err := Parse("SELECT COUNT(*) FROM Sensors WHERE detector = 1 EPOCH DURATION 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := q.CompilePredicate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred(1) || pred(0) {
+		t.Fatal("COUNT(*) predicate mis-bound")
+	}
+	// Two different attributes in a COUNT(*) WHERE are ambiguous.
+	q2, err := Parse("SELECT COUNT(*) FROM s WHERE a > 1 AND b > 2 EPOCH DURATION 1s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q2.CompilePredicate(1); err == nil {
+		t.Fatal("ambiguous COUNT(*) WHERE accepted")
+	}
+}

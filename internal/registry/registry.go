@@ -1,0 +1,312 @@
+// Package registry is the control plane for continuous queries: it manages
+// the lifecycle the paper sketches in §IV-A — "Whenever Q issues a new
+// query, it simply broadcasts it with μTesla in the network, without
+// re-establishing any keys."
+//
+// A Controller (querier side) parses a query template, assigns it a query
+// id, derives per-query key material from the long-term ring, and emits a
+// μTesla-authenticated announcement. SourceAgents (sensor side) verify the
+// announcement, parse the template, compile its WHERE clause, derive the
+// same per-query keys, and start producing PSRs for the query.
+//
+// Key separation: running two queries concurrently with the *same* epoch
+// keys would encrypt two plaintexts under one one-time pad. The registry
+// therefore derives an independent key domain per query id,
+//
+//	K^q     = HM256(K,  "sies-query" ‖ id)[:20]
+//	k_i^q   = HM256(kᵢ, "sies-query" ‖ id)[:20]
+//
+// so every concurrent query has its own pads and shares while the
+// long-term provisioning (the expensive manual step) happens exactly once.
+package registry
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/mutesla"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/query"
+)
+
+// deriveKey maps a long-term key into query id's key domain.
+func deriveKey(key []byte, id uint32) []byte {
+	msg := make([]byte, 14)
+	copy(msg, "sies-query")
+	binary.BigEndian.PutUint32(msg[10:], id)
+	d := prf.HM256(key, msg)
+	return d[:prf.LongTermKeySize]
+}
+
+// deriveRing derives the full per-query ring.
+func deriveRing(ring *prf.KeyRing, id uint32) (*prf.KeyRing, error) {
+	sources := make([][]byte, ring.N())
+	for i := range sources {
+		_, ki, err := ring.SourceCredentials(i)
+		if err != nil {
+			return nil, err
+		}
+		sources[i] = deriveKey(ki, id)
+	}
+	return prf.NewKeyRingFromKeys(deriveKey(ring.Global, id), sources)
+}
+
+// Announcement is the broadcast payload: query id, deployment size, domain
+// scale, and the template text.
+type Announcement struct {
+	ID    uint32
+	N     int
+	Scale uint64
+	Text  string
+}
+
+// encode serialises the announcement.
+func (a Announcement) encode() []byte {
+	out := make([]byte, 16+len(a.Text))
+	binary.BigEndian.PutUint32(out[0:4], a.ID)
+	binary.BigEndian.PutUint32(out[4:8], uint32(a.N))
+	binary.BigEndian.PutUint64(out[8:16], a.Scale)
+	copy(out[16:], a.Text)
+	return out
+}
+
+// decodeAnnouncement parses a verified broadcast payload.
+func decodeAnnouncement(buf []byte) (Announcement, error) {
+	if len(buf) < 16 {
+		return Announcement{}, errors.New("registry: short announcement")
+	}
+	return Announcement{
+		ID:    binary.BigEndian.Uint32(buf[0:4]),
+		N:     int(binary.BigEndian.Uint32(buf[4:8])),
+		Scale: binary.BigEndian.Uint64(buf[8:16]),
+		Text:  string(buf[16:]),
+	}, nil
+}
+
+// Session is one live query at the querier: its parsed form and the
+// querier instance operating in the query's derived key domain.
+type Session struct {
+	ID      uint32
+	Query   *query.Query
+	Querier *core.Querier
+}
+
+// Controller runs at the querier.
+type Controller struct {
+	mu       sync.Mutex
+	ring     *prf.KeyRing
+	bc       *mutesla.Broadcaster
+	interval int
+	nextID   uint32
+	sessions map[uint32]*Session
+}
+
+// NewController wraps the provisioned ring and a μTesla broadcaster.
+func NewController(ring *prf.KeyRing, bc *mutesla.Broadcaster) (*Controller, error) {
+	if ring == nil || bc == nil {
+		return nil, errors.New("registry: controller needs a key ring and a broadcaster")
+	}
+	return &Controller{ring: ring, bc: bc, interval: 1, nextID: 1, sessions: map[uint32]*Session{}}, nil
+}
+
+// Launch parses and announces a new continuous query over the given domain
+// scale, returning the session and the broadcast packet to disseminate.
+// The μTesla interval advances by one per launch. Both sides use the
+// default 32-bit layout so that announcements fully determine the sources'
+// parameters.
+func (c *Controller) Launch(src string, scale uint64) (*Session, mutesla.Packet, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, mutesla.Packet{}, err
+	}
+	if scale == 0 {
+		return nil, mutesla.Packet{}, errors.New("registry: scale must be positive")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	id := c.nextID
+	c.nextID++
+	derived, err := deriveRing(c.ring, id)
+	if err != nil {
+		return nil, mutesla.Packet{}, err
+	}
+	params, err := core.NewParams(c.ring.N())
+	if err != nil {
+		return nil, mutesla.Packet{}, err
+	}
+	querier, err := core.NewQuerier(derived, params)
+	if err != nil {
+		return nil, mutesla.Packet{}, err
+	}
+	ann := Announcement{ID: id, N: c.ring.N(), Scale: scale, Text: src}
+	pkt, err := c.bc.Broadcast(c.interval, ann.encode())
+	if err != nil {
+		return nil, mutesla.Packet{}, fmt.Errorf("registry: broadcasting query: %w", err)
+	}
+	c.interval++
+	s := &Session{ID: id, Query: q, Querier: querier}
+	c.sessions[id] = s
+	return s, pkt, nil
+}
+
+// DisclosePacket emits the key disclosure that lets sources verify the most
+// recent launch. Call it one interval after Launch.
+func (c *Controller) DisclosePacket() (mutesla.Packet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.interval <= 1 {
+		return mutesla.Packet{}, errors.New("registry: nothing launched yet")
+	}
+	pkt, err := c.bc.DisclosePacket(c.interval - 1)
+	if err != nil {
+		return mutesla.Packet{}, err
+	}
+	c.interval++ // disclosure consumes wall-clock intervals too
+	return pkt, nil
+}
+
+// Interval returns the controller's current μTesla interval, which the
+// loosely synchronised sources use as their receive clock.
+func (c *Controller) Interval() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.interval
+}
+
+// Session returns a live session by id.
+func (c *Controller) Session(id uint32) (*Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[id]
+	return s, ok
+}
+
+// Stop retires a query; its sessions no longer evaluate.
+func (c *Controller) Stop(id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.sessions, id)
+}
+
+// activeQuery is one registered query at a source.
+type activeQuery struct {
+	source *core.Source
+	pred   func(uint64) bool
+}
+
+// SourceAgent runs at a sensor: it authenticates announcements and produces
+// PSRs for every active query.
+type SourceAgent struct {
+	mu       sync.Mutex
+	id       int
+	global   []byte
+	ki       []byte
+	receiver *mutesla.Receiver
+	active   map[uint32]*activeQuery
+}
+
+// NewSourceAgent wraps source id's provisioned credentials and its μTesla
+// receiver (initialised with the chain commitment at deployment time).
+func NewSourceAgent(id int, global, ki []byte, receiver *mutesla.Receiver) (*SourceAgent, error) {
+	if receiver == nil {
+		return nil, errors.New("registry: agent needs a μTesla receiver")
+	}
+	if len(global) == 0 || len(ki) == 0 {
+		return nil, errors.New("registry: agent needs its credentials")
+	}
+	return &SourceAgent{
+		id: id, global: global, ki: ki,
+		receiver: receiver, active: map[uint32]*activeQuery{},
+	}, nil
+}
+
+// Deliver feeds a broadcast packet observed at the given interval through
+// μTesla verification; every announcement it releases is parsed, compiled
+// and registered. Returns the ids of newly registered queries.
+func (a *SourceAgent) Deliver(pkt mutesla.Packet, interval int) ([]uint32, error) {
+	verified, err := a.receiver.Receive(pkt, interval)
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var registered []uint32
+	for _, v := range verified {
+		ann, err := decodeAnnouncement(v.Payload)
+		if err != nil {
+			return registered, err
+		}
+		q, err := query.Parse(ann.Text)
+		if err != nil {
+			return registered, fmt.Errorf("registry: authenticated query is malformed: %w", err)
+		}
+		pred, err := q.CompilePredicate(float64(ann.Scale))
+		if err != nil {
+			return registered, err
+		}
+		params, err := core.NewParams(ann.N)
+		if err != nil {
+			return registered, err
+		}
+		src, err := core.NewSource(a.id, deriveKey(a.global, ann.ID), deriveKey(a.ki, ann.ID), params)
+		if err != nil {
+			return registered, err
+		}
+		a.active[ann.ID] = &activeQuery{source: src, pred: pred}
+		registered = append(registered, ann.ID)
+	}
+	return registered, nil
+}
+
+// Active returns the ids of the agent's registered queries.
+func (a *SourceAgent) Active() []uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	ids := make([]uint32, 0, len(a.active))
+	for id := range a.active {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Retire drops a query registration (on a stop announcement or timeout).
+func (a *SourceAgent) Retire(id uint32) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.active, id)
+}
+
+// Emit produces the PSR of query id for this epoch's reading: the WHERE
+// clause gates the contribution (a filtered source encrypts 0, §III-B).
+func (a *SourceAgent) Emit(id uint32, t prf.Epoch, reading uint64) (core.PSR, error) {
+	a.mu.Lock()
+	aq, ok := a.active[id]
+	a.mu.Unlock()
+	if !ok {
+		return core.PSR{}, fmt.Errorf("registry: query %d not registered at source %d", id, a.id)
+	}
+	v := reading
+	if !aq.pred(reading) {
+		v = 0
+	}
+	return aq.source.Encrypt(t, v)
+}
+
+// EmitCount produces the COUNT-indicator PSR: 1 when the predicate holds.
+func (a *SourceAgent) EmitCount(id uint32, t prf.Epoch, reading uint64) (core.PSR, error) {
+	a.mu.Lock()
+	aq, ok := a.active[id]
+	a.mu.Unlock()
+	if !ok {
+		return core.PSR{}, fmt.Errorf("registry: query %d not registered at source %d", id, a.id)
+	}
+	v := uint64(0)
+	if aq.pred(reading) {
+		v = 1
+	}
+	return aq.source.Encrypt(t, v)
+}

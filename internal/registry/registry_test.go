@@ -1,0 +1,270 @@
+package registry
+
+import (
+	"testing"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/mutesla"
+	"github.com/sies/sies/internal/prf"
+)
+
+// testDeployment wires a controller and n source agents sharing a chain.
+func testDeployment(t *testing.T, n int) (*Controller, []*SourceAgent) {
+	t.Helper()
+	ring, err := prf.NewKeyRing(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, err := mutesla.NewChain(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := mutesla.NewBroadcaster(chain, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(ring, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agents := make([]*SourceAgent, n)
+	for i := range agents {
+		global, ki, err := ring.SourceCredentials(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recv, err := mutesla.NewReceiver(chain.Commitment(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agents[i], err = NewSourceAgent(i, global, ki, recv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ctrl, agents
+}
+
+// launchAndRegister launches a query and walks every agent through the
+// μTesla verify-then-register flow.
+func launchAndRegister(t *testing.T, ctrl *Controller, agents []*SourceAgent, src string, scale uint64) *Session {
+	t.Helper()
+	session, pkt, err := ctrl.Launch(src, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := ctrl.Interval() - 1 // the packet's interval
+	for _, a := range agents {
+		if _, err := a.Deliver(pkt, interval); err != nil {
+			t.Fatal(err)
+		}
+	}
+	disclose, err := ctrl.DisclosePacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range agents {
+		ids, err := a.Deliver(disclose, interval+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, id := range ids {
+			if id == session.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("agent did not register query %d", session.ID)
+		}
+	}
+	return session
+}
+
+func TestLaunchRegisterEvaluate(t *testing.T) {
+	ctrl, agents := testDeployment(t, 4)
+	session := launchAndRegister(t, ctrl, agents,
+		"SELECT SUM(temp) FROM Sensors WHERE temp >= 10 EPOCH DURATION 30s", 1)
+
+	agg := core.NewAggregator(session.Querier.Params().Field())
+	readings := []uint64{5, 10, 20, 40} // 5 filtered by WHERE
+	var final core.PSR
+	for i, a := range agents {
+		psr, err := a.Emit(session.ID, 1, readings[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	res, err := session.Querier.Evaluate(1, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 70 {
+		t.Fatalf("SUM = %d, want 70", res.Sum)
+	}
+}
+
+func TestConcurrentQueriesIndependentPads(t *testing.T) {
+	// Two live queries in the same epoch: key separation must hold — both
+	// evaluate correctly and their PSRs differ even for equal plaintexts.
+	ctrl, agents := testDeployment(t, 3)
+	s1 := launchAndRegister(t, ctrl, agents,
+		"SELECT SUM(v) FROM s EPOCH DURATION 1s", 1)
+	s2 := launchAndRegister(t, ctrl, agents,
+		"SELECT SUM(v) FROM s WHERE v > 100 EPOCH DURATION 1s", 1)
+
+	agg1 := core.NewAggregator(s1.Querier.Params().Field())
+	agg2 := core.NewAggregator(s2.Querier.Params().Field())
+	readings := []uint64{50, 150, 250}
+	var f1, f2 core.PSR
+	for i, a := range agents {
+		p1, err := a.Emit(s1.ID, 7, readings[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := a.Emit(s2.ID, 7, readings[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 == p2 {
+			t.Fatal("two queries produced identical PSRs — pad reuse")
+		}
+		f1 = agg1.MergeInto(f1, p1)
+		f2 = agg2.MergeInto(f2, p2)
+	}
+	r1, err := s1.Querier.Evaluate(7, f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s2.Querier.Evaluate(7, f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Sum != 450 {
+		t.Fatalf("query 1 SUM = %d, want 450", r1.Sum)
+	}
+	if r2.Sum != 400 { // 50 filtered
+		t.Fatalf("query 2 SUM = %d, want 400", r2.Sum)
+	}
+}
+
+func TestCrossQueryPSRsRejected(t *testing.T) {
+	// A PSR produced for query 1 must not verify under query 2's session.
+	ctrl, agents := testDeployment(t, 2)
+	s1 := launchAndRegister(t, ctrl, agents, "SELECT SUM(v) FROM s EPOCH DURATION 1s", 1)
+	s2 := launchAndRegister(t, ctrl, agents, "SELECT SUM(v) FROM s EPOCH DURATION 1s", 1)
+
+	agg := core.NewAggregator(s2.Querier.Params().Field())
+	a, err := agents[0].Emit(s1.ID, 1, 10) // wrong query's PSR
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := agents[1].Emit(s2.ID, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Querier.Evaluate(1, agg.Merge(a, b)); err == nil {
+		t.Fatal("cross-query PSR accepted")
+	}
+}
+
+func TestCountIndicators(t *testing.T) {
+	ctrl, agents := testDeployment(t, 4)
+	s := launchAndRegister(t, ctrl, agents,
+		"SELECT COUNT(*) FROM Sensors WHERE detector = 1 EPOCH DURATION 1s", 1)
+	agg := core.NewAggregator(s.Querier.Params().Field())
+	detections := []uint64{1, 0, 1, 1}
+	var final core.PSR
+	for i, a := range agents {
+		psr, err := a.EmitCount(s.ID, 1, detections[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	res, err := s.Querier.Evaluate(1, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 3 {
+		t.Fatalf("COUNT = %d, want 3", res.Sum)
+	}
+}
+
+func TestUnregisteredQueryRejected(t *testing.T) {
+	_, agents := testDeployment(t, 1)
+	if _, err := agents[0].Emit(99, 1, 5); err == nil {
+		t.Fatal("emit for unknown query accepted")
+	}
+	agents[0].Retire(99) // idempotent
+}
+
+func TestRetire(t *testing.T) {
+	ctrl, agents := testDeployment(t, 1)
+	s := launchAndRegister(t, ctrl, agents, "SELECT SUM(v) FROM s EPOCH DURATION 1s", 1)
+	if len(agents[0].Active()) != 1 {
+		t.Fatal("query not active")
+	}
+	agents[0].Retire(s.ID)
+	if len(agents[0].Active()) != 0 {
+		t.Fatal("retire did not remove the query")
+	}
+	if _, err := agents[0].Emit(s.ID, 1, 5); err == nil {
+		t.Fatal("emit after retire accepted")
+	}
+	ctrl.Stop(s.ID)
+	if _, ok := ctrl.Session(s.ID); ok {
+		t.Fatal("session survived Stop")
+	}
+}
+
+func TestForgedAnnouncementRejected(t *testing.T) {
+	ctrl, agents := testDeployment(t, 1)
+	session, pkt, err := ctrl.Launch("SELECT SUM(v) FROM s EPOCH DURATION 1s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interval := ctrl.Interval() - 1
+	// Adversary rewrites the announcement in flight.
+	forged := pkt
+	forged.Payload = append([]byte(nil), pkt.Payload...)
+	forged.Payload[len(forged.Payload)-1] ^= 0xff
+	if _, err := agents[0].Deliver(forged, interval); err != nil {
+		t.Fatal(err) // buffered; MAC checked on disclosure
+	}
+	disclose, err := ctrl.DisclosePacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := agents[0].Deliver(disclose, interval+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if id == session.ID {
+			t.Fatal("forged announcement registered")
+		}
+	}
+	if len(agents[0].Active()) != 0 {
+		t.Fatal("forged announcement activated a query")
+	}
+}
+
+func TestMalformedLaunchRejected(t *testing.T) {
+	ctrl, _ := testDeployment(t, 1)
+	if _, _, err := ctrl.Launch("garbage", 1); err == nil {
+		t.Fatal("malformed query launched")
+	}
+	if _, _, err := ctrl.Launch("SELECT SUM(v) FROM s EPOCH DURATION 1s", 0); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if _, err := ctrl.DisclosePacket(); err == nil {
+		t.Fatal("disclosure before any launch accepted")
+	}
+	if _, err := NewController(nil, nil); err == nil {
+		t.Fatal("nil controller parts accepted")
+	}
+	if _, err := NewSourceAgent(0, nil, nil, nil); err == nil {
+		t.Fatal("nil agent parts accepted")
+	}
+}

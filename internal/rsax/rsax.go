@@ -1,0 +1,131 @@
+// Package rsax implements the raw ("textbook") RSA operation m ↦ m^e mod n
+// needed by the SECOA one-way SEAL chains (paper §II-D).
+//
+// SECOA's deflation certificates apply RSA encryption v times to a secret
+// seed: ℰ^v(sd). Repeated application forms a one-way chain — anyone can
+// roll forward (encrypt more times) but rolling backward requires the RSA
+// trapdoor. Because the chain is used as a one-way function rather than for
+// message secrecy, the deterministic, unpadded primitive is exactly what is
+// required; crypto/rsa's padded APIs are deliberately not used. The private
+// exponent is never needed and is discarded at key generation.
+package rsax
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// DefaultModulusBits matches the paper's 128-byte RSA modulus (Table II).
+const DefaultModulusBits = 1024
+
+// DefaultExponent is the public exponent. A small exponent keeps rolling
+// cheap, which mirrors the paper's C_RSA = 5.36 µs on 1024-bit moduli.
+const DefaultExponent = 3
+
+// PublicKey is an RSA public key used as a one-way permutation.
+type PublicKey struct {
+	N *big.Int // modulus
+	E int      // public exponent
+}
+
+// Size returns the modulus size in bytes (the size of one SEAL).
+func (pk *PublicKey) Size() int { return (pk.N.BitLen() + 7) / 8 }
+
+// GenerateKey creates a fresh RSA modulus of the given bit size whose
+// public exponent e is valid (gcd(e, φ(n)) = 1). Only the public part is
+// retained.
+func GenerateKey(bits, e int) (*PublicKey, error) {
+	if bits < 128 {
+		return nil, errors.New("rsax: modulus too small")
+	}
+	if e < 3 || e%2 == 0 {
+		return nil, errors.New("rsax: exponent must be an odd integer ≥ 3")
+	}
+	eBig := big.NewInt(int64(e))
+	one := big.NewInt(1)
+	for attempts := 0; attempts < 64; attempts++ {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("rsax: generating prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits-bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("rsax: generating prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, one)
+		qm1 := new(big.Int).Sub(q, one)
+		phi := new(big.Int).Mul(pm1, qm1)
+		if new(big.Int).GCD(nil, nil, eBig, phi).Cmp(one) != 0 {
+			continue // e shares a factor with φ(n); retry with new primes
+		}
+		return &PublicKey{N: new(big.Int).Mul(p, q), E: e}, nil
+	}
+	return nil, errors.New("rsax: could not find primes compatible with exponent")
+}
+
+// Encrypt computes m^e mod n — one link of the one-way chain. The input must
+// lie in [0, n).
+func (pk *PublicKey) Encrypt(m *big.Int) (*big.Int, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return nil, errors.New("rsax: message not in [0, n)")
+	}
+	return new(big.Int).Exp(m, big.NewInt(int64(pk.E)), pk.N), nil
+}
+
+// Roll applies Encrypt times times: ℰ^times(m). Rolling by 0 returns a copy.
+func (pk *PublicKey) Roll(m *big.Int, times int) (*big.Int, error) {
+	if times < 0 {
+		return nil, errors.New("rsax: negative roll count")
+	}
+	cur := new(big.Int).Set(m)
+	for i := 0; i < times; i++ {
+		next, err := pk.Encrypt(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Fold multiplies two chain values modulo n. Folding commutes with rolling:
+// (a·b)^e = a^e·b^e, the property SECOA aggregation relies on.
+func (pk *PublicKey) Fold(a, b *big.Int) *big.Int {
+	out := new(big.Int).Mul(a, b)
+	return out.Mod(out, pk.N)
+}
+
+// SeedFromBytes maps arbitrary seed material into [1, n) deterministically.
+func (pk *PublicKey) SeedFromBytes(b []byte) *big.Int {
+	s := new(big.Int).SetBytes(b)
+	s.Mod(s, pk.N)
+	if s.Sign() == 0 {
+		s.SetInt64(1)
+	}
+	return s
+}
+
+// Bytes serialises a chain value as a fixed-width big-endian buffer of
+// Size() bytes — the wire form of a SEAL.
+func (pk *PublicKey) Bytes(v *big.Int) []byte {
+	out := make([]byte, pk.Size())
+	v.FillBytes(out)
+	return out
+}
+
+// FromBytes parses a fixed-width SEAL and range-checks it.
+func (pk *PublicKey) FromBytes(b []byte) (*big.Int, error) {
+	if len(b) != pk.Size() {
+		return nil, fmt.Errorf("rsax: SEAL must be %d bytes, got %d", pk.Size(), len(b))
+	}
+	v := new(big.Int).SetBytes(b)
+	if v.Cmp(pk.N) >= 0 {
+		return nil, errors.New("rsax: SEAL not in [0, n)")
+	}
+	return v, nil
+}

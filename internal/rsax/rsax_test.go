@@ -1,0 +1,205 @@
+package rsax
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+)
+
+// testKey caches one 512-bit key for the whole test binary; keygen dominates
+// test time otherwise. Correctness is size-independent.
+var (
+	keyOnce sync.Once
+	key     *PublicKey
+	keyErr  error
+)
+
+func testKeyShared(t testing.TB) *PublicKey {
+	t.Helper()
+	keyOnce.Do(func() { key, keyErr = GenerateKey(512, DefaultExponent) })
+	if keyErr != nil {
+		t.Fatal(keyErr)
+	}
+	return key
+}
+
+func TestGenerateKeyValidation(t *testing.T) {
+	if _, err := GenerateKey(64, 3); err == nil {
+		t.Fatal("tiny modulus accepted")
+	}
+	if _, err := GenerateKey(512, 2); err == nil {
+		t.Fatal("even exponent accepted")
+	}
+	if _, err := GenerateKey(512, 1); err == nil {
+		t.Fatal("exponent 1 accepted")
+	}
+}
+
+func TestGenerateKeySize(t *testing.T) {
+	pk := testKeyShared(t)
+	if got := pk.N.BitLen(); got < 511 || got > 512 {
+		t.Fatalf("modulus bitlen = %d", got)
+	}
+	if pk.Size() != 64 {
+		t.Fatalf("Size() = %d", pk.Size())
+	}
+}
+
+func TestEncryptMatchesExp(t *testing.T) {
+	pk := testKeyShared(t)
+	m := big.NewInt(123456789)
+	got, err := pk.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Int).Exp(m, big.NewInt(int64(pk.E)), pk.N)
+	if got.Cmp(want) != 0 {
+		t.Fatal("Encrypt != m^e mod n")
+	}
+}
+
+func TestEncryptRange(t *testing.T) {
+	pk := testKeyShared(t)
+	if _, err := pk.Encrypt(big.NewInt(-1)); err == nil {
+		t.Fatal("negative message accepted")
+	}
+	if _, err := pk.Encrypt(new(big.Int).Set(pk.N)); err == nil {
+		t.Fatal("message == n accepted")
+	}
+}
+
+func TestRollComposition(t *testing.T) {
+	// Roll(m, a+b) == Roll(Roll(m, a), b) — the chain property.
+	pk := testKeyShared(t)
+	m := pk.SeedFromBytes([]byte("seed material"))
+	r5, err := pk.Roll(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := pk.Roll(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2then3, err := pk.Roll(r2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.Cmp(r2then3) != 0 {
+		t.Fatal("rolling does not compose")
+	}
+}
+
+func TestRollZeroCopies(t *testing.T) {
+	pk := testKeyShared(t)
+	m := big.NewInt(42)
+	r, err := pk.Roll(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Cmp(m) != 0 {
+		t.Fatal("Roll(m,0) != m")
+	}
+	r.SetInt64(7)
+	if m.Int64() != 42 {
+		t.Fatal("Roll(m,0) aliases input")
+	}
+	if _, err := pk.Roll(m, -1); err == nil {
+		t.Fatal("negative roll accepted")
+	}
+}
+
+func TestFoldRollCommute(t *testing.T) {
+	// (a·b)^e = a^e · b^e — the identity behind SECOA folding.
+	pk := testKeyShared(t)
+	a := pk.SeedFromBytes([]byte("a"))
+	b := pk.SeedFromBytes([]byte("b"))
+	foldThenRoll, err := pk.Roll(pk.Fold(a, b), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := pk.Roll(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := pk.Roll(b, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foldThenRoll.Cmp(pk.Fold(ra, rb)) != 0 {
+		t.Fatal("fold and roll do not commute")
+	}
+}
+
+func TestSeedFromBytes(t *testing.T) {
+	pk := testKeyShared(t)
+	s := pk.SeedFromBytes(nil)
+	if s.Sign() != 1 {
+		t.Fatal("empty seed not mapped to a positive value")
+	}
+	if pk.SeedFromBytes([]byte("x")).Cmp(pk.SeedFromBytes([]byte("y"))) == 0 {
+		t.Fatal("distinct seeds collide")
+	}
+	// Oversized material is reduced into range.
+	huge := make([]byte, 2*pk.Size())
+	for i := range huge {
+		huge[i] = 0xff
+	}
+	if got := pk.SeedFromBytes(huge); got.Cmp(pk.N) >= 0 {
+		t.Fatal("seed not reduced mod n")
+	}
+}
+
+func TestSealWireRoundTrip(t *testing.T) {
+	pk := testKeyShared(t)
+	v := pk.SeedFromBytes([]byte("seal"))
+	buf := pk.Bytes(v)
+	if len(buf) != pk.Size() {
+		t.Fatalf("wire size %d", len(buf))
+	}
+	back, err := pk.FromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cmp(v) != 0 {
+		t.Fatal("wire round trip failed")
+	}
+	if _, err := pk.FromBytes(buf[:10]); err == nil {
+		t.Fatal("short SEAL accepted")
+	}
+	bad := make([]byte, pk.Size())
+	for i := range bad {
+		bad[i] = 0xff
+	}
+	if _, err := pk.FromBytes(bad); err == nil {
+		t.Fatal("out-of-range SEAL accepted")
+	}
+}
+
+func BenchmarkEncrypt1024(b *testing.B) {
+	pk, err := GenerateKey(DefaultModulusBits, DefaultExponent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := pk.SeedFromBytes([]byte("bench"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pk.Encrypt(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFold1024(b *testing.B) {
+	pk, err := GenerateKey(DefaultModulusBits, DefaultExponent)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := pk.SeedFromBytes([]byte("x"))
+	y := pk.SeedFromBytes([]byte("y"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.Fold(x, y)
+	}
+}

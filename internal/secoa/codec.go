@@ -1,0 +1,145 @@
+package secoa
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/big"
+)
+
+// Wire format of a Message (all integers big-endian):
+//
+//	u32 J | u8 folded | X[J] | winner[J] u32 | cert[J] 20B |
+//	u32 sealCount | (position u8)* (folded only) | seal[sealCount] keySize B
+//
+// Encode carries per-instance certificates so that any aggregator can merge
+// the message — len(Encode) is therefore larger than WireSize, which follows
+// the paper's accounting of a single XOR-aggregated certificate per edge
+// (§II-D). EXPERIMENTS.md discusses the gap.
+
+// Encode serialises the message for a key of the given size.
+func (m *Message) Encode(keySize int) ([]byte, error) {
+	J := len(m.X)
+	if len(m.Winner) != J || len(m.Certs) != J {
+		return nil, fmt.Errorf("%w: inconsistent instance counts", ErrShape)
+	}
+	folded := m.Positions != nil
+	if folded && len(m.Positions) != len(m.Seals) {
+		return nil, fmt.Errorf("%w: %d positions for %d SEALs", ErrShape, len(m.Positions), len(m.Seals))
+	}
+	if !folded && len(m.Seals) != J {
+		return nil, fmt.Errorf("%w: per-instance form needs %d SEALs, has %d", ErrShape, J, len(m.Seals))
+	}
+
+	size := 4 + 1 + J + 4*J + CertSize*J + 4 + len(m.Seals)*keySize
+	if folded {
+		size += len(m.Positions)
+	}
+	out := make([]byte, 0, size)
+
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(J))
+	out = append(out, u32[:]...)
+	if folded {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	out = append(out, m.X...)
+	for _, w := range m.Winner {
+		binary.BigEndian.PutUint32(u32[:], w)
+		out = append(out, u32[:]...)
+	}
+	for _, c := range m.Certs {
+		out = append(out, c[:]...)
+	}
+	binary.BigEndian.PutUint32(u32[:], uint32(len(m.Seals)))
+	out = append(out, u32[:]...)
+	if folded {
+		out = append(out, m.Positions...)
+	}
+	sealBuf := make([]byte, keySize)
+	for i, s := range m.Seals {
+		if s.Sign() < 0 || s.BitLen() > keySize*8 {
+			return nil, fmt.Errorf("%w: SEAL %d out of range", ErrShape, i)
+		}
+		s.FillBytes(sealBuf)
+		out = append(out, sealBuf...)
+	}
+	return out, nil
+}
+
+// Decode parses a message encoded for a key of the given size.
+func Decode(buf []byte, keySize int) (*Message, error) {
+	if len(buf) < 9 {
+		return nil, fmt.Errorf("%w: truncated header", ErrShape)
+	}
+	J := int(binary.BigEndian.Uint32(buf[0:4]))
+	if J < 1 || J > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible instance count %d", ErrShape, J)
+	}
+	folded := buf[4] == 1
+	off := 5
+
+	need := func(n int) error {
+		if len(buf)-off < n {
+			return fmt.Errorf("%w: truncated body", ErrShape)
+		}
+		return nil
+	}
+
+	m := &Message{}
+	if err := need(J); err != nil {
+		return nil, err
+	}
+	m.X = append([]uint8(nil), buf[off:off+J]...)
+	off += J
+
+	if err := need(4 * J); err != nil {
+		return nil, err
+	}
+	m.Winner = make([]uint32, J)
+	for i := range m.Winner {
+		m.Winner[i] = binary.BigEndian.Uint32(buf[off:])
+		off += 4
+	}
+
+	if err := need(CertSize * J); err != nil {
+		return nil, err
+	}
+	m.Certs = make([]Cert, J)
+	for i := range m.Certs {
+		copy(m.Certs[i][:], buf[off:off+CertSize])
+		off += CertSize
+	}
+
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	sealCount := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	if sealCount < 0 || sealCount > J {
+		return nil, fmt.Errorf("%w: implausible SEAL count %d", ErrShape, sealCount)
+	}
+	if folded {
+		if err := need(sealCount); err != nil {
+			return nil, err
+		}
+		m.Positions = append([]uint8(nil), buf[off:off+sealCount]...)
+		off += sealCount
+	} else if sealCount != J {
+		return nil, fmt.Errorf("%w: per-instance form needs %d SEALs, has %d", ErrShape, J, sealCount)
+	}
+
+	if err := need(sealCount * keySize); err != nil {
+		return nil, err
+	}
+	m.Seals = make([]*big.Int, sealCount)
+	for i := range m.Seals {
+		m.Seals[i] = new(big.Int).SetBytes(buf[off : off+keySize])
+		off += keySize
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrShape, len(buf)-off)
+	}
+	return m, nil
+}

@@ -1,0 +1,140 @@
+package secoa
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCodecRoundTripPerInstance(t *testing.T) {
+	d := deploy(t, 2, 8)
+	m, err := d.Sources[0].ProduceFast(1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keySize := d.Params.Key.Size()
+	buf, err := m.Encode(keySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(buf, keySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMessagesEqual(t, m, back)
+}
+
+func TestCodecRoundTripFolded(t *testing.T) {
+	d := deploy(t, 3, 16)
+	folded := runEpoch(t, d, 2, []uint64{100, 200, 300})
+	keySize := d.Params.Key.Size()
+	buf, err := folded.Encode(keySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(buf, keySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMessagesEqual(t, folded, back)
+	// The decoded message must still verify.
+	if _, err := d.Querier.Verify(2, back); err != nil {
+		t.Fatalf("decoded message failed verification: %v", err)
+	}
+}
+
+func assertMessagesEqual(t *testing.T, a, b *Message) {
+	t.Helper()
+	if len(a.X) != len(b.X) {
+		t.Fatalf("J mismatch: %d vs %d", len(a.X), len(b.X))
+	}
+	for j := range a.X {
+		if a.X[j] != b.X[j] || a.Winner[j] != b.Winner[j] || a.Certs[j] != b.Certs[j] {
+			t.Fatalf("instance %d differs", j)
+		}
+	}
+	if len(a.Seals) != len(b.Seals) {
+		t.Fatalf("SEAL count: %d vs %d", len(a.Seals), len(b.Seals))
+	}
+	for i := range a.Seals {
+		if a.Seals[i].Cmp(b.Seals[i]) != 0 {
+			t.Fatalf("SEAL %d differs", i)
+		}
+	}
+	if (a.Positions == nil) != (b.Positions == nil) {
+		t.Fatal("folded flag differs")
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestCodecTruncationRejected(t *testing.T) {
+	d := deploy(t, 1, 4)
+	m, err := d.Sources[0].ProduceFast(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keySize := d.Params.Key.Size()
+	buf, err := m.Encode(keySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must be rejected, never panic.
+	for _, cut := range []int{0, 4, 8, 9, len(buf) / 2, len(buf) - 1} {
+		if _, err := Decode(buf[:cut], keySize); !errors.Is(err, ErrShape) {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := Decode(append(append([]byte(nil), buf...), 0), keySize); !errors.Is(err, ErrShape) {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestCodecImplausibleHeader(t *testing.T) {
+	if _, err := Decode([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0}, 64); !errors.Is(err, ErrShape) {
+		t.Fatal("huge J accepted")
+	}
+	if _, err := Decode([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0}, 64); !errors.Is(err, ErrShape) {
+		t.Fatal("J=0 accepted")
+	}
+}
+
+func TestEncodeValidatesShape(t *testing.T) {
+	d := deploy(t, 1, 4)
+	m, err := d.Sources[0].ProduceFast(1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := m.Clone()
+	bad.Seals = bad.Seals[:1]
+	if _, err := bad.Encode(d.Params.Key.Size()); !errors.Is(err, ErrShape) {
+		t.Fatal("inconsistent message encoded")
+	}
+}
+
+func TestEncodedSizeVsPaperAccounting(t *testing.T) {
+	// The implementation's real frame is larger than the paper's S-A figure
+	// because it carries J per-instance certificates (the paper assumes the
+	// aggregate-MAC optimisation end to end). Pin the relationship.
+	d := deploy(t, 1, 300)
+	m, err := d.Sources[0].ProduceFast(1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keySize := d.Params.Key.Size()
+	buf, err := m.Encode(keySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := m.WireSize(keySize)
+	extra := len(buf) - paper
+	// Extra = header (J field + flag + seal count = 9) + winners (4J) +
+	// per-instance certs beyond the one aggregate (20(J−1)).
+	want := 9 + 4*300 + CertSize*(300-1)
+	if extra != want {
+		t.Fatalf("encoded−paper = %d, want %d", extra, want)
+	}
+}

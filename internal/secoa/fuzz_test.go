@@ -1,0 +1,29 @@
+package secoa
+
+import "testing"
+
+// FuzzDecode feeds hostile bytes to the SECOA message codec: no panics, and
+// accepted messages re-encode losslessly.
+func FuzzDecode(f *testing.F) {
+	const keySize = 64
+	f.Add([]byte{}, keySize)
+	f.Add([]byte{0, 0, 0, 1, 0, 5, 0, 0, 0, 1}, keySize)
+	f.Fuzz(func(t *testing.T, data []byte, ks int) {
+		if ks < 1 || ks > 256 {
+			ks = keySize
+		}
+		m, err := Decode(data, ks)
+		if err != nil {
+			return
+		}
+		buf, err := m.Encode(ks)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		back, err := Decode(buf, ks)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		assertMessagesEqual(t, m, back)
+	})
+}

@@ -1,0 +1,132 @@
+package secoa
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// ErrRollLimit is returned when a MAX value exceeds the rolling budget.
+var ErrRollLimit = errors.New("secoa: MAX value exceeds the rolling budget")
+
+// This file implements SECOA_M — the MAX protocol of SECOA (paper §II-D) —
+// standalone. SECOA_S (SUM) runs SECOA_M once per sketch instance; MAX
+// queries run it once over the raw values themselves:
+//
+//   - a source sends its value v, an inflation certificate HM1(K_i, t‖v),
+//     and a SEAL (its epoch seed RSA-encrypted v times);
+//   - an aggregator keeps the maximum value with its certificate, rolls
+//     every child's SEAL up to the maximum and folds them;
+//   - the querier checks the winner's certificate and recreates the
+//     aggregate SEAL from all seeds rolled max times.
+//
+// Inflating the maximum breaks the certificate; deflating it would require
+// un-rolling a SEAL. MAX values must stay small enough to roll (the paper's
+// MAX evaluation uses bounded domains); RollLimit guards against abuse.
+
+// RollLimit bounds a MAX value's rolling work (2^16 RSA operations).
+const RollLimit = 1 << 16
+
+// MaxMessage is the SECOA_M partial state record.
+type MaxMessage struct {
+	Value  uint32
+	Winner uint32
+	Cert   Cert
+	Seal   *big.Int
+}
+
+// Clone deep-copies the message.
+func (m *MaxMessage) Clone() *MaxMessage {
+	return &MaxMessage{Value: m.Value, Winner: m.Winner, Cert: m.Cert, Seal: new(big.Int).Set(m.Seal)}
+}
+
+// maxCertMessage authenticates epoch ‖ value.
+func maxCertMessage(t prf.Epoch, v uint32) []byte {
+	b := t.Bytes()
+	return append(b[:], byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// ProduceMax runs the SECOA_M initialization phase at this source.
+func (s *Source) ProduceMax(t prf.Epoch, v uint32) (*MaxMessage, error) {
+	if v > RollLimit {
+		return nil, fmt.Errorf("%w: %d > %d", ErrRollLimit, v, RollLimit)
+	}
+	sd := seed(s.params.Key, s.seedKey, t, 0)
+	sealed, err := s.params.Key.Roll(sd, int(v))
+	if err != nil {
+		return nil, err
+	}
+	return &MaxMessage{
+		Value:  v,
+		Winner: uint32(s.id),
+		Cert:   Cert(prf.HM1(s.inflKey, maxCertMessage(t, v))),
+		Seal:   sealed,
+	}, nil
+}
+
+// MergeMax combines children's MAX messages at an aggregator.
+func (a *Aggregator) MergeMax(children ...*MaxMessage) (*MaxMessage, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("%w: merging zero children", ErrShape)
+	}
+	win := 0
+	for c := 1; c < len(children); c++ {
+		if children[c].Value > children[win].Value ||
+			(children[c].Value == children[win].Value && children[c].Winner < children[win].Winner) {
+			win = c
+		}
+	}
+	max := children[win].Value
+	out := &MaxMessage{Value: max, Winner: children[win].Winner, Cert: children[win].Cert}
+	acc := big.NewInt(1)
+	for _, ch := range children {
+		rolled, err := a.params.Key.Roll(ch.Seal, int(max)-int(ch.Value))
+		if err != nil {
+			return nil, err
+		}
+		acc = a.params.Key.Fold(acc, rolled)
+	}
+	out.Seal = acc
+	return out, nil
+}
+
+// MaxResult is a verified MAX outcome.
+type MaxResult struct {
+	Epoch prf.Epoch
+	Max   uint32
+	// Holder is the source id that reported the maximum.
+	Holder int
+}
+
+// VerifyMax checks a final SECOA_M message: winner certificate, then the
+// aggregate SEAL against the fold of every source's seed rolled Max times.
+func (q *Querier) VerifyMax(t prf.Epoch, m *MaxMessage) (MaxResult, error) {
+	if m == nil || m.Seal == nil {
+		return MaxResult{}, fmt.Errorf("%w: empty MAX message", ErrShape)
+	}
+	w := int(m.Winner)
+	if w < 0 || w >= len(q.inflKeys) {
+		return MaxResult{}, fmt.Errorf("%w: winner id %d out of range", ErrShape, w)
+	}
+	if m.Value > RollLimit {
+		return MaxResult{}, fmt.Errorf("%w: value beyond roll limit", ErrShape)
+	}
+	want := Cert(prf.HM1(q.inflKeys[w], maxCertMessage(t, m.Value)))
+	if want != m.Cert {
+		return MaxResult{}, ErrInflation
+	}
+	reference := big.NewInt(1)
+	for i := range q.seedKeys {
+		reference = q.params.Key.Fold(reference, seed(q.params.Key, q.seedKeys[i], t, 0))
+	}
+	rolled, err := q.params.Key.Roll(reference, int(m.Value))
+	if err != nil {
+		return MaxResult{}, err
+	}
+	if rolled.Cmp(m.Seal) != 0 {
+		return MaxResult{}, ErrDeflation
+	}
+	return MaxResult{Epoch: t, Max: m.Value, Holder: w}, nil
+}

@@ -1,0 +1,206 @@
+package secoa
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+func TestMaxEndToEnd(t *testing.T) {
+	d := deploy(t, 4, 2)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []uint32{17, 42, 5, 30}
+	msgs := make([]*MaxMessage, len(values))
+	for i, v := range values {
+		m, err := d.Sources[i].ProduceMax(1, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[i] = m
+	}
+	merged, err := agg.MergeMax(msgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Querier.VerifyMax(1, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Max != 42 || res.Holder != 1 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestMaxTreeShapeIrrelevant(t *testing.T) {
+	d := deploy(t, 4, 2)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := []uint32{9, 3, 12, 7}
+	msgs := make([]*MaxMessage, 4)
+	for i, v := range values {
+		m, err := d.Sources[i].ProduceMax(2, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[i] = m
+	}
+	left, err := agg.MergeMax(msgs[0], msgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := agg.MergeMax(msgs[2], msgs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := agg.MergeMax(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := agg.MergeMax(msgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Value != flat.Value || tree.Winner != flat.Winner || tree.Seal.Cmp(flat.Seal) != 0 {
+		t.Fatal("tree merge differs from flat merge")
+	}
+	if _, err := d.Querier.VerifyMax(2, tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxInflationDetected(t *testing.T) {
+	d := deploy(t, 3, 2)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []*MaxMessage
+	for i, v := range []uint32{10, 20, 30} {
+		m, err := d.Sources[i].ProduceMax(3, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m)
+	}
+	merged, err := agg.MergeMax(msgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := merged.Clone()
+	bad.Value++ // inflate the max without the winner's key
+	if _, err := d.Querier.VerifyMax(3, bad); !errors.Is(err, ErrInflation) {
+		t.Fatalf("inflated MAX accepted: %v", err)
+	}
+}
+
+func TestMaxDeflationDetected(t *testing.T) {
+	d := deploy(t, 2, 2)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Sources[0].ProduceMax(4, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Sources[1].ProduceMax(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := agg.MergeMax(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversary claims a smaller max with a forged consistent certificate…
+	// it has no key, so it reuses the loser's legitimate message (a classic
+	// substitution): value 10 with source 1's genuine certificate, but the
+	// SEAL cannot be un-rolled, so the aggregate cannot match.
+	bad := b.Clone()
+	if _, err := d.Querier.VerifyMax(4, bad); !errors.Is(err, ErrDeflation) {
+		t.Fatalf("deflated MAX accepted: %v", err)
+	}
+	// Honest message still verifies.
+	if _, err := d.Querier.VerifyMax(4, merged); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxReplayDetected(t *testing.T) {
+	d := deploy(t, 2, 2)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Sources[0].ProduceMax(5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Sources[1].ProduceMax(5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := agg.MergeMax(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Querier.VerifyMax(6, merged); err == nil {
+		t.Fatal("replayed MAX accepted")
+	}
+}
+
+func TestMaxSealTamperDetected(t *testing.T) {
+	d := deploy(t, 2, 2)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := d.Sources[0].ProduceMax(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Sources[1].ProduceMax(7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := agg.MergeMax(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := merged.Clone()
+	bad.Seal.Add(bad.Seal, big.NewInt(1))
+	bad.Seal.Mod(bad.Seal, d.Params.Key.N)
+	if _, err := d.Querier.VerifyMax(7, bad); !errors.Is(err, ErrDeflation) {
+		t.Fatalf("tampered SEAL accepted: %v", err)
+	}
+}
+
+func TestMaxValidation(t *testing.T) {
+	d := deploy(t, 1, 2)
+	if _, err := d.Sources[0].ProduceMax(1, RollLimit+1); err == nil {
+		t.Fatal("over-limit value accepted")
+	}
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.MergeMax(); !errors.Is(err, ErrShape) {
+		t.Fatal("zero children accepted")
+	}
+	if _, err := d.Querier.VerifyMax(1, nil); !errors.Is(err, ErrShape) {
+		t.Fatal("nil message accepted")
+	}
+	m, err := d.Sources[0].ProduceMax(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := m.Clone()
+	bad.Winner = 99
+	if _, err := d.Querier.VerifyMax(1, bad); !errors.Is(err, ErrShape) {
+		t.Fatal("out-of-range winner accepted")
+	}
+}

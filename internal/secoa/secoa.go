@@ -1,0 +1,550 @@
+// Package secoa implements the SECOA_S benchmark scheme (Nath, Yu, Chan —
+// "Secure outsourced aggregation via one-way chains", SIGMOD 2009), as
+// described in §II-D of the SIES paper: approximate SUM with integrity but
+// no confidentiality.
+//
+// SECOA_S runs the SECOA MAX protocol independently on each of J
+// Flajolet–Martin sketch instances:
+//
+//   - Each source converts its value v into J sketch instance values x_j
+//     (package sketch), and for each instance emits x_j together with an
+//     inflation certificate HM1(K_i, t‖j‖x_j) and a deflation certificate —
+//     a SEAL, the per-epoch secret seed sd_{i,j,t} RSA-encrypted x_j times.
+//   - Aggregators take the per-instance MAX, roll every child's SEAL up to
+//     the maximum (SEALs are one-way: rolling forward is public, rolling
+//     back needs the RSA trapdoor) and fold them together (modular product,
+//     which commutes with rolling).
+//   - The sink folds SEALs that sit at the same chain position, shrinking
+//     the final message.
+//   - The querier checks the winner certificates, reconstructs the expected
+//     aggregate SEAL from the seeds it shares with every source, and — on
+//     success — estimates SUM ≈ 2^x̄.
+//
+// Inflating an instance value fails the inflation certificate; deflating it
+// fails the SEAL comparison. Values travel in plaintext, so the scheme
+// offers no confidentiality — the property SIES adds.
+package secoa
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/rand"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/rsax"
+	"github.com/sies/sies/internal/sketch"
+)
+
+// CertSize is the size of one inflation certificate (HM1 output).
+const CertSize = prf.Size1
+
+// Errors reported by verification.
+var (
+	ErrInflation = errors.New("secoa: inflation certificate mismatch")
+	ErrDeflation = errors.New("secoa: SEAL verification failed (deflation or corruption)")
+	ErrShape     = errors.New("secoa: malformed message")
+)
+
+// Params fixes a SECOA_S deployment's dimensions and RSA key.
+type Params struct {
+	Sketch sketch.Params
+	Key    *rsax.PublicKey
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if err := p.Sketch.Validate(); err != nil {
+		return err
+	}
+	if p.Key == nil {
+		return errors.New("secoa: missing RSA key")
+	}
+	return nil
+}
+
+// Cert is one inflation certificate.
+type Cert [CertSize]byte
+
+// xorCert XORs b into a (Katz–Lindell aggregate MAC).
+func xorCert(a, b Cert) Cert {
+	for i := range a {
+		a[i] ^= b[i]
+	}
+	return a
+}
+
+// Message is the SECOA_S partial state record exchanged along the tree.
+//
+// In per-instance form (Positions == nil) it carries one SEAL per sketch
+// instance. After sink folding (Positions != nil) Seals[k] is the fold of
+// every instance SEAL whose value equals Positions[k].
+//
+// Winner and Certs carry the per-instance MAX holder and its certificate.
+// On the wire the paper charges a single 20-byte aggregate MAC (the XOR of
+// the winner certificates, §II-D); WireSize follows that accounting while
+// the struct keeps per-instance certificates so that intermediate
+// aggregators can select winners.
+type Message struct {
+	X         []uint8    // per-instance sketch values
+	Winner    []uint32   // per-instance MAX-holding source id
+	Certs     []Cert     // per-instance winner certificate
+	Seals     []*big.Int // per-instance (or folded-by-position) SEALs
+	Positions []uint8    // nil, or the chain position of each folded SEAL
+}
+
+// AggregateCert XORs all winner certificates into the single 20-byte MAC
+// that travels on the wire.
+func (m *Message) AggregateCert() Cert {
+	var agg Cert
+	for _, c := range m.Certs {
+		agg = xorCert(agg, c)
+	}
+	return agg
+}
+
+// WireSize returns the number of bytes the message occupies on a network
+// edge under the paper's accounting: one byte per sketch value, one SEAL of
+// modulus size each, plus one aggregate certificate (Equations 10–11).
+func (m *Message) WireSize(keySize int) int {
+	return len(m.X) + len(m.Seals)*keySize + CertSize
+}
+
+// Clone deep-copies the message; attack simulations mutate clones.
+func (m *Message) Clone() *Message {
+	out := &Message{
+		X:      append([]uint8(nil), m.X...),
+		Winner: append([]uint32(nil), m.Winner...),
+		Certs:  append([]Cert(nil), m.Certs...),
+	}
+	for _, s := range m.Seals {
+		out.Seals = append(out.Seals, new(big.Int).Set(s))
+	}
+	if m.Positions != nil {
+		out.Positions = append([]uint8(nil), m.Positions...)
+	}
+	return out
+}
+
+// certMessage is the canonical byte string authenticated by an inflation
+// certificate: epoch ‖ instance ‖ value.
+func certMessage(t prf.Epoch, j int, x uint8) []byte {
+	var buf [13]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(t))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(j))
+	buf[12] = x
+	return buf[:]
+}
+
+// seedMessage derives the per-epoch, per-instance seed input.
+func seedMessage(t prf.Epoch, j int) []byte {
+	var buf [12]byte
+	binary.BigEndian.PutUint64(buf[0:8], uint64(t))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(j))
+	return buf[:]
+}
+
+// Source is a SECOA_S leaf sensor holding its inflation key K_i and seed key.
+type Source struct {
+	id      int
+	inflKey []byte
+	seedKey []byte
+	params  Params
+	rng     *rand.Rand
+}
+
+// NewSource constructs source id with its two long-term secrets. The rng
+// drives sketch generation and may be deterministic for reproducibility.
+func NewSource(id int, inflKey, seedKey []byte, params Params, rng *rand.Rand) (*Source, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("secoa: source needs an RNG")
+	}
+	return &Source{id: id, inflKey: inflKey, seedKey: seedKey, params: params, rng: rng}, nil
+}
+
+// ID returns the source identifier.
+func (s *Source) ID() int { return s.id }
+
+// seed returns sd_{i,j,t} as an element of [1, n).
+func seed(pk *rsax.PublicKey, seedKey []byte, t prf.Epoch, j int) *big.Int {
+	h := prf.HM1(seedKey, seedMessage(t, j))
+	return pk.SeedFromBytes(h[:])
+}
+
+// Produce runs the SECOA_S initialization phase for value v at epoch t:
+// sketch generation, one SEAL per instance (rolled x_j times), and one
+// inflation certificate per instance.
+func (s *Source) Produce(t prf.Epoch, v uint64) (*Message, error) {
+	sk, err := sketch.Generate(s.params.Sketch, v, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	return s.produceFromSketch(t, sk)
+}
+
+// ProduceFast is Produce with the closed-form sketch sampler, for
+// large-scale simulations where the Θ(J·v) honest loop is irrelevant.
+func (s *Source) ProduceFast(t prf.Epoch, v uint64) (*Message, error) {
+	sk, err := sketch.GenerateFast(s.params.Sketch, v, s.rng)
+	if err != nil {
+		return nil, err
+	}
+	return s.produceFromSketch(t, sk)
+}
+
+func (s *Source) produceFromSketch(t prf.Epoch, sk sketch.Sketch) (*Message, error) {
+	J := s.params.Sketch.J
+	msg := &Message{
+		X:      sk.X,
+		Winner: make([]uint32, J),
+		Certs:  make([]Cert, J),
+		Seals:  make([]*big.Int, J),
+	}
+	for j := 0; j < J; j++ {
+		msg.Winner[j] = uint32(s.id)
+		msg.Certs[j] = Cert(prf.HM1(s.inflKey, certMessage(t, j, sk.X[j])))
+		sd := seed(s.params.Key, s.seedKey, t, j)
+		sealed, err := s.params.Key.Roll(sd, int(sk.X[j]))
+		if err != nil {
+			return nil, fmt.Errorf("secoa: source %d instance %d: %w", s.id, j, err)
+		}
+		msg.Seals[j] = sealed
+	}
+	return msg, nil
+}
+
+// Aggregator merges children messages. It holds only the public RSA key.
+type Aggregator struct {
+	params Params
+}
+
+// NewAggregator returns an aggregator for the deployment.
+func NewAggregator(params Params) (*Aggregator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	return &Aggregator{params: params}, nil
+}
+
+// Merge combines per-instance messages: element-wise MAX of sketch values
+// (winner certificate travels along), and roll-to-max + fold of the SEALs.
+func (a *Aggregator) Merge(children ...*Message) (*Message, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("%w: merging zero children", ErrShape)
+	}
+	J := a.params.Sketch.J
+	for _, ch := range children {
+		if ch.Positions != nil {
+			return nil, fmt.Errorf("%w: cannot merge sink-folded messages", ErrShape)
+		}
+		if len(ch.X) != J || len(ch.Seals) != J || len(ch.Certs) != J || len(ch.Winner) != J {
+			return nil, fmt.Errorf("%w: child has wrong instance count", ErrShape)
+		}
+	}
+	out := &Message{
+		X:      make([]uint8, J),
+		Winner: make([]uint32, J),
+		Certs:  make([]Cert, J),
+		Seals:  make([]*big.Int, J),
+	}
+	for j := 0; j < J; j++ {
+		// Winner selection: maximum value, ties broken by lowest source id
+		// so that merging is deterministic and associative.
+		win := 0
+		for c := 1; c < len(children); c++ {
+			cx, wx := children[c].X[j], children[win].X[j]
+			if cx > wx || (cx == wx && children[c].Winner[j] < children[win].Winner[j]) {
+				win = c
+			}
+		}
+		max := children[win].X[j]
+		out.X[j] = max
+		out.Winner[j] = children[win].Winner[j]
+		out.Certs[j] = children[win].Certs[j]
+		// Roll every child's SEAL to the max position, then fold.
+		acc := big.NewInt(1)
+		for _, ch := range children {
+			rolled, err := a.params.Key.Roll(ch.Seals[j], int(max)-int(ch.X[j]))
+			if err != nil {
+				return nil, err
+			}
+			acc = a.params.Key.Fold(acc, rolled)
+		}
+		out.Seals[j] = acc
+	}
+	return out, nil
+}
+
+// SinkFold converts a per-instance message into the compact form sent to
+// the querier: SEALs at the same chain position are folded together
+// (paper §II-D), shrinking J SEALs to one per distinct position.
+func (a *Aggregator) SinkFold(m *Message) (*Message, error) {
+	if m.Positions != nil {
+		return nil, fmt.Errorf("%w: message already sink-folded", ErrShape)
+	}
+	J := a.params.Sketch.J
+	if len(m.X) != J || len(m.Seals) != J {
+		return nil, fmt.Errorf("%w: wrong instance count", ErrShape)
+	}
+	folded := map[uint8]*big.Int{}
+	var order []uint8
+	for j := 0; j < J; j++ {
+		pos := m.X[j]
+		if cur, ok := folded[pos]; ok {
+			folded[pos] = a.params.Key.Fold(cur, m.Seals[j])
+		} else {
+			folded[pos] = new(big.Int).Set(m.Seals[j])
+			order = append(order, pos)
+		}
+	}
+	out := &Message{
+		X:      append([]uint8(nil), m.X...),
+		Winner: append([]uint32(nil), m.Winner...),
+		Certs:  append([]Cert(nil), m.Certs...),
+	}
+	// Deterministic position order (ascending).
+	for i := 0; i < len(order); i++ {
+		for k := i + 1; k < len(order); k++ {
+			if order[k] < order[i] {
+				order[i], order[k] = order[k], order[i]
+			}
+		}
+	}
+	for _, pos := range order {
+		out.Positions = append(out.Positions, pos)
+		out.Seals = append(out.Seals, folded[pos])
+	}
+	return out, nil
+}
+
+// Result is a verified SECOA_S outcome.
+type Result struct {
+	Epoch    prf.Epoch
+	Estimate float64 // bias-corrected 2^x̄ SUM estimate
+	Raw      float64 // the paper's plain 2^x̄
+	Seals    int     // number of SEALs received from the sink
+	XMax     int     // maximum chain position, drives verification cost
+}
+
+// Querier verifies sink messages using the full key material.
+type Querier struct {
+	params   Params
+	inflKeys [][]byte
+	seedKeys [][]byte
+}
+
+// NewQuerier returns a querier holding every source's keys.
+func NewQuerier(params Params, inflKeys, seedKeys [][]byte) (*Querier, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inflKeys) == 0 || len(inflKeys) != len(seedKeys) {
+		return nil, errors.New("secoa: querier needs matching inflation and seed key lists")
+	}
+	return &Querier{params: params, inflKeys: inflKeys, seedKeys: seedKeys}, nil
+}
+
+// Verify checks a sink-folded message for epoch t and returns the SUM
+// estimate. Verification follows the paper's cost model (Equation 8):
+// recompute the J·N seeds, fold them, roll to x_max, and compare against the
+// collected SEALs rolled up to x_max; plus recompute the J winner
+// certificates and compare their XOR aggregate.
+func (q *Querier) Verify(t prf.Epoch, m *Message) (Result, error) {
+	xmax, err := q.verifyShapeAndCerts(t, m)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// SEALs: the collected aggregate, all rolled to x_max and folded, must
+	// equal the fold of every seed rolled x_max times.
+	collected := big.NewInt(1)
+	for k, s := range m.Seals {
+		rolled, err := q.params.Key.Roll(s, xmax-int(m.Positions[k]))
+		if err != nil {
+			return Result{}, err
+		}
+		collected = q.params.Key.Fold(collected, rolled)
+	}
+
+	reference := big.NewInt(1)
+	for i := range q.seedKeys {
+		for j := 0; j < q.params.Sketch.J; j++ {
+			reference = q.params.Key.Fold(reference, seed(q.params.Key, q.seedKeys[i], t, j))
+		}
+	}
+	rolledRef, err := q.params.Key.Roll(reference, xmax)
+	if err != nil {
+		return Result{}, err
+	}
+	if collected.Cmp(rolledRef) != 0 {
+		return Result{}, ErrDeflation
+	}
+	return q.result(t, m, xmax), nil
+}
+
+// verifyShapeAndCerts performs the structural checks and the inflation-
+// certificate comparison shared by Verify and VerifyStrict, returning x_max.
+func (q *Querier) verifyShapeAndCerts(t prf.Epoch, m *Message) (int, error) {
+	J := q.params.Sketch.J
+	if m.Positions == nil || len(m.X) != J || len(m.Certs) != J || len(m.Winner) != J {
+		return 0, fmt.Errorf("%w: querier expects a sink-folded message", ErrShape)
+	}
+	if len(m.Seals) != len(m.Positions) {
+		return 0, fmt.Errorf("%w: %d SEALs for %d positions", ErrShape, len(m.Seals), len(m.Positions))
+	}
+
+	// Inflation certificates: recompute each winner's MAC and compare the
+	// XOR aggregates (the wire carries only the aggregate).
+	var expected Cert
+	for j := 0; j < J; j++ {
+		w := int(m.Winner[j])
+		if w < 0 || w >= len(q.inflKeys) {
+			return 0, fmt.Errorf("%w: winner id %d out of range", ErrShape, w)
+		}
+		expected = xorCert(expected, Cert(prf.HM1(q.inflKeys[w], certMessage(t, j, m.X[j]))))
+	}
+	got := m.AggregateCert()
+	if !bytes.Equal(expected[:], got[:]) {
+		return 0, ErrInflation
+	}
+
+	xmax := 0
+	present := map[uint8]bool{}
+	for _, pos := range m.Positions {
+		present[pos] = true
+		if int(pos) > xmax {
+			xmax = int(pos)
+		}
+	}
+	// Each instance's position must be present among the folded positions.
+	for j := 0; j < J; j++ {
+		if !present[m.X[j]] {
+			return 0, fmt.Errorf("%w: instance %d at position %d has no SEAL", ErrShape, j, m.X[j])
+		}
+	}
+	return xmax, nil
+}
+
+func (q *Querier) result(t prf.Epoch, m *Message, xmax int) Result {
+	sk := sketch.Sketch{X: m.X}
+	return Result{
+		Epoch:    t,
+		Estimate: sk.Estimate(),
+		Raw:      sk.EstimateRaw(),
+		Seals:    len(m.Seals),
+		XMax:     xmax,
+	}
+}
+
+// VerifyStrict is Verify with a per-position SEAL check instead of the
+// paper's single aggregate comparison: each folded SEAL is recomputed from
+// exactly the instances at its chain position. It costs one extra rolling
+// pass but localises a corruption to the offending position, which the
+// aggregate check cannot. Returns the same Result as Verify on success.
+func (q *Querier) VerifyStrict(t prf.Epoch, m *Message) (Result, error) {
+	xmax, err := q.verifyShapeAndCerts(t, m)
+	if err != nil {
+		return Result{}, err
+	}
+	J := q.params.Sketch.J
+	// Group instances by position and rebuild each folded SEAL.
+	for k, pos := range m.Positions {
+		expected := big.NewInt(1)
+		for j := 0; j < J; j++ {
+			if m.X[j] != pos {
+				continue
+			}
+			for i := range q.seedKeys {
+				expected = q.params.Key.Fold(expected, seed(q.params.Key, q.seedKeys[i], t, j))
+			}
+		}
+		rolled, err := q.params.Key.Roll(expected, int(pos))
+		if err != nil {
+			return Result{}, err
+		}
+		if rolled.Cmp(m.Seals[k]) != 0 {
+			return Result{}, fmt.Errorf("%w: SEAL at position %d", ErrDeflation, pos)
+		}
+	}
+	return q.result(t, m, xmax), nil
+}
+
+// SynthesizeUniformSinkMessage builds a *valid* sink-folded message in which
+// every sketch instance sits at position x and source 0 won every instance —
+// the message an all-equal-sketch network would deliver. Its cost is one
+// reference-SEAL computation (fold all J·N seeds, roll x times), which lets
+// benchmarks exercise querier verification at large N without simulating
+// every source's Θ(J·v) work.
+func (q *Querier) SynthesizeUniformSinkMessage(t prf.Epoch, x uint8) (*Message, error) {
+	if int(x) > q.params.Sketch.MaxLevel {
+		return nil, fmt.Errorf("%w: position %d beyond MaxLevel", ErrShape, x)
+	}
+	J := q.params.Sketch.J
+	m := &Message{
+		X:         make([]uint8, J),
+		Winner:    make([]uint32, J),
+		Certs:     make([]Cert, J),
+		Positions: []uint8{x},
+	}
+	folded := big.NewInt(1)
+	for i := range q.seedKeys {
+		for j := 0; j < J; j++ {
+			folded = q.params.Key.Fold(folded, seed(q.params.Key, q.seedKeys[i], t, j))
+		}
+	}
+	rolled, err := q.params.Key.Roll(folded, int(x))
+	if err != nil {
+		return nil, err
+	}
+	m.Seals = []*big.Int{rolled}
+	for j := 0; j < J; j++ {
+		m.X[j] = x
+		m.Winner[j] = 0
+		m.Certs[j] = Cert(prf.HM1(q.inflKeys[0], certMessage(t, j, x)))
+	}
+	return m, nil
+}
+
+// Deployment bundles a generated SECOA_S network.
+type Deployment struct {
+	Params  Params
+	Querier *Querier
+	Sources []*Source
+}
+
+// NewDeployment generates fresh keys for n sources. Source RNGs are seeded
+// deterministically from rngSeed for reproducible experiments.
+func NewDeployment(n int, params Params, rngSeed int64) (*Deployment, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, errors.New("secoa: need at least one source")
+	}
+	inflKeys := make([][]byte, n)
+	seedKeys := make([][]byte, n)
+	sources := make([]*Source, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if inflKeys[i], err = prf.NewLongTermKey(); err != nil {
+			return nil, err
+		}
+		if seedKeys[i], err = prf.NewLongTermKey(); err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(rngSeed + int64(i)))
+		if sources[i], err = NewSource(i, inflKeys[i], seedKeys[i], params, rng); err != nil {
+			return nil, err
+		}
+	}
+	q, err := NewQuerier(params, inflKeys, seedKeys)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Params: params, Querier: q, Sources: sources}, nil
+}

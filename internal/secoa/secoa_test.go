@@ -1,0 +1,395 @@
+package secoa
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/rsax"
+	"github.com/sies/sies/internal/sketch"
+)
+
+// Shared small RSA key: keygen dominates otherwise. 512 bits keeps tests
+// fast; correctness is size-independent.
+var (
+	keyOnce sync.Once
+	key     *rsax.PublicKey
+	keyErr  error
+)
+
+func testParams(t testing.TB, J int) Params {
+	t.Helper()
+	keyOnce.Do(func() { key, keyErr = rsax.GenerateKey(512, rsax.DefaultExponent) })
+	if keyErr != nil {
+		t.Fatal(keyErr)
+	}
+	return Params{Sketch: sketch.Params{J: J, MaxLevel: 24}, Key: key}
+}
+
+func deploy(t testing.TB, n, J int) *Deployment {
+	t.Helper()
+	d, err := NewDeployment(n, testParams(t, J), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// runEpoch pushes values through source → single aggregator → sink fold and
+// returns the sink message.
+func runEpoch(t testing.TB, d *Deployment, epoch prf.Epoch, values []uint64) *Message {
+	t.Helper()
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := make([]*Message, len(values))
+	for i, v := range values {
+		m, err := d.Sources[i].ProduceFast(epoch, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[i] = m
+	}
+	merged, err := agg.Merge(msgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folded, err := agg.SinkFold(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return folded
+}
+
+func TestEndToEndVerifies(t *testing.T) {
+	d := deploy(t, 4, 32)
+	folded := runEpoch(t, d, 1, []uint64{100, 200, 300, 400})
+	res, err := d.Querier.Verify(1, folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate <= 0 {
+		t.Fatalf("estimate = %f", res.Estimate)
+	}
+	if res.Seals < 1 || res.Seals > 32 {
+		t.Fatalf("seals = %d", res.Seals)
+	}
+	if res.XMax < 1 {
+		t.Fatalf("xmax = %d", res.XMax)
+	}
+}
+
+func TestEstimateInRightBallpark(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	d := deploy(t, 8, 300)
+	values := []uint64{500, 500, 500, 500, 500, 500, 500, 500} // SUM = 4000
+	folded := runEpoch(t, d, 2, values)
+	res, err := d.Querier.Verify(2, folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(res.Estimate-4000) / 4000
+	if rel > 0.35 {
+		t.Fatalf("estimate %.0f, relative error %.2f", res.Estimate, rel)
+	}
+}
+
+func TestMultiLevelTree(t *testing.T) {
+	d := deploy(t, 4, 16)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []*Message
+	for i, v := range []uint64{10, 20, 30, 40} {
+		m, err := d.Sources[i].ProduceFast(3, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs = append(msgs, m)
+	}
+	left, err := agg.Merge(msgs[0], msgs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := agg.Merge(msgs[2], msgs[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := agg.Merge(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := agg.Merge(msgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tree shape must not change the outcome.
+	for j := range root.X {
+		if root.X[j] != flat.X[j] || root.Winner[j] != flat.Winner[j] {
+			t.Fatal("tree merge differs from flat merge")
+		}
+		if root.Seals[j].Cmp(flat.Seals[j]) != 0 {
+			t.Fatal("tree SEALs differ from flat SEALs")
+		}
+	}
+	folded, err := agg.SinkFold(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Querier.Verify(3, folded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInflationAttackDetected(t *testing.T) {
+	// A compromised aggregator inflates an instance value without the
+	// winner's key: certificate check must fail.
+	d := deploy(t, 3, 8)
+	folded := runEpoch(t, d, 4, []uint64{50, 60, 70})
+	bad := folded.Clone()
+	bad.X[0]++ // inflate
+	if _, err := d.Querier.Verify(4, bad); !errors.Is(err, ErrInflation) && !errors.Is(err, ErrShape) {
+		t.Fatalf("inflation accepted: %v", err)
+	}
+}
+
+func TestDeflationAttackDetected(t *testing.T) {
+	// Deflating a value requires rolling a SEAL backwards, which is
+	// infeasible; an adversary who also forges no certificate is caught by
+	// the certificate check, and one who controls a colluding source key
+	// still fails the SEAL comparison. Simulate by rewriting the value and
+	// recomputing a fake certificate with the true winner's key unavailable:
+	// here we only flip the value downward and keep everything else.
+	d := deploy(t, 3, 8)
+	folded := runEpoch(t, d, 5, []uint64{500, 600, 700})
+	bad := folded.Clone()
+	// Find an instance with positive value to deflate.
+	idx := -1
+	for j, x := range bad.X {
+		if x > 1 {
+			idx = j
+			break
+		}
+	}
+	if idx == -1 {
+		t.Skip("no deflatable instance")
+	}
+	bad.X[idx]--
+	if _, err := d.Querier.Verify(5, bad); err == nil {
+		t.Fatal("deflation accepted")
+	}
+}
+
+func TestSealTamperDetected(t *testing.T) {
+	d := deploy(t, 2, 8)
+	folded := runEpoch(t, d, 6, []uint64{100, 200})
+	bad := folded.Clone()
+	bad.Seals[0].Add(bad.Seals[0], intOne())
+	bad.Seals[0].Mod(bad.Seals[0], d.Params.Key.N)
+	if _, err := d.Querier.Verify(6, bad); !errors.Is(err, ErrDeflation) {
+		t.Fatalf("tampered SEAL accepted: %v", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	// Seeds and certificates bind the epoch; replaying epoch 7's message at
+	// epoch 8 must fail.
+	d := deploy(t, 2, 8)
+	folded := runEpoch(t, d, 7, []uint64{100, 200})
+	if _, err := d.Querier.Verify(8, folded); err == nil {
+		t.Fatal("replay accepted")
+	}
+}
+
+func TestCertForgeryWithoutKeyDetected(t *testing.T) {
+	d := deploy(t, 2, 4)
+	folded := runEpoch(t, d, 9, []uint64{10, 20})
+	bad := folded.Clone()
+	bad.Certs[0][0] ^= 0xff
+	if _, err := d.Querier.Verify(9, bad); !errors.Is(err, ErrInflation) {
+		t.Fatalf("forged certificate accepted: %v", err)
+	}
+}
+
+func TestNoConfidentiality(t *testing.T) {
+	// The defining weakness: sketch values travel in plaintext and reveal
+	// the magnitude of the source value (an eavesdropper learns ~log2 v).
+	d := deploy(t, 1, 300)
+	m, err := d.Sources[0].ProduceFast(1, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := sketch.Sketch{X: m.X}
+	if est := sk.Estimate(); est < 10000 {
+		t.Fatalf("eavesdropper estimate %.0f — expected to leak the value magnitude", est)
+	}
+}
+
+func TestMergeValidation(t *testing.T) {
+	d := deploy(t, 2, 4)
+	agg, err := NewAggregator(d.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Merge(); !errors.Is(err, ErrShape) {
+		t.Fatal("zero children accepted")
+	}
+	m, err := d.Sources[0].ProduceFast(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := m.Clone()
+	short.X = short.X[:2]
+	if _, err := agg.Merge(short); !errors.Is(err, ErrShape) {
+		t.Fatal("short message accepted")
+	}
+	folded, err := agg.SinkFold(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agg.Merge(folded); !errors.Is(err, ErrShape) {
+		t.Fatal("sink-folded message accepted by Merge")
+	}
+	if _, err := agg.SinkFold(folded); !errors.Is(err, ErrShape) {
+		t.Fatal("double sink fold accepted")
+	}
+}
+
+func TestVerifyShapeChecks(t *testing.T) {
+	d := deploy(t, 2, 4)
+	agg, _ := NewAggregator(d.Params)
+	m, err := d.Sources[0].ProduceFast(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unfolded message rejected.
+	if _, err := d.Querier.Verify(1, m); !errors.Is(err, ErrShape) {
+		t.Fatal("per-instance message accepted by Verify")
+	}
+	folded, err := agg.SinkFold(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := folded.Clone()
+	bad.Winner[0] = 99
+	if _, err := d.Querier.Verify(1, bad); !errors.Is(err, ErrShape) {
+		t.Fatal("out-of-range winner accepted")
+	}
+	bad2 := folded.Clone()
+	bad2.Seals = bad2.Seals[:0]
+	bad2.Positions = bad2.Positions[:0]
+	if _, err := d.Querier.Verify(1, bad2); !errors.Is(err, ErrShape) {
+		t.Fatal("missing SEALs accepted")
+	}
+}
+
+func TestSinkFoldShrinksSeals(t *testing.T) {
+	d := deploy(t, 4, 64)
+	folded := runEpoch(t, d, 10, []uint64{1000, 2000, 3000, 4000})
+	if len(folded.Seals) >= 64 {
+		t.Fatalf("sink folding did not shrink: %d SEALs", len(folded.Seals))
+	}
+	if len(folded.Seals) != len(folded.Positions) {
+		t.Fatal("SEAL/position length mismatch")
+	}
+	// Positions strictly ascending.
+	for i := 1; i < len(folded.Positions); i++ {
+		if folded.Positions[i] <= folded.Positions[i-1] {
+			t.Fatal("positions not strictly ascending")
+		}
+	}
+}
+
+func TestWireSizeAccounting(t *testing.T) {
+	d := deploy(t, 2, 300)
+	m, err := d.Sources[0].ProduceFast(1, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keySize := d.Params.Key.Size()
+	want := 300 + 300*keySize + CertSize
+	if got := m.WireSize(keySize); got != want {
+		t.Fatalf("WireSize = %d, want %d", got, want)
+	}
+}
+
+func TestDeploymentValidation(t *testing.T) {
+	p := testParams(t, 4)
+	if _, err := NewDeployment(0, p, 1); err == nil {
+		t.Fatal("zero sources accepted")
+	}
+	if _, err := NewDeployment(2, Params{}, 1); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	if _, err := NewQuerier(p, nil, nil); err == nil {
+		t.Fatal("querier without keys accepted")
+	}
+	if _, err := NewSource(0, nil, nil, p, nil); err == nil {
+		t.Fatal("source without rng accepted")
+	}
+}
+
+func intOne() *big.Int { return big.NewInt(1) }
+
+func TestSynthesizeUniformSinkMessage(t *testing.T) {
+	d := deploy(t, 4, 8)
+	m, err := d.Querier.SynthesizeUniformSinkMessage(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Querier.Verify(3, m)
+	if err != nil {
+		t.Fatalf("synthesized message failed verification: %v", err)
+	}
+	if res.XMax != 5 || res.Seals != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if _, err := d.Querier.SynthesizeUniformSinkMessage(3, 200); err == nil {
+		t.Fatal("position beyond MaxLevel accepted")
+	}
+}
+
+func TestVerifyStrictMatchesVerify(t *testing.T) {
+	d := deploy(t, 4, 16)
+	folded := runEpoch(t, d, 11, []uint64{100, 200, 300, 400})
+	loose, err := d.Querier.Verify(11, folded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := d.Querier.VerifyStrict(11, folded)
+	if err != nil {
+		t.Fatalf("strict rejected an honest message: %v", err)
+	}
+	if strict.Estimate != loose.Estimate || strict.XMax != loose.XMax || strict.Seals != loose.Seals {
+		t.Fatalf("strict %+v != loose %+v", strict, loose)
+	}
+}
+
+func TestVerifyStrictLocalizesTamper(t *testing.T) {
+	d := deploy(t, 3, 16)
+	folded := runEpoch(t, d, 12, []uint64{500, 600, 700})
+	if len(folded.Seals) < 2 {
+		t.Skip("need ≥2 positions to localise")
+	}
+	bad := folded.Clone()
+	bad.Seals[1].Add(bad.Seals[1], big.NewInt(1))
+	bad.Seals[1].Mod(bad.Seals[1], d.Params.Key.N)
+	_, err := d.Querier.VerifyStrict(12, bad)
+	if !errors.Is(err, ErrDeflation) {
+		t.Fatalf("strict missed the tamper: %v", err)
+	}
+	// The error names the corrupted position.
+	want := fmt.Sprintf("position %d", bad.Positions[1])
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not localise %q", err, want)
+	}
+}

@@ -1,0 +1,101 @@
+// Package secretshare implements the additive N-out-of-N secret sharing used
+// by SIES for integrity (paper §III-D), plus the PRF-derived share stream
+// the protocol actually deploys.
+//
+// Classic form: to share a secret s among N parties, draw N−1 random values
+// ss₁..ss_{N−1} and set ss_N = s − Σ ssᵢ; the secret is recovered only when
+// all N shares are summed. SIES inverts the direction: each source i derives
+// its share pseudo-randomly as ss_{i,t} = HM1(k_i, t), and the *secret*
+// s_t = Σ ss_{i,t} is whatever the shares sum to — the querier can recompute
+// it because it holds every k_i, while an adversary missing even one k_i
+// learns nothing about s_t.
+package secretshare
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// ShareBits is the size of a SIES secret share in bits (20-byte HM1 output).
+const ShareBits = prf.Size1 * 8
+
+// ErrNoParties is returned when splitting among zero parties.
+var ErrNoParties = errors.New("secretshare: need at least one party")
+
+// Split distributes secret s (an element of field f) among n parties so that
+// the shares sum to s modulo the field. The first n−1 shares are uniformly
+// random.
+func Split(f *uint256.Field, s uint256.Int, n int) ([]uint256.Int, error) {
+	if n < 1 {
+		return nil, ErrNoParties
+	}
+	if s.Cmp(f.Modulus()) >= 0 {
+		return nil, fmt.Errorf("secretshare: secret not in field")
+	}
+	shares := make([]uint256.Int, n)
+	var sum uint256.Int
+	for i := 0; i < n-1; i++ {
+		r, err := f.Rand()
+		if err != nil {
+			return nil, err
+		}
+		shares[i] = r
+		sum = f.Add(sum, r)
+	}
+	shares[n-1] = f.Sub(s, sum)
+	return shares, nil
+}
+
+// Reconstruct sums shares modulo the field, recovering the secret when every
+// share is present.
+func Reconstruct(f *uint256.Field, shares []uint256.Int) uint256.Int {
+	var sum uint256.Int
+	for _, sh := range shares {
+		sum = f.Add(sum, sh)
+	}
+	return sum
+}
+
+// Share is a 20-byte SIES secret share, ss_{i,t} = HM1(k_i, t).
+type Share [prf.Size1]byte
+
+// Derive computes the share of the source holding long-term key ki at epoch t.
+func Derive(ki []byte, t prf.Epoch) Share {
+	return Share(prf.HM1Epoch(ki, t))
+}
+
+// Int converts the share to its integer value (big-endian, < 2^160).
+func (s Share) Int() uint256.Int {
+	return uint256.MustSetBytes(s[:])
+}
+
+// SumShares adds share integers with full 256-bit precision (no modulus):
+// the sum of up to 2^64 shares of 160 bits fits in 160+64 = 224 bits, which
+// is exactly the headroom the SIES plaintext layout reserves.
+func SumShares(shares []Share) uint256.Int {
+	var sum uint256.Int
+	for _, sh := range shares {
+		// Overflow is impossible for any realistic N; the carry is asserted
+		// away rather than silently dropped.
+		s, carry := sum.Add(sh.Int())
+		if carry != 0 {
+			panic("secretshare: share sum overflowed 256 bits")
+		}
+		sum = s
+	}
+	return sum
+}
+
+// RandomShare draws a uniformly random 20-byte share; used by tests and by
+// attack simulations that forge shares.
+func RandomShare() (Share, error) {
+	var s Share
+	if _, err := rand.Read(s[:]); err != nil {
+		return Share{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,224 @@
+package secretshare
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+func TestSplitReconstruct(t *testing.T) {
+	f := uint256.NewDefaultField()
+	for _, n := range []int{1, 2, 3, 16, 100} {
+		s, err := f.Rand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares, err := Split(f, s, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(shares) != n {
+			t.Fatalf("got %d shares, want %d", len(shares), n)
+		}
+		if got := Reconstruct(f, shares); got != s {
+			t.Fatalf("n=%d: reconstructed %v, want %v", n, got, s)
+		}
+	}
+}
+
+func TestSplitMissingShareHidesSecret(t *testing.T) {
+	f := uint256.NewDefaultField()
+	s := uint256.NewInt(777)
+	shares, err := Split(f, s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing any single share makes the partial sum differ from s (with
+	// overwhelming probability for random shares).
+	for drop := 0; drop < 5; drop++ {
+		var partial []uint256.Int
+		for i, sh := range shares {
+			if i != drop {
+				partial = append(partial, sh)
+			}
+		}
+		if Reconstruct(f, partial) == s {
+			t.Fatalf("secret recovered with share %d missing", drop)
+		}
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	f := uint256.NewDefaultField()
+	if _, err := Split(f, uint256.One, 0); err != ErrNoParties {
+		t.Fatalf("Split n=0: %v", err)
+	}
+	if _, err := Split(f, f.Modulus(), 3); err == nil {
+		t.Fatal("secret == p accepted")
+	}
+}
+
+func TestDeriveDeterministic(t *testing.T) {
+	ki := []byte("source-key-material!")
+	a := Derive(ki, 9)
+	b := Derive(ki, 9)
+	if a != b {
+		t.Fatal("Derive not deterministic")
+	}
+	if Derive(ki, 10) == a {
+		t.Fatal("Derive identical across epochs")
+	}
+	if Derive([]byte("other"), 9) == a {
+		t.Fatal("Derive identical across keys")
+	}
+}
+
+func TestDeriveMatchesPRF(t *testing.T) {
+	ki := []byte("k_i")
+	if Share(prf.HM1Epoch(ki, 3)) != Derive(ki, 3) {
+		t.Fatal("Derive disagrees with prf.HM1Epoch")
+	}
+}
+
+func TestShareIntBounds(t *testing.T) {
+	var all Share
+	for i := range all {
+		all[i] = 0xff
+	}
+	v := all.Int()
+	if v.BitLen() != 160 {
+		t.Fatalf("max share bitlen = %d, want 160", v.BitLen())
+	}
+}
+
+func TestSumShares(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	var shares []Share
+	want := uint256.Zero
+	for i := 0; i < 1000; i++ {
+		var sh Share
+		r.Read(sh[:])
+		shares = append(shares, sh)
+		var carry uint64
+		want, carry = want.Add(sh.Int())
+		if carry != 0 {
+			t.Fatal("unexpected overflow in test oracle")
+		}
+	}
+	if got := SumShares(shares); got != want {
+		t.Fatalf("SumShares = %v, want %v", got, want)
+	}
+	// The sum of 1000 160-bit shares fits well within 170 bits.
+	if got := SumShares(shares); got.BitLen() > 170 {
+		t.Fatalf("sum bitlen = %d", got.BitLen())
+	}
+}
+
+func TestSumSharesEmpty(t *testing.T) {
+	if !SumShares(nil).IsZero() {
+		t.Fatal("empty sum nonzero")
+	}
+}
+
+func TestRandomShare(t *testing.T) {
+	a, err := RandomShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomShare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("two random shares identical")
+	}
+}
+
+func BenchmarkDerive(b *testing.B) {
+	ki := make([]byte, prf.LongTermKeySize)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Derive(ki, prf.Epoch(i))
+	}
+}
+
+func BenchmarkSumShares1024(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	shares := make([]Share, 1024)
+	for i := range shares {
+		r.Read(shares[i][:])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SumShares(shares)
+	}
+}
+
+func TestSplitReconstructQuick(t *testing.T) {
+	// Property: for any secret and any party count in [1,32], splitting then
+	// reconstructing is the identity, and every proper subset misses.
+	f := uint256.NewDefaultField()
+	r := rand.New(rand.NewSource(21))
+	cfg := &quick.Config{
+		MaxCount: 60,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			var x uint256.Int
+			for j := range x {
+				x[j] = r.Uint64()
+			}
+			vals[0] = reflect.ValueOf(f.Reduce(x))
+			vals[1] = reflect.ValueOf(1 + r.Intn(32))
+		},
+	}
+	prop := func(secret uint256.Int, n int) bool {
+		shares, err := Split(f, secret, n)
+		if err != nil {
+			return false
+		}
+		if Reconstruct(f, shares) != secret {
+			return false
+		}
+		if n > 1 && Reconstruct(f, shares[1:]) == secret {
+			// A missing share reconstructing correctly has probability 2^-256.
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShareSumLinearityQuick(t *testing.T) {
+	// Property: SumShares(a ++ b) == SumShares(a) + SumShares(b) — the
+	// algebraic fact the SIES aggregate verification rests on.
+	r := rand.New(rand.NewSource(22))
+	cfg := &quick.Config{
+		MaxCount: 100,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			mk := func() []Share {
+				out := make([]Share, r.Intn(20))
+				for i := range out {
+					r.Read(out[i][:])
+				}
+				return out
+			}
+			vals[0] = reflect.ValueOf(mk())
+			vals[1] = reflect.ValueOf(mk())
+		},
+	}
+	prop := func(a, b []Share) bool {
+		joint := SumShares(append(append([]Share{}, a...), b...))
+		sa, sb := SumShares(a), SumShares(b)
+		sum, carry := sa.Add(sb)
+		return carry == 0 && joint == sum
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

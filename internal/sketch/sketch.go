@@ -1,0 +1,209 @@
+// Package sketch implements the Flajolet–Martin-style counting sketches that
+// SECOA_S layers under its MAX protocol to approximate SUM queries (paper
+// §II-D, citing AMS sketches for distinct-item estimation).
+//
+// A sketch holds J independent instances. Adding a count v to an instance
+// draws v geometric random levels (P[level = ℓ] = 2^−(ℓ+1)) and keeps the
+// maximum; the instance value x_j therefore grows like log2 of the total
+// count inserted, and the estimator 2^x̄ (x̄ the mean over the J instances)
+// approximates the SUM. Merging two sketches is the element-wise maximum,
+// which makes the sketch order- and duplicate-insensitive — exactly the
+// property that lets SECOA reduce SUM to J MAX aggregations.
+//
+// Generation deliberately performs J·v geometric draws, matching the paper's
+// cost model C_sk·J·v (Equation 2): the benchmark figures depend on source
+// cost growing linearly with the value domain. A closed-form sampler that
+// draws the maximum directly is provided for simulations that only need the
+// distribution (GenerateFast), and is exercised by the ablation benchmarks.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// Params fixes the sketch dimensions for a deployment.
+type Params struct {
+	J        int // number of instances; the paper uses 300 for ≤10% error at 90% confidence
+	MaxLevel int // cap on instance values: ceil(log2(N·D_U)) per the paper's analysis
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.J < 1 {
+		return errors.New("sketch: J must be positive")
+	}
+	if p.MaxLevel < 1 || p.MaxLevel > 255 {
+		return errors.New("sketch: MaxLevel must be in [1,255]")
+	}
+	return nil
+}
+
+// DefaultParams returns the paper's configuration for n sources over a value
+// domain with upper bound domainMax: J = 300, MaxLevel = ceil(log2(n·domainMax)).
+func DefaultParams(n int, domainMax uint64) Params {
+	prod := float64(n) * float64(domainMax)
+	lvl := int(math.Ceil(math.Log2(prod)))
+	if lvl < 1 {
+		lvl = 1
+	}
+	if lvl > 255 {
+		lvl = 255
+	}
+	return Params{J: 300, MaxLevel: lvl}
+}
+
+// Sketch is the J-instance vector of maxima.
+type Sketch struct {
+	X []uint8
+}
+
+// NewZero returns an empty sketch (all instances at level 0 meaning "no item
+// observed"; level values are stored shifted by one so that 0 is empty and a
+// drawn level ℓ is stored as ℓ+1).
+func NewZero(p Params) Sketch { return Sketch{X: make([]uint8, p.J)} }
+
+// geometricLevel draws ℓ ~ Geometric(1/2) (ℓ ≥ 0) capped at max, using the
+// trailing zero count of a uniform 64-bit word.
+func geometricLevel(r *rand.Rand, max int) int {
+	ℓ := bits.TrailingZeros64(r.Uint64() | 1<<63) // |1<<63 caps the draw at 63
+	if ℓ > max {
+		ℓ = max
+	}
+	return ℓ
+}
+
+// Generate builds the sketch of a single source value v by performing J·v
+// honest insertions (the paper's source-side cost).
+func Generate(p Params, v uint64, r *rand.Rand) (Sketch, error) {
+	if err := p.Validate(); err != nil {
+		return Sketch{}, err
+	}
+	s := NewZero(p)
+	for j := 0; j < p.J; j++ {
+		maxLvl := -1
+		for i := uint64(0); i < v; i++ {
+			if ℓ := geometricLevel(r, p.MaxLevel-1); ℓ > maxLvl {
+				maxLvl = ℓ
+			}
+		}
+		s.X[j] = uint8(maxLvl + 1)
+	}
+	return s, nil
+}
+
+// GenerateFast draws each instance's maximum directly from its closed-form
+// distribution P[max < ℓ] = (1 − 2^−ℓ)^v, avoiding the Θ(J·v) loop. Used by
+// large-scale simulations and the ablation benchmarks; not used when
+// reproducing the paper's cost figures.
+func GenerateFast(p Params, v uint64, r *rand.Rand) (Sketch, error) {
+	if err := p.Validate(); err != nil {
+		return Sketch{}, err
+	}
+	s := NewZero(p)
+	if v == 0 {
+		return s, nil
+	}
+	vf := float64(v)
+	for j := 0; j < p.J; j++ {
+		u := r.Float64()
+		// Invert the CDF: find smallest ℓ ≥ 0 with (1−2^−(ℓ+1))^v ≥ u.
+		lvl := 0
+		for lvl < p.MaxLevel-1 {
+			if math.Pow(1-math.Exp2(-float64(lvl+1)), vf) >= u {
+				break
+			}
+			lvl++
+		}
+		s.X[j] = uint8(lvl + 1)
+	}
+	return s, nil
+}
+
+// Merge returns the element-wise maximum of a and b.
+func Merge(a, b Sketch) (Sketch, error) {
+	if len(a.X) != len(b.X) {
+		return Sketch{}, fmt.Errorf("sketch: merging mismatched sizes %d and %d", len(a.X), len(b.X))
+	}
+	out := Sketch{X: make([]uint8, len(a.X))}
+	for i := range out.X {
+		out.X[i] = a.X[i]
+		if b.X[i] > out.X[i] {
+			out.X[i] = b.X[i]
+		}
+	}
+	return out, nil
+}
+
+// MergeAll folds any number of sketches.
+func MergeAll(p Params, sketches ...Sketch) (Sketch, error) {
+	acc := NewZero(p)
+	var err error
+	for _, s := range sketches {
+		if acc, err = Merge(acc, s); err != nil {
+			return Sketch{}, err
+		}
+	}
+	return acc, nil
+}
+
+// maxGeomCorrection removes the bias of the max-of-geometrics statistic:
+// for v insertions E[max] ≈ log2(v) + γ/ln2 − 1/2 ≈ log2(v) + 0.33275, so
+// 2^x̄ concentrates around v·2^0.33275 ≈ 1.2593·v for large J.
+const maxGeomCorrection = 1.2593
+
+// Mean returns x̄, the average instance value (with the +1 storage shift
+// removed; empty instances count as −1 and are clamped to 0).
+func (s Sketch) Mean() float64 {
+	if len(s.X) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.X {
+		sum += float64(int(x) - 1)
+	}
+	m := sum / float64(len(s.X))
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
+// Max returns the largest instance value (storage shift removed).
+func (s Sketch) Max() int {
+	max := 0
+	for _, x := range s.X {
+		if int(x) > max {
+			max = int(x)
+		}
+	}
+	return max - 1
+}
+
+// EstimateRaw is the paper's estimator 2^x̄.
+func (s Sketch) EstimateRaw() float64 { return math.Exp2(s.Mean()) }
+
+// Estimate is 2^x̄ with the max-of-geometrics bias correction applied.
+func (s Sketch) Estimate() float64 {
+	empty := true
+	for _, x := range s.X {
+		if x != 0 {
+			empty = false
+			break
+		}
+	}
+	if empty {
+		return 0
+	}
+	return s.EstimateRaw() / maxGeomCorrection
+}
+
+// Clone deep-copies the sketch.
+func (s Sketch) Clone() Sketch {
+	out := Sketch{X: make([]uint8, len(s.X))}
+	copy(out.X, s.X)
+	return out
+}

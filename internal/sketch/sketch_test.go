@@ -1,0 +1,274 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{J: 0, MaxLevel: 10}).Validate(); err == nil {
+		t.Fatal("J=0 accepted")
+	}
+	if err := (Params{J: 1, MaxLevel: 0}).Validate(); err == nil {
+		t.Fatal("MaxLevel=0 accepted")
+	}
+	if err := (Params{J: 1, MaxLevel: 256}).Validate(); err == nil {
+		t.Fatal("MaxLevel=256 accepted")
+	}
+	if err := (Params{J: 300, MaxLevel: 23}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams(1024, 5000)
+	if p.J != 300 {
+		t.Fatalf("J = %d", p.J)
+	}
+	want := int(math.Ceil(math.Log2(1024 * 5000)))
+	if p.MaxLevel != want {
+		t.Fatalf("MaxLevel = %d, want %d", p.MaxLevel, want)
+	}
+	if DefaultParams(1, 1).MaxLevel < 1 {
+		t.Fatal("MaxLevel below 1")
+	}
+}
+
+func TestGenerateZeroValue(t *testing.T) {
+	p := Params{J: 10, MaxLevel: 20}
+	r := rand.New(rand.NewSource(1))
+	s, err := Generate(p, 0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range s.X {
+		if x != 0 {
+			t.Fatal("zero-count sketch has nonzero instance")
+		}
+	}
+	if s.Estimate() != 0 {
+		t.Fatalf("Estimate of empty sketch = %f", s.Estimate())
+	}
+}
+
+func TestGenerateGrowsWithValue(t *testing.T) {
+	p := Params{J: 64, MaxLevel: 40}
+	r := rand.New(rand.NewSource(2))
+	small, err := Generate(p, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Generate(p, 4096, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large.Mean() <= small.Mean() {
+		t.Fatalf("mean did not grow: %f vs %f", small.Mean(), large.Mean())
+	}
+}
+
+func TestMergeIsMax(t *testing.T) {
+	a := Sketch{X: []uint8{1, 5, 0, 7}}
+	b := Sketch{X: []uint8{3, 2, 9, 7}}
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint8{3, 5, 9, 7}
+	for i := range want {
+		if m.X[i] != want[i] {
+			t.Fatalf("merge[%d] = %d, want %d", i, m.X[i], want[i])
+		}
+	}
+}
+
+func TestMergeMismatch(t *testing.T) {
+	if _, err := Merge(Sketch{X: []uint8{1}}, Sketch{X: []uint8{1, 2}}); err == nil {
+		t.Fatal("mismatched merge accepted")
+	}
+}
+
+func TestMergeProperties(t *testing.T) {
+	// Idempotent, commutative, associative — the duplicate-insensitivity
+	// SECOA relies on.
+	p := Params{J: 32, MaxLevel: 30}
+	r := rand.New(rand.NewSource(3))
+	mk := func(v uint64) Sketch {
+		s, err := Generate(p, v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b, c := mk(10), mk(100), mk(1000)
+	eq := func(x, y Sketch) bool {
+		for i := range x.X {
+			if x.X[i] != y.X[i] {
+				return false
+			}
+		}
+		return true
+	}
+	aa, _ := Merge(a, a)
+	if !eq(aa, a) {
+		t.Fatal("merge not idempotent")
+	}
+	ab, _ := Merge(a, b)
+	ba, _ := Merge(b, a)
+	if !eq(ab, ba) {
+		t.Fatal("merge not commutative")
+	}
+	abc1, _ := Merge(ab, c)
+	bc, _ := Merge(b, c)
+	abc2, _ := Merge(a, bc)
+	if !eq(abc1, abc2) {
+		t.Fatal("merge not associative")
+	}
+}
+
+func TestMergeAll(t *testing.T) {
+	p := Params{J: 8, MaxLevel: 20}
+	r := rand.New(rand.NewSource(4))
+	var sketches []Sketch
+	for i := 0; i < 5; i++ {
+		s, err := Generate(p, 50, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sketches = append(sketches, s)
+	}
+	all, err := MergeAll(p, sketches...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < p.J; j++ {
+		var want uint8
+		for _, s := range sketches {
+			if s.X[j] > want {
+				want = s.X[j]
+			}
+		}
+		if all.X[j] != want {
+			t.Fatalf("MergeAll[%d] = %d, want %d", j, all.X[j], want)
+		}
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	// With J=300 the paper claims ≤10% relative error with 90% probability.
+	// We check the corrected estimator lands within 35% on a few counts —
+	// loose enough to be deterministic with a fixed seed, tight enough to
+	// catch estimator regressions.
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	p := Params{J: 300, MaxLevel: 40}
+	r := rand.New(rand.NewSource(5))
+	for _, v := range []uint64{100, 1000, 100000} {
+		s, err := GenerateFast(p, v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := s.Estimate()
+		rel := math.Abs(est-float64(v)) / float64(v)
+		if rel > 0.35 {
+			t.Fatalf("v=%d: estimate %.1f, relative error %.2f", v, est, rel)
+		}
+	}
+}
+
+func TestGenerateFastMatchesSlowDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	// Compare mean instance levels of the honest and closed-form samplers.
+	p := Params{J: 2000, MaxLevel: 40}
+	const v = 500
+	slow, err := Generate(p, v, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := GenerateFast(p, v, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(slow.Mean() - fast.Mean()); d > 0.25 {
+		t.Fatalf("sampler means differ by %.3f (slow %.3f, fast %.3f)", d, slow.Mean(), fast.Mean())
+	}
+}
+
+func TestMaxLevelCap(t *testing.T) {
+	p := Params{J: 50, MaxLevel: 3}
+	r := rand.New(rand.NewSource(8))
+	s, err := Generate(p, 1<<20, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range s.X {
+		if int(x) > p.MaxLevel {
+			t.Fatalf("instance %d exceeds MaxLevel %d", x, p.MaxLevel)
+		}
+	}
+	if s.Max() > p.MaxLevel-1 {
+		t.Fatalf("Max() = %d", s.Max())
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := Sketch{X: []uint8{1, 2, 3}}
+	c := s.Clone()
+	c.X[0] = 9
+	if s.X[0] != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestMeanAndMaxEmpty(t *testing.T) {
+	s := NewZero(Params{J: 4, MaxLevel: 10})
+	if s.Mean() != 0 {
+		t.Fatalf("Mean of empty = %f", s.Mean())
+	}
+	if s.Max() != -1 {
+		t.Fatalf("Max of empty = %d", s.Max())
+	}
+	if (Sketch{}).Mean() != 0 {
+		t.Fatal("Mean of nil sketch nonzero")
+	}
+}
+
+func BenchmarkGenerateV1800(b *testing.B) {
+	p := Params{J: 300, MaxLevel: 23}
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p, 1800, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateFastV1800(b *testing.B) {
+	p := Params{J: 300, MaxLevel: 23}
+	r := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateFast(p, 1800, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	p := Params{J: 300, MaxLevel: 23}
+	r := rand.New(rand.NewSource(2))
+	x, _ := GenerateFast(p, 1000, r)
+	y, _ := GenerateFast(p, 2000, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Merge(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

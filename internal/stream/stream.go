@@ -1,0 +1,162 @@
+// Package stream provides querier-side analytics over the verified results
+// of a long-running query: sliding windows and threshold triggers.
+//
+// The paper's query model (§III-B) is a continuous query whose verified SUM
+// arrives every epoch T. Applications rarely act on single epochs — a
+// factory alarm fires when the *average over the last k epochs* crosses a
+// bound. This package consumes core.Result values (i.e. only data that has
+// already passed integrity verification) and maintains window statistics in
+// O(1) per epoch.
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+// Window maintains statistics over the last k verified epoch results.
+type Window struct {
+	size    int
+	results []core.Result // ring buffer
+	head    int           // next write position
+	count   int           // filled entries
+	sum     uint64        // running Σ of epoch SUMs in the window
+}
+
+// NewWindow creates a sliding window over k epochs.
+func NewWindow(k int) (*Window, error) {
+	if k < 1 {
+		return nil, errors.New("stream: window needs at least one epoch")
+	}
+	return &Window{size: k, results: make([]core.Result, k)}, nil
+}
+
+// Push adds a verified epoch result, evicting the oldest when full.
+func (w *Window) Push(res core.Result) {
+	if w.count == w.size {
+		w.sum -= w.results[w.head].Sum
+	} else {
+		w.count++
+	}
+	w.results[w.head] = res
+	w.sum += res.Sum
+	w.head = (w.head + 1) % w.size
+}
+
+// Len returns the number of epochs currently in the window.
+func (w *Window) Len() int { return w.count }
+
+// Sum returns Σ over the window of the per-epoch SUMs.
+func (w *Window) Sum() uint64 { return w.sum }
+
+// Avg returns the mean per-epoch SUM over the window (0 when empty).
+func (w *Window) Avg() float64 {
+	if w.count == 0 {
+		return 0
+	}
+	return float64(w.sum) / float64(w.count)
+}
+
+// Range returns the smallest and largest per-epoch SUM in the window.
+func (w *Window) Range() (min, max uint64) {
+	if w.count == 0 {
+		return 0, 0
+	}
+	min = ^uint64(0)
+	for i := 0; i < w.count; i++ {
+		idx := (w.head - 1 - i + 2*w.size) % w.size
+		s := w.results[idx].Sum
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return min, max
+}
+
+// Latest returns the most recent result in the window.
+func (w *Window) Latest() (core.Result, bool) {
+	if w.count == 0 {
+		return core.Result{}, false
+	}
+	return w.results[(w.head-1+w.size)%w.size], true
+}
+
+// Direction of a threshold crossing.
+type Direction int
+
+// Crossing directions.
+const (
+	Above Direction = iota // fired when the statistic rises to ≥ threshold
+	Below                  // fired when the statistic falls to ≤ threshold
+)
+
+// Alert describes one trigger firing.
+type Alert struct {
+	Epoch     prf.Epoch
+	Value     float64 // the window statistic at firing time
+	Threshold float64
+	Direction Direction
+}
+
+// String formats the alert for logs.
+func (a Alert) String() string {
+	rel := "≥"
+	if a.Direction == Below {
+		rel = "≤"
+	}
+	return fmt.Sprintf("epoch %d: window avg %.2f %s threshold %.2f", a.Epoch, a.Value, rel, a.Threshold)
+}
+
+// Trigger fires when the window average crosses a threshold. It is
+// edge-triggered: an alert is emitted only on the transition, not on every
+// epoch the condition holds.
+type Trigger struct {
+	window    *Window
+	threshold float64
+	direction Direction
+	minFill   int
+	active    bool
+}
+
+// NewTrigger wraps a window with an edge-triggered threshold. minFill
+// delays evaluation until the window holds at least that many epochs
+// (preventing alarms off a single noisy first epoch).
+func NewTrigger(w *Window, threshold float64, dir Direction, minFill int) (*Trigger, error) {
+	if w == nil {
+		return nil, errors.New("stream: trigger needs a window")
+	}
+	if minFill < 1 || minFill > w.size {
+		return nil, fmt.Errorf("stream: minFill %d outside [1,%d]", minFill, w.size)
+	}
+	return &Trigger{window: w, threshold: threshold, direction: dir, minFill: minFill}, nil
+}
+
+// Push feeds a verified result through the window and returns an alert when
+// the threshold is newly crossed.
+func (tr *Trigger) Push(res core.Result) (Alert, bool) {
+	tr.window.Push(res)
+	if tr.window.Len() < tr.minFill {
+		return Alert{}, false
+	}
+	avg := tr.window.Avg()
+	var cond bool
+	if tr.direction == Above {
+		cond = avg >= tr.threshold
+	} else {
+		cond = avg <= tr.threshold
+	}
+	if cond && !tr.active {
+		tr.active = true
+		return Alert{Epoch: res.Epoch, Value: avg, Threshold: tr.threshold, Direction: tr.direction}, true
+	}
+	if !cond {
+		tr.active = false
+	}
+	return Alert{}, false
+}

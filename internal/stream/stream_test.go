@@ -1,0 +1,215 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+func res(t prf.Epoch, sum uint64) core.Result {
+	return core.Result{Epoch: t, Sum: sum, N: 4}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Fatal("zero-size window accepted")
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 0 || w.Sum() != 0 || w.Avg() != 0 {
+		t.Fatal("empty window has nonzero stats")
+	}
+	if _, ok := w.Latest(); ok {
+		t.Fatal("empty window has a latest result")
+	}
+	w.Push(res(1, 10))
+	w.Push(res(2, 20))
+	if w.Len() != 2 || w.Sum() != 30 || w.Avg() != 15 {
+		t.Fatalf("stats after 2: len=%d sum=%d avg=%f", w.Len(), w.Sum(), w.Avg())
+	}
+	latest, ok := w.Latest()
+	if !ok || latest.Epoch != 2 {
+		t.Fatalf("latest %+v", latest)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := prf.Epoch(1); e <= 5; e++ {
+		w.Push(res(e, uint64(e)*10))
+	}
+	// Window holds epochs 3,4,5: sum 120, avg 40.
+	if w.Len() != 3 || w.Sum() != 120 || w.Avg() != 40 {
+		t.Fatalf("eviction stats: len=%d sum=%d avg=%f", w.Len(), w.Sum(), w.Avg())
+	}
+	min, max := w.Range()
+	if min != 30 || max != 50 {
+		t.Fatalf("range [%d,%d]", min, max)
+	}
+}
+
+func TestWindowRangeAgainstOracle(t *testing.T) {
+	w, err := NewWindow(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	var recent []uint64
+	for e := prf.Epoch(1); e <= 100; e++ {
+		v := uint64(r.Intn(10000))
+		w.Push(res(e, v))
+		recent = append(recent, v)
+		if len(recent) > 7 {
+			recent = recent[1:]
+		}
+		var sum, min, max uint64
+		min = ^uint64(0)
+		for _, x := range recent {
+			sum += x
+			if x < min {
+				min = x
+			}
+			if x > max {
+				max = x
+			}
+		}
+		if w.Sum() != sum {
+			t.Fatalf("epoch %d: sum %d, want %d", e, w.Sum(), sum)
+		}
+		gmin, gmax := w.Range()
+		if gmin != min || gmax != max {
+			t.Fatalf("epoch %d: range [%d,%d], want [%d,%d]", e, gmin, gmax, min, max)
+		}
+	}
+}
+
+func TestTriggerValidation(t *testing.T) {
+	w, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTrigger(nil, 1, Above, 1); err == nil {
+		t.Fatal("nil window accepted")
+	}
+	if _, err := NewTrigger(w, 1, Above, 0); err == nil {
+		t.Fatal("minFill 0 accepted")
+	}
+	if _, err := NewTrigger(w, 1, Above, 4); err == nil {
+		t.Fatal("minFill > size accepted")
+	}
+}
+
+func TestTriggerEdgeBehaviour(t *testing.T) {
+	w, err := NewWindow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrigger(w, 100, Above, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below threshold: no alert.
+	if _, fired := tr.Push(res(1, 50)); fired {
+		t.Fatal("fired under minFill")
+	}
+	if _, fired := tr.Push(res(2, 60)); fired {
+		t.Fatal("fired below threshold")
+	}
+	// Crossing: avg(60,160)=110 ≥ 100 → fire once.
+	alert, fired := tr.Push(res(3, 160))
+	if !fired {
+		t.Fatal("did not fire on crossing")
+	}
+	if alert.Epoch != 3 || alert.Value != 110 {
+		t.Fatalf("alert %+v", alert)
+	}
+	// Still above: edge-triggered, no repeat.
+	if _, fired := tr.Push(res(4, 200)); fired {
+		t.Fatal("re-fired while active")
+	}
+	// Drop below, then cross again: fires again.
+	if _, fired := tr.Push(res(5, 10)); fired {
+		t.Fatal("fired while falling")
+	}
+	if _, fired := tr.Push(res(6, 10)); fired {
+		t.Fatal("fired below threshold")
+	}
+	if _, fired := tr.Push(res(7, 500)); !fired {
+		t.Fatal("did not re-fire after reset")
+	}
+}
+
+func TestTriggerBelowDirection(t *testing.T) {
+	w, err := NewWindow(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewTrigger(w, 20, Below, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, fired := tr.Push(res(1, 100)); fired {
+		t.Fatal("fired above a Below threshold")
+	}
+	alert, fired := tr.Push(res(2, 0)) // avg 50... not ≤ 20
+	if fired {
+		t.Fatalf("fired at avg 50: %+v", alert)
+	}
+	if _, fired := tr.Push(res(3, 0)); !fired { // avg(0,0)=0 ≤ 20
+		t.Fatal("did not fire below threshold")
+	}
+}
+
+func TestTriggerAlertString(t *testing.T) {
+	a := Alert{Epoch: 5, Value: 42.5, Threshold: 40, Direction: Above}
+	if a.String() == "" {
+		t.Fatal("empty alert string")
+	}
+	b := Alert{Direction: Below}
+	if b.String() == a.String() {
+		t.Fatal("directions render identically")
+	}
+}
+
+func TestEndToEndWithProtocol(t *testing.T) {
+	// Wire a real SIES deployment into a window: only verified results reach
+	// the analytics, so a tampered epoch never pollutes the window.
+	q, sources, err := core.Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := core.NewAggregator(q.Params().Field())
+	w, err := NewWindow(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := prf.Epoch(1); epoch <= 6; epoch++ {
+		var final core.PSR
+		for i, s := range sources {
+			psr, err := s.Encrypt(epoch, uint64(i)+uint64(epoch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			final = agg.MergeInto(final, psr)
+		}
+		r, err := q.Evaluate(epoch, final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Push(r)
+	}
+	// Epochs 3..6 in window: per-epoch sums 6+4e → 18,22,26,30.
+	if w.Sum() != 96 || w.Avg() != 24 {
+		t.Fatalf("window sum=%d avg=%f", w.Sum(), w.Avg())
+	}
+}

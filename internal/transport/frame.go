@@ -1,0 +1,109 @@
+// Package transport runs a SIES deployment over real TCP connections: each
+// source, aggregator and querier is a separate node exchanging
+// length-prefixed frames. The in-memory simulator (internal/network) is the
+// tool for experiments; this package is the deployment path — cmd/siesnode
+// wraps it into a runnable process per role.
+//
+// Wire protocol (all integers big-endian):
+//
+//	frame  := length(u32) type(u8) epoch(u64) payload
+//	types  := hello | psr | failure | result
+//
+// A child (source or aggregator) opens one TCP connection to its parent and
+// sends a hello identifying the set of source ids its subtree covers. Every
+// epoch it sends one psr frame (the 32-byte PSR) plus, when sources under it
+// failed, a failure frame listing the missing ids. The root aggregator's
+// parent is the querier, which evaluates and replies with a result frame on
+// the connection the final PSR arrived on.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	TypeHello   byte = 1 // payload: contributor-id list (subtree coverage)
+	TypePSR     byte = 2 // payload: 32-byte PSR
+	TypeFailure byte = 3 // payload: contributor-id list of failed sources
+	TypeResult  byte = 4 // payload: result(u64) ‖ ok(u8)
+)
+
+// MaxFrameSize bounds a frame's payload; large enough for a failure report
+// covering every source of the biggest supported deployment chunk.
+const MaxFrameSize = 1 << 20
+
+// Frame is one wire message.
+type Frame struct {
+	Type    byte
+	Epoch   uint64
+	Payload []byte
+}
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+// WriteFrame serialises f to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	header := make([]byte, 4+1+8)
+	binary.BigEndian.PutUint32(header[0:4], uint32(1+8+len(f.Payload)))
+	header[4] = f.Type
+	binary.BigEndian.PutUint64(header[5:13], f.Epoch)
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("transport: writing frame header: %w", err)
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return fmt.Errorf("transport: writing frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadFrame parses the next frame from r.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return Frame{}, err // io.EOF propagates cleanly for closed peers
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n < 9 {
+		return Frame{}, errors.New("transport: frame shorter than its header")
+	}
+	if n > MaxFrameSize+9 {
+		return Frame{}, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("transport: reading frame body: %w", err)
+	}
+	return Frame{
+		Type:    body[0],
+		Epoch:   binary.BigEndian.Uint64(body[1:9]),
+		Payload: body[9:],
+	}, nil
+}
+
+// EncodeResult builds a result payload.
+func EncodeResult(sum uint64, ok bool) []byte {
+	out := make([]byte, 9)
+	binary.BigEndian.PutUint64(out, sum)
+	if ok {
+		out[8] = 1
+	}
+	return out
+}
+
+// DecodeResult parses a result payload.
+func DecodeResult(p []byte) (sum uint64, ok bool, err error) {
+	if len(p) != 9 {
+		return 0, false, errors.New("transport: malformed result payload")
+	}
+	return binary.BigEndian.Uint64(p), p[8] == 1, nil
+}

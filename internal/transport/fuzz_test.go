@@ -1,0 +1,48 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame parser: it must never
+// panic, never allocate unbounded memory, and accepted frames must re-encode
+// to the same bytes they were parsed from.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteFrame(&seed, Frame{Type: TypePSR, Epoch: 7, Payload: []byte("payload")})
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 9, TypeHello, 0, 0, 0, 0, 0, 0, 0, 1})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		frame, err := ReadFrame(r)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteFrame(&out, frame); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		consumed := len(data) - r.Len()
+		if !bytes.Equal(out.Bytes(), data[:consumed]) {
+			t.Fatal("frame re-encoding differs from consumed input")
+		}
+	})
+}
+
+// FuzzDecodeResult checks the result payload parser.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add(EncodeResult(42, true))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sum, ok, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeResult(sum, ok), data) {
+			t.Fatal("result payload round trip unstable")
+		}
+	})
+}

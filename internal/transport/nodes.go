@@ -1,0 +1,465 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// report is one child's contribution to one epoch: an optional PSR plus the
+// ids of sources in its subtree that failed.
+type report struct {
+	child  int
+	epoch  prf.Epoch
+	psr    *core.PSR
+	failed []int
+}
+
+// encodeReport packs a PSR + failed-id list into a TypePSR payload.
+func encodeReport(psr core.PSR, failed []int) []byte {
+	wire := psr.Bytes()
+	return append(wire[:], core.EncodeContributors(failed)...)
+}
+
+// decodeReport unpacks a TypePSR payload.
+func decodeReport(payload []byte, f *uint256.Field) (core.PSR, []int, error) {
+	if len(payload) < core.PSRSize {
+		return core.PSR{}, nil, errors.New("transport: short PSR payload")
+	}
+	psr, err := core.ParsePSR(payload[:core.PSRSize], f)
+	if err != nil {
+		return core.PSR{}, nil, err
+	}
+	failed, err := core.DecodeContributors(payload[core.PSRSize:])
+	if err != nil {
+		return core.PSR{}, nil, err
+	}
+	return psr, failed, nil
+}
+
+// SourceNode is a leaf sensor process: it encrypts readings and streams the
+// PSRs to its parent aggregator.
+type SourceNode struct {
+	src  *core.Source
+	conn net.Conn
+}
+
+// DialSource connects a source to its parent aggregator and identifies
+// itself with a hello frame.
+func DialSource(parentAddr string, src *core.Source) (*SourceNode, error) {
+	conn, err := net.Dial("tcp", parentAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: source %d dialing parent: %w", src.ID(), err)
+	}
+	hello := Frame{Type: TypeHello, Payload: core.EncodeContributors([]int{src.ID()})}
+	if err := WriteFrame(conn, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &SourceNode{src: src, conn: conn}, nil
+}
+
+// Report encrypts the epoch's reading and sends the PSR upstream.
+func (s *SourceNode) Report(t prf.Epoch, v uint64) error {
+	psr, err := s.src.Encrypt(t, v)
+	if err != nil {
+		return err
+	}
+	return WriteFrame(s.conn, Frame{Type: TypePSR, Epoch: uint64(t), Payload: encodeReport(psr, nil)})
+}
+
+// Close terminates the connection; the parent treats subsequent epochs as
+// failures of this source.
+func (s *SourceNode) Close() error { return s.conn.Close() }
+
+// AggregatorNode is an internal tree node process: it accepts a fixed number
+// of children, merges their per-epoch PSRs and forwards one PSR upstream.
+type AggregatorNode struct {
+	agg      *core.Aggregator
+	field    *uint256.Field
+	upstream net.Conn
+	children []*childState
+	covers   []int // union of children's source ids
+	timeout  time.Duration
+
+	mu     sync.Mutex
+	closed bool
+}
+
+type childState struct {
+	conn   net.Conn
+	covers []int
+}
+
+// AggregatorConfig configures NewAggregatorNode.
+type AggregatorConfig struct {
+	ListenAddr  string        // address to accept children on
+	ParentAddr  string        // parent aggregator or querier address
+	NumChildren int           // children to wait for before starting
+	Timeout     time.Duration // per-epoch wait for missing children (default 2s)
+}
+
+// NewAggregatorNode listens for its children, completes the hello exchange
+// in both directions, and returns a node ready to Run. It holds only the
+// public modulus, like the in-protocol aggregator.
+func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorNode, error) {
+	if cfg.NumChildren < 1 {
+		return nil, errors.New("transport: aggregator needs at least one child")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+
+	a := &AggregatorNode{
+		agg:     core.NewAggregator(field),
+		field:   field,
+		timeout: cfg.Timeout,
+	}
+	for i := 0; i < cfg.NumChildren; i++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			a.closeAll()
+			return nil, err
+		}
+		f, err := ReadFrame(conn)
+		if err != nil || f.Type != TypeHello {
+			conn.Close()
+			a.closeAll()
+			return nil, fmt.Errorf("transport: child %d: bad hello (%v)", i, err)
+		}
+		covers, err := core.DecodeContributors(f.Payload)
+		if err != nil {
+			conn.Close()
+			a.closeAll()
+			return nil, err
+		}
+		a.children = append(a.children, &childState{conn: conn, covers: covers})
+		a.covers = append(a.covers, covers...)
+	}
+	sort.Ints(a.covers)
+
+	up, err := net.Dial("tcp", cfg.ParentAddr)
+	if err != nil {
+		a.closeAll()
+		return nil, fmt.Errorf("transport: aggregator dialing parent: %w", err)
+	}
+	if err := WriteFrame(up, Frame{Type: TypeHello, Payload: core.EncodeContributors(a.covers)}); err != nil {
+		up.Close()
+		a.closeAll()
+		return nil, err
+	}
+	a.upstream = up
+	return a, nil
+}
+
+// Covers returns the source ids under this aggregator.
+func (a *AggregatorNode) Covers() []int { return append([]int(nil), a.covers...) }
+
+func (a *AggregatorNode) closeAll() {
+	for _, c := range a.children {
+		c.conn.Close()
+	}
+	if a.upstream != nil {
+		a.upstream.Close()
+	}
+}
+
+// Close shuts the node down; Run returns after in-flight epochs drain.
+func (a *AggregatorNode) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if !a.closed {
+		a.closed = true
+		a.closeAll()
+	}
+	return nil
+}
+
+// Run merges epochs until every child connection closes. For each epoch it
+// waits up to the configured timeout for all children; children that miss
+// the deadline have their whole subtree reported as failed.
+func (a *AggregatorNode) Run() error {
+	// Drain the parent's result acks: leaving them unread would turn our
+	// eventual close into a TCP RST that can destroy the last in-flight
+	// frame before the parent reads it.
+	go func() {
+		for {
+			if _, err := ReadFrame(a.upstream); err != nil {
+				return
+			}
+		}
+	}()
+
+	type incoming struct {
+		rep  report
+		err  error
+		done bool
+	}
+	ch := make(chan incoming, len(a.children)*2)
+	var wg sync.WaitGroup
+	for idx, c := range a.children {
+		wg.Add(1)
+		go func(idx int, c *childState) {
+			defer wg.Done()
+			for {
+				f, err := ReadFrame(c.conn)
+				if err != nil {
+					ch <- incoming{done: true, rep: report{child: idx}}
+					return
+				}
+				switch f.Type {
+				case TypePSR:
+					psr, failed, err := decodeReport(f.Payload, a.field)
+					if err != nil {
+						ch <- incoming{err: err}
+						return
+					}
+					ch <- incoming{rep: report{child: idx, epoch: prf.Epoch(f.Epoch), psr: &psr, failed: failed}}
+				case TypeFailure:
+					failed, err := core.DecodeContributors(f.Payload)
+					if err != nil {
+						ch <- incoming{err: err}
+						return
+					}
+					ch <- incoming{rep: report{child: idx, epoch: prf.Epoch(f.Epoch), failed: failed}}
+				default:
+					// Result frames and unknown types are ignored by
+					// aggregators.
+				}
+			}
+		}(idx, c)
+	}
+
+	type epochState struct {
+		reports  map[int]report
+		deadline time.Time
+	}
+	pending := map[prf.Epoch]*epochState{}
+	// flushed remembers epochs already forwarded so that reports arriving
+	// after a timeout flush are dropped instead of triggering a duplicate.
+	// Bounded by periodic reset; duplicate suppression is best-effort across
+	// very long gaps, which the querier tolerates (it just re-verifies).
+	flushed := map[prf.Epoch]bool{}
+	livingChildren := len(a.children)
+
+	flush := func(t prf.Epoch, st *epochState) error {
+		var psrs []core.PSR
+		var failed []int
+		for idx, c := range a.children {
+			rep, ok := st.reports[idx]
+			if !ok {
+				failed = append(failed, c.covers...) // missed the deadline
+				continue
+			}
+			failed = append(failed, rep.failed...)
+			if rep.psr != nil {
+				psrs = append(psrs, *rep.psr)
+			}
+		}
+		delete(pending, t)
+		if len(flushed) > 1<<16 {
+			flushed = map[prf.Epoch]bool{}
+		}
+		flushed[t] = true
+		sort.Ints(failed)
+		if len(psrs) == 0 {
+			return WriteFrame(a.upstream, Frame{
+				Type: TypeFailure, Epoch: uint64(t),
+				Payload: core.EncodeContributors(failed),
+			})
+		}
+		merged := a.agg.Merge(psrs...)
+		return WriteFrame(a.upstream, Frame{
+			Type: TypePSR, Epoch: uint64(t),
+			Payload: encodeReport(merged, failed),
+		})
+	}
+
+	ticker := time.NewTicker(a.timeout / 4)
+	defer ticker.Stop()
+	defer func() {
+		// Close connections first so blocked readers unwind, then drain the
+		// channel while waiting for them — a reader stuck on a full channel
+		// would otherwise deadlock the shutdown.
+		a.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		for {
+			select {
+			case <-ch:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	for livingChildren > 0 || len(pending) > 0 {
+		select {
+		case in := <-ch:
+			if in.err != nil {
+				return in.err
+			}
+			if in.done {
+				livingChildren--
+				continue
+			}
+			if flushed[in.rep.epoch] {
+				continue // late report for an epoch already forwarded
+			}
+			st, ok := pending[in.rep.epoch]
+			if !ok {
+				st = &epochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
+				pending[in.rep.epoch] = st
+			}
+			st.reports[in.rep.child] = in.rep
+			if len(st.reports) == len(a.children) {
+				if err := flush(in.rep.epoch, st); err != nil {
+					return err
+				}
+			}
+		case <-ticker.C:
+			now := time.Now()
+			for t, st := range pending {
+				if now.After(st.deadline) {
+					if err := flush(t, st); err != nil {
+						return err
+					}
+				}
+			}
+			a.mu.Lock()
+			closed := a.closed
+			a.mu.Unlock()
+			if closed {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// EpochResult is a querier-side evaluation outcome delivered on the Results
+// channel.
+type EpochResult struct {
+	Epoch        prf.Epoch
+	Sum          uint64
+	Contributors int
+	Failed       []int
+	Err          error
+}
+
+// QuerierNode terminates the tree: it accepts the root aggregator's
+// connection, evaluates every epoch and emits EpochResults.
+type QuerierNode struct {
+	q       *core.Querier
+	ln      net.Listener
+	Results chan EpochResult
+}
+
+// NewQuerierNode starts listening for the root aggregator.
+func NewQuerierNode(listenAddr string, q *core.Querier) (*QuerierNode, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	return &QuerierNode{q: q, ln: ln, Results: make(chan EpochResult, 64)}, nil
+}
+
+// Addr returns the address the querier listens on (for wiring up the root).
+func (qn *QuerierNode) Addr() string { return qn.ln.Addr().String() }
+
+// Close stops the listener.
+func (qn *QuerierNode) Close() error { return qn.ln.Close() }
+
+// Run accepts the root connection and evaluates epochs until the root
+// disconnects, then closes the Results channel.
+func (qn *QuerierNode) Run() error {
+	defer close(qn.Results)
+	conn, err := qn.ln.Accept()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	f, err := ReadFrame(conn)
+	if err != nil || f.Type != TypeHello {
+		return fmt.Errorf("transport: querier: bad hello (%v)", err)
+	}
+	covers, err := core.DecodeContributors(f.Payload)
+	if err != nil {
+		return err
+	}
+	if len(covers) != qn.q.Params().N() {
+		return fmt.Errorf("transport: root covers %d sources, deployment has %d",
+			len(covers), qn.q.Params().N())
+	}
+
+	field := qn.q.Params().Field()
+	ackable := true // stop acking (but keep evaluating) once the root is gone
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			return nil // root closed: clean shutdown
+		}
+		t := prf.Epoch(f.Epoch)
+		switch f.Type {
+		case TypePSR:
+			psr, failed, err := decodeReport(f.Payload, field)
+			if err != nil {
+				qn.Results <- EpochResult{Epoch: t, Err: err}
+				continue
+			}
+			contributors := subtract(qn.q.Params().N(), failed)
+			var res core.Result
+			var evalErr error
+			if len(failed) == 0 {
+				res, evalErr = qn.q.Evaluate(t, psr)
+			} else {
+				res, evalErr = qn.q.EvaluateSubset(t, psr, contributors)
+			}
+			out := EpochResult{Epoch: t, Failed: failed, Err: evalErr}
+			if evalErr == nil {
+				out.Sum = res.Sum
+				out.Contributors = res.N
+			}
+			qn.Results <- out
+			if ackable {
+				ack := EncodeResult(out.Sum, evalErr == nil)
+				if err := WriteFrame(conn, Frame{Type: TypeResult, Epoch: f.Epoch, Payload: ack}); err != nil {
+					// The root departed after sending its final epochs; its
+					// remaining frames are still buffered — keep evaluating
+					// them, just stop acknowledging.
+					ackable = false
+				}
+			}
+		case TypeFailure:
+			qn.Results <- EpochResult{Epoch: t, Err: errors.New("transport: every source failed")}
+		}
+	}
+}
+
+// subtract returns [0, n) minus the sorted failed list.
+func subtract(n int, failed []int) []int {
+	failedSet := map[int]bool{}
+	for _, id := range failed {
+		failedSet[id] = true
+	}
+	out := make([]int, 0, n-len(failed))
+	for i := 0; i < n; i++ {
+		if !failedSet[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

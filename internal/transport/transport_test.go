@@ -1,0 +1,305 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Frame{Type: TypePSR, Epoch: 42, Payload: []byte("hello world")}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Epoch != in.Epoch || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Frame{Type: TypeHello, Epoch: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Payload) != 0 {
+		t.Fatalf("payload = %v", out.Payload)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, MaxFrameSize+1)
+	if err := WriteFrame(&buf, Frame{Type: TypePSR, Payload: big}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// A forged length header must also be rejected on read.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, TypePSR})
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("forged length: %v", err)
+	}
+}
+
+func TestFrameShortHeader(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0, 0, 0, 2, 1, 1})
+	if _, err := ReadFrame(buf); err == nil {
+		t.Fatal("undersized frame accepted")
+	}
+}
+
+func TestResultCodec(t *testing.T) {
+	sum, ok, err := DecodeResult(EncodeResult(12345, true))
+	if err != nil || sum != 12345 || !ok {
+		t.Fatalf("decode: %d %v %v", sum, ok, err)
+	}
+	_, ok, err = DecodeResult(EncodeResult(0, false))
+	if err != nil || ok {
+		t.Fatalf("decode false: %v %v", ok, err)
+	}
+	if _, _, err := DecodeResult([]byte{1}); err == nil {
+		t.Fatal("short result accepted")
+	}
+}
+
+// buildCluster wires a two-level tree over loopback TCP:
+//
+//	querier ← root ← {agg0 ← sources 0,1 ; agg1 ← sources 2,3}
+func buildCluster(t *testing.T) (*QuerierNode, []*SourceNode, func()) {
+	t.Helper()
+	q, sources, err := core.Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := q.Params().Field()
+
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go qn.Run()
+
+	// Root aggregator needs a listen address known before children dial it;
+	// grab a port by listening momentarily.
+	rootAddr := freeAddr(t)
+	agg0Addr := freeAddr(t)
+	agg1Addr := freeAddr(t)
+
+	var wg sync.WaitGroup
+	startAgg := func(listen string, children int, timeout time.Duration) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			parent := qn.Addr()
+			if listen != rootAddr {
+				parent = rootAddr
+			}
+			node, err := NewAggregatorNode(AggregatorConfig{
+				ListenAddr: listen, ParentAddr: parent,
+				NumChildren: children, Timeout: timeout,
+			}, field)
+			if err != nil {
+				t.Errorf("aggregator %s: %v", listen, err)
+				return
+			}
+			if err := node.Run(); err != nil {
+				t.Errorf("aggregator %s run: %v", listen, err)
+			}
+		}()
+	}
+	// Root first (children dial it), then leaves. Timeouts cascade: the root
+	// must wait long enough for its children to time out their own sources.
+	startAgg(rootAddr, 2, 1500*time.Millisecond)
+	startAgg(agg0Addr, 2, 400*time.Millisecond)
+	startAgg(agg1Addr, 2, 400*time.Millisecond)
+	time.Sleep(50 * time.Millisecond) // listeners up
+
+	nodes := make([]*SourceNode, 4)
+	for i, s := range sources {
+		addr := agg0Addr
+		if i >= 2 {
+			addr = agg1Addr
+		}
+		n, err := DialSource(addr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+	cleanup := func() {
+		for _, n := range nodes {
+			n.Close()
+		}
+		wg.Wait()
+		qn.Close()
+	}
+	return qn, nodes, cleanup
+}
+
+// freeAddr reserves a loopback port and returns it as host:port.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	qn, sources, cleanup := buildCluster(t)
+	defer cleanup()
+
+	for epoch := prf.Epoch(1); epoch <= 3; epoch++ {
+		var want uint64
+		for i, s := range sources {
+			v := uint64(i+1) * 10 * uint64(epoch)
+			want += v
+			if err := s.Report(epoch, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		select {
+		case res := <-qn.Results:
+			if res.Err != nil {
+				t.Fatalf("epoch %d: %v", epoch, res.Err)
+			}
+			if res.Sum != want || res.Epoch != epoch || res.Contributors != 4 {
+				t.Fatalf("epoch %d: %+v, want sum %d", epoch, res, want)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("epoch %d: no result", epoch)
+		}
+	}
+}
+
+func TestClusterSourceFailure(t *testing.T) {
+	qn, sources, cleanup := buildCluster(t)
+	defer cleanup()
+
+	// Source 1 dies before epoch 1; the leaf aggregator times it out and
+	// reports it failed, the querier evaluates the surviving subset.
+	sources[1].Close()
+	var want uint64
+	for i, s := range sources {
+		if i == 1 {
+			continue
+		}
+		v := uint64(100 + i)
+		want += v
+		if err := s.Report(1, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case res := <-qn.Results:
+		if res.Err != nil {
+			t.Fatalf("subset epoch rejected: %v", res.Err)
+		}
+		if res.Sum != want || res.Contributors != 3 {
+			t.Fatalf("result %+v, want sum %d from 3", res, want)
+		}
+		if len(res.Failed) != 1 || res.Failed[0] != 1 {
+			t.Fatalf("failed list %v", res.Failed)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no result after failure")
+	}
+}
+
+func TestClusterOutOfOrderEpochs(t *testing.T) {
+	qn, sources, cleanup := buildCluster(t)
+	defer cleanup()
+
+	// Sources report epochs 1 and 2 interleaved; both must evaluate.
+	for _, epoch := range []prf.Epoch{1, 2} {
+		for i := len(sources) - 1; i >= 0; i-- {
+			if err := sources[i].Report(epoch, uint64(10*i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := map[prf.Epoch]uint64{}
+	for len(got) < 2 {
+		select {
+		case res := <-qn.Results:
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			got[res.Epoch] = res.Sum
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d results", len(got))
+		}
+	}
+	if got[1] != 60 || got[2] != 60 {
+		t.Fatalf("results %v", got)
+	}
+}
+
+func TestAggregatorConfigValidation(t *testing.T) {
+	q, _, err := core.Setup(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewAggregatorNode(AggregatorConfig{NumChildren: 0}, q.Params().Field()); err == nil {
+		t.Fatal("zero children accepted")
+	}
+}
+
+func TestClusterDrainsFinalEpochsOnShutdown(t *testing.T) {
+	// Regression: sources report several epochs and immediately disconnect.
+	// The tree unwinds, the root departs after sending its last frames, and
+	// the querier must still evaluate every epoch it received — including
+	// frames buffered behind a failed acknowledgement write.
+	qn, sources, cleanup := buildCluster(t)
+	defer cleanup()
+
+	const epochs = 5
+	for epoch := prf.Epoch(1); epoch <= epochs; epoch++ {
+		for i, s := range sources {
+			if err := s.Report(epoch, uint64(i+1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, s := range sources {
+		s.Close()
+	}
+
+	got := map[prf.Epoch]uint64{}
+	for len(got) < epochs {
+		select {
+		case res, ok := <-qn.Results:
+			if !ok {
+				t.Fatalf("results closed after %d/%d epochs", len(got), epochs)
+			}
+			if res.Err != nil {
+				t.Fatalf("epoch %d rejected: %v", res.Epoch, res.Err)
+			}
+			got[res.Epoch] = res.Sum
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out with %d/%d epochs", len(got), epochs)
+		}
+	}
+	for epoch := prf.Epoch(1); epoch <= epochs; epoch++ {
+		if got[epoch] != 10 {
+			t.Fatalf("epoch %d: SUM %d, want 10", epoch, got[epoch])
+		}
+	}
+}

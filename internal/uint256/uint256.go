@@ -1,0 +1,282 @@
+// Package uint256 implements fixed-width 256-bit unsigned integers and
+// modular arithmetic over 256-bit prime fields.
+//
+// SIES encrypts 32-byte plaintexts as c = K·m + k (mod p) where p is a
+// 256-bit prime, so every hot-path operation of the protocol — encryption at
+// a source, merging at an aggregator, decryption at the querier — is an
+// addition or multiplication in this field. The package therefore provides a
+// limb-based representation ([4]uint64) with carry-chain arithmetic from
+// math/bits, a full 512-bit product, and two reduction strategies:
+//
+//   - a pseudo-Mersenne fast path for primes of the form 2^256 − c with a
+//     single-limb c (the default SIES modulus is 2^256 − 189), and
+//   - a generic Knuth Algorithm D division for arbitrary 256-bit moduli.
+//
+// math/big is used only for prime generation, as a conversion endpoint, and
+// as an oracle in the package tests.
+package uint256
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Int is a 256-bit unsigned integer stored as four 64-bit limbs in
+// little-endian limb order: Int[0] holds bits 0–63, Int[3] bits 192–255.
+// The zero value is the number 0 and is ready to use.
+type Int [4]uint64
+
+// Word512 is a 512-bit unsigned integer used to hold the full product of two
+// Ints before reduction. Limb order matches Int.
+type Word512 [8]uint64
+
+// Zero and One are convenience constants.
+var (
+	Zero = Int{}
+	One  = Int{1, 0, 0, 0}
+)
+
+// NewInt returns an Int holding the value v.
+func NewInt(v uint64) Int { return Int{v, 0, 0, 0} }
+
+// IsZero reports whether x == 0.
+func (x Int) IsZero() bool { return x[0]|x[1]|x[2]|x[3] == 0 }
+
+// Uint64 returns the low 64 bits of x and whether x fits in a uint64.
+func (x Int) Uint64() (uint64, bool) { return x[0], x[1]|x[2]|x[3] == 0 }
+
+// Cmp compares x and y and returns -1, 0, or +1.
+func (x Int) Cmp(y Int) int {
+	for i := 3; i >= 0; i-- {
+		if x[i] < y[i] {
+			return -1
+		}
+		if x[i] > y[i] {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add returns x+y and the outgoing carry bit.
+func (x Int) Add(y Int) (sum Int, carry uint64) {
+	sum[0], carry = bits.Add64(x[0], y[0], 0)
+	sum[1], carry = bits.Add64(x[1], y[1], carry)
+	sum[2], carry = bits.Add64(x[2], y[2], carry)
+	sum[3], carry = bits.Add64(x[3], y[3], carry)
+	return sum, carry
+}
+
+// Sub returns x−y and the outgoing borrow bit (1 when y > x).
+func (x Int) Sub(y Int) (diff Int, borrow uint64) {
+	diff[0], borrow = bits.Sub64(x[0], y[0], 0)
+	diff[1], borrow = bits.Sub64(x[1], y[1], borrow)
+	diff[2], borrow = bits.Sub64(x[2], y[2], borrow)
+	diff[3], borrow = bits.Sub64(x[3], y[3], borrow)
+	return diff, borrow
+}
+
+// Mul returns the full 512-bit product x·y.
+func (x Int) Mul(y Int) Word512 {
+	var z Word512
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		carry = 0
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j := 0; j < 4; j++ {
+			hi, lo := bits.Mul64(xi, y[j])
+			var c1, c2 uint64
+			z[i+j], c1 = bits.Add64(z[i+j], lo, 0)
+			z[i+j], c2 = bits.Add64(z[i+j], carry, 0)
+			carry = hi + c1 + c2 // cannot overflow: hi ≤ 2^64−2 when both inputs ≤ 2^64−1
+		}
+		z[i+4] += carry
+	}
+	return z
+}
+
+// MulUint64 returns the 320-bit product x·y as (low 256 bits, high limb).
+func (x Int) MulUint64(y uint64) (lo Int, hi uint64) {
+	var carry uint64
+	for i := 0; i < 4; i++ {
+		h, l := bits.Mul64(x[i], y)
+		var c uint64
+		lo[i], c = bits.Add64(l, carry, 0)
+		carry = h + c
+	}
+	return lo, carry
+}
+
+// Lsh returns x<<n. Shifts of 256 or more yield zero.
+func (x Int) Lsh(n uint) Int {
+	if n >= 256 {
+		return Int{}
+	}
+	limb := n / 64
+	off := n % 64
+	var z Int
+	for i := 3; i >= int(limb); i-- {
+		z[i] = x[i-int(limb)] << off
+		if off != 0 && i-int(limb)-1 >= 0 {
+			z[i] |= x[i-int(limb)-1] >> (64 - off)
+		}
+	}
+	return z
+}
+
+// Rsh returns x>>n. Shifts of 256 or more yield zero.
+func (x Int) Rsh(n uint) Int {
+	if n >= 256 {
+		return Int{}
+	}
+	limb := n / 64
+	off := n % 64
+	var z Int
+	for i := 0; i+int(limb) < 4; i++ {
+		z[i] = x[i+int(limb)] >> off
+		if off != 0 && i+int(limb)+1 < 4 {
+			z[i] |= x[i+int(limb)+1] << (64 - off)
+		}
+	}
+	return z
+}
+
+// And returns x & y.
+func (x Int) And(y Int) Int {
+	return Int{x[0] & y[0], x[1] & y[1], x[2] & y[2], x[3] & y[3]}
+}
+
+// Or returns x | y.
+func (x Int) Or(y Int) Int {
+	return Int{x[0] | y[0], x[1] | y[1], x[2] | y[2], x[3] | y[3]}
+}
+
+// Bit returns bit i of x (0 or 1). Bits at positions ≥ 256 are zero.
+func (x Int) Bit(i uint) uint64 {
+	if i >= 256 {
+		return 0
+	}
+	return (x[i/64] >> (i % 64)) & 1
+}
+
+// BitLen returns the number of bits required to represent x; BitLen(0) == 0.
+func (x Int) BitLen() int {
+	for i := 3; i >= 0; i-- {
+		if x[i] != 0 {
+			return i*64 + bits.Len64(x[i])
+		}
+	}
+	return 0
+}
+
+// Mask returns an Int with the low n bits set (n in [0,256]).
+func Mask(n uint) Int {
+	if n >= 256 {
+		return Int{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+	}
+	var z Int
+	limb := n / 64
+	for i := uint(0); i < limb; i++ {
+		z[i] = ^uint64(0)
+	}
+	if rem := n % 64; rem != 0 {
+		z[limb] = (uint64(1) << rem) - 1
+	}
+	return z
+}
+
+// SetBytes interprets buf as a big-endian unsigned integer. It returns an
+// error if buf is longer than 32 bytes with a nonzero prefix.
+func SetBytes(buf []byte) (Int, error) {
+	if len(buf) > 32 {
+		for _, b := range buf[:len(buf)-32] {
+			if b != 0 {
+				return Int{}, errors.New("uint256: value exceeds 256 bits")
+			}
+		}
+		buf = buf[len(buf)-32:]
+	}
+	var padded [32]byte
+	copy(padded[32-len(buf):], buf)
+	var z Int
+	z[3] = binary.BigEndian.Uint64(padded[0:8])
+	z[2] = binary.BigEndian.Uint64(padded[8:16])
+	z[1] = binary.BigEndian.Uint64(padded[16:24])
+	z[0] = binary.BigEndian.Uint64(padded[24:32])
+	return z, nil
+}
+
+// MustSetBytes is SetBytes for inputs known to fit; it panics on error.
+func MustSetBytes(buf []byte) Int {
+	z, err := SetBytes(buf)
+	if err != nil {
+		panic(err)
+	}
+	return z
+}
+
+// Bytes returns x as a 32-byte big-endian array.
+func (x Int) Bytes() [32]byte {
+	var buf [32]byte
+	binary.BigEndian.PutUint64(buf[0:8], x[3])
+	binary.BigEndian.PutUint64(buf[8:16], x[2])
+	binary.BigEndian.PutUint64(buf[16:24], x[1])
+	binary.BigEndian.PutUint64(buf[24:32], x[0])
+	return buf
+}
+
+// String returns the hexadecimal representation of x with a 0x prefix.
+func (x Int) String() string {
+	return fmt.Sprintf("0x%016x%016x%016x%016x", x[3], x[2], x[1], x[0])
+}
+
+// ToBig converts x to a math/big Int.
+func (x Int) ToBig() *big.Int {
+	b := x.Bytes()
+	return new(big.Int).SetBytes(b[:])
+}
+
+// FromBig converts b to an Int. It returns an error when b is negative or
+// does not fit in 256 bits.
+func FromBig(b *big.Int) (Int, error) {
+	if b.Sign() < 0 {
+		return Int{}, errors.New("uint256: negative value")
+	}
+	if b.BitLen() > 256 {
+		return Int{}, errors.New("uint256: value exceeds 256 bits")
+	}
+	return SetBytes(b.Bytes())
+}
+
+// IsZero reports whether w == 0.
+func (w Word512) IsZero() bool {
+	var acc uint64
+	for _, l := range w {
+		acc |= l
+	}
+	return acc == 0
+}
+
+// Lo returns the low 256 bits of w.
+func (w Word512) Lo() Int { return Int{w[0], w[1], w[2], w[3]} }
+
+// Hi returns the high 256 bits of w.
+func (w Word512) Hi() Int { return Int{w[4], w[5], w[6], w[7]} }
+
+// ToBig converts w to a math/big Int.
+func (w Word512) ToBig() *big.Int {
+	hi := w.Hi().ToBig()
+	lo := w.Lo().ToBig()
+	return hi.Lsh(hi, 256).Add(hi, lo)
+}
+
+// word512FromParts assembles a Word512 from low and high halves.
+func word512FromParts(lo, hi Int) Word512 {
+	return Word512{lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]}
+}

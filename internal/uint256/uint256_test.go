@@ -1,0 +1,266 @@
+package uint256
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randInt produces a random Int for property tests, biased toward edge
+// patterns (all-ones limbs, zero limbs) that stress carry chains.
+func randInt(r *rand.Rand) Int {
+	var z Int
+	for i := range z {
+		switch r.Intn(4) {
+		case 0:
+			z[i] = 0
+		case 1:
+			z[i] = ^uint64(0)
+		default:
+			z[i] = r.Uint64()
+		}
+	}
+	return z
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 2000,
+		Values: func(vals []reflect.Value, r *rand.Rand) {
+			for i := range vals {
+				vals[i] = reflect.ValueOf(randInt(r))
+			}
+		},
+	}
+}
+
+func TestNewIntAndUint64(t *testing.T) {
+	x := NewInt(42)
+	v, ok := x.Uint64()
+	if !ok || v != 42 {
+		t.Fatalf("NewInt(42).Uint64() = %d, %v", v, ok)
+	}
+	big := Int{1, 2, 0, 0}
+	if _, ok := big.Uint64(); ok {
+		t.Fatal("multi-limb value reported as fitting uint64")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !Zero.IsZero() {
+		t.Fatal("Zero.IsZero() = false")
+	}
+	if One.IsZero() {
+		t.Fatal("One.IsZero() = true")
+	}
+	if (Int{0, 0, 0, 1}).IsZero() {
+		t.Fatal("high-limb value reported zero")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b Int
+		want int
+	}{
+		{Zero, Zero, 0},
+		{One, Zero, 1},
+		{Zero, One, -1},
+		{Int{0, 0, 0, 1}, Int{^uint64(0), ^uint64(0), ^uint64(0), 0}, 1},
+		{Int{5, 0, 0, 7}, Int{9, 0, 0, 7}, -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := func(a, b Int) bool {
+		sum, carry := a.Add(b)
+		back, borrow := sum.Sub(b)
+		return back == a && carry == borrow
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddMatchesBig(t *testing.T) {
+	mod := new(big.Int).Lsh(big.NewInt(1), 256)
+	f := func(a, b Int) bool {
+		sum, carry := a.Add(b)
+		want := new(big.Int).Add(a.ToBig(), b.ToBig())
+		wantCarry := uint64(0)
+		if want.Cmp(mod) >= 0 {
+			want.Sub(want, mod)
+			wantCarry = 1
+		}
+		return sum.ToBig().Cmp(want) == 0 && carry == wantCarry
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulMatchesBig(t *testing.T) {
+	f := func(a, b Int) bool {
+		got := a.Mul(b).ToBig()
+		want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+		return got.Cmp(want) == 0
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulUint64MatchesBig(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a := randInt(r)
+		y := r.Uint64()
+		lo, hi := a.MulUint64(y)
+		got := new(big.Int).Lsh(new(big.Int).SetUint64(hi), 256)
+		got.Add(got, lo.ToBig())
+		want := new(big.Int).Mul(a.ToBig(), new(big.Int).SetUint64(y))
+		if got.Cmp(want) != 0 {
+			t.Fatalf("MulUint64(%v, %d) mismatch", a, y)
+		}
+	}
+}
+
+func TestShiftsMatchBig(t *testing.T) {
+	mask := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 3000; i++ {
+		a := randInt(r)
+		n := uint(r.Intn(300))
+		gotL := a.Lsh(n).ToBig()
+		wantL := new(big.Int).Lsh(a.ToBig(), n)
+		wantL.And(wantL, mask)
+		if gotL.Cmp(wantL) != 0 {
+			t.Fatalf("Lsh(%v, %d) = %v, want %v", a, n, gotL, wantL)
+		}
+		gotR := a.Rsh(n).ToBig()
+		wantR := new(big.Int).Rsh(a.ToBig(), n)
+		if gotR.Cmp(wantR) != 0 {
+			t.Fatalf("Rsh(%v, %d) = %v, want %v", a, n, gotR, wantR)
+		}
+	}
+}
+
+func TestBitAndBitLen(t *testing.T) {
+	if Zero.BitLen() != 0 {
+		t.Fatalf("BitLen(0) = %d", Zero.BitLen())
+	}
+	if One.BitLen() != 1 {
+		t.Fatalf("BitLen(1) = %d", One.BitLen())
+	}
+	x := One.Lsh(200)
+	if x.BitLen() != 201 {
+		t.Fatalf("BitLen(1<<200) = %d", x.BitLen())
+	}
+	if x.Bit(200) != 1 || x.Bit(199) != 0 || x.Bit(300) != 0 {
+		t.Fatal("Bit() incorrect around 1<<200")
+	}
+}
+
+func TestMask(t *testing.T) {
+	for _, n := range []uint{0, 1, 63, 64, 65, 128, 160, 255, 256, 400} {
+		want := new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), min(n, 256)), big.NewInt(1))
+		if got := Mask(n).ToBig(); got.Cmp(want) != 0 {
+			t.Errorf("Mask(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(a Int) bool {
+		b := a.Bytes()
+		back, err := SetBytes(b[:])
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBytesShort(t *testing.T) {
+	x, err := SetBytes([]byte{0x01, 0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := x.Uint64(); v != 0x0102 {
+		t.Fatalf("SetBytes short = %d", v)
+	}
+}
+
+func TestSetBytesLongZeroPrefix(t *testing.T) {
+	buf := make([]byte, 40)
+	buf[39] = 7
+	x, err := SetBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := x.Uint64(); v != 7 {
+		t.Fatalf("SetBytes long = %d", v)
+	}
+}
+
+func TestSetBytesOverflow(t *testing.T) {
+	buf := make([]byte, 33)
+	buf[0] = 1
+	if _, err := SetBytes(buf); err == nil {
+		t.Fatal("expected overflow error")
+	}
+}
+
+func TestBigConversionRoundTrip(t *testing.T) {
+	f := func(a Int) bool {
+		back, err := FromBig(a.ToBig())
+		return err == nil && back == a
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBig(big.NewInt(-1)); err == nil {
+		t.Fatal("negative accepted")
+	}
+	too := new(big.Int).Lsh(big.NewInt(1), 256)
+	if _, err := FromBig(too); err == nil {
+		t.Fatal("257-bit value accepted")
+	}
+}
+
+func TestWord512ToBig(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		a, b := randInt(r), randInt(r)
+		w := a.Mul(b)
+		want := new(big.Int).Mul(a.ToBig(), b.ToBig())
+		if w.ToBig().Cmp(want) != 0 {
+			t.Fatal("Word512.ToBig mismatch")
+		}
+		if w.IsZero() != (want.Sign() == 0) {
+			t.Fatal("Word512.IsZero mismatch")
+		}
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := NewInt(0xdead).String()
+	if !bytes.HasSuffix([]byte(s), []byte("000000000000dead")) {
+		t.Fatalf("String() = %s", s)
+	}
+}
+
+func min(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}

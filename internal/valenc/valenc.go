@@ -1,0 +1,116 @@
+// Package valenc implements the paper's value-encoding rule (§III-B): "we
+// consider that all data values are positive integers (we can always encode
+// other data types as positive integers via simple translation and scaling
+// operations)".
+//
+// Two composable codecs cover the practical cases:
+//
+//   - FixedPoint scales a real reading by 10^d and truncates, turning d
+//     decimal digits into integer precision (the domain-scaling mechanism of
+//     the experiments).
+//   - Offset translates a signed range [min, max] into [0, max−min]. Because
+//     SUM is linear, the querier recovers the true sum from the encoded sum
+//     as Σv = Σenc + n·min, where n is the number of contributors — so the
+//     protocol still computes the *exact* signed sum.
+//
+// Both directions are exact by construction: encoding is injective on the
+// declared domain and decoding inverts it given the contributor count.
+package valenc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec maps application readings onto the protocol's positive integers and
+// recovers aggregate sums.
+type Codec struct {
+	scale  float64 // 10^decimals
+	min    float64 // domain lower bound (translation offset)
+	max    float64 // domain upper bound
+	maxEnc uint64  // largest encoded value, for layout sizing
+}
+
+// New constructs a codec for real readings in [min, max] with the given
+// number of preserved decimal digits (0–9).
+func New(min, max float64, decimals int) (*Codec, error) {
+	if math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) {
+		return nil, errors.New("valenc: bounds must be finite")
+	}
+	if min >= max {
+		return nil, fmt.Errorf("valenc: empty domain [%g, %g]", min, max)
+	}
+	if decimals < 0 || decimals > 9 {
+		return nil, errors.New("valenc: decimals must be in [0, 9]")
+	}
+	scale := math.Pow(10, float64(decimals))
+	span := (max - min) * scale
+	if span >= math.MaxUint64/2 {
+		return nil, errors.New("valenc: domain too wide for exact encoding")
+	}
+	return &Codec{scale: scale, min: min, max: max, maxEnc: uint64(math.Ceil(span))}, nil
+}
+
+// MaxEncoded returns the largest integer the codec emits; use it to size the
+// SIES layout (32- vs 64-bit value field) and check SUM headroom.
+func (c *Codec) MaxEncoded() uint64 { return c.maxEnc }
+
+// Encode maps a reading into the protocol domain. Readings outside
+// [min, max] are rejected rather than silently clamped: a sensor reporting
+// impossible values is a fault the application must see.
+func (c *Codec) Encode(reading float64) (uint64, error) {
+	if math.IsNaN(reading) || reading < c.min || reading > c.max {
+		return 0, fmt.Errorf("valenc: reading %g outside domain [%g, %g]", reading, c.min, c.max)
+	}
+	return uint64(math.Round((reading - c.min) * c.scale)), nil
+}
+
+// Decode inverts Encode for a single reading.
+func (c *Codec) Decode(enc uint64) float64 {
+	return float64(enc)/c.scale + c.min
+}
+
+// DecodeSum recovers the true sum of n encoded readings:
+// Σv = Σenc/scale + n·min.
+func (c *Codec) DecodeSum(encSum uint64, n int) (float64, error) {
+	if n < 0 {
+		return 0, errors.New("valenc: negative contributor count")
+	}
+	return float64(encSum)/c.scale + float64(n)*c.min, nil
+}
+
+// DecodeAvg recovers the true average of n encoded readings.
+func (c *Codec) DecodeAvg(encSum uint64, n int) (float64, error) {
+	if n <= 0 {
+		return 0, errors.New("valenc: average needs at least one contributor")
+	}
+	s, err := c.DecodeSum(encSum, n)
+	if err != nil {
+		return 0, err
+	}
+	return s / float64(n), nil
+}
+
+// SumHeadroom returns the largest contributor count whose encoded sum is
+// guaranteed to fit a value field of the given bit width — the check an
+// operator runs when sizing a deployment (32-bit fields hold sums < 2^32).
+func (c *Codec) SumHeadroom(valueBits int) (int, error) {
+	if valueBits <= 0 || valueBits > 64 {
+		return 0, errors.New("valenc: value width must be in (0, 64]")
+	}
+	if c.maxEnc == 0 {
+		return math.MaxInt32, nil
+	}
+	var limit uint64
+	if valueBits == 64 {
+		limit = math.MaxUint64
+	} else {
+		limit = 1<<uint(valueBits) - 1
+	}
+	n := limit / c.maxEnc
+	if n > math.MaxInt32 {
+		n = math.MaxInt32
+	}
+	return int(n), nil
+}

@@ -1,0 +1,178 @@
+package valenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		min, max float64
+		decimals int
+	}{
+		{5, 5, 2},            // empty domain
+		{5, 4, 2},            // inverted
+		{0, 1, -1},           // negative decimals
+		{0, 1, 10},           // too many decimals
+		{math.Inf(-1), 0, 2}, // infinite bound
+		{math.NaN(), 1, 2},   // NaN bound
+		{-1e18, 1e18, 9},     // domain too wide at scale 10^9
+	}
+	for i, c := range cases {
+		if _, err := New(c.min, c.max, c.decimals); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(-40, 125, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	c, err := New(-40, 125, 2) // a thermometer with negative range
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reading := range []float64{-40, -39.99, -0.01, 0, 21.5, 125} {
+		enc, err := c.Encode(reading)
+		if err != nil {
+			t.Fatalf("Encode(%g): %v", reading, err)
+		}
+		if got := c.Decode(enc); math.Abs(got-reading) > 0.005 {
+			t.Fatalf("round trip %g → %d → %g", reading, enc, got)
+		}
+	}
+}
+
+func TestEncodeRejectsOutOfDomain(t *testing.T) {
+	c, err := New(0, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-0.1, 100.1, math.NaN()} {
+		if _, err := c.Encode(bad); err == nil {
+			t.Fatalf("Encode(%g) accepted", bad)
+		}
+	}
+}
+
+func TestSignedSumRecovery(t *testing.T) {
+	// The core property: exact signed sums through the positive-integer
+	// protocol domain.
+	c, err := New(-50, 50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	readings := make([]float64, 100)
+	var trueSum float64
+	var encSum uint64
+	for i := range readings {
+		readings[i] = math.Round((r.Float64()*100-50)*100) / 100 // 2 decimals
+		trueSum += readings[i]
+		enc, err := c.Encode(readings[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		encSum += enc
+	}
+	got, err := c.DecodeSum(encSum, len(readings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-trueSum) > 1e-6 {
+		t.Fatalf("DecodeSum = %f, want %f", got, trueSum)
+	}
+	avg, err := c.DecodeAvg(encSum, len(readings))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-trueSum/100) > 1e-6 {
+		t.Fatalf("DecodeAvg = %f", avg)
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	c, err := New(0, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodeSum(5, -1); err == nil {
+		t.Fatal("negative n accepted")
+	}
+	if _, err := c.DecodeAvg(5, 0); err == nil {
+		t.Fatal("zero-contributor average accepted")
+	}
+}
+
+func TestSumHeadroom(t *testing.T) {
+	c, err := New(18, 50, 4) // domain ×10^4: encoded max = 320000
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MaxEncoded() != 320000 {
+		t.Fatalf("MaxEncoded = %d", c.MaxEncoded())
+	}
+	n32, err := c.SumHeadroom(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2^32−1 / 320000 ≈ 13421 sources fit a 32-bit sum field.
+	if n32 < 13000 || n32 > 14000 {
+		t.Fatalf("32-bit headroom = %d", n32)
+	}
+	n64, err := c.SumHeadroom(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n64 <= n32 {
+		t.Fatal("64-bit headroom not larger")
+	}
+	if _, err := c.SumHeadroom(0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+func TestEndToEndWithSIES(t *testing.T) {
+	// Negative temperatures through a real deployment: encode at sources,
+	// aggregate, decode the verified sum.
+	c, err := New(-30, 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sources, err := core.Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := core.NewAggregator(q.Params().Field())
+	readings := []float64{-25.5, -10.25, 3.75, 29.99}
+	var final core.PSR
+	var trueSum float64
+	for i, reading := range readings {
+		enc, err := c.Encode(reading)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psr, err := sources[i].Encrypt(prf.Epoch(1), enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+		trueSum += reading
+	}
+	res, err := q.Evaluate(1, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.DecodeSum(res.Sum, res.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-trueSum) > 1e-6 {
+		t.Fatalf("signed SUM through SIES = %f, want %f", got, trueSum)
+	}
+}

@@ -1,0 +1,130 @@
+// Package workload generates the sensor readings driving the experiments.
+//
+// The paper samples real temperature readings from the Intel Lab trace
+// (Berkeley testbed): float values with four decimal digits, restricted to
+// [18, 50] °C, each source drawing randomly from the dataset. That trace is
+// an external download, so — per the reproduction's substitution rule — this
+// package synthesises an equivalent stream: per-sensor mean-reverting random
+// walks (an Ornstein–Uhlenbeck discretisation) clipped to [18, 50] with
+// 4-decimal precision. Every quantity the experiments measure depends only
+// on the value *domain* (SIES/CMT are data-independent; SECOA_S costs scale
+// with the integer magnitude), so the synthetic stream preserves the
+// benchmark behaviour exactly.
+//
+// Domain scaling follows §VI: each reading is multiplied by a power of ten
+// and truncated to an integer, which is how the paper varies the domain
+// D = [18,50]×10^k — equivalent to choosing the decimal precision of the
+// temperatures.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Temperature bounds of the Intel Lab subset used by the paper (°C).
+const (
+	TempMin = 18.0
+	TempMax = 50.0
+)
+
+// Scale is a domain multiplier 10^k, k ∈ {0..4} in the paper's experiments.
+type Scale int
+
+// Common scales from Table IV.
+const (
+	Scale1     Scale = 1
+	Scale10    Scale = 10
+	Scale100   Scale = 100 // the default domain D = [1800, 5000]
+	Scale1000  Scale = 1000
+	Scale10000 Scale = 10000
+)
+
+// PaperScales lists the domain sweep of Figure 4/6(b).
+func PaperScales() []Scale { return []Scale{Scale1, Scale10, Scale100, Scale1000, Scale10000} }
+
+// Domain returns the integer value domain [lo, hi] induced by the scale.
+func (s Scale) Domain() (lo, hi uint64) {
+	return uint64(TempMin * float64(s)), uint64(TempMax * float64(s))
+}
+
+// String formats the scale as in the paper's x-axes ("x1", "x10", ...).
+func (s Scale) String() string { return fmt.Sprintf("x%d", int(s)) }
+
+// Generator produces per-sensor temperature streams.
+type Generator struct {
+	rng   *rand.Rand
+	state []float64 // current temperature per sensor
+}
+
+// NewGenerator creates a generator for n sensors with a deterministic seed.
+// Initial temperatures are uniform over the domain.
+func NewGenerator(n int, seed int64) (*Generator, error) {
+	if n < 1 {
+		return nil, errors.New("workload: need at least one sensor")
+	}
+	g := &Generator{rng: rand.New(rand.NewSource(seed)), state: make([]float64, n)}
+	for i := range g.state {
+		g.state[i] = TempMin + g.rng.Float64()*(TempMax-TempMin)
+	}
+	return g, nil
+}
+
+// N returns the number of sensors.
+func (g *Generator) N() int { return len(g.state) }
+
+// Ornstein–Uhlenbeck parameters: readings revert toward the domain middle
+// with Gaussian perturbations, mimicking slowly drifting room temperatures.
+const (
+	ouTheta = 0.05 // mean-reversion rate per epoch
+	ouSigma = 0.8  // perturbation standard deviation (°C)
+	ouMean  = (TempMin + TempMax) / 2
+)
+
+// Step advances every sensor one epoch and returns the float readings,
+// rounded to four decimal digits as in the Intel Lab trace.
+func (g *Generator) Step() []float64 {
+	out := make([]float64, len(g.state))
+	for i, cur := range g.state {
+		next := cur + ouTheta*(ouMean-cur) + ouSigma*g.rng.NormFloat64()
+		if next < TempMin {
+			next = TempMin
+		}
+		if next > TempMax {
+			next = TempMax
+		}
+		g.state[i] = next
+		out[i] = math.Round(next*1e4) / 1e4
+	}
+	return out
+}
+
+// Readings returns the epoch's integer readings under the given scale:
+// v = trunc(temperature · scale), exactly the paper's domain construction.
+func (g *Generator) Readings(scale Scale) []uint64 {
+	floats := g.Step()
+	out := make([]uint64, len(floats))
+	for i, f := range floats {
+		out[i] = uint64(f * float64(scale))
+	}
+	return out
+}
+
+// ToFloat converts an integer SUM result back to degrees under the scale,
+// as the querier does after extraction ("divides the extracted integer
+// result with the respective power of 10", §VI).
+func ToFloat(sum uint64, scale Scale) float64 { return float64(sum) / float64(scale) }
+
+// UniformReadings draws one epoch of independent uniform values over the
+// scaled domain — the simpler distribution used where stream continuity is
+// irrelevant (micro-benchmarks).
+func UniformReadings(n int, scale Scale, rng *rand.Rand) []uint64 {
+	lo, hi := scale.Domain()
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = lo + uint64(rng.Int63n(int64(hi-lo+1)))
+	}
+	return out
+}

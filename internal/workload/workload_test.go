@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestScaleDomain(t *testing.T) {
+	lo, hi := Scale100.Domain()
+	if lo != 1800 || hi != 5000 {
+		t.Fatalf("Scale100 domain = [%d, %d], want [1800, 5000]", lo, hi)
+	}
+	lo, hi = Scale1.Domain()
+	if lo != 18 || hi != 50 {
+		t.Fatalf("Scale1 domain = [%d, %d]", lo, hi)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Scale1000.String() != "x1000" {
+		t.Fatalf("String = %s", Scale1000.String())
+	}
+}
+
+func TestPaperScales(t *testing.T) {
+	scales := PaperScales()
+	if len(scales) != 5 || scales[0] != Scale1 || scales[4] != Scale10000 {
+		t.Fatalf("PaperScales = %v", scales)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(0, 1); err == nil {
+		t.Fatal("zero sensors accepted")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a, err := NewGenerator(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 5; epoch++ {
+		ra, rb := a.Step(), b.Step()
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("epoch %d sensor %d: %f vs %f", epoch, i, ra[i], rb[i])
+			}
+		}
+	}
+}
+
+func TestReadingsInDomain(t *testing.T) {
+	g, err := NewGenerator(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scale := range PaperScales() {
+		lo, hi := scale.Domain()
+		for epoch := 0; epoch < 10; epoch++ {
+			for _, v := range g.Readings(scale) {
+				if v < lo || v > hi {
+					t.Fatalf("scale %s: reading %d outside [%d, %d]", scale, v, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func TestStepPrecisionFourDecimals(t *testing.T) {
+	g, err := NewGenerator(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Step() {
+		scaled := v * 1e4
+		if math.Abs(scaled-math.Round(scaled)) > 1e-6 {
+			t.Fatalf("reading %v not at 4-decimal precision", v)
+		}
+	}
+}
+
+func TestStepBounds(t *testing.T) {
+	g, err := NewGenerator(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 200; epoch++ {
+		for _, v := range g.Step() {
+			if v < TempMin || v > TempMax {
+				t.Fatalf("reading %f escaped [%f, %f]", v, TempMin, TempMax)
+			}
+		}
+	}
+}
+
+func TestReadingsVaryOverTime(t *testing.T) {
+	g, err := NewGenerator(1, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := g.Readings(Scale100)[0]
+	varies := false
+	for epoch := 0; epoch < 20; epoch++ {
+		if g.Readings(Scale100)[0] != first {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("stream is constant")
+	}
+}
+
+func TestToFloat(t *testing.T) {
+	if got := ToFloat(123456, Scale100); got != 1234.56 {
+		t.Fatalf("ToFloat = %f", got)
+	}
+	if got := ToFloat(42, Scale1); got != 42 {
+		t.Fatalf("ToFloat = %f", got)
+	}
+}
+
+func TestUniformReadings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := UniformReadings(1000, Scale100, rng)
+	lo, hi := Scale100.Domain()
+	var sum float64
+	for _, v := range vals {
+		if v < lo || v > hi {
+			t.Fatalf("uniform reading %d outside [%d, %d]", v, lo, hi)
+		}
+		sum += float64(v)
+	}
+	mean := sum / float64(len(vals))
+	mid := float64(lo+hi) / 2
+	if math.Abs(mean-mid) > 0.1*mid {
+		t.Fatalf("uniform mean %f far from midpoint %f", mean, mid)
+	}
+}
+
+func BenchmarkReadings1024(b *testing.B) {
+	g, err := NewGenerator(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Readings(Scale100)
+	}
+}
+
+const sampleTrace = `2004-03-31 03:38:15.757551 2 1 19.9884 37.0933 45.08 2.69964
+2004-03-31 03:38:45.9951 3 1 19.3024 38.4629 45.08 2.68742
+2004-02-28 00:59:16.02785 3 2 bad-temp 38.46 45.08 2.68
+short line
+2004-03-31 03:39:16 4 1 122.153 38.46 45.08 2.68
+2004-03-31 03:40:00 5 3 35.5000 40.1 97.2 2.65
+`
+
+func TestLoadIntelLab(t *testing.T) {
+	tr, err := LoadIntelLab(strings.NewReader(sampleTrace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 valid in-range readings; the 122.153 outlier and malformed lines drop.
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	rng := rand.New(rand.NewSource(1))
+	vals := tr.Readings(100, Scale100, rng)
+	lo, hi := Scale100.Domain()
+	for _, v := range vals {
+		if v < lo || v > hi {
+			t.Fatalf("trace reading %d outside [%d,%d]", v, lo, hi)
+		}
+	}
+}
+
+func TestLoadIntelLabEmpty(t *testing.T) {
+	if _, err := LoadIntelLab(strings.NewReader("")); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := LoadIntelLab(strings.NewReader("a b c d 999.9 e")); err == nil {
+		t.Fatal("all-out-of-range trace accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package sies is the public API of this repository: a complete, from-
+// scratch implementation of SIES — Secure In-network processing of Exact SUM
+// queries (Papadopoulos, Kiayias, Papadias; ICDE 2011) — together with the
+// two benchmark schemes the paper evaluates against (CMT and SECOA_S), a
+// sensor-network simulator, an adversary harness, and the paper's analytical
+// cost models.
+//
+// # Quick start
+//
+//	net, err := sies.NewNetwork(1024, 4)           // 1024 sources, fanout 4
+//	if err != nil { ... }
+//	readings := make([]uint64, 1024)               // one reading per source
+//	sum, err := net.RunEpoch(1, readings)          // exact, verified SUM
+//
+// RunEpoch fails with ErrIntegrity if anything in the network tampered with,
+// dropped, injected, or replayed data.
+//
+// The deeper layers are exposed for advanced use:
+//
+//   - protocol primitives:     Setup, Source, Aggregator, Querier, PSR
+//   - derived queries:         NewStatisticsNetwork (COUNT/AVG/VAR/STDDEV)
+//   - simulator and adversary: Network.Engine, the attack helpers
+//   - authenticated broadcast: the μTesla channel used for query dissemination
+package sies
+
+import (
+	"github.com/sies/sies/internal/attack"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/queries"
+	"github.com/sies/sies/internal/query"
+	"github.com/sies/sies/internal/uint256"
+	"github.com/sies/sies/internal/workload"
+)
+
+// Re-exported protocol types. See the internal/core documentation for the
+// full protocol description.
+type (
+	// Epoch identifies one transmission period t.
+	Epoch = prf.Epoch
+	// PSR is a 32-byte partial state record (an encrypted contribution).
+	PSR = core.PSR
+	// Source runs the initialization phase at a leaf sensor.
+	Source = core.Source
+	// Aggregator runs the merging phase at an internal node.
+	Aggregator = core.Aggregator
+	// Querier runs the evaluation (decrypt + verify) phase.
+	Querier = core.Querier
+	// Result is a verified SUM outcome.
+	Result = core.Result
+	// Option customises Setup.
+	Option = core.Option
+)
+
+// Protocol errors.
+var (
+	// ErrIntegrity is returned when verification fails: the result was
+	// tampered with, a contribution was dropped/injected, or a stale result
+	// was replayed.
+	ErrIntegrity = core.ErrIntegrity
+	// ErrResultOverflow is returned when the exact SUM exceeds the layout's
+	// value field (use WithWideValues for 64-bit sums).
+	ErrResultOverflow = core.ErrResultOverflow
+)
+
+// PSRSize is the constant wire size of a PSR: 32 bytes per network edge.
+const PSRSize = core.PSRSize
+
+// Setup generates keys and returns the querier plus one Source per id —
+// the protocol's setup phase. Options: WithWideValues, WithField.
+func Setup(n int, opts ...Option) (*Querier, []*Source, error) { return core.Setup(n, opts...) }
+
+// NewAggregator returns an aggregator holding only the public modulus.
+func NewAggregator(q *Querier) *Aggregator { return core.NewAggregator(q.Params().Field()) }
+
+// WithWideValues switches to 8-byte values (exact SUMs up to 2^64−1).
+func WithWideValues() Option { return core.WithWideValues() }
+
+// WithField selects a custom 256-bit prime field.
+func WithField(f *uint256.Field) Option { return core.WithField(f) }
+
+// Network is the high-level object most applications want: a SIES deployment
+// wired onto a complete aggregation tree with per-edge traffic accounting.
+type Network struct {
+	eng   *network.Engine
+	proto *network.SIESProtocol
+}
+
+// NewNetwork deploys SIES for n sources on a complete fanout-F tree.
+func NewNetwork(n, fanout int, opts ...Option) (*Network, error) {
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := network.NewSIESProtocol(n, opts...)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := network.NewEngine(topo, proto)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{eng: eng, proto: proto}, nil
+}
+
+// RunEpoch pushes one epoch of readings through the network and returns the
+// verified exact SUM.
+func (nw *Network) RunEpoch(t Epoch, readings []uint64) (uint64, error) {
+	res, err := nw.eng.RunEpoch(t, readings)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(res), nil
+}
+
+// FailSource reports a source failure: the source stops contributing and the
+// querier verifies the surviving subset (paper §IV-B).
+func (nw *Network) FailSource(id int) error { return nw.eng.FailSource(id) }
+
+// RecoverSource clears a failure report.
+func (nw *Network) RecoverSource(id int) { nw.eng.RecoverSource(id) }
+
+// Engine exposes the underlying simulator for traffic statistics and
+// adversary injection.
+func (nw *Network) Engine() *network.Engine { return nw.eng }
+
+// Querier exposes the deployment's querier.
+func (nw *Network) Querier() *Querier { return nw.proto.Querier }
+
+// Sources exposes the deployment's sources.
+func (nw *Network) Sources() []*Source { return nw.proto.Sources }
+
+// StatisticsNetwork runs the derived-query deployment (SUM, COUNT, AVG,
+// VARIANCE, STDDEV with a WHERE predicate) over a complete tree.
+type StatisticsNetwork struct {
+	dep  *queries.Deployment
+	topo *network.Topology
+}
+
+// Predicate is the WHERE clause evaluated at each source.
+type Predicate = queries.Predicate
+
+// Statistics is a verified epoch outcome with all derived aggregates.
+type Statistics = queries.Result
+
+// NewStatisticsNetwork deploys the triple-instance statistics network.
+// pred == nil accepts every reading.
+func NewStatisticsNetwork(n, fanout int, pred Predicate) (*StatisticsNetwork, error) {
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := queries.NewDeployment(n, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &StatisticsNetwork{dep: dep, topo: topo}, nil
+}
+
+// RunEpoch pushes readings through the tree and returns the verified
+// statistics. failed lists source ids that did not contribute (nil = none).
+func (sn *StatisticsNetwork) RunEpoch(t Epoch, readings []uint64, failed []int) (Statistics, error) {
+	failedSet := map[int]bool{}
+	for _, id := range failed {
+		failedSet[id] = true
+	}
+	var contributors []int
+	var process func(agg int) (queries.Triple, bool, error)
+	process = func(agg int) (queries.Triple, bool, error) {
+		var acc queries.Triple
+		got := false
+		for _, src := range sn.topo.ChildSources(agg) {
+			if failedSet[src] {
+				continue
+			}
+			tr, err := sn.dep.Emit(src, t, readings[src])
+			if err != nil {
+				return queries.Triple{}, false, err
+			}
+			acc = sn.dep.Merge(acc, tr)
+			got = true
+		}
+		for _, child := range sn.topo.ChildAggregators(agg) {
+			sub, ok, err := process(child)
+			if err != nil {
+				return queries.Triple{}, false, err
+			}
+			if ok {
+				acc = sn.dep.Merge(acc, sub)
+				got = true
+			}
+		}
+		return acc, got, nil
+	}
+	final, ok, err := process(sn.topo.Root())
+	if err != nil {
+		return Statistics{}, err
+	}
+	if !ok {
+		return Statistics{}, ErrIntegrity
+	}
+	if len(failed) > 0 {
+		for i := 0; i < sn.dep.N(); i++ {
+			if !failedSet[i] {
+				contributors = append(contributors, i)
+			}
+		}
+	}
+	return sn.dep.Evaluate(t, final, contributors)
+}
+
+// Query is a parsed continuous-query template (§III-B of the paper):
+// SELECT <aggregates> FROM Sensors [WHERE pred] EPOCH DURATION T.
+type Query = query.Query
+
+// ParseQuery parses the paper's query template, e.g.
+//
+//	SELECT SUM(temp), AVG(temp) FROM Sensors
+//	WHERE temp BETWEEN 25.0 AND 45.0 EPOCH DURATION 30s
+func ParseQuery(src string) (*Query, error) { return query.Parse(src) }
+
+// DeployQuery parses a query template and deploys the statistics network
+// that answers it: the WHERE clause compiles to the source-side predicate
+// under the given domain scale (readings are attr·scale integers).
+func DeployQuery(src string, n, fanout int, scale Scale) (*StatisticsNetwork, *Query, error) {
+	q, err := query.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	pred, err := q.CompilePredicate(float64(scale))
+	if err != nil {
+		return nil, nil, err
+	}
+	sn, err := NewStatisticsNetwork(n, fanout, pred)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sn, q, nil
+}
+
+// Workload helpers re-exported for examples and downstream users.
+
+// NewTemperatureWorkload returns the Intel-Lab-like synthetic temperature
+// generator (n sensors, deterministic seed).
+func NewTemperatureWorkload(n int, seed int64) (*workload.Generator, error) {
+	return workload.NewGenerator(n, seed)
+}
+
+// Scale re-exports the workload domain multiplier.
+type Scale = workload.Scale
+
+// Domain scales from the paper's Table IV.
+const (
+	Scale1     = workload.Scale1
+	Scale10    = workload.Scale10
+	Scale100   = workload.Scale100
+	Scale1000  = workload.Scale1000
+	Scale10000 = workload.Scale10000
+)
+
+// AttackOutcome re-exports the adversary harness result.
+type AttackOutcome = attack.Outcome

@@ -1,0 +1,194 @@
+package sies_test
+
+import (
+	"errors"
+	"testing"
+
+	sies "github.com/sies/sies"
+	"github.com/sies/sies/internal/attack"
+	"github.com/sies/sies/internal/network"
+)
+
+func TestNetworkRunEpoch(t *testing.T) {
+	nw, err := sies.NewNetwork(64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := make([]uint64, 64)
+	var want uint64
+	for i := range readings {
+		readings[i] = uint64(i * 10)
+		want += readings[i]
+	}
+	got, err := nw.RunEpoch(1, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SUM = %d, want %d", got, want)
+	}
+}
+
+func TestNetworkFailure(t *testing.T) {
+	nw, err := sies.NewNetwork(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.FailSource(0); err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{100, 1, 2, 3, 4, 5, 6, 7}
+	got, err := nw.RunEpoch(1, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 28 {
+		t.Fatalf("SUM = %d, want 28", got)
+	}
+	nw.RecoverSource(0)
+	got, err = nw.RunEpoch(2, readings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 128 {
+		t.Fatalf("SUM = %d, want 128", got)
+	}
+}
+
+func TestNetworkDetectsTampering(t *testing.T) {
+	nw, err := sies.NewNetwork(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := nw.Querier().Params().Field()
+	nw.Engine().SetInterceptor(attack.SIESInject(f, network.EdgeAQ, 123))
+	defer nw.Engine().SetInterceptor(nil)
+	_, err = nw.RunEpoch(1, make([]uint64, 16))
+	if !errors.Is(err, sies.ErrIntegrity) && !errors.Is(err, sies.ErrResultOverflow) {
+		t.Fatalf("tampering accepted: %v", err)
+	}
+}
+
+func TestStatisticsNetwork(t *testing.T) {
+	sn, err := sies.NewStatisticsNetwork(8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readings := []uint64{2, 4, 6, 8, 10, 12, 14, 16}
+	st, err := sn.RunEpoch(1, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sum != 72 || st.Count != 8 || st.Avg != 9 {
+		t.Fatalf("stats %+v", st)
+	}
+	// With failures.
+	st, err = sn.RunEpoch(2, readings, []int{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sum != 54 || st.Count != 6 {
+		t.Fatalf("subset stats %+v", st)
+	}
+}
+
+func TestWorkloadIntegration(t *testing.T) {
+	gen, err := sies.NewTemperatureWorkload(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := sies.NewNetwork(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := sies.Epoch(1); epoch <= 3; epoch++ {
+		readings := gen.Readings(sies.Scale100)
+		var want uint64
+		for _, v := range readings {
+			want += v
+		}
+		got, err := nw.RunEpoch(epoch, readings)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("epoch %d: SUM = %d, want %d", epoch, got, want)
+		}
+	}
+}
+
+func TestSetupFacade(t *testing.T) {
+	q, sources, err := sies.Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sies.NewAggregator(q)
+	var final sies.PSR
+	for i, s := range sources {
+		psr, err := s.Encrypt(9, uint64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	res, err := q.Evaluate(9, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 10 {
+		t.Fatalf("SUM = %d", res.Sum)
+	}
+}
+
+func TestWideValuesFacade(t *testing.T) {
+	q, sources, err := sies.Setup(2, sies.WithWideValues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := sies.NewAggregator(q)
+	a, err := sources[0].Encrypt(1, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sources[1].Encrypt(1, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Evaluate(1, agg.Merge(a, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != 1<<41 {
+		t.Fatalf("wide SUM = %d", res.Sum)
+	}
+}
+
+func TestDeployQuery(t *testing.T) {
+	sn, q, err := sies.DeployQuery(
+		"SELECT SUM(temp), AVG(temp), COUNT(*) FROM Sensors WHERE temp BETWEEN 10 AND 50 EPOCH DURATION 30s",
+		8, 4, sies.Scale1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Epoch.Seconds() != 30 {
+		t.Fatalf("epoch %v", q.Epoch)
+	}
+	readings := []uint64{5, 10, 20, 30, 40, 50, 60, 70} // 5,60,70 filtered
+	st, err := sn.RunEpoch(1, readings, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sum != 150 || st.Count != 5 || st.Avg != 30 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDeployQueryErrors(t *testing.T) {
+	if _, _, err := sies.DeployQuery("not a query", 4, 2, sies.Scale1); err == nil {
+		t.Fatal("garbage query accepted")
+	}
+	if _, _, err := sies.DeployQuery(
+		"SELECT SUM(a) FROM s WHERE b > 1 EPOCH DURATION 1s", 4, 2, sies.Scale1); err == nil {
+		t.Fatal("mismatched WHERE attribute accepted")
+	}
+}
