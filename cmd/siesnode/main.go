@@ -14,6 +14,11 @@
 //
 // Sources can send a fixed -value per epoch or a synthetic temperature
 // stream (-value 0 switches to the workload generator).
+//
+// Fault injection: -chaosSeed with any of -chaosDrop/-chaosDelay/-chaosReset
+// routes this node's links through a deterministic chaos injector, exercising
+// the reconnect/backoff path end to end. -reconnectWindow bounds how long an
+// aggregator keeps an epoch open for a returning child.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/sies/sies/internal/chaos"
 	"github.com/sies/sies/internal/core"
 	"github.com/sies/sies/internal/creds"
 	"github.com/sies/sies/internal/prf"
@@ -40,7 +46,32 @@ var (
 	flagPeriod   = flag.Duration("period", time.Second, "epoch duration T (source)")
 	flagValue    = flag.Uint64("value", 0, "fixed reading per epoch; 0 = synthetic temperatures (source)")
 	flagN        = flag.Int("n", 0, "total sources in the deployment (querier; default from creds)")
+
+	flagReconnect  = flag.Duration("reconnectWindow", 0, "how long an aggregator holds epochs open for returning children (0 = -timeout)")
+	flagChaosSeed  = flag.Int64("chaosSeed", 0, "seed for deterministic fault injection (0 disables chaos)")
+	flagChaosDrop  = flag.Float64("chaosDrop", 0, "per-frame drop probability on this node's links")
+	flagChaosDelay = flag.Duration("chaosDelay", 0, "maximum injected per-write delay (drawn uniformly)")
+	flagChaosReset = flag.Float64("chaosReset", 0, "per-write connection reset probability")
 )
+
+// injector builds the chaos injector from the -chaos* flags, or nil when
+// chaos is disabled. All of a node's links share one injector so a single
+// seed replays the whole fault sequence.
+func injector() *chaos.Injector {
+	if *flagChaosSeed == 0 {
+		return nil
+	}
+	cfg := chaos.Config{
+		Seed:      *flagChaosSeed,
+		DropProb:  *flagChaosDrop,
+		MaxDelay:  *flagChaosDelay,
+		ResetProb: *flagChaosReset,
+	}
+	if cfg.MaxDelay > 0 {
+		cfg.DelayProb = 0.5
+	}
+	return chaos.New(cfg)
+}
 
 func main() {
 	flag.Parse()
@@ -105,12 +136,20 @@ func runAggregator() error {
 	if *flagChildren < 1 {
 		return fmt.Errorf("aggregator needs -children ≥ 1")
 	}
-	node, err := transport.NewAggregatorNode(transport.AggregatorConfig{
-		ListenAddr:  *flagListen,
-		ParentAddr:  *flagParent,
-		NumChildren: *flagChildren,
-		Timeout:     *flagTimeout,
-	}, field)
+	cfg := transport.AggregatorConfig{
+		ListenAddr:      *flagListen,
+		ParentAddr:      *flagParent,
+		NumChildren:     *flagChildren,
+		Timeout:         *flagTimeout,
+		ReconnectWindow: *flagReconnect,
+	}
+	if inj := injector(); inj != nil {
+		cfg.Dial = inj.Dial
+		cfg.Listen = inj.Listen
+		fmt.Printf("chaos enabled: seed=%d drop=%.2f delay=%v reset=%.2f\n",
+			*flagChaosSeed, *flagChaosDrop, *flagChaosDelay, *flagChaosReset)
+	}
+	node, err := transport.NewAggregatorNode(cfg, field)
 	if err != nil {
 		return err
 	}
@@ -140,7 +179,13 @@ func runSource() error {
 	if err != nil {
 		return err
 	}
-	node, err := transport.DialSource(*flagParent, src)
+	scfg := transport.SourceConfig{ParentAddr: *flagParent}
+	if inj := injector(); inj != nil {
+		scfg.Dial = inj.Dial
+		fmt.Printf("chaos enabled: seed=%d drop=%.2f delay=%v reset=%.2f\n",
+			*flagChaosSeed, *flagChaosDrop, *flagChaosDelay, *flagChaosReset)
+	}
+	node, err := transport.DialSourceWith(scfg, src)
 	if err != nil {
 		return err
 	}

@@ -9,14 +9,18 @@
 //	siessim -scheme cmt  -n 256 -epochs 10 -attack inject
 //	siessim -scheme sies -n 64 -epochs 10 -fail 3,17 -attack replay
 //	siessim -scheme secoa -n 64 -epochs 3
+//	siessim -scheme sies -n 128 -epochs 50 -churn 0.05 -churnSeed 7
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"strconv"
 	"strings"
+
+	"github.com/sies/sies/internal/chaos"
 
 	"github.com/sies/sies/internal/attack"
 	"github.com/sies/sies/internal/energy"
@@ -38,6 +42,10 @@ var (
 	flagFail   = flag.String("fail", "", "comma-separated source ids to fail from epoch 1")
 	flagAttack = flag.String("attack", "", "adversary: inject, drop, or replay")
 	flagEnergy = flag.Bool("energy", false, "print a battery-lifetime estimate for the topology")
+
+	flagChurn        = flag.Float64("churn", 0, "per-epoch probability that a live node fails (0 disables churn)")
+	flagChurnRecover = flag.Float64("churnRecover", 0.3, "per-epoch probability that a failed node recovers")
+	flagChurnSeed    = flag.Int64("churnSeed", 1, "churn schedule seed (deterministic given -n/-fanout)")
 )
 
 func main() {
@@ -127,19 +135,35 @@ func run() error {
 		return err
 	}
 
+	var churn *chaos.Churn
+	if *flagChurn > 0 {
+		churn = chaos.RandomChurn(rand.New(rand.NewSource(*flagChurnSeed)),
+			*flagEpochs, *flagN, topo.NumAggregators(), *flagChurn, *flagChurnRecover)
+	}
+
 	fmt.Printf("scheme=%s  N=%d  fanout=%d  depth=%d  aggregators=%d  domain=%s\n",
 		proto.Name(), *flagN, *flagFanout, topo.Depth(), topo.NumAggregators(), scale)
 	if *flagAttack != "" {
 		fmt.Printf("adversary: %s\n", *flagAttack)
 	}
+	if churn != nil {
+		fmt.Printf("churn: fail=%.2f recover=%.2f seed=%d (%d scheduled events)\n",
+			*flagChurn, *flagChurnRecover, *flagChurnSeed, len(churn.Events))
+	}
 	fmt.Println()
 
-	accepted, rejected := 0, 0
+	accepted, rejected, full, partial := 0, 0, 0, 0
 	for epoch := prf.Epoch(1); epoch <= prf.Epoch(*flagEpochs); epoch++ {
+		if churn != nil {
+			if err := churn.Apply(epoch, eng); err != nil {
+				return err
+			}
+		}
 		readings := gen.Readings(scale)
+		contributors := eng.Contributors()
 		var truth uint64
 		for i, v := range readings {
-			if !contains(eng.Contributors(), i, *flagN) {
+			if !contains(contributors, i, *flagN) {
 				continue
 			}
 			truth += v
@@ -151,12 +175,20 @@ func run() error {
 			continue
 		}
 		accepted++
-		fmt.Printf("epoch %3d: result %12.1f  (true sum %d = %.2f°C total)\n",
-			epoch, res, truth, workload.ToFloat(truth, scale))
+		tag := ""
+		if contributors == nil {
+			full++
+		} else {
+			partial++
+			tag = fmt.Sprintf("  [partial: %d/%d contributors]", len(contributors), *flagN)
+		}
+		fmt.Printf("epoch %3d: result %12.1f  (true sum %d = %.2f°C total)%s\n",
+			epoch, res, truth, workload.ToFloat(truth, scale), tag)
 	}
 
 	st := eng.Stats()
-	fmt.Printf("\naccepted %d epochs, rejected %d\n", accepted, rejected)
+	fmt.Printf("\nhealth: %d full, %d partial, %d rejected (of %d epochs)\n",
+		full, partial, rejected, accepted+rejected)
 	fmt.Println("traffic per edge class:")
 	for _, kind := range []network.EdgeKind{network.EdgeSA, network.EdgeAA, network.EdgeAQ} {
 		s := st.PerKind[kind]

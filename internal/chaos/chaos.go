@@ -1,0 +1,314 @@
+// Package chaos provides deterministic fault injection for the transport
+// layer and failure scheduling for the in-memory simulator, so the recovery
+// machinery (reconnect/backoff, epoch resync, partial-SUM degradation) can be
+// exercised reproducibly from a single seed.
+//
+// An Injector wraps net.Conn / net.Listener / dial functions and injects
+// faults drawn from a per-connection seeded PRNG: silent frame drops, delivery
+// delays, payload corruption, short (torn) writes and connection resets.
+// Scheduled partitions and the explicit SetOffline / CutAll controls model
+// link outages; recovery is the transport's own redial machinery — a cut TCP
+// connection cannot be "healed", only replaced.
+//
+// Fault decisions are drawn per connection in wrap order, so a fixed seed and
+// a fixed connection-establishment order replay the same fault sequence.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Injected fault errors. Everything the injector fabricates wraps ErrInjected
+// so callers can distinguish chaos from genuine network failures in tests.
+var (
+	ErrInjected    = errors.New("chaos: injected fault")
+	ErrPartitioned = fmt.Errorf("%w: link partitioned", ErrInjected)
+	ErrReset       = fmt.Errorf("%w: connection reset", ErrInjected)
+	ErrOffline     = fmt.Errorf("%w: endpoint offline", ErrInjected)
+)
+
+// Window is a half-open interval [Start, End) relative to the injector's
+// creation during which the link is partitioned: dials fail and live
+// connections are severed on first use.
+type Window struct {
+	Start, End time.Duration
+}
+
+// Config selects the faults an Injector draws. All probabilities are per
+// Write call in [0, 1]; zero values inject nothing, so Config{} is a
+// transparent wrapper.
+type Config struct {
+	Seed int64 // root seed; per-connection PRNGs derive from it
+
+	DropProb       float64       // silently swallow the whole write
+	DelayProb      float64       // sleep up to MaxDelay before delivering
+	MaxDelay       time.Duration // delay upper bound (default 10ms when DelayProb > 0)
+	CorruptProb    float64       // flip one bit of the written bytes
+	ShortWriteProb float64       // deliver only a prefix, reporting full success
+	ResetProb      float64       // close the connection mid-write
+
+	Partitions []Window // scheduled outages relative to New()
+}
+
+// Injector wraps connections of one link (or one node) with fault injection.
+type Injector struct {
+	cfg   Config
+	start time.Time
+
+	mu      sync.Mutex
+	nextID  int64
+	offline bool
+	dials   int
+	conns   map[*Conn]struct{}
+}
+
+// New builds an injector; the clock for Partitions starts now.
+func New(cfg Config) *Injector {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, start: time.Now(), conns: map[*Conn]struct{}{}}
+}
+
+// partitioned reports whether a scheduled outage or SetOffline is active.
+func (in *Injector) partitioned() bool {
+	in.mu.Lock()
+	offline := in.offline
+	in.mu.Unlock()
+	if offline {
+		return true
+	}
+	d := time.Since(in.start)
+	for _, w := range in.cfg.Partitions {
+		if d >= w.Start && d < w.End {
+			return true
+		}
+	}
+	return false
+}
+
+// SetOffline toggles a manual partition. Going offline severs every live
+// wrapped connection so peers observe the outage promptly.
+func (in *Injector) SetOffline(offline bool) {
+	in.mu.Lock()
+	in.offline = offline
+	in.mu.Unlock()
+	if offline {
+		in.CutAll()
+	}
+}
+
+// CutAll severs every live connection wrapped by this injector. The peers see
+// a reset; recovery happens through the transport's redial path.
+func (in *Injector) CutAll() {
+	in.mu.Lock()
+	conns := make([]*Conn, 0, len(in.conns))
+	for c := range in.conns {
+		conns = append(conns, c)
+	}
+	in.mu.Unlock()
+	for _, c := range conns {
+		c.Cut()
+	}
+}
+
+// DialAttempts returns how many dials went through the injector, successful
+// or not — a cheap probe for "did the peer retry with backoff".
+func (in *Injector) DialAttempts() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dials
+}
+
+// Wrap returns c with fault injection. The connection gets its own PRNG
+// derived from the root seed and the wrap sequence number.
+func (in *Injector) Wrap(c net.Conn) *Conn {
+	in.mu.Lock()
+	id := in.nextID
+	in.nextID++
+	cc := &Conn{
+		Conn: c,
+		in:   in,
+		rng:  rand.New(rand.NewSource(in.cfg.Seed + (id+1)*0x9e3779b9)),
+	}
+	in.conns[cc] = struct{}{}
+	in.mu.Unlock()
+	return cc
+}
+
+// forget drops a closed connection from the registry.
+func (in *Injector) forget(c *Conn) {
+	in.mu.Lock()
+	delete(in.conns, c)
+	in.mu.Unlock()
+}
+
+// Dial is a net.Dial-shaped dialer routing through the injector: it fails
+// while partitioned and wraps successful connections.
+func (in *Injector) Dial(network, addr string) (net.Conn, error) {
+	in.mu.Lock()
+	in.dials++
+	in.mu.Unlock()
+	if in.partitioned() {
+		return nil, ErrPartitioned
+	}
+	c, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return in.Wrap(c), nil
+}
+
+// Listen wraps net.Listen so every accepted connection is injected.
+func (in *Injector) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{Listener: ln, in: in}, nil
+}
+
+// Listener wraps accepted connections with fault injection.
+type Listener struct {
+	net.Listener
+	in *Injector
+}
+
+// Accept wraps the next connection.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.Wrap(c), nil
+}
+
+// Conn is a net.Conn with injected faults on the write path and injected
+// delays on the read path.
+type Conn struct {
+	net.Conn
+	in *Injector
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cut bool
+}
+
+// Cut severs the connection: the underlying socket closes and every further
+// operation fails with ErrReset.
+func (c *Conn) Cut() {
+	c.mu.Lock()
+	already := c.cut
+	c.cut = true
+	c.mu.Unlock()
+	if !already {
+		c.Conn.Close()
+	}
+}
+
+// Close closes the underlying connection and unregisters it.
+func (c *Conn) Close() error {
+	c.in.forget(c)
+	return c.Conn.Close()
+}
+
+// writeFault is one drawn decision for a Write call.
+type writeFault struct {
+	reset   bool
+	drop    bool
+	corrupt bool
+	short   int // bytes to deliver when > 0 and < len(p)
+	delay   time.Duration
+}
+
+// draw samples the fault decision for a write of n bytes.
+func (c *Conn) draw(n int) writeFault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cfg := c.in.cfg
+	var f writeFault
+	if cfg.ResetProb > 0 && c.rng.Float64() < cfg.ResetProb {
+		f.reset = true
+		return f
+	}
+	if cfg.DropProb > 0 && c.rng.Float64() < cfg.DropProb {
+		f.drop = true
+		return f
+	}
+	if cfg.DelayProb > 0 && c.rng.Float64() < cfg.DelayProb {
+		f.delay = time.Duration(c.rng.Int63n(int64(cfg.MaxDelay) + 1))
+	}
+	if cfg.CorruptProb > 0 && c.rng.Float64() < cfg.CorruptProb {
+		f.corrupt = true
+	}
+	if cfg.ShortWriteProb > 0 && n > 1 && c.rng.Float64() < cfg.ShortWriteProb {
+		f.short = 1 + c.rng.Intn(n-1)
+	}
+	return f
+}
+
+// Write applies the drawn fault and forwards (what remains of) p.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	cut := c.cut
+	c.mu.Unlock()
+	if cut {
+		return 0, ErrReset
+	}
+	if c.in.partitioned() {
+		c.Cut()
+		return 0, ErrPartitioned
+	}
+	f := c.draw(len(p))
+	switch {
+	case f.reset:
+		c.Cut()
+		return 0, ErrReset
+	case f.drop:
+		return len(p), nil // swallowed: the caller believes it was sent
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	out := p
+	if f.corrupt && len(p) > 0 {
+		out = append([]byte(nil), p...)
+		c.mu.Lock()
+		bit := c.rng.Intn(len(out) * 8)
+		c.mu.Unlock()
+		out[bit/8] ^= 1 << (bit % 8)
+	}
+	if f.short > 0 && f.short < len(out) {
+		// Torn write: deliver a prefix but report full success, leaving the
+		// peer's stream desynchronised — exactly what a crashed sender does.
+		if _, err := c.Conn.Write(out[:f.short]); err != nil {
+			return 0, err
+		}
+		return len(p), nil
+	}
+	if _, err := c.Conn.Write(out); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Read forwards to the underlying connection, failing fast once cut or
+// partitioned.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	cut := c.cut
+	c.mu.Unlock()
+	if cut {
+		return 0, ErrReset
+	}
+	if c.in.partitioned() {
+		c.Cut()
+		return 0, ErrPartitioned
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// sinkConn is a net.Conn that records written bytes; reads block forever.
+type sinkConn struct {
+	buf    bytes.Buffer
+	closed bool
+}
+
+func (s *sinkConn) Write(p []byte) (int, error) {
+	if s.closed {
+		return 0, errors.New("closed")
+	}
+	return s.buf.Write(p)
+}
+func (s *sinkConn) Read(p []byte) (int, error)         { select {} }
+func (s *sinkConn) Close() error                       { s.closed = true; return nil }
+func (s *sinkConn) LocalAddr() net.Addr                { return nil }
+func (s *sinkConn) RemoteAddr() net.Addr               { return nil }
+func (s *sinkConn) SetDeadline(t time.Time) error      { return nil }
+func (s *sinkConn) SetReadDeadline(t time.Time) error  { return nil }
+func (s *sinkConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// deliver writes n frames of distinct content through a fresh injector and
+// returns what survived on the wire.
+func deliver(t *testing.T, cfg Config, writes int) []byte {
+	t.Helper()
+	in := New(cfg)
+	sink := &sinkConn{}
+	c := in.Wrap(sink)
+	for i := 0; i < writes; i++ {
+		payload := bytes.Repeat([]byte{byte(i + 1)}, 16)
+		if _, err := c.Write(payload); err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	return sink.buf.Bytes()
+}
+
+func TestInjectorDeterministicFromSeed(t *testing.T) {
+	cfg := Config{Seed: 42, DropProb: 0.3, CorruptProb: 0.2, ShortWriteProb: 0.1}
+	a := deliver(t, cfg, 50)
+	b := deliver(t, cfg, 50)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+	cfg.Seed = 43
+	c := deliver(t, cfg, 50)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestTransparentWhenUnconfigured(t *testing.T) {
+	got := deliver(t, Config{Seed: 1}, 10)
+	want := &bytes.Buffer{}
+	for i := 0; i < 10; i++ {
+		want.Write(bytes.Repeat([]byte{byte(i + 1)}, 16))
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatal("zero config altered the stream")
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	in := New(Config{Seed: 7, CorruptProb: 1})
+	sink := &sinkConn{}
+	c := in.Wrap(sink)
+	payload := make([]byte, 64)
+	if _, err := c.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	flipped := 0
+	for _, b := range sink.buf.Bytes() {
+		for ; b != 0; b &= b - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("corruption flipped %d bits, want 1", flipped)
+	}
+}
+
+func TestShortWriteDeliversPrefixButReportsSuccess(t *testing.T) {
+	in := New(Config{Seed: 3, ShortWriteProb: 1})
+	sink := &sinkConn{}
+	c := in.Wrap(sink)
+	payload := bytes.Repeat([]byte{0xAB}, 100)
+	n, err := c.Write(payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("short write reported n=%d err=%v", n, err)
+	}
+	if got := sink.buf.Len(); got >= len(payload) || got < 1 {
+		t.Fatalf("delivered %d bytes, want a strict prefix", got)
+	}
+}
+
+func TestResetCutsTheConnection(t *testing.T) {
+	in := New(Config{Seed: 5, ResetProb: 1})
+	sink := &sinkConn{}
+	c := in.Wrap(sink)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset, got %v", err)
+	}
+	if !sink.closed {
+		t.Fatal("underlying connection survived the reset")
+	}
+	if _, err := c.Write([]byte("y")); !errors.Is(err, ErrReset) {
+		t.Fatalf("cut connection accepted a write: %v", err)
+	}
+}
+
+func TestScheduledPartition(t *testing.T) {
+	active := New(Config{Partitions: []Window{{Start: 0, End: time.Hour}}})
+	if _, err := active.Dial("tcp", "127.0.0.1:1"); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial during partition: %v", err)
+	}
+	sink := &sinkConn{}
+	c := active.Wrap(sink)
+	if _, err := c.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write during partition: %v", err)
+	}
+	future := New(Config{Partitions: []Window{{Start: time.Hour, End: 2 * time.Hour}}})
+	sink2 := &sinkConn{}
+	if _, err := future.Wrap(sink2).Write([]byte("x")); err != nil {
+		t.Fatalf("write outside partition: %v", err)
+	}
+}
+
+func TestOfflineCutsLiveConnsAndBlocksDials(t *testing.T) {
+	in := New(Config{})
+	sink := &sinkConn{}
+	c := in.Wrap(sink)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	in.SetOffline(true)
+	if !sink.closed {
+		t.Fatal("going offline did not sever the live connection")
+	}
+	if _, err := in.Dial("tcp", "127.0.0.1:1"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial while offline: %v", err)
+	}
+	if got := in.DialAttempts(); got != 1 {
+		t.Fatalf("DialAttempts = %d, want 1", got)
+	}
+	in.SetOffline(false)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go ln.Accept()
+	conn, err := in.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial after recovery: %v", err)
+	}
+	conn.Close()
+}

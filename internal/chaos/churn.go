@@ -1,0 +1,117 @@
+// Churn scheduling: fail/recover sources and aggregators on an epoch
+// schedule. The schedule is plain data, generated deterministically from an
+// injected PRNG, and applies to anything implementing Target — the in-memory
+// network.Engine does, and tests drive transport clusters with the same
+// schedule by cutting links at epoch boundaries.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// Target is the failure surface a churn schedule drives. network.Engine
+// satisfies it.
+type Target interface {
+	FailSource(id int) error
+	RecoverSource(id int)
+	FailAggregator(id int) error
+	RecoverAggregator(id int)
+}
+
+// ChurnEvent fails or recovers one node at the start of one epoch.
+type ChurnEvent struct {
+	Epoch      prf.Epoch
+	Aggregator bool // false: ID is a source, true: ID is an aggregator
+	ID         int
+	Fail       bool // false: recover
+}
+
+// String renders the event for logs.
+func (e ChurnEvent) String() string {
+	kind, verb := "source", "recovers"
+	if e.Aggregator {
+		kind = "aggregator"
+	}
+	if e.Fail {
+		verb = "fails"
+	}
+	return fmt.Sprintf("epoch %d: %s %d %s", e.Epoch, kind, e.ID, verb)
+}
+
+// Churn is an epoch-ordered failure schedule.
+type Churn struct {
+	Events []ChurnEvent
+}
+
+// At returns the events scheduled for epoch t.
+func (c *Churn) At(t prf.Epoch) []ChurnEvent {
+	i := sort.Search(len(c.Events), func(i int) bool { return c.Events[i].Epoch >= t })
+	j := i
+	for j < len(c.Events) && c.Events[j].Epoch == t {
+		j++
+	}
+	return c.Events[i:j]
+}
+
+// Apply replays epoch t's events onto the target, typically right before the
+// target runs the epoch.
+func (c *Churn) Apply(t prf.Epoch, target Target) error {
+	for _, e := range c.At(t) {
+		switch {
+		case e.Aggregator && e.Fail:
+			if err := target.FailAggregator(e.ID); err != nil {
+				return err
+			}
+		case e.Aggregator:
+			target.RecoverAggregator(e.ID)
+		case e.Fail:
+			if err := target.FailSource(e.ID); err != nil {
+				return err
+			}
+		default:
+			target.RecoverSource(e.ID)
+		}
+	}
+	return nil
+}
+
+// RandomChurn draws a schedule over epochs [1, epochs]: each live node fails
+// with failProb per epoch and each failed node recovers with recoverProb. The
+// root aggregator (id 0) and the last living source are never failed, so
+// every epoch keeps at least a partial result reachable. Deterministic in the
+// injected rng.
+func RandomChurn(rng *rand.Rand, epochs, nSources, nAggregators int, failProb, recoverProb float64) *Churn {
+	srcDown := make([]bool, nSources)
+	aggDown := make([]bool, nAggregators)
+	liveSources := nSources
+	c := &Churn{}
+	for t := prf.Epoch(1); t <= prf.Epoch(epochs); t++ {
+		for id := 0; id < nSources; id++ {
+			switch {
+			case srcDown[id] && rng.Float64() < recoverProb:
+				srcDown[id] = false
+				liveSources++
+				c.Events = append(c.Events, ChurnEvent{Epoch: t, ID: id})
+			case !srcDown[id] && liveSources > 1 && rng.Float64() < failProb:
+				srcDown[id] = true
+				liveSources--
+				c.Events = append(c.Events, ChurnEvent{Epoch: t, ID: id, Fail: true})
+			}
+		}
+		for id := 1; id < nAggregators; id++ { // never the root
+			switch {
+			case aggDown[id] && rng.Float64() < recoverProb:
+				aggDown[id] = false
+				c.Events = append(c.Events, ChurnEvent{Epoch: t, Aggregator: true, ID: id})
+			case !aggDown[id] && rng.Float64() < failProb:
+				aggDown[id] = true
+				c.Events = append(c.Events, ChurnEvent{Epoch: t, Aggregator: true, ID: id, Fail: true})
+			}
+		}
+	}
+	return c
+}

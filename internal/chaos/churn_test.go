@@ -1,0 +1,86 @@
+package chaos
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// fakeTarget records applied events.
+type fakeTarget struct {
+	calls []ChurnEvent
+}
+
+func (f *fakeTarget) FailSource(id int) error {
+	f.calls = append(f.calls, ChurnEvent{ID: id, Fail: true})
+	return nil
+}
+func (f *fakeTarget) RecoverSource(id int) {
+	f.calls = append(f.calls, ChurnEvent{ID: id})
+}
+func (f *fakeTarget) FailAggregator(id int) error {
+	f.calls = append(f.calls, ChurnEvent{ID: id, Aggregator: true, Fail: true})
+	return nil
+}
+func (f *fakeTarget) RecoverAggregator(id int) {
+	f.calls = append(f.calls, ChurnEvent{ID: id, Aggregator: true})
+}
+
+func TestRandomChurnDeterministic(t *testing.T) {
+	a := RandomChurn(rand.New(rand.NewSource(9)), 50, 16, 5, 0.1, 0.3)
+	b := RandomChurn(rand.New(rand.NewSource(9)), 50, 16, 5, 0.1, 0.3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("no churn drawn at 10% fail probability over 50 epochs")
+	}
+	c := RandomChurn(rand.New(rand.NewSource(10)), 50, 16, 5, 0.1, 0.3)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestRandomChurnSparesRootAndLastSource(t *testing.T) {
+	ch := RandomChurn(rand.New(rand.NewSource(4)), 200, 1, 4, 0.9, 0.0)
+	for _, e := range ch.Events {
+		if e.Aggregator && e.ID == 0 {
+			t.Fatalf("root aggregator failed: %v", e)
+		}
+		if !e.Aggregator && e.Fail {
+			t.Fatalf("last living source failed: %v", e)
+		}
+	}
+}
+
+func TestChurnApplyReplaysEpochEvents(t *testing.T) {
+	ch := &Churn{Events: []ChurnEvent{
+		{Epoch: 1, ID: 3, Fail: true},
+		{Epoch: 2, ID: 1, Aggregator: true, Fail: true},
+		{Epoch: 2, ID: 3},
+		{Epoch: 4, ID: 1, Aggregator: true},
+	}}
+	tgt := &fakeTarget{}
+	for e := prf.Epoch(1); e <= 4; e++ {
+		if err := ch.Apply(e, tgt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []ChurnEvent{
+		{ID: 3, Fail: true},
+		{ID: 1, Aggregator: true, Fail: true},
+		{ID: 3},
+		{ID: 1, Aggregator: true},
+	}
+	if !reflect.DeepEqual(tgt.calls, want) {
+		t.Fatalf("applied %v, want %v", tgt.calls, want)
+	}
+	if got := ch.At(3); len(got) != 0 {
+		t.Fatalf("epoch 3 events: %v", got)
+	}
+	if got := ch.At(2); len(got) != 2 {
+		t.Fatalf("epoch 2 events: %v", got)
+	}
+}

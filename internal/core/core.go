@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"github.com/sies/sies/internal/homomorphic"
 	"github.com/sies/sies/internal/message"
@@ -391,6 +392,42 @@ func allIDs(n int) []int {
 		ids[i] = i
 	}
 	return ids
+}
+
+// NormalizeIDs sorts a contributor/failed-id list and removes duplicates —
+// the canonical form used in failure reports, where a reconnecting child may
+// re-send overlapping subtree failure lists.
+func NormalizeIDs(ids []int) []int {
+	if len(ids) == 0 {
+		return ids
+	}
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[w-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Subtract returns [0, n) minus the failed list (any order, duplicates
+// tolerated): the contributor set the querier verifies a partial SUM against
+// after reported source failures (§IV-B).
+func Subtract(n int, failed []int) []int {
+	failedSet := make(map[int]bool, len(failed))
+	for _, id := range failed {
+		failedSet[id] = true
+	}
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if !failedSet[i] {
+			out = append(out, i)
+		}
+	}
+	return out
 }
 
 // EncodeContributors serialises a contributor-id list for transport in

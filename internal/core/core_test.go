@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"github.com/sies/sies/internal/prf"
@@ -663,5 +664,76 @@ func TestNewSourceValidation(t *testing.T) {
 	}
 	if _, err := NewQuerier(other.KeyRing(), params); err == nil {
 		t.Fatal("ring/params size mismatch accepted")
+	}
+}
+
+func TestNormalizeIDs(t *testing.T) {
+	cases := []struct{ in, want []int }{
+		{nil, nil},
+		{[]int{}, nil},
+		{[]int{3}, []int{3}},
+		{[]int{5, 1, 3, 1, 5, 5}, []int{1, 3, 5}},
+		{[]int{2, 2, 2}, []int{2}},
+		{[]int{0, 1, 2}, []int{0, 1, 2}},
+	}
+	for _, c := range cases {
+		orig := append([]int(nil), c.in...)
+		got := NormalizeIDs(c.in)
+		if !reflect.DeepEqual(got, c.want) && !(len(got) == 0 && len(c.want) == 0) {
+			t.Errorf("NormalizeIDs(%v) = %v, want %v", orig, got, c.want)
+		}
+		if !reflect.DeepEqual(c.in, orig) && !(len(c.in) == 0 && len(orig) == 0) {
+			t.Errorf("NormalizeIDs mutated its argument: %v -> %v", orig, c.in)
+		}
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	cases := []struct {
+		n      int
+		failed []int
+		want   []int
+	}{
+		{4, nil, []int{0, 1, 2, 3}},
+		{4, []int{1, 2}, []int{0, 3}},
+		{4, []int{0, 1, 2, 3}, []int{}},
+		{3, []int{2, 2, 7, -1}, []int{0, 1}},
+		{1, []int{0}, []int{}},
+	}
+	for _, c := range cases {
+		got := Subtract(c.n, c.failed)
+		if len(got) == 0 && len(c.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Subtract(%d, %v) = %v, want %v", c.n, c.failed, got, c.want)
+		}
+	}
+}
+
+func TestSubtractRoundTripsEvaluateSubset(t *testing.T) {
+	q, sources, err := Setup(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := []int{1, 3}
+	contributors := Subtract(5, failed)
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	var want uint64
+	for _, id := range contributors {
+		psr, err := sources[id].Encrypt(7, uint64(100+id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += uint64(100 + id)
+		final = agg.MergeInto(final, psr)
+	}
+	res, err := q.EvaluateSubset(7, final, contributors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sum != want {
+		t.Fatalf("partial SUM %d, want %d", res.Sum, want)
 	}
 }

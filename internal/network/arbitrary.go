@@ -52,18 +52,28 @@ func FromParents(aggParent, sourceParent []int, fanout int) (*Topology, error) {
 	return t, nil
 }
 
-// RandomTree grows a random topology for n sources: aggregators are added
-// until every source finds a slot, each new aggregator attaching to a random
-// existing one with spare capacity. Deterministic in seed. Exercises the
-// protocol on irregular shapes — chains, lopsided stars, everything between.
+// RandomTree grows a random topology for n sources from a fresh PRNG seeded
+// with seed. See RandomTreeRand.
 func RandomTree(n, maxFanout int, seed int64) (*Topology, error) {
+	return RandomTreeRand(n, maxFanout, rand.New(rand.NewSource(seed)))
+}
+
+// RandomTreeRand grows a random topology for n sources: aggregators are
+// added until every source finds a slot, each new aggregator attaching to a
+// random existing one with spare capacity. Deterministic in the injected rng,
+// so topology generation composes with chaos schedules drawn from the same
+// seed. Exercises the protocol on irregular shapes — chains, lopsided stars,
+// everything between.
+func RandomTreeRand(n, maxFanout int, rng *rand.Rand) (*Topology, error) {
 	if n < 1 {
 		return nil, errors.New("network: need at least one source")
 	}
 	if maxFanout < 2 {
 		return nil, errors.New("network: fanout must be at least 2")
 	}
-	rng := rand.New(rand.NewSource(seed))
+	if rng == nil {
+		return nil, errors.New("network: nil rng")
+	}
 
 	aggParent := []int{-1}
 	slots := []int{maxFanout} // spare child capacity per aggregator

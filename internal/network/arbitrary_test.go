@@ -1,6 +1,7 @@
 package network
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/sies/sies/internal/prf"
@@ -133,5 +134,31 @@ func TestSIESOnArbitraryTopologies(t *testing.T) {
 		if got != float64(want) {
 			t.Fatalf("seed %d: SUM %f, want %d", seed, got, want)
 		}
+	}
+}
+
+func TestRandomTreeRandSharedRNG(t *testing.T) {
+	// An injected rng makes topology generation composable with other
+	// seeded draws (chaos schedules): the same master seed replays both.
+	build := func(seed int64) (*Topology, int) {
+		rng := rand.New(rand.NewSource(seed))
+		topo, err := RandomTreeRand(32, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return topo, rng.Intn(1 << 30) // downstream draw from the same stream
+	}
+	a, drawA := build(17)
+	b, drawB := build(17)
+	if a.NumAggregators() != b.NumAggregators() || drawA != drawB {
+		t.Fatal("shared-rng generation is not reproducible from one seed")
+	}
+	for src := 0; src < 32; src++ {
+		if a.SourceParent(src) != b.SourceParent(src) {
+			t.Fatal("source placement differs for equal seeds")
+		}
+	}
+	if _, err := RandomTreeRand(32, 3, nil); err == nil {
+		t.Fatal("nil rng accepted")
 	}
 }

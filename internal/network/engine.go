@@ -110,6 +110,7 @@ type Engine struct {
 	proto       Protocol
 	stats       *Stats
 	failed      map[int]bool
+	failedAggs  map[int]bool
 	interceptor Interceptor
 }
 
@@ -121,7 +122,8 @@ func NewEngine(topo *Topology, proto Protocol) (*Engine, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{topo: topo, proto: proto, stats: newStats(), failed: map[int]bool{}}, nil
+	return &Engine{topo: topo, proto: proto, stats: newStats(),
+		failed: map[int]bool{}, failedAggs: map[int]bool{}}, nil
 }
 
 // Stats returns the accumulated traffic counters.
@@ -146,17 +148,43 @@ func (e *Engine) FailSource(id int) error {
 // RecoverSource clears a failure.
 func (e *Engine) RecoverSource(id int) { delete(e.failed, id) }
 
-// Contributors returns the sorted ids of currently live sources, or nil when
-// every source is live (the common fast path).
+// FailAggregator marks an aggregator as failed: its whole subtree stops
+// contributing and every source under it is reported as a non-contributor.
+// Failing the root silences the entire deployment.
+func (e *Engine) FailAggregator(id int) error {
+	if id < 0 || id >= e.topo.NumAggregators() {
+		return fmt.Errorf("network: aggregator %d out of range", id)
+	}
+	e.failedAggs[id] = true
+	return nil
+}
+
+// RecoverAggregator clears an aggregator failure.
+func (e *Engine) RecoverAggregator(id int) { delete(e.failedAggs, id) }
+
+// aggAlive reports whether agg and every ancestor up to the root is live.
+func (e *Engine) aggAlive(agg int) bool {
+	for a := agg; a != -1; a = e.topo.ParentOf(a) {
+		if e.failedAggs[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contributors returns the sorted ids of currently contributing sources —
+// live themselves and with a live aggregator path to the root — or nil when
+// every source contributes (the common fast path).
 func (e *Engine) Contributors() []int {
-	if len(e.failed) == 0 {
+	if len(e.failed) == 0 && len(e.failedAggs) == 0 {
 		return nil
 	}
 	var ids []int
 	for i := 0; i < e.topo.NumSources(); i++ {
-		if !e.failed[i] {
-			ids = append(ids, i)
+		if e.failed[i] || !e.aggAlive(e.topo.SourceParent(i)) {
+			continue
 		}
+		ids = append(ids, i)
 	}
 	return ids
 }
@@ -184,6 +212,9 @@ func (e *Engine) RunEpoch(t prf.Epoch, values []uint64) (float64, error) {
 
 	var process func(agg int) (Message, bool, error)
 	process = func(agg int) (Message, bool, error) {
+		if e.failedAggs[agg] {
+			return nil, false, nil // crashed node: its subtree contributes nothing
+		}
 		var inbox []Message
 		for _, src := range e.topo.ChildSources(agg) {
 			if e.failed[src] {

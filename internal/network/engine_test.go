@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"github.com/sies/sies/internal/chaos"
 	"github.com/sies/sies/internal/cmt"
 	"github.com/sies/sies/internal/core"
 	"github.com/sies/sies/internal/prf"
@@ -282,4 +283,114 @@ func TestSECOANoSubsetEvaluation(t *testing.T) {
 	if _, err := eng.RunEpoch(1, []uint64{1, 2, 3, 4}); err == nil {
 		t.Fatal("SECOA subset evaluation accepted")
 	}
+}
+
+func TestEngineAggregatorFailure(t *testing.T) {
+	eng, _ := siesEngine(t, 8, 2)
+	topo := eng.Topology()
+	victim := topo.ChildAggregators(topo.Root())[0]
+
+	// Collect the sources under the victim's subtree.
+	lost := map[int]bool{}
+	var walk func(agg int)
+	walk = func(agg int) {
+		for _, s := range topo.ChildSources(agg) {
+			lost[s] = true
+		}
+		for _, c := range topo.ChildAggregators(agg) {
+			walk(c)
+		}
+	}
+	walk(victim)
+	if len(lost) == 0 || len(lost) == 8 {
+		t.Fatalf("degenerate victim subtree: %d sources", len(lost))
+	}
+
+	values := make([]uint64, 8)
+	var full, subset uint64
+	for i := range values {
+		values[i] = uint64(i + 1)
+		full += values[i]
+		if !lost[i] {
+			subset += values[i]
+		}
+	}
+
+	if err := eng.FailAggregator(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Contributors()); got != 8-len(lost) {
+		t.Fatalf("contributors = %d, want %d", got, 8-len(lost))
+	}
+	got, err := eng.RunEpoch(1, values)
+	if err != nil {
+		t.Fatalf("partial epoch rejected: %v", err)
+	}
+	if got != float64(subset) {
+		t.Fatalf("partial SUM %f, want %d", got, subset)
+	}
+
+	eng.RecoverAggregator(victim)
+	if eng.Contributors() != nil {
+		t.Fatalf("contributors after recovery: %v", eng.Contributors())
+	}
+	got, err = eng.RunEpoch(2, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(full) {
+		t.Fatalf("recovered SUM %f, want %d", got, full)
+	}
+
+	if err := eng.FailAggregator(99); err == nil {
+		t.Fatal("out-of-range aggregator accepted")
+	}
+}
+
+func TestEngineChurnSchedule(t *testing.T) {
+	eng, _ := siesEngine(t, 16, 4)
+	churn := chaos.RandomChurn(rand.New(rand.NewSource(5)), 10, 16, eng.Topology().NumAggregators(), 0.15, 0.4)
+	values := make([]uint64, 16)
+	for i := range values {
+		values[i] = uint64(10 + i)
+	}
+	partial := 0
+	for epoch := prf.Epoch(1); epoch <= 10; epoch++ {
+		if err := churn.Apply(epoch, eng); err != nil {
+			t.Fatal(err)
+		}
+		contributors := eng.Contributors()
+		var want uint64
+		for i, v := range values {
+			if contributors == nil || containsID(contributors, i) {
+				want += v
+			}
+		}
+		got, err := eng.RunEpoch(epoch, values)
+		if err != nil {
+			// Every contributor gone is a legal churn outcome.
+			if want == 0 {
+				continue
+			}
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if got != float64(want) {
+			t.Fatalf("epoch %d: SUM %f, want %d (contributors %v)", epoch, got, want, contributors)
+		}
+		if contributors != nil {
+			partial++
+		}
+	}
+	if partial == 0 {
+		t.Fatal("churn schedule produced no partial epochs")
+	}
+}
+
+func containsID(ids []int, id int) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
 }

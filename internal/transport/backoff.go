@@ -1,0 +1,70 @@
+package transport
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff configures the redial policy used when a child loses its parent:
+// exponential delays with multiplicative jitter, capped per attempt and
+// bounded in total. The zero value selects the defaults below.
+type Backoff struct {
+	Initial    time.Duration // first retry delay (default 50ms)
+	Max        time.Duration // per-attempt cap (default 2s)
+	Multiplier float64       // growth factor between attempts (default 2)
+	Jitter     float64       // randomisation fraction in [0,1] (default 0.2)
+	MaxElapsed time.Duration // give up after this much retrying (default 30s; < 0 retries forever)
+	// Rand supplies the jitter; nil seeds a private PRNG from the clock. A
+	// node must not share one *rand.Rand with other nodes — inject one per
+	// node when reproducibility matters.
+	Rand *rand.Rand
+}
+
+// withDefaults fills unset fields.
+func (b Backoff) withDefaults() Backoff {
+	if b.Initial <= 0 {
+		b.Initial = 50 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 2 * time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 || b.Jitter > 1 {
+		b.Jitter = 0.2
+	} else if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.MaxElapsed == 0 {
+		b.MaxElapsed = 30 * time.Second
+	}
+	if b.Rand == nil {
+		b.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return b
+}
+
+// Delay returns the jittered delay before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.Initial)
+	for i := 0; i < attempt; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 && b.Rand != nil {
+		// Spread uniformly over [1-Jitter, 1+Jitter] so synchronised children
+		// don't stampede the recovering parent.
+		d *= 1 - b.Jitter + 2*b.Jitter*b.Rand.Float64()
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return time.Duration(d)
+}

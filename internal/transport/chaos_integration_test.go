@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/chaos"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+// TestChaosMidTreeLinkKillRestart is the fault-tolerance acceptance test: a
+// mid-tree aggregator's child link (aggA → root) runs through a seeded chaos
+// injector that kills it mid-run and keeps it dark for a while. The cluster
+// must converge — the child redials with backoff and re-handshakes, epochs
+// lost to the outage surface as exact verified partial SUMs with the sorted
+// non-contributor list, and once the link heals subsequent epochs report the
+// full contributor set. Every flushed epoch's SUM is checked against the
+// recomputed subset sum of its listed contributors (the querier's integrity
+// check recomputes the matching Σss).
+func TestChaosMidTreeLinkKillRestart(t *testing.T) {
+	q, sources, err := core.Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := q.Params().Field()
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go qn.Run()
+
+	rootAddr := freeAddr(t)
+	aggAAddr := freeAddr(t)
+	aggBAddr := freeAddr(t)
+	inj := chaos.New(chaos.Config{Seed: 1})
+
+	var wg sync.WaitGroup
+	var aggA *AggregatorNode
+	aggAReady := make(chan struct{})
+	startAgg := func(cfg AggregatorConfig, isA bool) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			node, err := NewAggregatorNode(cfg, field)
+			if err != nil {
+				t.Errorf("aggregator %s: %v", cfg.ListenAddr, err)
+				if isA {
+					close(aggAReady)
+				}
+				return
+			}
+			if isA {
+				aggA = node
+				close(aggAReady)
+			}
+			if err := node.Run(); err != nil {
+				t.Errorf("aggregator %s run: %v", cfg.ListenAddr, err)
+			}
+		}()
+	}
+	startAgg(AggregatorConfig{
+		ListenAddr: rootAddr, ParentAddr: qn.Addr(),
+		NumChildren: 2, Timeout: 700 * time.Millisecond,
+	}, false)
+	// aggA's upstream link to the root goes through the chaos injector; its
+	// redial policy is seeded so the whole failure sequence replays.
+	startAgg(AggregatorConfig{
+		ListenAddr: aggAAddr, ParentAddr: rootAddr,
+		NumChildren: 2, Timeout: 250 * time.Millisecond,
+		Dial: inj.Dial,
+		Backoff: Backoff{
+			Initial: 25 * time.Millisecond, Max: 250 * time.Millisecond,
+			MaxElapsed: 30 * time.Second,
+			Rand:       rand.New(rand.NewSource(2)),
+		},
+	}, true)
+	startAgg(AggregatorConfig{
+		ListenAddr: aggBAddr, ParentAddr: rootAddr,
+		NumChildren: 2, Timeout: 250 * time.Millisecond,
+	}, false)
+	time.Sleep(50 * time.Millisecond) // listeners up
+
+	nodes := make([]*SourceNode, 4)
+	for i, s := range sources {
+		addr := aggAAddr
+		if i >= 2 {
+			addr = aggBAddr
+		}
+		n, err := DialSource(addr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+	}
+
+	value := func(i int, epoch prf.Epoch) uint64 { return uint64(i+1) * 10 * uint64(epoch) }
+	reportAll := func(epoch prf.Epoch) {
+		t.Helper()
+		for i, n := range nodes {
+			if err := n.Report(epoch, value(i, epoch)); err != nil {
+				t.Fatalf("source %d epoch %d: %v", i, epoch, err)
+			}
+		}
+	}
+	// verify checks the degradation contract on one result: exact SUM over
+	// exactly the listed contributors, non-contributors sorted.
+	verify := func(res EpochResult) {
+		t.Helper()
+		if res.Err != nil {
+			t.Fatalf("epoch %d rejected: %v", res.Epoch, res.Err)
+		}
+		var want uint64
+		failed := map[int]bool{}
+		for i, prev := 0, -1; i < len(res.Failed); i++ {
+			if res.Failed[i] <= prev {
+				t.Fatalf("epoch %d: non-contributor list not sorted: %v", res.Epoch, res.Failed)
+			}
+			prev = res.Failed[i]
+			failed[res.Failed[i]] = true
+		}
+		for i := range nodes {
+			if !failed[i] {
+				want += value(i, res.Epoch)
+			}
+		}
+		if res.Sum != want {
+			t.Fatalf("epoch %d: SUM %d, want %d over contributors (failed %v)",
+				res.Epoch, res.Sum, want, res.Failed)
+		}
+		if res.Contributors != len(nodes)-len(res.Failed) {
+			t.Fatalf("epoch %d: %d contributors, failed %v", res.Epoch, res.Contributors, res.Failed)
+		}
+	}
+
+	// Phase 1: healthy epochs.
+	for epoch := prf.Epoch(1); epoch <= 2; epoch++ {
+		reportAll(epoch)
+		res := waitResult(t, qn)
+		verify(res)
+		if res.Partial {
+			t.Fatalf("healthy epoch %d was partial: %+v", epoch, res)
+		}
+	}
+
+	// Phase 2: kill the aggA→root link and keep it dark. Epochs reported in
+	// the dark must surface as exact partial SUMs missing exactly aggA's
+	// subtree {0, 1}.
+	<-aggAReady
+	if aggA == nil {
+		t.Fatal("aggA failed to start")
+	}
+	inj.SetOffline(true)
+	sawPartial := 0
+	for epoch := prf.Epoch(3); epoch <= 4; epoch++ {
+		reportAll(epoch)
+		res := waitResult(t, qn)
+		verify(res)
+		if res.Partial {
+			sawPartial++
+			if len(res.Failed) != 2 || res.Failed[0] != 0 || res.Failed[1] != 1 {
+				t.Fatalf("epoch %d: failed %v, want [0 1]", epoch, res.Failed)
+			}
+		}
+	}
+	if sawPartial == 0 {
+		t.Fatal("link outage produced no partial epochs")
+	}
+
+	// Phase 3: restore the link; aggA must redial with backoff and converge.
+	inj.SetOffline(false)
+	deadline := time.Now().Add(15 * time.Second)
+	converged := false
+	for epoch := prf.Epoch(5); time.Now().Before(deadline); epoch++ {
+		reportAll(epoch)
+		res := waitResult(t, qn)
+		verify(res)
+		if !res.Partial {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		t.Fatal("cluster never recovered the full contributor set after the link healed")
+	}
+	if aggA.UpstreamReconnects() < 1 {
+		t.Fatalf("aggA upstream reconnects = %d, want >= 1", aggA.UpstreamReconnects())
+	}
+
+	h := qn.Health()
+	if h.Full < 3 || h.Partial < 1 || h.Rejected != 0 {
+		t.Fatalf("health = %+v", h)
+	}
+	if h.Missed[0] != h.Partial || h.Missed[1] != h.Partial {
+		t.Fatalf("missed counts %v inconsistent with %d partial epochs", h.Missed, h.Partial)
+	}
+
+	for _, n := range nodes {
+		n.Close()
+	}
+	wg.Wait()
+	qn.Close()
+}

@@ -10,11 +10,19 @@
 //	types  := hello | psr | failure | result
 //
 // A child (source or aggregator) opens one TCP connection to its parent and
-// sends a hello identifying the set of source ids its subtree covers. Every
-// epoch it sends one psr frame (the 32-byte PSR) plus, when sources under it
-// failed, a failure frame listing the missing ids. The root aggregator's
-// parent is the querier, which evaluates and replies with a result frame on
-// the connection the final PSR arrived on.
+// sends a hello identifying the set of source ids its subtree covers; the
+// parent answers with a hello-ack (a hello frame with an empty payload) whose
+// epoch field carries the parent's resync point — the highest epoch it has
+// already settled — so a reconnecting child can skip reports the parent would
+// discard anyway. Every epoch the child sends one psr frame (the 32-byte PSR)
+// plus, when sources under it failed, a failure frame listing the missing
+// ids. The root aggregator's parent is the querier, which evaluates and
+// replies with a result frame on the connection the final PSR arrived on.
+//
+// Fault model: a child whose parent link drops redials with exponential
+// backoff + jitter, repeats the hello exchange and resumes at the current
+// epoch; the parent matches the returning child to its slot by the coverage
+// set in the hello and drops re-sent reports for epochs already forwarded.
 package transport
 
 import (
@@ -46,22 +54,20 @@ type Frame struct {
 // ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
 
-// WriteFrame serialises f to w.
+// WriteFrame serialises f to w in a single Write call, so a frame either
+// reaches the transport whole or not at all — fault injectors that swallow a
+// write drop a clean frame rather than desynchronising the stream.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	header := make([]byte, 4+1+8)
-	binary.BigEndian.PutUint32(header[0:4], uint32(1+8+len(f.Payload)))
-	header[4] = f.Type
-	binary.BigEndian.PutUint64(header[5:13], f.Epoch)
-	if _, err := w.Write(header); err != nil {
-		return fmt.Errorf("transport: writing frame header: %w", err)
-	}
-	if len(f.Payload) > 0 {
-		if _, err := w.Write(f.Payload); err != nil {
-			return fmt.Errorf("transport: writing frame payload: %w", err)
-		}
+	buf := make([]byte, 4+1+8+len(f.Payload))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(1+8+len(f.Payload)))
+	buf[4] = f.Type
+	binary.BigEndian.PutUint64(buf[5:13], f.Epoch)
+	copy(buf[13:], f.Payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("transport: writing frame: %w", err)
 	}
 	return nil
 }

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"sync"
 	"time"
 
@@ -12,6 +11,10 @@ import (
 	"github.com/sies/sies/internal/prf"
 	"github.com/sies/sies/internal/uint256"
 )
+
+// ErrNoContributors reports an epoch in which every source failed: there is
+// no PSR to verify, only the (sorted) non-contributor list.
+var ErrNoContributors = errors.New("transport: no source contributed to this epoch")
 
 // report is one child's contribution to one epoch: an optional PSR plus the
 // ids of sources in its subtree that failed.
@@ -44,58 +47,120 @@ func decodeReport(payload []byte, f *uint256.Field) (core.PSR, []int, error) {
 	return psr, failed, nil
 }
 
-// SourceNode is a leaf sensor process: it encrypts readings and streams the
-// PSRs to its parent aggregator.
-type SourceNode struct {
-	src  *core.Source
-	conn net.Conn
+// SourceConfig configures a fault-tolerant source connection.
+type SourceConfig struct {
+	ParentAddr string
+	// Dial replaces net.Dial — chaos injection and tests hook here.
+	Dial func(network, addr string) (net.Conn, error)
+	// Backoff is the redial policy after the parent link drops.
+	Backoff Backoff
+	// HandshakeTimeout bounds the hello/hello-ack exchange (default 5s).
+	HandshakeTimeout time.Duration
 }
 
-// DialSource connects a source to its parent aggregator and identifies
-// itself with a hello frame.
+// SourceNode is a leaf sensor process: it encrypts readings and streams the
+// PSRs to its parent aggregator, redialing with backoff when the link drops.
+type SourceNode struct {
+	src *core.Source
+	rd  *redialer
+}
+
+// DialSource connects a source to its parent aggregator with the default
+// redial policy.
 func DialSource(parentAddr string, src *core.Source) (*SourceNode, error) {
-	conn, err := net.Dial("tcp", parentAddr)
-	if err != nil {
+	return DialSourceWith(SourceConfig{ParentAddr: parentAddr}, src)
+}
+
+// DialSourceWith connects a source to its parent aggregator, completes the
+// hello handshake and returns a node whose Report survives link failures by
+// redialing with exponential backoff + jitter.
+func DialSourceWith(cfg SourceConfig, src *core.Source) (*SourceNode, error) {
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	rd := newRedialer(
+		func() (net.Conn, error) { return dial("tcp", cfg.ParentAddr) },
+		func() Frame {
+			return Frame{Type: TypeHello, Payload: core.EncodeContributors([]int{src.ID()})}
+		},
+		cfg.Backoff, cfg.HandshakeTimeout,
+	)
+	rd.onConn = func(c net.Conn) {
+		// The parent never sends past the hello-ack; this drain only exists
+		// to notice the link dying while the source is between reports, so
+		// the next Report redials instead of writing into a dead socket.
+		go func() {
+			for {
+				if _, err := ReadFrame(c); err != nil {
+					rd.markDead(c)
+					return
+				}
+			}
+		}()
+	}
+	if _, err := rd.Connect(); err != nil {
+		rd.Close()
 		return nil, fmt.Errorf("transport: source %d dialing parent: %w", src.ID(), err)
 	}
-	hello := Frame{Type: TypeHello, Payload: core.EncodeContributors([]int{src.ID()})}
-	if err := WriteFrame(conn, hello); err != nil {
-		conn.Close()
-		return nil, err
-	}
-	return &SourceNode{src: src, conn: conn}, nil
+	return &SourceNode{src: src, rd: rd}, nil
 }
 
-// Report encrypts the epoch's reading and sends the PSR upstream.
+// Report encrypts the epoch's reading and sends the PSR upstream, redialing
+// as needed. Epochs at or below the parent's resync point (learned during the
+// last handshake) are skipped: the parent has already settled them and would
+// discard the report.
 func (s *SourceNode) Report(t prf.Epoch, v uint64) error {
+	if uint64(t) <= s.rd.SyncEpoch() {
+		return nil
+	}
 	psr, err := s.src.Encrypt(t, v)
 	if err != nil {
 		return err
 	}
-	return WriteFrame(s.conn, Frame{Type: TypePSR, Epoch: uint64(t), Payload: encodeReport(psr, nil)})
+	return s.rd.Write(Frame{Type: TypePSR, Epoch: uint64(t), Payload: encodeReport(psr, nil)})
 }
+
+// Reconnects counts how many times the source re-established its parent link.
+func (s *SourceNode) Reconnects() int { return s.rd.Reconnects() }
 
 // Close terminates the connection; the parent treats subsequent epochs as
 // failures of this source.
-func (s *SourceNode) Close() error { return s.conn.Close() }
+func (s *SourceNode) Close() error { return s.rd.Close() }
 
-// AggregatorNode is an internal tree node process: it accepts a fixed number
-// of children, merges their per-epoch PSRs and forwards one PSR upstream.
+// AggregatorNode is an internal tree node process: it accepts a fixed set of
+// children, merges their per-epoch PSRs and forwards one PSR upstream. The
+// listener stays open for the node's lifetime so children that lost their
+// link can return; re-sent reports for epochs already forwarded are dropped.
 type AggregatorNode struct {
 	agg      *core.Aggregator
 	field    *uint256.Field
-	upstream net.Conn
+	upstream *redialer
+	ln       net.Listener
 	children []*childState
 	covers   []int // union of children's source ids
-	timeout  time.Duration
 
-	mu     sync.Mutex
-	closed bool
+	timeout          time.Duration
+	reconnectWindow  time.Duration
+	idleTimeout      time.Duration
+	handshakeTimeout time.Duration
+
+	mu          sync.Mutex
+	closed      bool
+	conns       map[net.Conn]struct{}
+	lastFlushed uint64
+	flushedCap  int // test hook: flushed-map reset threshold
 }
 
 type childState struct {
+	covers []int  // sorted source ids under this child
+	key    string // canonical form of covers, for matching returning children
 	conn   net.Conn
-	covers []int
+}
+
+// coversKey canonicalises a sorted id list for child matching.
+func coversKey(ids []int) string {
+	return fmt.Sprint(ids)
 }
 
 // AggregatorConfig configures NewAggregatorNode.
@@ -104,11 +169,28 @@ type AggregatorConfig struct {
 	ParentAddr  string        // parent aggregator or querier address
 	NumChildren int           // children to wait for before starting
 	Timeout     time.Duration // per-epoch wait for missing children (default 2s)
+
+	// ReconnectWindow is the grace period after the last child disconnects
+	// before Run concludes the deployment is gone and exits (default:
+	// Timeout). Children returning within the window resume seamlessly.
+	ReconnectWindow time.Duration
+	// IdleTimeout, when positive, bounds how long a child connection may stay
+	// silent before it is cut and the child must redial. It recovers
+	// connections desynchronised by torn writes; leave zero for workloads
+	// with long quiet gaps between epochs.
+	IdleTimeout time.Duration
+	// Backoff is the redial policy for the upstream link.
+	Backoff Backoff
+	// HandshakeTimeout bounds each hello/hello-ack exchange (default 5s).
+	HandshakeTimeout time.Duration
+	// Dial and Listen replace net.Dial / net.Listen — chaos injection hooks.
+	Dial   func(network, addr string) (net.Conn, error)
+	Listen func(network, addr string) (net.Listener, error)
 }
 
 // NewAggregatorNode listens for its children, completes the hello exchange
-// in both directions, and returns a node ready to Run. It holds only the
-// public modulus, like the in-protocol aggregator.
+// in both directions, dials its parent and returns a node ready to Run. It
+// holds only the public modulus, like the in-protocol aggregator.
 func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorNode, error) {
 	if cfg.NumChildren < 1 {
 		return nil, errors.New("transport: aggregator needs at least one child")
@@ -116,16 +198,35 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 2 * time.Second
 	}
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if cfg.ReconnectWindow <= 0 {
+		cfg.ReconnectWindow = cfg.Timeout
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	listen := cfg.Listen
+	if listen == nil {
+		listen = net.Listen
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = net.Dial
+	}
+	ln, err := listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		return nil, err
 	}
-	defer ln.Close()
 
 	a := &AggregatorNode{
-		agg:     core.NewAggregator(field),
-		field:   field,
-		timeout: cfg.Timeout,
+		agg:              core.NewAggregator(field),
+		field:            field,
+		ln:               ln,
+		timeout:          cfg.Timeout,
+		reconnectWindow:  cfg.ReconnectWindow,
+		idleTimeout:      cfg.IdleTimeout,
+		handshakeTimeout: cfg.HandshakeTimeout,
+		conns:            map[net.Conn]struct{}{},
+		flushedCap:       1 << 16,
 	}
 	for i := 0; i < cfg.NumChildren; i++ {
 		conn, err := ln.Accept()
@@ -133,43 +234,108 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 			a.closeAll()
 			return nil, err
 		}
-		f, err := ReadFrame(conn)
-		if err != nil || f.Type != TypeHello {
-			conn.Close()
-			a.closeAll()
-			return nil, fmt.Errorf("transport: child %d: bad hello (%v)", i, err)
-		}
-		covers, err := core.DecodeContributors(f.Payload)
+		covers, err := a.handshakeChild(conn)
 		if err != nil {
 			conn.Close()
 			a.closeAll()
-			return nil, err
+			return nil, fmt.Errorf("transport: child %d: %w", i, err)
 		}
-		a.children = append(a.children, &childState{conn: conn, covers: covers})
+		a.track(conn)
+		a.children = append(a.children, &childState{conn: conn, covers: covers, key: coversKey(covers)})
 		a.covers = append(a.covers, covers...)
 	}
-	sort.Ints(a.covers)
+	a.covers = core.NormalizeIDs(a.covers)
 
-	up, err := net.Dial("tcp", cfg.ParentAddr)
-	if err != nil {
+	a.upstream = newRedialer(
+		func() (net.Conn, error) { return dial("tcp", cfg.ParentAddr) },
+		func() Frame {
+			return Frame{Type: TypeHello, Payload: core.EncodeContributors(a.covers)}
+		},
+		cfg.Backoff, cfg.HandshakeTimeout,
+	)
+	up := a.upstream
+	up.onConn = func(c net.Conn) {
+		// Drain the parent's result acks: leaving them unread would turn our
+		// eventual close into a TCP RST that can destroy the last in-flight
+		// frame before the parent reads it. Marking the connection dead on
+		// read failure makes the next flush redial promptly.
+		go func() {
+			for {
+				if _, err := ReadFrame(c); err != nil {
+					up.markDead(c)
+					return
+				}
+			}
+		}()
+	}
+	if _, err := up.Connect(); err != nil {
 		a.closeAll()
 		return nil, fmt.Errorf("transport: aggregator dialing parent: %w", err)
 	}
-	if err := WriteFrame(up, Frame{Type: TypeHello, Payload: core.EncodeContributors(a.covers)}); err != nil {
-		up.Close()
-		a.closeAll()
+	return a, nil
+}
+
+// handshakeChild reads a child's hello and answers with a hello-ack carrying
+// the resync epoch (our highest flushed epoch).
+func (a *AggregatorNode) handshakeChild(conn net.Conn) ([]int, error) {
+	conn.SetReadDeadline(time.Now().Add(a.handshakeTimeout))
+	f, err := ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bad hello: %w", err)
+	}
+	if f.Type != TypeHello {
+		return nil, fmt.Errorf("bad hello: frame type %d", f.Type)
+	}
+	conn.SetReadDeadline(time.Time{})
+	covers, err := core.DecodeContributors(f.Payload)
+	if err != nil {
 		return nil, err
 	}
-	a.upstream = up
-	return a, nil
+	covers = core.NormalizeIDs(covers)
+	a.mu.Lock()
+	resync := a.lastFlushed
+	a.mu.Unlock()
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Epoch: resync}); err != nil {
+		return nil, fmt.Errorf("writing hello-ack: %w", err)
+	}
+	return covers, nil
 }
 
 // Covers returns the source ids under this aggregator.
 func (a *AggregatorNode) Covers() []int { return append([]int(nil), a.covers...) }
 
+// UpstreamReconnects counts how many times the upstream link was
+// re-established.
+func (a *AggregatorNode) UpstreamReconnects() int { return a.upstream.Reconnects() }
+
+// track registers a live child connection for shutdown bookkeeping.
+func (a *AggregatorNode) track(conn net.Conn) {
+	a.mu.Lock()
+	a.conns[conn] = struct{}{}
+	a.mu.Unlock()
+}
+
+// forget closes and unregisters a child connection.
+func (a *AggregatorNode) forget(conn net.Conn) {
+	a.mu.Lock()
+	delete(a.conns, conn)
+	a.mu.Unlock()
+	conn.Close()
+}
+
 func (a *AggregatorNode) closeAll() {
-	for _, c := range a.children {
-		c.conn.Close()
+	a.mu.Lock()
+	conns := make([]net.Conn, 0, len(a.conns))
+	for c := range a.conns {
+		conns = append(conns, c)
+	}
+	a.conns = map[net.Conn]struct{}{}
+	a.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	if a.ln != nil {
+		a.ln.Close()
 	}
 	if a.upstream != nil {
 		a.upstream.Close()
@@ -179,68 +345,118 @@ func (a *AggregatorNode) closeAll() {
 // Close shuts the node down; Run returns after in-flight epochs drain.
 func (a *AggregatorNode) Close() error {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if !a.closed {
-		a.closed = true
-		a.closeAll()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
 	}
+	a.closed = true
+	a.mu.Unlock()
+	a.closeAll()
 	return nil
 }
 
-// Run merges epochs until every child connection closes. For each epoch it
-// waits up to the configured timeout for all children; children that miss
-// the deadline have their whole subtree reported as failed.
+func (a *AggregatorNode) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
+
+// setLastFlushed records the highest epoch forwarded upstream; returning
+// children learn it through the hello-ack and skip settled epochs.
+func (a *AggregatorNode) setLastFlushed(t uint64) {
+	a.mu.Lock()
+	if t > a.lastFlushed {
+		a.lastFlushed = t
+	}
+	a.mu.Unlock()
+}
+
+// aggEvent is one occurrence in the aggregator's single-threaded event loop.
+type aggEvent struct {
+	kind  byte // 'r' report, 'd' child down, 'u' child (re)connected
+	child int
+	gen   int
+	conn  net.Conn
+	rep   report
+}
+
+// Run merges epochs until the node is closed or every child disconnects and
+// stays away for ReconnectWindow. For each epoch it waits up to the
+// configured timeout for all children; children that miss the deadline have
+// their whole subtree reported as failed. When a disconnect makes an epoch's
+// outstanding reports impossible (every missing child is down) the epoch is
+// flushed immediately instead of waiting out the deadline.
 func (a *AggregatorNode) Run() error {
-	// Drain the parent's result acks: leaving them unread would turn our
-	// eventual close into a TCP RST that can destroy the last in-flight
-	// frame before the parent reads it.
-	go func() {
+	ch := make(chan aggEvent, len(a.children)*2)
+	var wg sync.WaitGroup
+
+	readChild := func(child, gen int, conn net.Conn) {
+		defer wg.Done()
+		defer a.forget(conn)
 		for {
-			if _, err := ReadFrame(a.upstream); err != nil {
+			if a.idleTimeout > 0 {
+				conn.SetReadDeadline(time.Now().Add(a.idleTimeout))
+			}
+			f, err := ReadFrame(conn)
+			if err != nil {
+				ch <- aggEvent{kind: 'd', child: child, gen: gen}
 				return
 			}
-		}
-	}()
-
-	type incoming struct {
-		rep  report
-		err  error
-		done bool
-	}
-	ch := make(chan incoming, len(a.children)*2)
-	var wg sync.WaitGroup
-	for idx, c := range a.children {
-		wg.Add(1)
-		go func(idx int, c *childState) {
-			defer wg.Done()
-			for {
-				f, err := ReadFrame(c.conn)
+			switch f.Type {
+			case TypePSR:
+				psr, failed, err := decodeReport(f.Payload, a.field)
 				if err != nil {
-					ch <- incoming{done: true, rep: report{child: idx}}
+					// A child speaking garbage (corruption, torn writes) is
+					// cut off; it recovers by redialing.
+					ch <- aggEvent{kind: 'd', child: child, gen: gen}
 					return
 				}
-				switch f.Type {
-				case TypePSR:
-					psr, failed, err := decodeReport(f.Payload, a.field)
-					if err != nil {
-						ch <- incoming{err: err}
-						return
-					}
-					ch <- incoming{rep: report{child: idx, epoch: prf.Epoch(f.Epoch), psr: &psr, failed: failed}}
-				case TypeFailure:
-					failed, err := core.DecodeContributors(f.Payload)
-					if err != nil {
-						ch <- incoming{err: err}
-						return
-					}
-					ch <- incoming{rep: report{child: idx, epoch: prf.Epoch(f.Epoch), failed: failed}}
-				default:
-					// Result frames and unknown types are ignored by
-					// aggregators.
+				ch <- aggEvent{kind: 'r', child: child, gen: gen,
+					rep: report{child: child, epoch: prf.Epoch(f.Epoch), psr: &psr, failed: failed}}
+			case TypeFailure:
+				failed, err := core.DecodeContributors(f.Payload)
+				if err != nil {
+					ch <- aggEvent{kind: 'd', child: child, gen: gen}
+					return
 				}
+				ch <- aggEvent{kind: 'r', child: child, gen: gen,
+					rep: report{child: child, epoch: prf.Epoch(f.Epoch), failed: failed}}
+			default:
+				// Hello and result frames are ignored mid-stream.
 			}
-		}(idx, c)
+		}
 	}
+
+	// Accept loop: children that lost their link redial, re-handshake and are
+	// matched back to their slot by the coverage set in their hello.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := a.ln.Accept()
+			if err != nil {
+				return // listener closed: shutting down
+			}
+			a.track(conn)
+			wg.Add(1)
+			go func(conn net.Conn) {
+				defer wg.Done()
+				covers, err := a.handshakeChild(conn)
+				if err != nil {
+					a.forget(conn)
+					return
+				}
+				key := coversKey(covers)
+				for idx, c := range a.children {
+					if c.key == key {
+						ch <- aggEvent{kind: 'u', child: idx, conn: conn}
+						return
+					}
+				}
+				a.forget(conn) // not one of ours
+			}(conn)
+		}
+	}()
 
 	type epochState struct {
 		reports  map[int]report
@@ -248,11 +464,24 @@ func (a *AggregatorNode) Run() error {
 	}
 	pending := map[prf.Epoch]*epochState{}
 	// flushed remembers epochs already forwarded so that reports arriving
-	// after a timeout flush are dropped instead of triggering a duplicate.
-	// Bounded by periodic reset; duplicate suppression is best-effort across
-	// very long gaps, which the querier tolerates (it just re-verifies).
+	// after a flush — a late child, or a reconnected child re-sending — are
+	// dropped instead of triggering a duplicate. Bounded by periodic reset;
+	// duplicate suppression is best-effort across very long gaps, which the
+	// querier tolerates (it just re-verifies).
 	flushed := map[prf.Epoch]bool{}
-	livingChildren := len(a.children)
+
+	gen := make([]int, len(a.children))
+	alive := make([]bool, len(a.children))
+	curConn := make([]net.Conn, len(a.children))
+	living := len(a.children)
+	lastAllGone := time.Now()
+	for idx, c := range a.children {
+		gen[idx] = 1
+		alive[idx] = true
+		curConn[idx] = c.conn
+		wg.Add(1)
+		go readChild(idx, 1, c.conn)
+	}
 
 	flush := func(t prf.Epoch, st *epochState) error {
 		var psrs []core.PSR
@@ -269,25 +498,52 @@ func (a *AggregatorNode) Run() error {
 			}
 		}
 		delete(pending, t)
-		if len(flushed) > 1<<16 {
+		if len(flushed) > a.flushedCap {
 			flushed = map[prf.Epoch]bool{}
 		}
 		flushed[t] = true
-		sort.Ints(failed)
+		a.setLastFlushed(uint64(t))
+		failed = core.NormalizeIDs(failed)
 		if len(psrs) == 0 {
-			return WriteFrame(a.upstream, Frame{
+			return a.upstream.Write(Frame{
 				Type: TypeFailure, Epoch: uint64(t),
 				Payload: core.EncodeContributors(failed),
 			})
 		}
 		merged := a.agg.Merge(psrs...)
-		return WriteFrame(a.upstream, Frame{
+		return a.upstream.Write(Frame{
 			Type: TypePSR, Epoch: uint64(t),
 			Payload: encodeReport(merged, failed),
 		})
 	}
 
-	ticker := time.NewTicker(a.timeout / 4)
+	// orphanFlush flushes every pending epoch whose outstanding reports can
+	// no longer arrive because each missing child is down.
+	orphanFlush := func() error {
+		for t, st := range pending {
+			complete := true
+			for idx := range a.children {
+				if _, ok := st.reports[idx]; !ok && alive[idx] {
+					complete = false
+					break
+				}
+			}
+			if complete {
+				if err := flush(t, st); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// The tick drives both deadline flushes and the exit check, so it must be
+	// fine-grained against the shorter of the two horizons.
+	tick := a.timeout
+	if a.reconnectWindow < tick {
+		tick = a.reconnectWindow
+	}
+	ticker := time.NewTicker(tick / 4)
 	defer ticker.Stop()
 	defer func() {
 		// Close connections first so blocked readers unwind, then drain the
@@ -305,28 +561,52 @@ func (a *AggregatorNode) Run() error {
 		}
 	}()
 
-	for livingChildren > 0 || len(pending) > 0 {
+	for {
 		select {
-		case in := <-ch:
-			if in.err != nil {
-				return in.err
-			}
-			if in.done {
-				livingChildren--
-				continue
-			}
-			if flushed[in.rep.epoch] {
-				continue // late report for an epoch already forwarded
-			}
-			st, ok := pending[in.rep.epoch]
-			if !ok {
-				st = &epochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
-				pending[in.rep.epoch] = st
-			}
-			st.reports[in.rep.child] = in.rep
-			if len(st.reports) == len(a.children) {
-				if err := flush(in.rep.epoch, st); err != nil {
+		case ev := <-ch:
+			switch ev.kind {
+			case 'u':
+				gen[ev.child]++
+				if old := curConn[ev.child]; old != nil && old != ev.conn {
+					old.Close() // superseded: the child's new dial wins
+				}
+				curConn[ev.child] = ev.conn
+				if !alive[ev.child] {
+					alive[ev.child] = true
+					living++
+				}
+				wg.Add(1)
+				go readChild(ev.child, gen[ev.child], ev.conn)
+			case 'd':
+				if ev.gen != gen[ev.child] {
+					continue // a superseded connection unwinding
+				}
+				curConn[ev.child] = nil
+				if alive[ev.child] {
+					alive[ev.child] = false
+					living--
+					if living == 0 {
+						lastAllGone = time.Now()
+					}
+				}
+				if err := orphanFlush(); err != nil {
 					return err
+				}
+			case 'r':
+				if flushed[ev.rep.epoch] {
+					continue // late report for an epoch already forwarded
+				}
+				st, ok := pending[ev.rep.epoch]
+				if !ok {
+					st = &epochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
+					pending[ev.rep.epoch] = st
+				}
+				// Overwriting dedups a reconnected child re-sending an epoch.
+				st.reports[ev.rep.child] = ev.rep
+				if len(st.reports) == len(a.children) {
+					if err := flush(ev.rep.epoch, st); err != nil {
+						return err
+					}
 				}
 			}
 		case <-ticker.C:
@@ -338,15 +618,14 @@ func (a *AggregatorNode) Run() error {
 					}
 				}
 			}
-			a.mu.Lock()
-			closed := a.closed
-			a.mu.Unlock()
-			if closed {
+			if a.isClosed() {
+				return nil
+			}
+			if living == 0 && len(pending) == 0 && now.Sub(lastAllGone) >= a.reconnectWindow {
 				return nil
 			}
 		}
 	}
-	return nil
 }
 
 // EpochResult is a querier-side evaluation outcome delivered on the Results
@@ -355,16 +634,36 @@ type EpochResult struct {
 	Epoch        prf.Epoch
 	Sum          uint64
 	Contributors int
-	Failed       []int
+	Partial      bool  // some sources did not contribute
+	Failed       []int // sorted non-contributor ids
 	Err          error
 }
 
+// Health summarises the querier's view of the deployment over all evaluated
+// epochs — the per-epoch degradation contract made observable.
+type Health struct {
+	Epochs         int         // epochs evaluated and verified (full or partial)
+	Full           int         // epochs with every source contributing
+	Partial        int         // epochs verified over a strict subset
+	Empty          int         // epochs in which no source contributed
+	Rejected       int         // epochs failing integrity or decode
+	RootReconnects int         // times the root aggregator re-attached
+	Missed         map[int]int // per-source count of epochs it missed
+}
+
 // QuerierNode terminates the tree: it accepts the root aggregator's
-// connection, evaluates every epoch and emits EpochResults.
+// connection (and re-accepts it after a failure), evaluates every epoch and
+// emits EpochResults. A partial epoch yields the exact verified partial SUM
+// together with the sorted non-contributor list rather than an error.
 type QuerierNode struct {
 	q       *core.Querier
 	ln      net.Listener
 	Results chan EpochResult
+
+	mu       sync.Mutex
+	lastEval uint64
+	health   Health
+	roots    int
 }
 
 // NewQuerierNode starts listening for the root aggregator.
@@ -373,7 +672,11 @@ func NewQuerierNode(listenAddr string, q *core.Querier) (*QuerierNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &QuerierNode{q: q, ln: ln, Results: make(chan EpochResult, 64)}, nil
+	return &QuerierNode{
+		q: q, ln: ln,
+		Results: make(chan EpochResult, 64),
+		health:  Health{Missed: map[int]int{}},
+	}, nil
 }
 
 // Addr returns the address the querier listens on (for wiring up the root).
@@ -382,19 +685,55 @@ func (qn *QuerierNode) Addr() string { return qn.ln.Addr().String() }
 // Close stops the listener.
 func (qn *QuerierNode) Close() error { return qn.ln.Close() }
 
-// Run accepts the root connection and evaluates epochs until the root
-// disconnects, then closes the Results channel.
+// Health returns a snapshot of the per-epoch health summary.
+func (qn *QuerierNode) Health() Health {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	h := qn.health
+	h.Missed = make(map[int]int, len(qn.health.Missed))
+	for id, n := range qn.health.Missed {
+		h.Missed[id] = n
+	}
+	return h
+}
+
+// Run accepts root connections and evaluates epochs until the listener is
+// closed, then closes the Results channel. A root that disconnects may
+// redial, re-handshake and resume.
 func (qn *QuerierNode) Run() error {
 	defer close(qn.Results)
-	conn, err := qn.ln.Accept()
-	if err != nil {
-		return err
+	for {
+		conn, err := qn.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		qn.mu.Lock()
+		qn.roots++
+		if qn.roots > 1 {
+			qn.health.RootReconnects++
+		}
+		qn.mu.Unlock()
+		if err := qn.serve(conn); err != nil {
+			conn.Close()
+			return err
+		}
+		conn.Close()
 	}
-	defer conn.Close()
+}
 
+// serve handles one root connection until it closes. Protocol violations are
+// fatal (misconfigured deployment); IO errors just end the connection and the
+// root redials.
+func (qn *QuerierNode) serve(conn net.Conn) error {
 	f, err := ReadFrame(conn)
-	if err != nil || f.Type != TypeHello {
-		return fmt.Errorf("transport: querier: bad hello (%v)", err)
+	if err != nil {
+		return nil // root vanished before the hello; await its redial
+	}
+	if f.Type != TypeHello {
+		return fmt.Errorf("transport: querier: unexpected frame type %d in hello", f.Type)
 	}
 	covers, err := core.DecodeContributors(f.Payload)
 	if err != nil {
@@ -404,23 +743,30 @@ func (qn *QuerierNode) Run() error {
 		return fmt.Errorf("transport: root covers %d sources, deployment has %d",
 			len(covers), qn.q.Params().N())
 	}
+	qn.mu.Lock()
+	resync := qn.lastEval
+	qn.mu.Unlock()
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Epoch: resync}); err != nil {
+		return nil
+	}
 
 	field := qn.q.Params().Field()
 	ackable := true // stop acking (but keep evaluating) once the root is gone
 	for {
 		f, err := ReadFrame(conn)
 		if err != nil {
-			return nil // root closed: clean shutdown
+			return nil // root closed or crashed: await its redial
 		}
 		t := prf.Epoch(f.Epoch)
 		switch f.Type {
 		case TypePSR:
 			psr, failed, err := decodeReport(f.Payload, field)
 			if err != nil {
-				qn.Results <- EpochResult{Epoch: t, Err: err}
+				qn.record(EpochResult{Epoch: t, Err: err})
 				continue
 			}
-			contributors := subtract(qn.q.Params().N(), failed)
+			failed = core.NormalizeIDs(failed)
+			contributors := core.Subtract(qn.q.Params().N(), failed)
 			var res core.Result
 			var evalErr error
 			if len(failed) == 0 {
@@ -428,12 +774,12 @@ func (qn *QuerierNode) Run() error {
 			} else {
 				res, evalErr = qn.q.EvaluateSubset(t, psr, contributors)
 			}
-			out := EpochResult{Epoch: t, Failed: failed, Err: evalErr}
+			out := EpochResult{Epoch: t, Failed: failed, Partial: len(failed) > 0, Err: evalErr}
 			if evalErr == nil {
 				out.Sum = res.Sum
 				out.Contributors = res.N
 			}
-			qn.Results <- out
+			qn.record(out)
 			if ackable {
 				ack := EncodeResult(out.Sum, evalErr == nil)
 				if err := WriteFrame(conn, Frame{Type: TypeResult, Epoch: f.Epoch, Payload: ack}); err != nil {
@@ -444,22 +790,40 @@ func (qn *QuerierNode) Run() error {
 				}
 			}
 		case TypeFailure:
-			qn.Results <- EpochResult{Epoch: t, Err: errors.New("transport: every source failed")}
+			failed, err := core.DecodeContributors(f.Payload)
+			if err != nil {
+				qn.record(EpochResult{Epoch: t, Err: err})
+				continue
+			}
+			failed = core.NormalizeIDs(failed)
+			qn.record(EpochResult{Epoch: t, Partial: true, Failed: failed, Err: ErrNoContributors})
 		}
 	}
 }
 
-// subtract returns [0, n) minus the sorted failed list.
-func subtract(n int, failed []int) []int {
-	failedSet := map[int]bool{}
-	for _, id := range failed {
-		failedSet[id] = true
+// record updates the health summary, the resync point and emits the result.
+func (qn *QuerierNode) record(res EpochResult) {
+	qn.mu.Lock()
+	if uint64(res.Epoch) > qn.lastEval {
+		qn.lastEval = uint64(res.Epoch)
 	}
-	out := make([]int, 0, n-len(failed))
-	for i := 0; i < n; i++ {
-		if !failedSet[i] {
-			out = append(out, i)
+	switch {
+	case errors.Is(res.Err, ErrNoContributors):
+		qn.health.Empty++
+	case res.Err != nil:
+		qn.health.Rejected++
+	case res.Partial:
+		qn.health.Epochs++
+		qn.health.Partial++
+	default:
+		qn.health.Epochs++
+		qn.health.Full++
+	}
+	if res.Err == nil || errors.Is(res.Err, ErrNoContributors) {
+		for _, id := range res.Failed {
+			qn.health.Missed[id]++
 		}
 	}
-	return out
+	qn.mu.Unlock()
+	qn.Results <- res
 }

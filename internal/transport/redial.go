@@ -1,0 +1,189 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// errNodeClosed reports a write attempted after the node shut down.
+var errNodeClosed = errors.New("transport: node closed")
+
+// redialer maintains a child's upstream connection across failures. Every
+// (re)connect performs the hello handshake — send the subtree-coverage hello,
+// read the parent's hello-ack carrying its resync epoch — and Write
+// transparently redials with exponential backoff + jitter when the link dies,
+// retrying the in-flight frame on the fresh connection.
+//
+// The read side of the connection is handed to onConn (the parent only ever
+// sends the hello-ack and, for the querier, result acks); the drain goroutine
+// it starts is expected to call markDead on read failure so the next Write
+// redials instead of writing into a dead socket's buffer.
+type redialer struct {
+	dial             func() (net.Conn, error)
+	hello            func() Frame
+	onConn           func(net.Conn) // started after each successful handshake; may be nil
+	backoff          Backoff
+	handshakeTimeout time.Duration
+
+	mu        sync.Mutex
+	conn      net.Conn
+	syncEpoch uint64 // parent's highest settled epoch, from the latest hello-ack
+	connects  int
+	closed    bool
+	closeCh   chan struct{}
+}
+
+// newRedialer assembles a redialer; the caller runs Connect to establish the
+// first connection.
+func newRedialer(dial func() (net.Conn, error), hello func() Frame, backoff Backoff, handshakeTimeout time.Duration) *redialer {
+	if handshakeTimeout <= 0 {
+		handshakeTimeout = 5 * time.Second
+	}
+	return &redialer{
+		dial:             dial,
+		hello:            hello,
+		backoff:          backoff.withDefaults(),
+		handshakeTimeout: handshakeTimeout,
+		closeCh:          make(chan struct{}),
+	}
+}
+
+// Connect dials once and runs the hello handshake. It replaces any previous
+// connection.
+func (r *redialer) Connect() (net.Conn, error) {
+	c, err := r.dial()
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(c, r.hello()); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.SetReadDeadline(time.Now().Add(r.handshakeTimeout))
+	f, err := ReadFrame(c)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("transport: handshake: reading hello-ack: %w", err)
+	}
+	if f.Type != TypeHello {
+		c.Close()
+		return nil, fmt.Errorf("transport: handshake: unexpected frame type %d", f.Type)
+	}
+	c.SetReadDeadline(time.Time{})
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.Close()
+		return nil, errNodeClosed
+	}
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.conn = c
+	r.syncEpoch = f.Epoch
+	r.connects++
+	r.mu.Unlock()
+	if r.onConn != nil {
+		r.onConn(c)
+	}
+	return c, nil
+}
+
+// current returns the live connection, or nil when down.
+func (r *redialer) current() net.Conn {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.conn
+}
+
+// markDead retires c if it is still the current connection. Safe to call from
+// the drain goroutine and the writer concurrently.
+func (r *redialer) markDead(c net.Conn) {
+	r.mu.Lock()
+	if r.conn == c {
+		r.conn = nil
+	}
+	r.mu.Unlock()
+	c.Close()
+}
+
+// SyncEpoch returns the parent's highest settled epoch as of the last
+// handshake — reports for epochs at or below it would be discarded upstream.
+func (r *redialer) SyncEpoch() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.syncEpoch
+}
+
+// Reconnects counts successful handshakes after the first.
+func (r *redialer) Reconnects() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.connects <= 1 {
+		return 0
+	}
+	return r.connects - 1
+}
+
+// Write sends f, redialing with backoff when the connection is down or dies
+// mid-write. It returns nil once the frame was handed to a healthy
+// connection, errNodeClosed after Close, or the last failure once
+// Backoff.MaxElapsed of retrying is exhausted.
+func (r *redialer) Write(f Frame) error {
+	if c := r.current(); c != nil {
+		if err := WriteFrame(c, f); err == nil {
+			return nil
+		}
+		r.markDead(c)
+	}
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-r.closeCh:
+			return errNodeClosed
+		default:
+		}
+		c, err := r.Connect()
+		if err == nil {
+			if err = WriteFrame(c, f); err == nil {
+				return nil
+			}
+			r.markDead(c)
+		}
+		if errors.Is(err, errNodeClosed) {
+			return err
+		}
+		lastErr = err
+		if r.backoff.MaxElapsed >= 0 && time.Since(start) >= r.backoff.MaxElapsed {
+			return fmt.Errorf("transport: redial gave up after %v: %w", r.backoff.MaxElapsed, lastErr)
+		}
+		select {
+		case <-time.After(r.backoff.Delay(attempt)):
+		case <-r.closeCh:
+			return errNodeClosed
+		}
+	}
+}
+
+// Close tears the connection down and aborts in-flight retries.
+func (r *redialer) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	c := r.conn
+	r.conn = nil
+	r.mu.Unlock()
+	close(r.closeCh)
+	if c != nil {
+		c.Close()
+	}
+	return nil
+}
