@@ -25,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"github.com/sies/sies/internal/chaos"
@@ -115,6 +117,14 @@ func runQuerier() error {
 		return err
 	}
 	fmt.Printf("querier listening on %s for %d sources\n", node.Addr(), n)
+	// SIGINT/SIGTERM close the listener so Run returns and the health and
+	// key-schedule summary below is printed before exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		node.Close()
+	}()
 	go func() {
 		for res := range node.Results {
 			if res.Err != nil {
@@ -125,7 +135,14 @@ func runQuerier() error {
 				res.Epoch, res.Sum, res.Contributors, res.Failed)
 		}
 	}()
-	return node.Run()
+	err = node.Run()
+	h := node.Health()
+	ks := h.KeySchedule
+	fmt.Printf("health: %d epochs (%d full, %d partial, %d empty, %d rejected)\n",
+		h.Epochs, h.Full, h.Partial, h.Empty, h.Rejected)
+	fmt.Printf("key schedule: %d derivations, %d cache hits / %d misses, %d prefetch wins, avg eval %v\n",
+		ks.Derivations, ks.Hits, ks.Misses, ks.PrefetchWins, ks.AvgEvalTime())
+	return err
 }
 
 func runAggregator() error {

@@ -233,6 +233,41 @@ func (s *Source) Encrypt(t prf.Epoch, v uint64) (PSR, error) {
 	kitRaw := prf.HM256Epoch(s.ki, t)
 	kit := uint256.MustSetBytes(kitRaw[:])
 	ss := secretshare.Derive(s.ki, t)
+	return s.encryptDerived(v, Kt, kit, ss)
+}
+
+// EncryptBatch encrypts several readings for one epoch, deriving the epoch
+// quantities (K_t, k_{i,t}, ss_{i,t}) once and reusing them across the batch,
+// so the three HMACs are paid once instead of len(vs) times.
+//
+// Every returned PSR is blinded by the same one-time key k_{i,t}, so the
+// confidentiality argument of §III-D covers the batch only if a single
+// element per epoch reaches untrusted parties — releasing two PSRs with
+// different values reveals K_t·(v_a−v_b). The intended uses are fan-out of
+// one reading to redundant parents/duplicate sinks (where every element
+// carries the same v) and source-throughput benchmarking.
+func (s *Source) EncryptBatch(t prf.Epoch, vs []uint64) ([]PSR, error) {
+	if len(vs) == 0 {
+		return nil, nil
+	}
+	Kt := s.epochKey(t)
+	kitRaw := prf.HM256Epoch(s.ki, t)
+	kit := uint256.MustSetBytes(kitRaw[:])
+	ss := secretshare.Derive(s.ki, t)
+	out := make([]PSR, len(vs))
+	for j, v := range vs {
+		psr, err := s.encryptDerived(v, Kt, kit, ss)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = psr
+	}
+	return out, nil
+}
+
+// encryptDerived packs and encrypts one value under already-derived epoch
+// material, the shared tail of Encrypt and EncryptBatch.
+func (s *Source) encryptDerived(v uint64, Kt, kit uint256.Int, ss secretshare.Share) (PSR, error) {
 	m, err := s.params.layout.Pack(v, ss)
 	if err != nil {
 		return PSR{}, fmt.Errorf("sies: source %d: %w", s.id, err)
@@ -322,49 +357,15 @@ type EpochState struct {
 }
 
 // PrepareEpoch derives every per-epoch quantity for the given contributor
-// set (nil means all sources).
+// set (nil means all sources), sequentially on the calling goroutine. The
+// Schedule type layers a worker pool, an LRU cache and a prefetcher on top
+// of the same derivation.
 func (q *Querier) PrepareEpoch(t prf.Epoch, contributors []int) (*EpochState, error) {
 	ids := contributors
 	if ids == nil {
 		ids = allIDs(q.ring.N())
 	}
-	if len(ids) == 0 {
-		return nil, errors.New("sies: no contributing sources")
-	}
-	field := q.params.Field()
-
-	ktRaw := q.ring.EpochGlobalKey(t)
-	Kt := field.Reduce(uint256.MustSetBytes(ktRaw[:]))
-	if Kt.IsZero() {
-		Kt = uint256.One // mirror Source.epochKey
-	}
-	kInv, err := field.Inv(Kt)
-	if err != nil {
-		return nil, err
-	}
-
-	var kSum uint256.Int
-	shares := make([]secretshare.Share, 0, len(ids))
-	for _, id := range ids {
-		kit, err := q.ring.EpochSourceKey(id, t)
-		if err != nil {
-			return nil, err
-		}
-		kSum = field.Add(kSum, field.Reduce(uint256.MustSetBytes(kit[:])))
-		ss, err := q.ring.EpochShare(id, t)
-		if err != nil {
-			return nil, err
-		}
-		shares = append(shares, ss)
-	}
-	return &EpochState{
-		querier:  q,
-		epoch:    t,
-		n:        len(ids),
-		kInv:     kInv,
-		kSum:     kSum,
-		expected: secretshare.SumShares(shares),
-	}, nil
+	return q.prepareParallel(t, ids, 1)
 }
 
 // Evaluate decrypts and verifies one final PSR against the prepared epoch.
@@ -442,17 +443,47 @@ func EncodeContributors(ids []int) []byte {
 }
 
 // DecodeContributors parses a contributor-id list.
+//
+// All size arithmetic is done in int: the announced count is first bounded by
+// the bytes actually present, so a hostile header (e.g. n = 1<<30 on a 4-byte
+// frame, whose 4*n wraps to 0 in uint32) is rejected before any allocation
+// instead of reserving gigabytes.
 func DecodeContributors(buf []byte) ([]int, error) {
+	return DecodeContributorsBounded(buf, 0)
+}
+
+// DecodeContributorsBounded parses a contributor-id list from an untrusted
+// peer. Beyond the overflow-safe length check it requires the canonical wire
+// form every encoder in this repository produces — strictly increasing ids —
+// so a duplicated id can never double-count a blinding key or corrupt a
+// coverage set, and (when maxID > 0) rejects ids outside [0, maxID).
+func DecodeContributorsBounded(buf []byte, maxID int) ([]int, error) {
 	if len(buf) < 4 {
 		return nil, errors.New("sies: short contributor list")
 	}
-	n := binary.BigEndian.Uint32(buf)
-	if uint32(len(buf)-4) != 4*n {
+	n := int(binary.BigEndian.Uint32(buf))
+	if n > (len(buf)-4)/4 || len(buf)-4 != 4*n {
 		return nil, errors.New("sies: contributor list length mismatch")
 	}
 	ids := make([]int, n)
+	prev := -1
 	for i := range ids {
-		ids[i] = int(binary.BigEndian.Uint32(buf[4+4*i:]))
+		raw := binary.BigEndian.Uint32(buf[4+4*i:])
+		if uint64(raw) > uint64(maxInt) {
+			return nil, fmt.Errorf("sies: contributor id %d overflows int", raw)
+		}
+		id := int(raw)
+		if maxID > 0 && id >= maxID {
+			return nil, fmt.Errorf("sies: contributor id %d out of range [0,%d)", id, maxID)
+		}
+		if maxID > 0 && id <= prev {
+			return nil, fmt.Errorf("sies: contributor list not canonical at id %d (duplicate or unsorted)", id)
+		}
+		ids[i] = id
+		prev = id
 	}
 	return ids, nil
 }
+
+// maxInt is the largest value representable in this platform's int.
+const maxInt = int(^uint(0) >> 1)

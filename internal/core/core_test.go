@@ -419,6 +419,49 @@ func TestContributorCodecRoundTrip(t *testing.T) {
 	}
 }
 
+// TestDecodeContributorsOverflowHeader regresses the uint32 length-check
+// wrap: a 4-byte frame announcing n = 1<<30 made 4*n wrap to 0, so the old
+// check passed and the decoder allocated a gigabyte-scale slice. Both wrap
+// points must now be rejected before any allocation.
+func TestDecodeContributorsOverflowHeader(t *testing.T) {
+	for _, buf := range [][]byte{
+		{0x40, 0x00, 0x00, 0x00}, // n = 1<<30, 4*n ≡ 0 (mod 2^32)
+		{0x80, 0x00, 0x00, 0x00}, // n = 1<<31, 4*n ≡ 0 (mod 2^32)
+		{0xff, 0xff, 0xff, 0xff}, // n = 2^32-1
+		append([]byte{0x40, 0x00, 0x00, 0x01}, make([]byte, 4)...),
+	} {
+		if ids, err := DecodeContributors(buf); err == nil {
+			t.Fatalf("hostile header % x decoded to %d ids", buf[:4], len(ids))
+		}
+	}
+}
+
+func TestDecodeContributorsBounded(t *testing.T) {
+	const max = 16
+	good := EncodeContributors([]int{0, 3, 15})
+	if _, err := DecodeContributorsBounded(good, max); err != nil {
+		t.Fatalf("canonical in-range list rejected: %v", err)
+	}
+	cases := map[string][]int{
+		"out of range": {0, 16},
+		"duplicate":    {3, 3},
+		"unsorted":     {5, 2},
+	}
+	for name, ids := range cases {
+		if _, err := DecodeContributorsBounded(EncodeContributors(ids), max); err == nil {
+			t.Fatalf("%s list accepted", name)
+		}
+	}
+	// maxID 0 disables the range/canonical checks (trusted local input).
+	if _, err := DecodeContributorsBounded(EncodeContributors([]int{5, 2}), 0); err != nil {
+		t.Fatalf("unbounded decode rejected unsorted list: %v", err)
+	}
+	// The empty list stays valid under bounding — partial flushes encode it.
+	if ids, err := DecodeContributorsBounded(EncodeContributors(nil), max); err != nil || len(ids) != 0 {
+		t.Fatalf("empty list: %v, %v", ids, err)
+	}
+}
+
 func TestLargeDeployment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large deployment test")

@@ -36,14 +36,24 @@ func FuzzParsePSR(f *testing.F) {
 }
 
 // FuzzDecodeContributors checks the contributor-list codec on hostile input.
+// The {0x40,0,0,0} and {0x80,0,0,0} seeds are headers whose announced count
+// (1<<30, 1<<31) made 4*n wrap to 0 in uint32 arithmetic, so the old length
+// check passed on a header-only frame and make([]int, n) reserved gigabytes.
 func FuzzDecodeContributors(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeContributors([]int{0, 1, 2}))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0x40, 0x00, 0x00, 0x00})
+	f.Add([]byte{0x80, 0x00, 0x00, 0x00})
+	f.Add(append([]byte{0x40, 0x00, 0x00, 0x01}, make([]byte, 8)...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ids, err := DecodeContributors(data)
 		if err != nil {
 			return
+		}
+		// An accepted list can never announce more ids than the buffer holds.
+		if len(ids) > len(data)/4 {
+			t.Fatalf("decoded %d ids from %d bytes", len(ids), len(data))
 		}
 		back, err := DecodeContributors(EncodeContributors(ids))
 		if err != nil {
@@ -51,6 +61,15 @@ func FuzzDecodeContributors(f *testing.F) {
 		}
 		if len(back) != len(ids) {
 			t.Fatal("contributor list round trip changed length")
+		}
+		// The bounded variant must agree on canonical input and never accept
+		// anything the unbounded parser rejects.
+		bounded, err := DecodeContributorsBounded(data, 1<<20)
+		if err != nil {
+			return
+		}
+		if len(bounded) != len(ids) {
+			t.Fatal("bounded and unbounded decoders disagree on accepted input")
 		}
 	})
 }

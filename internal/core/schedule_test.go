@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// mergeAll builds the final PSR of one epoch from every source (or the given
+// subset) reporting value v.
+func mergeAll(t *testing.T, q *Querier, sources []*Source, epoch prf.Epoch, v uint64, subset []int) PSR {
+	t.Helper()
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	if subset == nil {
+		subset = allIDs(len(sources))
+	}
+	for _, id := range subset {
+		psr, err := sources[id].Encrypt(epoch, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	return final
+}
+
+func TestScheduleMatchesSequential(t *testing.T) {
+	const n = 17
+	q, sources, err := Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(q, ScheduleConfig{Workers: 4})
+
+	for epoch := prf.Epoch(1); epoch <= 3; epoch++ {
+		final := mergeAll(t, q, sources, epoch, 7, nil)
+		want, err := q.Evaluate(epoch, final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sched.Evaluate(epoch, final, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("epoch %d: schedule %+v, sequential %+v", epoch, got, want)
+		}
+	}
+
+	// Subset evaluation must agree with EvaluateSubset too.
+	subset := []int{0, 3, 9, 16}
+	final := mergeAll(t, q, sources, 5, 11, subset)
+	want, err := q.EvaluateSubset(5, final, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sched.Evaluate(5, final, subset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("subset: schedule %+v, sequential %+v", got, want)
+	}
+
+	// A tampered PSR must still fail integrity through the cached path.
+	bad := final
+	bad.C = q.Params().Field().Add(bad.C, PSR{C: bad.C}.C)
+	if _, err := sched.Evaluate(5, bad, subset); err == nil {
+		t.Fatal("tampered PSR accepted through the schedule")
+	}
+}
+
+func TestScheduleCacheHits(t *testing.T) {
+	const n = 9
+	q, sources, err := Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(q, ScheduleConfig{Workers: 2}) // no prefetch: deterministic counters
+	final := mergeAll(t, q, sources, 1, 3, nil)
+
+	const reps = 8
+	for i := 0; i < reps; i++ {
+		if _, err := sched.Evaluate(1, final, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := sched.Stats()
+	if st.Misses != 1 || st.Hits != reps-1 {
+		t.Fatalf("misses=%d hits=%d, want 1/%d", st.Misses, st.Hits, reps-1)
+	}
+	if st.Derivations != n {
+		t.Fatalf("derivations=%d, want %d (one per source, once)", st.Derivations, n)
+	}
+	if st.Evaluations != reps {
+		t.Fatalf("evaluations=%d, want %d", st.Evaluations, reps)
+	}
+	if st.AvgEvalTime() <= 0 {
+		t.Fatalf("AvgEvalTime=%v, want > 0", st.AvgEvalTime())
+	}
+}
+
+func TestSchedulePrefetch(t *testing.T) {
+	q, sources, err := Setup(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(q, ScheduleConfig{Prefetch: true})
+
+	final1 := mergeAll(t, q, sources, 1, 2, nil)
+	if _, err := sched.Evaluate(1, final1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The prefetch counter is incremented after the epoch-2 entry is inserted,
+	// so once it is visible the next request is guaranteed to hit that entry.
+	deadline := time.Now().Add(5 * time.Second)
+	for sched.Stats().Prefetches == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prefetch of epoch 2 never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	final2 := mergeAll(t, q, sources, 2, 2, nil)
+	if _, err := sched.Evaluate(2, final2, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := sched.Stats()
+	if st.PrefetchWins != 1 {
+		t.Fatalf("prefetch wins = %d, want 1 (stats: %+v)", st.PrefetchWins, st)
+	}
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 — epoch 2 should have been prefetched", st.Misses)
+	}
+}
+
+func TestScheduleFullSetAliasing(t *testing.T) {
+	const n = 8
+	q, sources, err := Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(q, ScheduleConfig{})
+	final := mergeAll(t, q, sources, 1, 5, nil)
+
+	if _, err := sched.Evaluate(1, final, nil); err != nil {
+		t.Fatal(err)
+	}
+	// An explicit (shuffled) full contributor list must alias the nil entry.
+	full := allIDs(n)
+	rand.New(rand.NewSource(42)).Shuffle(n, func(i, j int) { full[i], full[j] = full[j], full[i] })
+	if _, err := sched.Evaluate(1, final, full); err != nil {
+		t.Fatal(err)
+	}
+	st := sched.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("misses=%d hits=%d, want 1/1 (full list should alias nil)", st.Misses, st.Hits)
+	}
+}
+
+func TestScheduleRejectsBadContributors(t *testing.T) {
+	q, sources, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(q, ScheduleConfig{})
+	final := mergeAll(t, q, sources, 1, 1, nil)
+
+	if _, err := sched.Evaluate(1, final, []int{}); err == nil {
+		t.Fatal("empty non-nil contributor list accepted")
+	}
+	if _, err := sched.Evaluate(1, final, []int{0, 4}); err == nil {
+		t.Fatal("out-of-range contributor accepted")
+	}
+	if _, err := sched.Evaluate(1, final, []int{-1, 2}); err == nil {
+		t.Fatal("negative contributor accepted")
+	}
+	if st := sched.Stats(); st.Misses != 0 && st.Hits != 0 {
+		// Rejection happens before the cache; only sanity-check no derivation ran.
+		t.Fatalf("bad contributor lists reached the cache: %+v", st)
+	}
+}
+
+// TestScheduleConcurrent hammers one small-capacity schedule from many
+// goroutines mixing epochs and subsets; run under -race it exercises the
+// singleflight and eviction paths.
+func TestScheduleConcurrent(t *testing.T) {
+	const n = 12
+	q, sources, err := Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CacheSize 2 forces constant eviction, including of in-flight entries.
+	sched := NewSchedule(q, ScheduleConfig{Workers: 4, CacheSize: 2, Prefetch: true})
+
+	type job struct {
+		epoch  prf.Epoch
+		final  PSR
+		subset []int
+		want   uint64
+	}
+	subsets := [][]int{nil, {0, 1, 2, 5, 8}, {3, 4, 6, 7, 9, 10, 11}}
+	var jobs []job
+	for e := prf.Epoch(1); e <= 4; e++ {
+		for _, sub := range subsets {
+			cnt := n
+			if sub != nil {
+				cnt = len(sub)
+			}
+			jobs = append(jobs, job{
+				epoch: e, final: mergeAll(t, q, sources, e, 2, sub),
+				subset: sub, want: uint64(2 * cnt),
+			})
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				j := jobs[rng.Intn(len(jobs))]
+				res, err := sched.Evaluate(j.epoch, j.final, j.subset)
+				if err != nil {
+					select {
+					case errs <- err:
+					default:
+					}
+					return
+				}
+				if res.Sum != j.want {
+					select {
+					case errs <- &mismatchError{got: res.Sum, want: j.want}:
+					default:
+					}
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if st := sched.Stats(); st.Evaluations != 8*50 {
+		t.Fatalf("evaluations=%d, want %d", st.Evaluations, 8*50)
+	}
+}
+
+type mismatchError struct{ got, want uint64 }
+
+func (e *mismatchError) Error() string {
+	return "sum mismatch under concurrency"
+}
+
+// TestPrepareEpochParallelWorkers checks that the chunked worker fan-out
+// combines its partial sums to exactly the sequential EpochState.
+func TestPrepareEpochParallelWorkers(t *testing.T) {
+	const n = 23 // deliberately not a multiple of the worker counts
+	q, _, err := Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := allIDs(n)
+	seq, err := q.prepareParallel(9, ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 8, 64} {
+		par, err := q.prepareParallel(9, ids, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.kInv != seq.kInv || par.kSum != seq.kSum || par.expected != seq.expected || par.n != seq.n {
+			t.Fatalf("workers=%d: parallel EpochState diverges from sequential", workers)
+		}
+	}
+}
+
+func TestEncryptBatch(t *testing.T) {
+	q, sources, err := Setup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = q
+	src := sources[1]
+	vs := []uint64{0, 1, 42, 1<<32 - 1}
+	batch, err := src.EncryptBatch(7, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(vs) {
+		t.Fatalf("batch length %d, want %d", len(batch), len(vs))
+	}
+	// Encrypt is deterministic, so each batch element must equal the
+	// one-shot encryption of the same value.
+	for i, v := range vs {
+		want, err := src.Encrypt(7, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != want {
+			t.Fatalf("batch[%d] != Encrypt(7, %d)", i, v)
+		}
+	}
+	if out, err := src.EncryptBatch(7, nil); err != nil || out != nil {
+		t.Fatalf("empty batch: %v, %v", out, err)
+	}
+}

@@ -1,0 +1,112 @@
+package mutesla
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReceiverRejectsFarFuture regresses the unbounded-buffering hole: a
+// packet claiming an interval far past the receiver's clock can never be
+// genuine under loose synchronisation, so it must be rejected instead of
+// parked in the pending set forever.
+func TestReceiverRejectsFarFuture(t *testing.T) {
+	b, r := setup(t, 20, 2) // maxAhead defaults to delay = 2
+	p, err := b.Broadcast(10, []byte("too early"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive(p, 1); !errors.Is(err, ErrIntervalTooFar) {
+		t.Fatalf("interval 10 at clock 1 gave %v, want ErrIntervalTooFar", err)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("rejected packet was buffered anyway (%d pending)", r.Buffered())
+	}
+	// Exactly maxAhead ahead is the legitimate clock-skew allowance.
+	edge, err := b.Broadcast(3, []byte("skewed sender"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive(edge, 1); err != nil {
+		t.Fatalf("interval 3 at clock 1 rejected: %v", err)
+	}
+	if r.Buffered() != 1 {
+		t.Fatalf("Buffered = %d, want 1", r.Buffered())
+	}
+}
+
+// TestReceiverBufferCap floods a receiver past its cap with unverifiable
+// packets: memory stays bounded, eviction is oldest-first, and a genuine
+// packet arriving during the flood still verifies once its key is disclosed.
+func TestReceiverBufferCap(t *testing.T) {
+	const cap = 4
+	chain, err := NewChain(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBroadcaster(chain, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiverWithLimits(chain.Commitment(), 2, 10, cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A flood of forgeries with fresh-looking intervals.
+	for i := 0; i < 3*cap; i++ {
+		forged := Packet{Interval: 5, Payload: []byte{byte(i)}}
+		forged.MAC[0] = byte(i) // junk MAC; the key is still secret so it buffers
+		if _, err := r.Receive(forged, 4); err != nil {
+			t.Fatalf("flood packet %d: %v", i, err)
+		}
+		if r.Buffered() > cap {
+			t.Fatalf("buffer grew to %d past cap %d", r.Buffered(), cap)
+		}
+	}
+	if r.Buffered() != cap {
+		t.Fatalf("Buffered = %d, want %d", r.Buffered(), cap)
+	}
+	if r.Dropped() != 2*cap {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), 2*cap)
+	}
+
+	// The genuine broadcast lands mid-flood (evicting the oldest forgery)...
+	genuine, err := b.Broadcast(5, []byte("the query"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Receive(genuine, 4); err != nil {
+		t.Fatal(err)
+	}
+	// ...and is released intact when K_5 is disclosed; every surviving
+	// forgery fails its MAC and is silently dropped.
+	disc, err := b.DisclosePacket(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Receive(disc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !bytes.Equal(out[0].Payload, []byte("the query")) {
+		t.Fatalf("verified = %v, want the one genuine packet", out)
+	}
+	if r.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after flush, want 0", r.Buffered())
+	}
+}
+
+// TestReceiverLimitValidation covers the constructor's bounds.
+func TestReceiverLimitValidation(t *testing.T) {
+	chain, err := NewChain(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReceiverWithLimits(chain.Commitment(), 1, 0, 8); err == nil {
+		t.Fatal("maxAhead 0 accepted")
+	}
+	if _, err := NewReceiverWithLimits(chain.Commitment(), 1, 1, 0); err == nil {
+		t.Fatal("maxBuffered 0 accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package mutesla
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReceiverReceive drives a receiver with a mix of genuine, forged and
+// malformed packets. Invariants: Receive never panics, the pending buffer
+// never exceeds its cap, every error is from the package's declared set, and
+// a verified payload is only ever one a genuine broadcaster MACed.
+func FuzzReceiverReceive(f *testing.F) {
+	const chainLen, delay, cap = 16, 2, 8
+	chain, err := NewChain(chainLen)
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := NewBroadcaster(chain, delay)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(3, 2, []byte("query"), 0, true, byte(0))
+	f.Add(3, 20, []byte("late"), 0, true, byte(0))
+	f.Add(1<<30, 1, []byte("far future"), 0, false, byte(1))
+	f.Add(-5, 1, []byte("negative"), 3, false, byte(7))
+	f.Add(0, 5, []byte(nil), 3, true, byte(0)) // disclosure-only
+	f.Add(2, 1, []byte("forged"), 2, false, byte(0xee))
+
+	f.Fuzz(func(t *testing.T, interval, current int, payload []byte, discFor int, genuine bool, keyByte byte) {
+		r, err := NewReceiverWithLimits(chain.Commitment(), delay, delay, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := Packet{Interval: interval, Payload: payload}
+		if genuine && interval >= 1 && interval <= chainLen {
+			gp, err := b.Broadcast(interval, payload)
+			if err != nil {
+				t.Fatalf("broadcast of in-range interval %d: %v", interval, err)
+			}
+			p.MAC = gp.MAC
+		} else {
+			p.MAC[0] = keyByte
+		}
+		if discFor != 0 {
+			p.DisclosedFor = discFor
+			if genuine && discFor >= 0 && discFor <= chainLen {
+				k, err := chain.key(discFor)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p.DisclosedKey = append([]byte(nil), k...)
+			} else {
+				junk := make([]byte, KeySize)
+				junk[0] = keyByte
+				p.DisclosedKey = junk
+			}
+		}
+
+		// A couple of repeats exercise buffering and flushing of the same
+		// interval; none of them may panic or overflow the cap.
+		for i := 0; i < 3; i++ {
+			out, err := r.Receive(p, current)
+			if err != nil {
+				known := errors.Is(err, ErrIntervalRange) ||
+					errors.Is(err, ErrSecurityWindow) ||
+					errors.Is(err, ErrKeyVerification) ||
+					errors.Is(err, ErrIntervalTooFar)
+				if !known {
+					t.Fatalf("undeclared error: %v", err)
+				}
+				return
+			}
+			for _, v := range out {
+				if !genuine {
+					t.Fatalf("forged packet verified at interval %d", v.Interval)
+				}
+				if !bytes.Equal(v.Payload, payload) {
+					t.Fatal("verified payload differs from broadcast payload")
+				}
+			}
+			if r.Buffered() > cap {
+				t.Fatalf("buffer %d exceeds cap %d", r.Buffered(), cap)
+			}
+		}
+	})
+}

@@ -35,7 +35,19 @@ var (
 	ErrSecurityWindow  = errors.New("mutesla: packet arrived after its key could have been disclosed")
 	ErrKeyVerification = errors.New("mutesla: disclosed key does not authenticate against the commitment")
 	ErrBadMAC          = errors.New("mutesla: packet MAC verification failed")
+	// ErrIntervalTooFar rejects packets claiming an interval implausibly far
+	// beyond the receiver's clock: such packets can never be genuine under
+	// loose time synchronisation and, if buffered, would let an attacker grow
+	// the pending set without ever disclosing a key.
+	ErrIntervalTooFar = errors.New("mutesla: packet interval implausibly far in the future")
 )
+
+// DefaultMaxBuffered caps the packets a receiver holds awaiting key
+// disclosure when no explicit limit is configured. A flood of fresh-looking
+// forgeries then displaces oldest-first instead of growing memory without
+// bound; genuine traffic (a handful of packets per interval within the
+// disclosure lag) stays far below the cap.
+const DefaultMaxBuffered = 1024
 
 // hashKey is one step backward in the chain.
 func hashKey(k []byte) []byte {
@@ -173,26 +185,49 @@ type Verified struct {
 // commitment; loose time synchronisation is modelled by the caller passing
 // the current interval to Receive.
 type Receiver struct {
-	delay    int
-	authKey  []byte // most recent authenticated chain key
-	authIdx  int    // its interval (0 = commitment)
-	buffered map[int][]Packet
+	delay       int
+	maxAhead    int    // accept intervals at most this far past the local clock
+	maxBuffered int    // hard cap on packets awaiting disclosure
+	authKey     []byte // most recent authenticated chain key
+	authIdx     int    // its interval (0 = commitment)
+	buffered    map[int][]Packet
+	fifo        []int // buffered intervals in arrival order (may hold stale refs)
+	count       int   // packets currently buffered
+	dropped     uint64
 }
 
 // NewReceiver initialises a receiver with the chain commitment K_0 and the
-// disclosure delay d agreed at setup.
+// disclosure delay d agreed at setup, using the default flood limits: future
+// intervals are accepted at most d past the local clock (the slack loose
+// synchronisation needs) and at most DefaultMaxBuffered packets are held.
 func NewReceiver(commitment []byte, delay int) (*Receiver, error) {
+	return NewReceiverWithLimits(commitment, delay, delay, DefaultMaxBuffered)
+}
+
+// NewReceiverWithLimits is NewReceiver with explicit flood bounds: maxAhead
+// is how many intervals past the local clock a packet may claim (≥1, since
+// a sender's clock may lead the receiver's), maxBuffered caps the pending
+// set (≥1); overflow evicts the oldest buffered packet.
+func NewReceiverWithLimits(commitment []byte, delay, maxAhead, maxBuffered int) (*Receiver, error) {
 	if len(commitment) != KeySize {
 		return nil, errors.New("mutesla: commitment must be a chain key")
 	}
 	if delay < 1 {
 		return nil, errors.New("mutesla: disclosure delay must be at least 1")
 	}
+	if maxAhead < 1 {
+		return nil, errors.New("mutesla: maxAhead must be at least 1")
+	}
+	if maxBuffered < 1 {
+		return nil, errors.New("mutesla: maxBuffered must be at least 1")
+	}
 	return &Receiver{
-		delay:    delay,
-		authKey:  append([]byte(nil), commitment...),
-		authIdx:  0,
-		buffered: map[int][]Packet{},
+		delay:       delay,
+		maxAhead:    maxAhead,
+		maxBuffered: maxBuffered,
+		authKey:     append([]byte(nil), commitment...),
+		authIdx:     0,
+		buffered:    map[int][]Packet{},
 	}, nil
 }
 
@@ -247,7 +282,13 @@ func (r *Receiver) Receive(p Packet, currentInterval int) ([]Verified, error) {
 		if p.Interval < 1 {
 			return nil, ErrIntervalRange
 		}
-		r.buffered[p.Interval] = append(r.buffered[p.Interval], p)
+		// Plausibility window: a genuine sender's clock leads ours by at
+		// most maxAhead intervals; anything further is a forgery crafted to
+		// sit in the buffer forever.
+		if p.Interval > currentInterval+r.maxAhead {
+			return nil, ErrIntervalTooFar
+		}
+		r.insert(p)
 	}
 
 	if p.DisclosedKey == nil {
@@ -271,16 +312,69 @@ func (r *Receiver) Receive(p Packet, currentInterval int) ([]Verified, error) {
 			}
 			// Packets failing the MAC are forged and silently dropped.
 		}
+		r.count -= len(r.buffered[idx])
 		delete(r.buffered, idx)
 	}
+	r.compactFIFO()
 	return out, nil
 }
 
-// Buffered returns the number of packets awaiting key disclosure.
-func (r *Receiver) Buffered() int {
-	n := 0
-	for _, ps := range r.buffered {
-		n += len(ps)
+// insert buffers p, evicting the oldest buffered packet when full.
+func (r *Receiver) insert(p Packet) {
+	for r.count >= r.maxBuffered {
+		if !r.evictOldest() {
+			break
+		}
 	}
-	return n
+	r.buffered[p.Interval] = append(r.buffered[p.Interval], p)
+	r.fifo = append(r.fifo, p.Interval)
+	r.count++
 }
+
+// evictOldest removes the earliest-buffered packet, skipping fifo entries
+// whose interval was already flushed. Reports whether a packet was removed.
+func (r *Receiver) evictOldest() bool {
+	for len(r.fifo) > 0 {
+		idx := r.fifo[0]
+		r.fifo = r.fifo[1:]
+		ps := r.buffered[idx]
+		if len(ps) == 0 {
+			continue // stale: the interval was flushed by a disclosure
+		}
+		if len(ps) == 1 {
+			delete(r.buffered, idx)
+		} else {
+			r.buffered[idx] = ps[1:]
+		}
+		r.count--
+		r.dropped++
+		return true
+	}
+	return false
+}
+
+// compactFIFO rebuilds the arrival-order index when flushes have left it
+// mostly stale, keeping its memory proportional to the live buffer.
+func (r *Receiver) compactFIFO() {
+	if len(r.fifo) <= 2*r.count+16 {
+		return
+	}
+	remaining := make(map[int]int, len(r.buffered))
+	for idx, ps := range r.buffered {
+		remaining[idx] = len(ps)
+	}
+	nf := make([]int, 0, r.count)
+	for _, idx := range r.fifo {
+		if remaining[idx] > 0 {
+			nf = append(nf, idx)
+			remaining[idx]--
+		}
+	}
+	r.fifo = nf
+}
+
+// Buffered returns the number of packets awaiting key disclosure.
+func (r *Receiver) Buffered() int { return r.count }
+
+// Dropped returns how many buffered packets were evicted by the flood cap.
+func (r *Receiver) Dropped() uint64 { return r.dropped }

@@ -11,10 +11,14 @@ import (
 )
 
 // SIESProtocol adapts the SIES core (package core) to the engine interface.
+// Evaluation runs through a key-schedule engine, so repeated epochs over the
+// same contributor set (retransmit and duplicate-sink experiments) hit the
+// EpochState cache and consecutive epochs benefit from prefetch.
 type SIESProtocol struct {
 	Querier *core.Querier
 	Sources []*core.Source
 	agg     *core.Aggregator
+	sched   *core.Schedule
 }
 
 // NewSIESProtocol runs SIES setup for n sources and wraps the deployment.
@@ -27,8 +31,12 @@ func NewSIESProtocol(n int, opts ...core.Option) (*SIESProtocol, error) {
 		Querier: q,
 		Sources: sources,
 		agg:     core.NewAggregator(q.Params().Field()),
+		sched:   core.NewSchedule(q, core.ScheduleConfig{Prefetch: true}),
 	}, nil
 }
+
+// ScheduleStats exposes the evaluation engine's counters for experiments.
+func (p *SIESProtocol) ScheduleStats() core.ScheduleStats { return p.sched.Stats() }
 
 // Name implements Protocol.
 func (p *SIESProtocol) Name() string { return "SIES" }
@@ -63,7 +71,7 @@ func (p *SIESProtocol) Evaluate(t prf.Epoch, m Message, contributors []int) (flo
 	if !ok {
 		return 0, errors.New("sies: foreign message at querier")
 	}
-	res, err := p.Querier.EvaluateSubset(t, psr, contributors)
+	res, err := p.sched.Evaluate(t, psr, contributors)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+)
+
+// TestQuerierRejectsOverflowHello regresses the uint32 length-wrap: a 4-byte
+// hello announcing 1<<30 contributors used to pass the length check (4*n
+// wraps to 0) and allocate an 8 GiB id slice. The querier must now reject the
+// frame without any large allocation.
+func TestQuerierRejectsOverflowHello(t *testing.T) {
+	q, _, err := core.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- qn.Run() }()
+	defer qn.Close()
+
+	conn, err := net.Dial("tcp", qn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Payload: []byte{0x40, 0x00, 0x00, 0x00}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-runDone:
+		if err == nil {
+			t.Fatal("querier accepted a hello with a wrapped length header")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("querier did not reject the hostile hello")
+	}
+}
+
+// TestQuerierRejectsHostileFailedList drives a full root session and sends a
+// PSR whose failed-source list is non-canonical: the epoch must surface as a
+// rejected result, not corrupt the contributor subset.
+func TestQuerierRejectsHostileFailedList(t *testing.T) {
+	q, sources, err := core.Setup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go qn.Run()
+	defer qn.Close()
+
+	conn, err := net.Dial("tcp", qn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Payload: core.EncodeContributors([]int{0, 1, 2})}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := ReadFrame(conn); err != nil || ack.Type != TypeHello {
+		t.Fatalf("hello-ack: %+v (%v)", ack, err)
+	}
+
+	psr, err := sources[0].Encrypt(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, failed := range [][]int{{1, 1}, {2, 1}, {7}} { // duplicate, unsorted, out of range
+		if err := WriteFrame(conn, Frame{Type: TypePSR, Epoch: 1,
+			Payload: encodeReport(psr, failed)}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case res := <-qn.Results:
+			if res.Err == nil {
+				t.Fatalf("failed list %v was accepted (sum %d)", failed, res.Sum)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no result for failed list %v", failed)
+		}
+	}
+	if h := qn.Health(); h.Rejected != 3 {
+		t.Fatalf("Rejected = %d, want 3", h.Rejected)
+	}
+}
+
+// TestDecodeReportHostileFailedLists unit-tests the report parser against
+// lists a compromised child could craft.
+func TestDecodeReportHostileFailedLists(t *testing.T) {
+	q, sources, err := core.Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := q.Params().Field()
+	psr, err := sources[0].Encrypt(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := psr.Bytes()
+
+	if _, _, err := decodeReport(encodeReport(psr, []int{1, 3}), field, 4); err != nil {
+		t.Fatalf("canonical report rejected: %v", err)
+	}
+	bad := map[string][]byte{
+		"duplicate ids":   encodeReport(psr, []int{1, 1}),
+		"unsorted ids":    encodeReport(psr, []int{3, 1}),
+		"id past maxID":   encodeReport(psr, []int{4}),
+		"wrapped header":  append(wire[:], 0x40, 0x00, 0x00, 0x00),
+		"truncated tail":  wire[:core.PSRSize-1],
+		"missing id list": wire[:],
+	}
+	for name, payload := range bad {
+		if _, _, err := decodeReport(payload, field, 4); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// TestAggregatorRejectsHostileChildHello checks the aggregator side: a child
+// whose hello announces a wrapped count or a non-canonical coverage set is
+// refused during setup.
+func TestAggregatorRejectsHostileChildHello(t *testing.T) {
+	q, _, err := core.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, payload := range map[string][]byte{
+		"wrapped header": {0x40, 0x00, 0x00, 0x00},
+		"duplicate ids":  core.EncodeContributors([]int{1, 1}),
+	} {
+		aggAddr := freeAddr(t)
+		built := make(chan error, 1)
+		go func() {
+			_, err := NewAggregatorNode(AggregatorConfig{
+				ListenAddr: aggAddr, ParentAddr: "127.0.0.1:1", // parent never dialed: hello fails first
+				NumChildren: 1, Timeout: 200 * time.Millisecond,
+				HandshakeTimeout: time.Second,
+			}, q.Params().Field())
+			built <- err
+		}()
+		var conn net.Conn
+		for i := 0; i < 100; i++ { // wait for the listener
+			if conn, err = net.Dial("tcp", aggAddr); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			t.Fatalf("%s: dialing aggregator: %v", name, err)
+		}
+		if err := WriteFrame(conn, Frame{Type: TypeHello, Payload: payload}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		select {
+		case err := <-built:
+			if err == nil {
+				t.Fatalf("%s: aggregator accepted the hostile hello", name)
+			}
+			if errors.Is(err, net.ErrClosed) {
+				t.Fatalf("%s: wrong failure: %v", name, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s: aggregator did not reject the hello", name)
+		}
+		conn.Close()
+	}
+}

@@ -31,8 +31,17 @@ func encodeReport(psr core.PSR, failed []int) []byte {
 	return append(wire[:], core.EncodeContributors(failed)...)
 }
 
-// decodeReport unpacks a TypePSR payload.
-func decodeReport(payload []byte, f *uint256.Field) (core.PSR, []int, error) {
+// DefaultMaxSources bounds contributor ids accepted from the wire when a
+// node has no exact deployment size (aggregators hold only the public
+// modulus). Hostile frames with ids past any plausible deployment are
+// rejected before they can inflate coverage sets or allocations.
+const DefaultMaxSources = 1 << 22
+
+// decodeReport unpacks a TypePSR payload. maxID bounds the failed-source ids
+// (see core.DecodeContributorsBounded), which also requires the canonical
+// sorted duplicate-free form, so one hostile child cannot double-count a
+// blinding key or claim sources outside the deployment.
+func decodeReport(payload []byte, f *uint256.Field, maxID int) (core.PSR, []int, error) {
 	if len(payload) < core.PSRSize {
 		return core.PSR{}, nil, errors.New("transport: short PSR payload")
 	}
@@ -40,7 +49,7 @@ func decodeReport(payload []byte, f *uint256.Field) (core.PSR, []int, error) {
 	if err != nil {
 		return core.PSR{}, nil, err
 	}
-	failed, err := core.DecodeContributors(payload[core.PSRSize:])
+	failed, err := core.DecodeContributorsBounded(payload[core.PSRSize:], maxID)
 	if err != nil {
 		return core.PSR{}, nil, err
 	}
@@ -144,6 +153,7 @@ type AggregatorNode struct {
 	reconnectWindow  time.Duration
 	idleTimeout      time.Duration
 	handshakeTimeout time.Duration
+	maxSources       int
 
 	mu          sync.Mutex
 	closed      bool
@@ -183,6 +193,10 @@ type AggregatorConfig struct {
 	Backoff Backoff
 	// HandshakeTimeout bounds each hello/hello-ack exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// MaxSources bounds the source ids this node accepts in hello and
+	// failure frames (default DefaultMaxSources). Set it to the deployment's
+	// N to reject any id a provisioned source could not hold.
+	MaxSources int
 	// Dial and Listen replace net.Dial / net.Listen — chaos injection hooks.
 	Dial   func(network, addr string) (net.Conn, error)
 	Listen func(network, addr string) (net.Listener, error)
@@ -203,6 +217,9 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 	}
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.MaxSources <= 0 {
+		cfg.MaxSources = DefaultMaxSources
 	}
 	listen := cfg.Listen
 	if listen == nil {
@@ -225,6 +242,7 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		reconnectWindow:  cfg.ReconnectWindow,
 		idleTimeout:      cfg.IdleTimeout,
 		handshakeTimeout: cfg.HandshakeTimeout,
+		maxSources:       cfg.MaxSources,
 		conns:            map[net.Conn]struct{}{},
 		flushedCap:       1 << 16,
 	}
@@ -287,11 +305,12 @@ func (a *AggregatorNode) handshakeChild(conn net.Conn) ([]int, error) {
 		return nil, fmt.Errorf("bad hello: frame type %d", f.Type)
 	}
 	conn.SetReadDeadline(time.Time{})
-	covers, err := core.DecodeContributors(f.Payload)
+	// Bounded + canonical: duplicate, unsorted or out-of-range ids in a
+	// hello would poison coverage matching for the child's whole lifetime.
+	covers, err := core.DecodeContributorsBounded(f.Payload, a.maxSources)
 	if err != nil {
 		return nil, err
 	}
-	covers = core.NormalizeIDs(covers)
 	a.mu.Lock()
 	resync := a.lastFlushed
 	a.mu.Unlock()
@@ -404,7 +423,7 @@ func (a *AggregatorNode) Run() error {
 			}
 			switch f.Type {
 			case TypePSR:
-				psr, failed, err := decodeReport(f.Payload, a.field)
+				psr, failed, err := decodeReport(f.Payload, a.field, a.maxSources)
 				if err != nil {
 					// A child speaking garbage (corruption, torn writes) is
 					// cut off; it recovers by redialing.
@@ -414,7 +433,7 @@ func (a *AggregatorNode) Run() error {
 				ch <- aggEvent{kind: 'r', child: child, gen: gen,
 					rep: report{child: child, epoch: prf.Epoch(f.Epoch), psr: &psr, failed: failed}}
 			case TypeFailure:
-				failed, err := core.DecodeContributors(f.Payload)
+				failed, err := core.DecodeContributorsBounded(f.Payload, a.maxSources)
 				if err != nil {
 					ch <- aggEvent{kind: 'd', child: child, gen: gen}
 					return
@@ -649,6 +668,10 @@ type Health struct {
 	Rejected       int         // epochs failing integrity or decode
 	RootReconnects int         // times the root aggregator re-attached
 	Missed         map[int]int // per-source count of epochs it missed
+
+	// KeySchedule snapshots the evaluation engine's counters: derivations,
+	// cache hits/misses, prefetch wins and cumulative eval latency.
+	KeySchedule core.ScheduleStats
 }
 
 // QuerierNode terminates the tree: it accepts the root aggregator's
@@ -657,6 +680,7 @@ type Health struct {
 // together with the sorted non-contributor list rather than an error.
 type QuerierNode struct {
 	q       *core.Querier
+	sched   *core.Schedule
 	ln      net.Listener
 	Results chan EpochResult
 
@@ -666,14 +690,23 @@ type QuerierNode struct {
 	roots    int
 }
 
-// NewQuerierNode starts listening for the root aggregator.
+// NewQuerierNode starts listening for the root aggregator. Evaluation runs
+// through a key-schedule engine sized to the machine: parallel per-source
+// derivations, an EpochState LRU (duplicate sinks and retransmits hit a
+// constant-time path) and one-epoch-ahead prefetch.
 func NewQuerierNode(listenAddr string, q *core.Querier) (*QuerierNode, error) {
+	return NewQuerierNodeWith(listenAddr, q, core.ScheduleConfig{Prefetch: true})
+}
+
+// NewQuerierNodeWith is NewQuerierNode with an explicit schedule
+// configuration (worker count, cache size, prefetch).
+func NewQuerierNodeWith(listenAddr string, q *core.Querier, cfg core.ScheduleConfig) (*QuerierNode, error) {
 	ln, err := net.Listen("tcp", listenAddr)
 	if err != nil {
 		return nil, err
 	}
 	return &QuerierNode{
-		q: q, ln: ln,
+		q: q, sched: core.NewSchedule(q, cfg), ln: ln,
 		Results: make(chan EpochResult, 64),
 		health:  Health{Missed: map[int]int{}},
 	}, nil
@@ -688,14 +721,18 @@ func (qn *QuerierNode) Close() error { return qn.ln.Close() }
 // Health returns a snapshot of the per-epoch health summary.
 func (qn *QuerierNode) Health() Health {
 	qn.mu.Lock()
-	defer qn.mu.Unlock()
 	h := qn.health
 	h.Missed = make(map[int]int, len(qn.health.Missed))
 	for id, n := range qn.health.Missed {
 		h.Missed[id] = n
 	}
+	qn.mu.Unlock()
+	h.KeySchedule = qn.sched.Stats()
 	return h
 }
+
+// ScheduleStats exposes the evaluation engine's counters directly.
+func (qn *QuerierNode) ScheduleStats() core.ScheduleStats { return qn.sched.Stats() }
 
 // Run accepts root connections and evaluates epochs until the listener is
 // closed, then closes the Results channel. A root that disconnects may
@@ -735,10 +772,11 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 	if f.Type != TypeHello {
 		return fmt.Errorf("transport: querier: unexpected frame type %d in hello", f.Type)
 	}
-	covers, err := core.DecodeContributors(f.Payload)
+	covers, err := core.DecodeContributorsBounded(f.Payload, qn.q.Params().N())
 	if err != nil {
 		return err
 	}
+	// Canonical ids in [0, N) with length N can only be the full set.
 	if len(covers) != qn.q.Params().N() {
 		return fmt.Errorf("transport: root covers %d sources, deployment has %d",
 			len(covers), qn.q.Params().N())
@@ -760,20 +798,16 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 		t := prf.Epoch(f.Epoch)
 		switch f.Type {
 		case TypePSR:
-			psr, failed, err := decodeReport(f.Payload, field)
+			psr, failed, err := decodeReport(f.Payload, field, qn.q.Params().N())
 			if err != nil {
 				qn.record(EpochResult{Epoch: t, Err: err})
 				continue
 			}
-			failed = core.NormalizeIDs(failed)
-			contributors := core.Subtract(qn.q.Params().N(), failed)
-			var res core.Result
-			var evalErr error
-			if len(failed) == 0 {
-				res, evalErr = qn.q.Evaluate(t, psr)
-			} else {
-				res, evalErr = qn.q.EvaluateSubset(t, psr, contributors)
+			var contributors []int // nil = all sources, the schedule's fast path
+			if len(failed) > 0 {
+				contributors = core.Subtract(qn.q.Params().N(), failed)
 			}
+			res, evalErr := qn.sched.Evaluate(t, psr, contributors)
 			out := EpochResult{Epoch: t, Failed: failed, Partial: len(failed) > 0, Err: evalErr}
 			if evalErr == nil {
 				out.Sum = res.Sum
@@ -790,12 +824,11 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 				}
 			}
 		case TypeFailure:
-			failed, err := core.DecodeContributors(f.Payload)
+			failed, err := core.DecodeContributorsBounded(f.Payload, qn.q.Params().N())
 			if err != nil {
 				qn.record(EpochResult{Epoch: t, Err: err})
 				continue
 			}
-			failed = core.NormalizeIDs(failed)
 			qn.record(EpochResult{Epoch: t, Partial: true, Failed: failed, Err: ErrNoContributors})
 		}
 	}

@@ -246,7 +246,7 @@ func TestAggregatorLateAndDuplicateReports(t *testing.T) {
 	// Epoch 1: only child 0 reports; the deadline flushes a partial report.
 	sendPSR(t, c0, sources[0], 1, 100)
 	f := readUpstream(t, parent)
-	psr, failed, err := decodeReport(f.Payload, field)
+	psr, failed, err := decodeReport(f.Payload, field, DefaultMaxSources)
 	if err != nil || f.Type != TypePSR || f.Epoch != 1 {
 		t.Fatalf("flush 1: type %d epoch %d (%v)", f.Type, f.Epoch, err)
 	}
@@ -278,7 +278,7 @@ func TestAggregatorLateAndDuplicateReports(t *testing.T) {
 	sendPSR(t, c0, sources[0], 1, 100)
 	sendPSR(t, c1, sources[1], 1, 900)
 	f = readUpstream(t, parent)
-	psr, failed, err = decodeReport(f.Payload, field)
+	psr, failed, err = decodeReport(f.Payload, field, DefaultMaxSources)
 	if err != nil || f.Epoch != 1 || len(failed) != 0 {
 		t.Fatalf("re-flushed epoch 1: epoch %d failed %v (%v)", f.Epoch, failed, err)
 	}
@@ -353,7 +353,7 @@ func TestAggregatorFlushesWhenLastChildDies(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("flush took %v — rode the deadline ticker instead of the disconnect", elapsed)
 	}
-	psr, failed, err := decodeReport(f.Payload, field)
+	psr, failed, err := decodeReport(f.Payload, field, DefaultMaxSources)
 	if err != nil || f.Epoch != 1 {
 		t.Fatalf("orphan flush: %+v (%v)", f, err)
 	}
