@@ -1,0 +1,177 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+var (
+	flagHotpath = flag.Bool("hotpath", false, "run the zero-allocation hot-path kernel sweep")
+	flagJSON    = flag.Bool("json", false, "also write machine-readable BENCH_<suite>.json rows")
+)
+
+// benchRow is one machine-readable benchmark result. The JSON file is the
+// CI artifact that tracks hot-path regressions across commits.
+type benchRow struct {
+	Op          string  `json:"op"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	GitRev      string  `json:"gitrev"`
+}
+
+type benchFile struct {
+	Suite     string     `json:"suite"`
+	GitRev    string     `json:"gitrev"`
+	GoVersion string     `json:"go_version"`
+	GOOS      string     `json:"goos"`
+	GOARCH    string     `json:"goarch"`
+	Generated string     `json:"generated"`
+	Rows      []benchRow `json:"rows"`
+}
+
+// gitRev returns the short commit hash of the working tree, or "unknown"
+// outside a git checkout (e.g. a release tarball or a CI cache miss).
+func gitRev() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeBenchJSON writes BENCH_<suite>.json in the current directory.
+func writeBenchJSON(suite string, rows []benchRow) error {
+	f := benchFile{
+		Suite:     suite,
+		GitRev:    gitRev(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Rows:      rows,
+	}
+	for i := range f.Rows {
+		f.Rows[i].GitRev = f.GitRev
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("BENCH_%s.json", suite)
+	if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(wrote %s)\n", name)
+	return nil
+}
+
+// hotpath measures the PR's two kernels — the lazy-reduction aggregator
+// merge and the pad-caching HMAC Deriver — against their historical
+// counterparts, asserting the zero-allocation contract as it goes.
+func hotpath() error {
+	ns := []int{64, 256, 1024}
+	if *flagQuick {
+		ns = []int{64, 256}
+	}
+
+	q, sources, err := core.Setup(ns[len(ns)-1])
+	if err != nil {
+		return err
+	}
+	agg := core.NewAggregator(q.Params().Field())
+	all := make([]core.PSR, len(sources))
+	for i, s := range sources {
+		if all[i], err = s.Encrypt(1, 3000); err != nil {
+			return err
+		}
+	}
+
+	var rows []benchRow
+	record := func(op string, n int, r testing.BenchmarkResult) benchRow {
+		row := benchRow{
+			Op:          op,
+			N:           n,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		rows = append(rows, row)
+		return row
+	}
+
+	fmt.Printf("%-24s %6s %14s %12s %10s\n", "op", "N", "ns/op", "allocs/op", "B/op")
+	printRow := func(row benchRow) {
+		fmt.Printf("%-24s %6d %14.1f %12d %10d\n",
+			row.Op, row.N, row.NsPerOp, row.AllocsPerOp, row.BytesPerOp)
+	}
+
+	for _, n := range ns {
+		psrs := all[:n]
+		red := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var acc core.PSR
+				for _, p := range psrs {
+					acc = agg.MergeInto(acc, p)
+				}
+			}
+		})
+		printRow(record("merge/reducing", n, red))
+		lazy := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				agg.Merge(psrs...)
+			}
+		})
+		lazyRow := record("merge/lazy", n, lazy)
+		printRow(lazyRow)
+		if lazyRow.AllocsPerOp != 0 {
+			return fmt.Errorf("merge/lazy N=%d allocates %d times per op, want 0", n, lazyRow.AllocsPerOp)
+		}
+	}
+
+	key := make([]byte, prf.LongTermKeySize)
+	for i := range key {
+		key[i] = byte(i * 7)
+	}
+	d := prf.NewDeriver(key)
+	oneShot := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prf.HM256Epoch(key, prf.Epoch(i))
+		}
+	})
+	printRow(record("hm256/oneshot", 1, oneShot))
+	deriver := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.Epoch256(prf.Epoch(i))
+		}
+	})
+	derRow := record("hm256/deriver", 1, deriver)
+	printRow(derRow)
+	if derRow.AllocsPerOp != 0 {
+		return fmt.Errorf("hm256/deriver allocates %d times per op, want 0", derRow.AllocsPerOp)
+	}
+
+	if *flagJSON {
+		if err := writeBenchJSON("hotpath", rows); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nShape check: lazy merge ≥2x below the reduce-per-child path at every N,")
+	fmt.Println("and both new kernels report 0 allocs/op.")
+	return nil
+}

@@ -12,7 +12,9 @@
 //	siesbench -figure 5          # Figure 5  (aggregator CPU vs fanout)
 //	siesbench -figure 6a         # Figure 6a (querier CPU vs N)
 //	siesbench -figure 6b         # Figure 6b (querier CPU vs domain)
+//	siesbench -hotpath           # zero-allocation hot-path kernel sweep
 //	siesbench -quick ...         # smaller sweeps for a fast smoke run
+//	siesbench -json ...          # also write machine-readable BENCH_<suite>.json
 //
 // Absolute numbers differ from the paper (different machine, Go stdlib
 // instead of GMP/OpenSSL); the shapes — who wins, by what factor, where the
@@ -50,7 +52,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule {
+	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule && !*flagHotpath {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -89,6 +91,9 @@ func main() {
 	}
 	if *flagAll || *flagSchedule {
 		run("Extra — querier key-schedule engine (parallel derivation + cache)", scheduleSweep)
+	}
+	if *flagAll || *flagHotpath {
+		run("Extra — zero-allocation hot-path kernels (lazy merge + Deriver)", hotpath)
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/sies/sies/internal/homomorphic"
 	"github.com/sies/sies/internal/message"
@@ -189,18 +190,25 @@ func NewQuerier(ring *prf.KeyRing, params Params) (*Querier, error) {
 	return &Querier{params: params, ring: ring}, nil
 }
 
-// Source is a leaf sensor holding (K, kᵢ, p). It caches the epoch-global key
-// K_t of the most recent epoch, mirroring that all sources can derive K_t
-// once per epoch regardless of how many readings they encrypt.
+// Source is a leaf sensor holding (K, kᵢ, p). It holds reusable HMAC
+// derivation engines for both long-term keys (the key schedules are paid
+// once, at first use) and caches the fully-prepared encryption state of the
+// most recent epoch — K_t and k_{i,t} reduced exactly once, ss_{i,t}
+// alongside — mirroring that a source derives its epoch material once
+// regardless of how many readings it encrypts.
 type Source struct {
 	id     int
 	params Params
 	global []byte // K
 	ki     []byte // k_i
 
+	kd  *prf.Deriver // pads for K, built on first use
+	kid *prf.Deriver // pads for k_i
+
 	cachedEpoch prf.Epoch
-	cachedKt    uint256.Int
 	haveCache   bool
+	encState    homomorphic.EncryptState // (K_t, k_{i,t}) reduced once
+	cachedSS    secretshare.Share        // ss_{i,t}
 }
 
 // ID returns the source's identifier (its index in the key ring).
@@ -209,31 +217,43 @@ func (s *Source) ID() int { return s.id }
 // Params returns the protocol parameters.
 func (s *Source) Params() Params { return s.params }
 
-// epochKey returns K_t reduced into the field, deriving and caching it on
-// first use per epoch.
-func (s *Source) epochKey(t prf.Epoch) uint256.Int {
-	if s.haveCache && s.cachedEpoch == t {
-		return s.cachedKt
+// epochState derives and caches the per-epoch encryption material: K_t and
+// k_{i,t} through the reusable HMAC engines, reduced into the field exactly
+// once inside an EncryptState, plus the secret share ss_{i,t}. Repeated
+// encryptions within one epoch reuse it allocation-free.
+func (s *Source) epochState(t prf.Epoch) (*homomorphic.EncryptState, secretshare.Share, error) {
+	if !s.haveCache || s.cachedEpoch != t {
+		if s.kd == nil {
+			s.kd = prf.NewDeriver(s.global)
+			s.kid = prf.NewDeriver(s.ki)
+		}
+		ktRaw := s.kd.Epoch256(t)
+		Kt := s.params.Field().Reduce(uint256.MustSetBytes(ktRaw[:]))
+		if Kt.IsZero() {
+			// Probability 2^-256; substituting 1 keeps the protocol total.
+			Kt = uint256.One
+		}
+		kitRaw := s.kid.Epoch256(t)
+		es, err := s.params.scheme.NewEncryptState(Kt, uint256.MustSetBytes(kitRaw[:]))
+		if err != nil {
+			return nil, secretshare.Share{}, fmt.Errorf("sies: source %d: %w", s.id, err)
+		}
+		s.encState = es
+		s.cachedSS = secretshare.Share(s.kid.Epoch1(t))
+		s.cachedEpoch, s.haveCache = t, true
 	}
-	kt := prf.HM256Epoch(s.global, t)
-	Kt := s.params.Field().Reduce(uint256.MustSetBytes(kt[:]))
-	if Kt.IsZero() {
-		// Probability 2^-256; substituting 1 keeps the protocol total.
-		Kt = uint256.One
-	}
-	s.cachedEpoch, s.cachedKt, s.haveCache = t, Kt, true
-	return Kt
+	return &s.encState, s.cachedSS, nil
 }
 
 // Encrypt runs the initialization phase: it derives the epoch keys and the
 // secret share, packs the plaintext and returns PSR_{i,t}. A source whose
 // reading fails the query predicate calls Encrypt with v = 0 (paper §III-B).
 func (s *Source) Encrypt(t prf.Epoch, v uint64) (PSR, error) {
-	Kt := s.epochKey(t)
-	kitRaw := prf.HM256Epoch(s.ki, t)
-	kit := uint256.MustSetBytes(kitRaw[:])
-	ss := secretshare.Derive(s.ki, t)
-	return s.encryptDerived(v, Kt, kit, ss)
+	es, ss, err := s.epochState(t)
+	if err != nil {
+		return PSR{}, err
+	}
+	return s.encryptPrepared(v, es, ss)
 }
 
 // EncryptBatch encrypts several readings for one epoch, deriving the epoch
@@ -250,13 +270,13 @@ func (s *Source) EncryptBatch(t prf.Epoch, vs []uint64) ([]PSR, error) {
 	if len(vs) == 0 {
 		return nil, nil
 	}
-	Kt := s.epochKey(t)
-	kitRaw := prf.HM256Epoch(s.ki, t)
-	kit := uint256.MustSetBytes(kitRaw[:])
-	ss := secretshare.Derive(s.ki, t)
+	es, ss, err := s.epochState(t)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]PSR, len(vs))
 	for j, v := range vs {
-		psr, err := s.encryptDerived(v, Kt, kit, ss)
+		psr, err := s.encryptPrepared(v, es, ss)
 		if err != nil {
 			return nil, err
 		}
@@ -265,14 +285,15 @@ func (s *Source) EncryptBatch(t prf.Epoch, vs []uint64) ([]PSR, error) {
 	return out, nil
 }
 
-// encryptDerived packs and encrypts one value under already-derived epoch
-// material, the shared tail of Encrypt and EncryptBatch.
-func (s *Source) encryptDerived(v uint64, Kt, kit uint256.Int, ss secretshare.Share) (PSR, error) {
+// encryptPrepared packs and encrypts one value under the prepared epoch
+// state, the shared tail of Encrypt and EncryptBatch. The keys inside es are
+// already reduced, so this is one pack, one field mul and one field add.
+func (s *Source) encryptPrepared(v uint64, es *homomorphic.EncryptState, ss secretshare.Share) (PSR, error) {
 	m, err := s.params.layout.Pack(v, ss)
 	if err != nil {
 		return PSR{}, fmt.Errorf("sies: source %d: %w", s.id, err)
 	}
-	c, err := s.params.scheme.Encrypt(m, Kt, kit)
+	c, err := es.Encrypt(m)
 	if err != nil {
 		return PSR{}, fmt.Errorf("sies: source %d: %w", s.id, err)
 	}
@@ -288,20 +309,48 @@ type Aggregator struct {
 // NewAggregator returns an aggregator for the deployment's field.
 func NewAggregator(f *uint256.Field) *Aggregator { return &Aggregator{field: f} }
 
-// Merge folds the children's PSRs into one: Σ PSRᵢ mod p.
+// Merge folds the children's PSRs into one: Σ PSRᵢ mod p. It runs the
+// lazy-reduction kernel — plain 512-bit carry-chain adds with one modular
+// reduction at the end — which is exact because the PSRs are reduced and
+// Σ of n < 2^256 such terms fits a Word512.
 func (a *Aggregator) Merge(children ...PSR) PSR {
-	var acc uint256.Int
-	for _, ch := range children {
-		acc = a.field.Add(acc, ch.C)
+	var acc uint256.Accumulator
+	for i := range children {
+		acc.Add(children[i].C)
 	}
-	return PSR{C: acc}
+	return PSR{C: acc.Sum(a.field)}
 }
 
 // MergeInto adds one child PSR into a running accumulator, the streaming
-// form used by the network engine.
+// form used by the network engine. Each step reduces; for long chains the
+// MergeState form is cheaper.
 func (a *Aggregator) MergeInto(acc, child PSR) PSR {
 	return PSR{C: a.field.Add(acc.C, child.C)}
 }
+
+// MergeState streams child PSRs into a lazily-reduced 512-bit accumulator:
+// Add per child, one reduction in Final. The zero-cost streaming counterpart
+// of Merge for callers that do not hold their children in a slice.
+type MergeState struct {
+	field *uint256.Field
+	acc   uint256.Accumulator
+	n     int
+}
+
+// NewMerge starts an empty streaming merge.
+func (a *Aggregator) NewMerge() MergeState { return MergeState{field: a.field} }
+
+// Add folds one child PSR into the running total (no reduction).
+func (m *MergeState) Add(p PSR) {
+	m.acc.Add(p.C)
+	m.n++
+}
+
+// Count returns how many PSRs have been folded in.
+func (m *MergeState) Count() int { return m.n }
+
+// Final performs the single deferred reduction and returns the merged PSR.
+func (m *MergeState) Final() PSR { return PSR{C: m.acc.Sum(m.field)} }
 
 // Result is a verified evaluation outcome.
 type Result struct {
@@ -314,6 +363,17 @@ type Result struct {
 type Querier struct {
 	params Params
 	ring   *prf.KeyRing
+
+	derivOnce sync.Once
+	deriv     *prf.RingDerivers
+}
+
+// derivers returns the reusable per-key HMAC engines, building them (2N+2
+// key schedules) on first use. Every epoch derivation afterwards skips the
+// key schedule and allocates nothing.
+func (q *Querier) derivers() *prf.RingDerivers {
+	q.derivOnce.Do(func() { q.deriv = prf.NewRingDerivers(q.ring) })
+	return q.deriv
 }
 
 // Params returns the protocol parameters.

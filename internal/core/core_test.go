@@ -386,14 +386,26 @@ func TestEpochKeyCaching(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := sources[0]
-	k1 := s.epochKey(9)
-	k2 := s.epochKey(9)
-	if k1 != k2 {
-		t.Fatal("cached epoch key differs")
+	es1, ss1, err := s.epochState(9)
+	if err != nil {
+		t.Fatal(err)
 	}
-	k3 := s.epochKey(10)
-	if k3 == k1 {
-		t.Fatal("epoch keys identical across epochs")
+	es2, ss2, err := s.epochState(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es1 != es2 {
+		t.Fatal("repeated epochState did not return the cached state")
+	}
+	if ss1 != ss2 {
+		t.Fatal("cached epoch share differs")
+	}
+	_, ss3, err := s.epochState(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss3 == ss1 {
+		t.Fatal("epoch shares identical across epochs")
 	}
 }
 

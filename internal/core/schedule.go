@@ -296,15 +296,22 @@ func (s *Schedule) prefetchAhead(t prf.Epoch, ids []int) {
 // — Σ k_{i,t} is a field sum, Σ ss_{i,t} a plain 256-bit sum — so chunked
 // partials combine exactly. workers ≤ 1 runs inline with no goroutines (the
 // sequential path PrepareEpoch also uses).
+//
+// The hot loop runs through the reusable derivation engine (prf.RingDerivers
+// batch API: no HMAC key schedules, no allocations) and sums the raw k_{i,t}
+// outputs through the lazy 512-bit accumulator: reduce-then-sum equals
+// sum-then-reduce mod p, so one Reduce512 per chunk replaces Θ(N) per-key
+// reductions and field additions.
 func (q *Querier) prepareParallel(t prf.Epoch, ids []int, workers int) (*EpochState, error) {
 	if len(ids) == 0 {
 		return nil, errors.New("sies: no contributing sources")
 	}
 	field := q.params.Field()
-	ktRaw := q.ring.EpochGlobalKey(t)
+	rd := q.derivers()
+	ktRaw := rd.GlobalKey(t)
 	Kt := field.Reduce(uint256.MustSetBytes(ktRaw[:]))
 	if Kt.IsZero() {
-		Kt = uint256.One // mirror Source.epochKey
+		Kt = uint256.One // mirror Source.epochState
 	}
 	kInv, err := field.Inv(Kt)
 	if err != nil {
@@ -321,25 +328,21 @@ func (q *Querier) prepareParallel(t prf.Epoch, ids []int, workers int) (*EpochSt
 	}
 	sumChunk := func(chunk []int) partial {
 		var p partial
-		for _, id := range chunk {
-			kit, err := q.ring.EpochSourceKey(id, t)
-			if err != nil {
-				p.err = err
-				return p
-			}
-			p.kSum = field.Add(p.kSum, field.Reduce(uint256.MustSetBytes(kit[:])))
-			ss, err := q.ring.EpochShare(id, t)
-			if err != nil {
-				p.err = err
-				return p
-			}
+		var kacc uint256.Accumulator
+		err := rd.DeriveRange(t, chunk, func(_ int, kit [prf.Size256]byte, ss [prf.Size1]byte) error {
+			kacc.Add(uint256.MustSetBytes(kit[:]))
 			sum, carry := p.ssSum.Add(secretshare.Share(ss).Int())
 			if carry != 0 {
-				p.err = errors.New("sies: share sum overflowed 256 bits")
-				return p
+				return errors.New("sies: share sum overflowed 256 bits")
 			}
 			p.ssSum = sum
+			return nil
+		})
+		if err != nil {
+			p.err = err
+			return p
 		}
+		p.kSum = kacc.Sum(field)
 		return p
 	}
 

@@ -100,6 +100,46 @@ func (s *Scheme) AggregateAll(cs ...uint256.Int) uint256.Int {
 	return acc
 }
 
+// SumCiphertexts folds any number of ciphertexts through the lazy-reduction
+// kernel: plain 512-bit carry-chain adds with a single modular reduction at
+// the end, allocation-free. It equals AggregateAll (Σ of n < 2^256 reduced
+// terms fits a Word512 exactly) at a fraction of the per-element cost — the
+// preferred merge path for aggregators.
+func (s *Scheme) SumCiphertexts(cs []uint256.Int) uint256.Int {
+	return s.field.SumLazy(cs)
+}
+
+// EncryptState is the precomputed hot-path form of Encrypt: the epoch keys
+// (K, k) are reduced and validated exactly once, so each Encrypt call is one
+// in-place field multiplication and addition with no per-call reductions or
+// allocations. One EncryptState serves one (K, k) pair — in SIES, one source
+// epoch.
+type EncryptState struct {
+	s *Scheme
+	K uint256.Int // reduced, nonzero
+	k uint256.Int // reduced
+}
+
+// NewEncryptState reduces and validates the key pair once.
+func (s *Scheme) NewEncryptState(K, k uint256.Int) (EncryptState, error) {
+	Kr := s.field.Reduce(K)
+	if Kr.IsZero() {
+		return EncryptState{}, ErrZeroMultiplier
+	}
+	return EncryptState{s: s, K: Kr, k: s.field.Reduce(k)}, nil
+}
+
+// Encrypt computes E(m, K, k, p) = K·m + k mod p under the precomputed keys.
+func (es *EncryptState) Encrypt(m uint256.Int) (uint256.Int, error) {
+	if m.Cmp(es.s.field.Modulus()) >= 0 {
+		return uint256.Int{}, ErrPlaintextRange
+	}
+	var c uint256.Int
+	es.s.field.MulInto(&c, &es.K, &m)
+	es.s.field.AddInto(&c, &c, &es.k)
+	return c, nil
+}
+
 // SumKeys adds blinding keys modulo p for use as the kSum argument of
 // Decrypt.
 func (s *Scheme) SumKeys(ks ...uint256.Int) uint256.Int {

@@ -220,3 +220,86 @@ func BenchmarkDecrypt(b *testing.B) {
 		}
 	}
 }
+
+func TestEncryptStateMatchesEncrypt(t *testing.T) {
+	s := testScheme(t)
+	r := rand.New(rand.NewSource(9))
+	cfg := &quick.Config{MaxCount: 300, Values: randomElems(s, r)}
+	f := func(m, K, k uint256.Int) bool {
+		if K.IsZero() {
+			K = uint256.One
+		}
+		es, err := s.NewEncryptState(K, k)
+		if err != nil {
+			return false
+		}
+		want, err1 := s.Encrypt(m, K, k)
+		got, err2 := es.Encrypt(m)
+		return err1 == nil && err2 == nil && got == want
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncryptStateRejects(t *testing.T) {
+	s := testScheme(t)
+	if _, err := s.NewEncryptState(uint256.Zero, uint256.One); err != ErrZeroMultiplier {
+		t.Fatalf("zero multiplier accepted: %v", err)
+	}
+	// A multiplier that reduces to zero (K = p) must also be rejected.
+	if _, err := s.NewEncryptState(s.Field().Modulus(), uint256.One); err != ErrZeroMultiplier {
+		t.Fatalf("multiplier ≡ 0 (mod p) accepted: %v", err)
+	}
+	es, err := s.NewEncryptState(uint256.One, uint256.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Encrypt(s.Field().Modulus()); err != ErrPlaintextRange {
+		t.Fatalf("out-of-range plaintext accepted: %v", err)
+	}
+}
+
+// TestEncryptStateReducesOnce feeds unreduced keys and checks the state
+// matches Encrypt's per-call reduction semantics.
+func TestEncryptStateReducesOnce(t *testing.T) {
+	s := testScheme(t)
+	p := s.Field().Modulus()
+	// K = p+2 ≡ 2, k = p+5 ≡ 5: both above the modulus.
+	K, _ := p.Add(uint256.NewInt(2))
+	k, _ := p.Add(uint256.NewInt(5))
+	es, err := s.NewEncryptState(K, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uint256.NewInt(1234)
+	want, err := s.Encrypt(m, K, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := es.Encrypt(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("EncryptState with unreduced keys: got %v, want %v", got, want)
+	}
+}
+
+func TestSumCiphertextsMatchesAggregateAll(t *testing.T) {
+	s := testScheme(t)
+	r := rand.New(rand.NewSource(10))
+	for _, n := range []int{0, 1, 2, 33, 256} {
+		cs := make([]uint256.Int, n)
+		for i := range cs {
+			var x uint256.Int
+			for j := range x {
+				x[j] = r.Uint64()
+			}
+			cs[i] = s.Field().Reduce(x)
+		}
+		if got, want := s.SumCiphertexts(cs), s.AggregateAll(cs...); got != want {
+			t.Fatalf("n=%d: SumCiphertexts %v != AggregateAll %v", n, got, want)
+		}
+	}
+}

@@ -49,17 +49,18 @@ func (p *SIESProtocol) SourceEmit(src int, t prf.Epoch, v uint64) (Message, erro
 	return p.Sources[src].Encrypt(t, v)
 }
 
-// Merge implements Protocol.
+// Merge implements Protocol through the lazy-reduction kernel: one modular
+// reduction per merge instead of one per child.
 func (p *SIESProtocol) Merge(_ prf.Epoch, msgs []Message) (Message, error) {
-	var acc core.PSR
+	merge := p.agg.NewMerge()
 	for _, m := range msgs {
 		psr, ok := m.(core.PSR)
 		if !ok {
 			return nil, errors.New("sies: foreign message in merge")
 		}
-		acc = p.agg.MergeInto(acc, psr)
+		merge.Add(psr)
 	}
-	return acc, nil
+	return merge.Final(), nil
 }
 
 // SinkFinalize implements Protocol (identity for SIES).

@@ -1,0 +1,183 @@
+package prf
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/sies/sies/internal/race"
+)
+
+// deriverTestKeys covers the HMAC key regimes: empty, short (the deployed
+// 20-byte form), exactly one block, and longer than a block (hashed down per
+// RFC 2104).
+func deriverTestKeys() [][]byte {
+	long := bytes.Repeat([]byte{0xaa}, 131)
+	block := bytes.Repeat([]byte{0x0b}, hmacBlockSize)
+	return [][]byte{
+		{},
+		[]byte("Jefe"),
+		bytes.Repeat([]byte{0x0b}, LongTermKeySize),
+		block,
+		long,
+	}
+}
+
+func TestDeriverMatchesHMAC(t *testing.T) {
+	for ki, key := range deriverTestKeys() {
+		d := NewDeriver(key)
+		for _, epoch := range []Epoch{0, 1, 2, 1 << 20, ^Epoch(0)} {
+			if got, want := d.Epoch256(epoch), HM256Epoch(key, epoch); got != want {
+				t.Fatalf("key %d epoch %d: Epoch256 = %x, want %x", ki, epoch, got, want)
+			}
+			if got, want := d.Epoch1(epoch), HM1Epoch(key, epoch); got != want {
+				t.Fatalf("key %d epoch %d: Epoch1 = %x, want %x", ki, epoch, got, want)
+			}
+		}
+		// Interleaving the two PRFs must not cross-contaminate state.
+		a := d.Epoch256(7)
+		b := d.Epoch1(7)
+		if a != HM256Epoch(key, 7) || b != HM1Epoch(key, 7) {
+			t.Fatalf("key %d: interleaved derivations diverged", ki)
+		}
+	}
+}
+
+func TestRingDeriversMatchKeyRing(t *testing.T) {
+	kr, err := NewKeyRing(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewRingDerivers(kr)
+	if rd.N() != kr.N() {
+		t.Fatalf("RingDerivers covers %d sources, ring has %d", rd.N(), kr.N())
+	}
+	for _, epoch := range []Epoch{1, 42, 1 << 33} {
+		if got, want := rd.GlobalKey(epoch), kr.EpochGlobalKey(epoch); got != want {
+			t.Fatalf("epoch %d: global key mismatch", epoch)
+		}
+		for i := 0; i < kr.N(); i++ {
+			want, _ := kr.EpochSourceKey(i, epoch)
+			got, err := rd.SourceKey(i, epoch)
+			if err != nil || got != want {
+				t.Fatalf("epoch %d source %d: key mismatch (err=%v)", epoch, i, err)
+			}
+			wantSS, _ := kr.EpochShare(i, epoch)
+			gotSS, err := rd.Share(i, epoch)
+			if err != nil || gotSS != wantSS {
+				t.Fatalf("epoch %d source %d: share mismatch (err=%v)", epoch, i, err)
+			}
+		}
+	}
+	if _, err := rd.SourceKey(9, 1); err == nil {
+		t.Fatal("out-of-range source id accepted")
+	}
+	if _, err := rd.Share(-1, 1); err == nil {
+		t.Fatal("negative source id accepted")
+	}
+}
+
+func TestDeriveRange(t *testing.T) {
+	kr, err := NewKeyRing(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewRingDerivers(kr)
+	ids := []int{3, 0, 7, 11}
+	var seen []int
+	err = rd.DeriveRange(5, ids, func(id int, kit [Size256]byte, ss [Size1]byte) error {
+		seen = append(seen, id)
+		wantK, _ := kr.EpochSourceKey(id, 5)
+		wantS, _ := kr.EpochShare(id, 5)
+		if kit != wantK || ss != wantS {
+			t.Fatalf("source %d: batch derivation mismatch", id)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(ids) {
+		t.Fatalf("visited %v, want %v", seen, ids)
+	}
+	for i, id := range ids {
+		if seen[i] != id {
+			t.Fatalf("visit order %v, want %v", seen, ids)
+		}
+	}
+	if err := rd.DeriveRange(5, []int{12}, func(int, [Size256]byte, [Size1]byte) error { return nil }); err == nil {
+		t.Fatal("out-of-range id accepted by DeriveRange")
+	}
+}
+
+// TestDeriverConcurrent hammers one Deriver from many goroutines; run with
+// -race this doubles as the data-race check for the shared pad states.
+func TestDeriverConcurrent(t *testing.T) {
+	key := bytes.Repeat([]byte{0x42}, LongTermKeySize)
+	d := NewDeriver(key)
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				epoch := Epoch(g*1000 + i)
+				if d.Epoch256(epoch) != HM256Epoch(key, epoch) {
+					errs <- "Epoch256 diverged under concurrency"
+					return
+				}
+				if d.Epoch1(epoch) != HM1Epoch(key, epoch) {
+					errs <- "Epoch1 diverged under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}
+
+// TestDeriverAllocs is the allocation-regression gate for epoch derivation:
+// after construction, serving K_t / k_{i,t} / ss_{i,t} must not touch the
+// heap.
+func TestDeriverAllocs(t *testing.T) {
+	if race.Enabled {
+		t.Skip("allocation accounting is unreliable under the race detector")
+	}
+	key := bytes.Repeat([]byte{0x17}, LongTermKeySize)
+	d := NewDeriver(key)
+	var epoch Epoch
+	var sink byte
+	if n := testing.AllocsPerRun(200, func() {
+		epoch++
+		k := d.Epoch256(epoch)
+		s := d.Epoch1(epoch)
+		sink ^= k[0] ^ s[0]
+	}); n != 0 {
+		t.Fatalf("Deriver epoch derivation allocated %.1f times per run, want 0", n)
+	}
+
+	kr, err := NewKeyRing(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := NewRingDerivers(kr)
+	ids := []int{0, 3, 5, 9, 15}
+	visit := func(id int, kit [Size256]byte, ss [Size1]byte) error {
+		sink ^= kit[0] ^ ss[0]
+		return nil
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		epoch++
+		if err := rd.DeriveRange(epoch, ids, visit); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("DeriveRange allocated %.1f times per run, want 0", n)
+	}
+	_ = sink
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the race detector is compiled in, mirroring
+// the standard library's internal/race. Allocation-regression gates consult
+// it because race instrumentation inhibits inlining and stack allocation,
+// making testing.AllocsPerRun report spurious allocations.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

@@ -503,7 +503,9 @@ func (a *AggregatorNode) Run() error {
 	}
 
 	flush := func(t prf.Epoch, st *epochState) error {
-		var psrs []core.PSR
+		// Stream the children's PSRs straight into the lazy merge kernel:
+		// no intermediate slice, one modular reduction for the whole epoch.
+		merge := a.agg.NewMerge()
 		var failed []int
 		for idx, c := range a.children {
 			rep, ok := st.reports[idx]
@@ -513,7 +515,7 @@ func (a *AggregatorNode) Run() error {
 			}
 			failed = append(failed, rep.failed...)
 			if rep.psr != nil {
-				psrs = append(psrs, *rep.psr)
+				merge.Add(*rep.psr)
 			}
 		}
 		delete(pending, t)
@@ -523,16 +525,15 @@ func (a *AggregatorNode) Run() error {
 		flushed[t] = true
 		a.setLastFlushed(uint64(t))
 		failed = core.NormalizeIDs(failed)
-		if len(psrs) == 0 {
+		if merge.Count() == 0 {
 			return a.upstream.Write(Frame{
 				Type: TypeFailure, Epoch: uint64(t),
 				Payload: core.EncodeContributors(failed),
 			})
 		}
-		merged := a.agg.Merge(psrs...)
 		return a.upstream.Write(Frame{
 			Type: TypePSR, Epoch: uint64(t),
-			Payload: encodeReport(merged, failed),
+			Payload: encodeReport(merge.Final(), failed),
 		})
 	}
 
