@@ -10,9 +10,16 @@
 //	siessim -scheme sies -n 64 -epochs 10 -fail 3,17 -attack replay
 //	siessim -scheme secoa -n 64 -epochs 3
 //	siessim -scheme sies -n 128 -epochs 50 -churn 0.05 -churnSeed 7
+//
+// Any attack accepts a `@epoch` suffix to start mid-run (dormant before it):
+//
+//	siessim -scheme sies -n 64 -epochs 20 -attack persistent@5 -localize
+//	siessim -scheme sies -n 64 -epochs 40 -attack adaptive -localize -quarantine 8
+//	siessim -scheme sies -n 64 -epochs 20 -attack-persistent 3 -localize
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -23,12 +30,14 @@ import (
 	"github.com/sies/sies/internal/chaos"
 
 	"github.com/sies/sies/internal/attack"
+	"github.com/sies/sies/internal/core"
 	"github.com/sies/sies/internal/energy"
 	"github.com/sies/sies/internal/network"
 	"github.com/sies/sies/internal/prf"
 	"github.com/sies/sies/internal/rsax"
 	"github.com/sies/sies/internal/secoa"
 	"github.com/sies/sies/internal/sketch"
+	"github.com/sies/sies/internal/uint256"
 	"github.com/sies/sies/internal/workload"
 )
 
@@ -40,13 +49,25 @@ var (
 	flagScale  = flag.Int("scale", 100, "domain scale (1, 10, 100, 1000, 10000)")
 	flagSeed   = flag.Int64("seed", 1, "workload seed")
 	flagFail   = flag.String("fail", "", "comma-separated source ids to fail from epoch 1")
-	flagAttack = flag.String("attack", "", "adversary: inject, drop, or replay")
+	flagAttack = flag.String("attack", "", "adversary: "+validAttacks+"; append @epoch to start mid-run")
 	flagEnergy = flag.Bool("energy", false, "print a battery-lifetime estimate for the topology")
+
+	flagAttackPersistent = flag.Int("attack-persistent", -1,
+		"aggregator id for a persistent tamperer (implies -attack persistent)")
+	flagLocalize = flag.Bool("localize", false,
+		"recover integrity failures: group-testing localization, quarantine and verified re-query (sies only)")
+	flagQuarantine = flag.Int("quarantine", 0,
+		"clean epochs a confirmed culprit stays excluded before probation (0 = default)")
 
 	flagChurn        = flag.Float64("churn", 0, "per-epoch probability that a live node fails (0 disables churn)")
 	flagChurnRecover = flag.Float64("churnRecover", 0.3, "per-epoch probability that a failed node recovers")
 	flagChurnSeed    = flag.Int64("churnSeed", 1, "churn schedule seed (deterministic given -n/-fanout)")
 )
+
+// validAttacks lists every adversary mode -attack accepts.
+const validAttacks = "inject, drop, replay, persistent, adaptive, collude"
+
+const attackDelta = 4242 // tamper amount shared by all injecting adversaries
 
 func main() {
 	flag.Parse()
@@ -75,28 +96,133 @@ func buildProtocol() (network.Protocol, error) {
 	}
 }
 
-func buildInterceptor(proto network.Protocol) (network.Interceptor, *attack.Replayer, error) {
-	switch *flagAttack {
-	case "":
-		return nil, nil, nil
+// parseAttack splits an -attack value into its mode and optional start epoch
+// (`mode@epoch`), failing fast on anything unknown so a typo cannot silently
+// run an attack-free simulation.
+func parseAttack(spec string) (mode string, start prf.Epoch, err error) {
+	mode, start = spec, 1
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		mode = spec[:at]
+		e, perr := strconv.ParseUint(spec[at+1:], 10, 32)
+		if perr != nil || e == 0 {
+			return "", 0, fmt.Errorf("bad attack start epoch in %q (want %s@<epoch≥1>)", spec, mode)
+		}
+		start = prf.Epoch(e)
+	}
+	switch mode {
+	case "inject", "drop", "replay", "persistent", "adaptive", "collude":
+		return mode, start, nil
+	default:
+		return "", 0, fmt.Errorf("unknown attack %q (valid: %s)", mode, validAttacks)
+	}
+}
+
+// gateFrom keeps an interceptor dormant before the start epoch.
+func gateFrom(start prf.Epoch, ic network.Interceptor) network.Interceptor {
+	if start <= 1 || ic == nil {
+		return ic
+	}
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if t < start {
+			return m
+		}
+		return ic(t, e, m)
+	}
+}
+
+// adversary is a configured attack: the interceptor plus whatever handles the
+// simulation needs for reporting.
+type adversary struct {
+	name     string
+	ic       network.Interceptor
+	adaptive *attack.Adaptive
+}
+
+func buildAdversary(proto network.Protocol, topo *network.Topology) (adversary, error) {
+	spec := *flagAttack
+	if *flagAttackPersistent >= 0 {
+		if spec != "" && !strings.HasPrefix(spec, "persistent") {
+			return adversary{}, fmt.Errorf("-attack-persistent conflicts with -attack %s", spec)
+		}
+		if spec == "" {
+			spec = "persistent"
+		}
+	}
+	if spec == "" {
+		return adversary{}, nil
+	}
+	mode, start, err := parseAttack(spec)
+	if err != nil {
+		return adversary{}, err
+	}
+
+	siesField := func() (*uint256.Field, error) {
+		p, ok := proto.(*network.SIESProtocol)
+		if !ok {
+			return nil, fmt.Errorf("%s attack requires -scheme sies", mode)
+		}
+		return p.Querier.Params().Field(), nil
+	}
+	adv := adversary{name: spec}
+	switch mode {
 	case "inject":
 		switch p := proto.(type) {
 		case *network.SIESProtocol:
 			f := p.Querier.Params().Field()
-			return attack.SIESInject(f, network.EdgeAQ, 4242), nil, nil
+			adv.ic = gateFrom(start, attack.SIESInject(f, network.EdgeAQ, attackDelta))
 		case *network.CMTProtocol:
-			return attack.CMTInject(network.EdgeAQ, 4242), nil, nil
+			adv.ic = gateFrom(start, attack.CMTInject(network.EdgeAQ, attackDelta))
 		default:
-			return nil, nil, fmt.Errorf("inject attack not implemented for %s", proto.Name())
+			return adversary{}, fmt.Errorf("inject attack not implemented for %s", proto.Name())
 		}
 	case "drop":
-		return attack.DropEdge(network.EdgeSA, 0), nil, nil
+		adv.ic = gateFrom(start, attack.DropEdge(network.EdgeSA, 0))
 	case "replay":
-		r := attack.NewReplayer(1)
-		return r.Interceptor(), r, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown attack %q", *flagAttack)
+		r := attack.NewReplayer(start)
+		adv.ic = r.Interceptor()
+	case "persistent":
+		f, err := siesField()
+		if err != nil {
+			return adversary{}, err
+		}
+		agg := *flagAttackPersistent
+		if agg < 0 {
+			agg = 1 // first non-root aggregator
+		}
+		if agg < 1 || agg >= topo.NumAggregators() {
+			return adversary{}, fmt.Errorf("-attack-persistent %d: want a non-root aggregator in [1,%d)",
+				agg, topo.NumAggregators())
+		}
+		adv.ic = attack.NewPersistent(f, agg, attackDelta, start).Interceptor()
+		adv.name = fmt.Sprintf("%s (aggregator %d)", spec, agg)
+	case "adaptive":
+		f, err := siesField()
+		if err != nil {
+			return adversary{}, err
+		}
+		var targets []int
+		for agg := 1; agg < topo.NumAggregators() && len(targets) < 3; agg++ {
+			targets = append(targets, agg)
+		}
+		if len(targets) == 0 {
+			return adversary{}, fmt.Errorf("adaptive attack needs a non-root aggregator (have %d)", topo.NumAggregators())
+		}
+		adv.adaptive = attack.NewAdaptive(f, targets, attackDelta, start, 2)
+		adv.ic = adv.adaptive.Interceptor()
+		adv.name = fmt.Sprintf("%s (targets %v)", spec, targets)
+	case "collude":
+		f, err := siesField()
+		if err != nil {
+			return adversary{}, err
+		}
+		if topo.NumAggregators() < 3 {
+			return adversary{}, fmt.Errorf("collude attack needs two non-root aggregators (have %d)", topo.NumAggregators())
+		}
+		_, _, ic := attack.Colluders(f, 1, 2, attackDelta, attackDelta+1, start)
+		adv.ic = ic
+		adv.name = fmt.Sprintf("%s (aggregators 1 and 2)", spec)
 	}
+	return adv, nil
 }
 
 func run() error {
@@ -124,11 +250,21 @@ func run() error {
 			}
 		}
 	}
-	ic, _, err := buildInterceptor(proto)
+	adv, err := buildAdversary(proto, topo)
 	if err != nil {
 		return err
 	}
-	eng.SetInterceptor(ic)
+	eng.SetInterceptor(adv.ic)
+
+	var rec *network.Recovery
+	if *flagLocalize {
+		if _, ok := proto.(*network.SIESProtocol); !ok {
+			return fmt.Errorf("-localize requires -scheme sies (subset re-queries are a SIES capability)")
+		}
+		rec = network.NewRecovery(eng, network.RecoveryConfig{
+			Quarantine: core.QuarantineConfig{QuarantineEpochs: *flagQuarantine},
+		})
+	}
 
 	gen, err := workload.NewGenerator(*flagN, *flagSeed)
 	if err != nil {
@@ -143,8 +279,11 @@ func run() error {
 
 	fmt.Printf("scheme=%s  N=%d  fanout=%d  depth=%d  aggregators=%d  domain=%s\n",
 		proto.Name(), *flagN, *flagFanout, topo.Depth(), topo.NumAggregators(), scale)
-	if *flagAttack != "" {
-		fmt.Printf("adversary: %s\n", *flagAttack)
+	if adv.name != "" {
+		fmt.Printf("adversary: %s\n", adv.name)
+	}
+	if rec != nil {
+		fmt.Printf("forensics: localization on, probe budget %d/epoch\n", network.ProbeBudget(topo))
 	}
 	if churn != nil {
 		fmt.Printf("churn: fail=%.2f recover=%.2f seed=%d (%d scheduled events)\n",
@@ -160,6 +299,30 @@ func run() error {
 			}
 		}
 		readings := gen.Readings(scale)
+
+		if rec != nil {
+			out := rec.RunEpoch(epoch, readings)
+			switch {
+			case !out.Served:
+				rejected++
+				fmt.Printf("epoch %3d: LOST (%v)\n", epoch, out.Err)
+			case out.Recovered:
+				accepted++
+				partial++
+				fmt.Printf("epoch %3d: RECOVERED result %12.1f  (coverage %3.0f%%, %d probes, excluded %v)\n",
+					epoch, out.Sum, out.Coverage*100, out.Probes, out.Excluded)
+			default:
+				accepted++
+				if out.Coverage == 1 {
+					full++
+				} else {
+					partial++
+				}
+				fmt.Printf("epoch %3d: result %12.1f  (coverage %3.0f%%)\n", epoch, out.Sum, out.Coverage*100)
+			}
+			continue
+		}
+
 		contributors := eng.Contributors()
 		var truth uint64
 		for i, v := range readings {
@@ -189,6 +352,21 @@ func run() error {
 	st := eng.Stats()
 	fmt.Printf("\nhealth: %d full, %d partial, %d rejected (of %d epochs)\n",
 		full, partial, rejected, accepted+rejected)
+	if rec != nil {
+		stats := rec.Stats()
+		blob, err := json.MarshalIndent(stats, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovery: %s\n", blob)
+		pop := rec.Quarantine().Population()
+		fmt.Printf("quarantine now: %d suspect, %d confirmed, %d probation\n",
+			pop.Suspects, pop.Confirmed, pop.Probation)
+	}
+	if adv.adaptive != nil {
+		fmt.Printf("adaptive adversary: %d relocations, final position aggregator %d\n",
+			adv.adaptive.Moves(), adv.adaptive.Aggregator())
+	}
 	fmt.Println("traffic per edge class:")
 	for _, kind := range []network.EdgeKind{network.EdgeSA, network.EdgeAA, network.EdgeAQ} {
 		s := st.PerKind[kind]

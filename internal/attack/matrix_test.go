@@ -1,0 +1,225 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/rsax"
+	"github.com/sies/sies/internal/secoa"
+	"github.com/sies/sies/internal/sketch"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// The detection matrix of §IV-B: every interceptor crossed with every scheme.
+// Each cell pins one verdict:
+//
+//	detected — the querier rejects the epoch (typed error)
+//	wrong    — the querier accepts a result ≠ the true SUM (silent corruption)
+//	exact    — the querier accepts and the result IS the true SUM
+//	skip     — the attack has no analogue for the scheme's message type
+//
+// SIES's column is all "detected" except the canceling duplicate+drop
+// composition, which re-routes a share without changing ΣSS or Σv — the
+// boundary case showing detection is exactly share-sum preservation. CMT's
+// column shows why the paper rejects it: injection lands as "wrong" with no
+// rejection, and the rows it does reject (drop, duplicate) it rejects only by
+// the accident of an unmatched key making garbage. SECOA_S detects structural
+// attacks through SEAL verification but only ever serves an estimate.
+
+type verdict int
+
+const (
+	skip verdict = iota
+	detected
+	wrong
+	exact
+)
+
+type matrixCell struct {
+	make func(f *uint256.Field) network.Interceptor
+	want verdict
+}
+
+var (
+	matrixRSAOnce sync.Once
+	matrixRSAKey  *rsax.PublicKey
+	matrixRSAErr  error
+)
+
+func secoaSetup(t *testing.T, n, fanout int) *network.Engine {
+	t.Helper()
+	matrixRSAOnce.Do(func() { matrixRSAKey, matrixRSAErr = rsax.GenerateKey(512, rsax.DefaultExponent) })
+	if matrixRSAErr != nil {
+		t.Fatal(matrixRSAErr)
+	}
+	params := secoa.Params{Sketch: sketch.Params{J: 8, MaxLevel: 24}, Key: matrixRSAKey}
+	proto, err := network.NewSECOAProtocol(n, params, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := network.NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestDetectionMatrix(t *testing.T) {
+	const n, fanout = 16, 4
+	vals := make([]uint64, n) // distinct values so silent corruption is visible
+	var truth float64
+	for i := range vals {
+		vals[i] = uint64(i + 1)
+		truth += float64(vals[i])
+	}
+
+	rows := []struct {
+		name  string
+		cells map[string]matrixCell
+	}{
+		{
+			name: "inject-delta",
+			cells: map[string]matrixCell{
+				"SIES": {func(f *uint256.Field) network.Interceptor { return SIESInject(f, network.EdgeAA, 500) }, detected},
+				"CMT":  {func(*uint256.Field) network.Interceptor { return CMTInject(network.EdgeAA, 500) }, wrong},
+			},
+		},
+		{
+			name: "drop-source",
+			cells: map[string]matrixCell{
+				"SIES":   {func(*uint256.Field) network.Interceptor { return DropEdge(network.EdgeSA, 5) }, detected},
+				"CMT":    {func(*uint256.Field) network.Interceptor { return DropEdge(network.EdgeSA, 5) }, detected},
+				"SECOAS": {func(*uint256.Field) network.Interceptor { return DropEdge(network.EdgeSA, 5) }, detected},
+			},
+		},
+		{
+			name: "drop-subtree",
+			cells: map[string]matrixCell{
+				"SIES":   {func(*uint256.Field) network.Interceptor { return DropEdge(network.EdgeAA, -1) }, detected},
+				"CMT":    {func(*uint256.Field) network.Interceptor { return DropEdge(network.EdgeAA, -1) }, detected},
+				"SECOAS": {func(*uint256.Field) network.Interceptor { return DropEdge(network.EdgeAA, -1) }, detected},
+			},
+		},
+		{
+			// Duplicating a CMT ciphertext doubles its key stream too, so the
+			// unmatched key turns the decryption into overflow garbage — CMT
+			// "detects" this only by that accident (same class as its drop
+			// behaviour), with no verification or attribution behind it.
+			name: "duplicate",
+			cells: map[string]matrixCell{
+				"SIES": {func(f *uint256.Field) network.Interceptor { return Duplicate(f, 2) }, detected},
+				"CMT":  {func(*uint256.Field) network.Interceptor { return CMTDuplicate(2) }, detected},
+			},
+		},
+		{
+			// The boundary case: drop a share AND re-add the *same* share
+			// downstream. ΣSS and Σv are both unchanged, so SIES accepts —
+			// and the result is still exact. Detection is precisely
+			// share-sum preservation, nothing more.
+			name: "duplicate+drop-canceling",
+			cells: map[string]matrixCell{
+				"SIES": {func(f *uint256.Field) network.Interceptor { return NewReroute(f, 5).Interceptor() }, exact},
+			},
+		},
+		{
+			// Same composition, halves NOT canceling (duplicate source 2,
+			// drop source 5): the share sum shifts by ss₂−ss₅ ≠ 0 and SIES
+			// rejects. CMT also rejects here — but only by the garbage-value
+			// accident of the unmatched drop key, not by verification.
+			name: "duplicate+drop-imbalanced",
+			cells: map[string]matrixCell{
+				"SIES": {func(f *uint256.Field) network.Interceptor {
+					return Compose(Duplicate(f, 2), DropEdge(network.EdgeSA, 5))
+				}, detected},
+				"CMT": {func(*uint256.Field) network.Interceptor {
+					return Compose(CMTDuplicate(2), DropEdge(network.EdgeSA, 5))
+				}, detected},
+			},
+		},
+	}
+
+	for _, row := range rows {
+		for scheme, cell := range row.cells {
+			if cell.want == skip {
+				continue
+			}
+			t.Run(row.name+"/"+scheme, func(t *testing.T) {
+				var eng *network.Engine
+				var field *uint256.Field
+				switch scheme {
+				case "SIES":
+					e, proto := siesSetup(t, n, fanout)
+					eng, field = e, proto.Querier.Params().Field()
+				case "CMT":
+					eng = cmtSetup(t, n, fanout)
+				case "SECOAS":
+					eng = secoaSetup(t, n, fanout)
+				}
+				out, err := Run(eng, 1, vals, cell.make(field))
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch cell.want {
+				case detected:
+					if !out.Detected {
+						t.Fatalf("accepted with result %f, want detection", out.Result)
+					}
+				case wrong:
+					if out.Detected {
+						t.Fatalf("detected (%v), want silent wrong answer", out.Err)
+					}
+					if out.Result == truth {
+						t.Fatalf("result %f is exact; the attack was a no-op", out.Result)
+					}
+				case exact:
+					if out.Detected {
+						t.Fatalf("detected (%v), want exact acceptance", out.Err)
+					}
+					if out.Result != truth {
+						t.Fatalf("result %f, want exact %f", out.Result, truth)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestMatrixReplay pins the replay row, which needs a two-epoch flow: record
+// the final message of epoch 1, serve it for epoch 2. All three schemes
+// reject — SIES by epoch-bound shares (Theorem 4), CMT by the garbage its
+// epoch-2 keys make of an epoch-1 ciphertext, SECOA_S by its inflation
+// certificate.
+func TestMatrixReplay(t *testing.T) {
+	const n, fanout = 16, 4
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i + 1)
+	}
+	engines := map[string]*network.Engine{}
+	{
+		e, _ := siesSetup(t, n, fanout)
+		engines["SIES"] = e
+	}
+	engines["CMT"] = cmtSetup(t, n, fanout)
+	engines["SECOAS"] = secoaSetup(t, n, fanout)
+
+	for scheme, eng := range engines {
+		t.Run(scheme, func(t *testing.T) {
+			r := NewReplayer(1)
+			eng.SetInterceptor(r.Interceptor())
+			defer eng.SetInterceptor(nil)
+			if _, err := eng.RunEpoch(1, vals); err != nil {
+				t.Fatalf("victim epoch rejected: %v", err)
+			}
+			if _, err := eng.RunEpoch(prf.Epoch(2), vals); err == nil {
+				t.Fatal("stale final message accepted for a fresh epoch")
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+// Sustained adversaries: the attackers the localization subsystem exists to
+// survive. Unlike the one-shot interceptors in attack.go (one tampered epoch,
+// classified by Run), these keep a position in the tree and attack every
+// epoch until routed around — and, in the adaptive case, move when routed
+// around.
+package attack
+
+import (
+	"sync"
+
+	"github.com/sies/sies/internal/chaos"
+	"github.com/sies/sies/internal/cmt"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// Compose chains interceptors left to right; a drop (nil) short-circuits.
+func Compose(ics ...network.Interceptor) network.Interceptor {
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		for _, ic := range ics {
+			if ic == nil {
+				continue
+			}
+			m = ic(t, e, m)
+			if m == nil {
+				return nil
+			}
+		}
+		return m
+	}
+}
+
+// Persistent is a compromised aggregator that tampers every SIES message
+// leaving it (its A-A or A-Q out-edge), every epoch, from Start onward. It is
+// the canonical denial-of-service-by-detection adversary: each epoch is
+// detected and — without localization — lost.
+type Persistent struct {
+	f     *uint256.Field
+	delta uint256.Int
+
+	mu      sync.Mutex
+	agg     int
+	start   prf.Epoch
+	stopped bool
+	tampers uint64
+}
+
+// NewPersistent pins a tampering adversary at the given aggregator, active
+// from epoch start onward, adding delta to every outgoing ciphertext.
+func NewPersistent(f *uint256.Field, agg int, delta uint64, start prf.Epoch) *Persistent {
+	return &Persistent{f: f, delta: uint256.NewInt(delta), agg: agg, start: start}
+}
+
+// MoveTo relocates the adversary to another aggregator.
+func (p *Persistent) MoveTo(agg int) {
+	p.mu.Lock()
+	p.agg = agg
+	p.mu.Unlock()
+}
+
+// Aggregator returns the adversary's current position.
+func (p *Persistent) Aggregator() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.agg
+}
+
+// Stop clears the fault — the node behaves honestly from now on, modelling a
+// transient compromise the quarantine should eventually forgive.
+func (p *Persistent) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.mu.Unlock()
+}
+
+// Tampers counts the messages modified so far.
+func (p *Persistent) Tampers() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tampers
+}
+
+// Interceptor returns the adversary's hook.
+func (p *Persistent) Interceptor() network.Interceptor {
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != network.EdgeAA && e.Kind != network.EdgeAQ {
+			return m
+		}
+		p.mu.Lock()
+		active := !p.stopped && t >= p.start && e.From == p.agg
+		if active {
+			p.tampers++
+		}
+		p.mu.Unlock()
+		if !active {
+			return m
+		}
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return m
+		}
+		return core.PSR{C: p.f.Add(psr.C, p.delta)}
+	}
+}
+
+// Adaptive is a Persistent adversary that notices being routed around: when
+// its out-edge carries no traffic for Patience consecutive epochs (its
+// subtree was quarantined), it relocates to the next aggregator in Targets
+// and resumes tampering — the strongest mobility the threat model grants a
+// network-level attacker.
+type Adaptive struct {
+	*Persistent
+	targets  []int
+	patience int
+
+	mu        sync.Mutex
+	lastEpoch prf.Epoch
+	sawEdge   bool
+	silent    int
+	next      int
+	moves     int
+}
+
+// NewAdaptive builds an adaptive adversary starting at targets[0] and cycling
+// through targets each time it is silenced for patience epochs.
+func NewAdaptive(f *uint256.Field, targets []int, delta uint64, start prf.Epoch, patience int) *Adaptive {
+	if patience < 1 {
+		patience = 1
+	}
+	return &Adaptive{
+		Persistent: NewPersistent(f, targets[0], delta, start),
+		targets:    targets,
+		patience:   patience,
+	}
+}
+
+// Moves counts the relocations performed.
+func (a *Adaptive) Moves() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.moves
+}
+
+// Interceptor returns the adaptive hook: the Persistent tamper plus the
+// epoch-boundary bookkeeping that triggers relocation.
+func (a *Adaptive) Interceptor() network.Interceptor {
+	tamper := a.Persistent.Interceptor()
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		a.observe(t, e)
+		return tamper(t, e, m)
+	}
+}
+
+// observe tracks whether the adversary's own out-edge carried anything this
+// epoch and relocates after patience silent epochs. Probe traffic counts as
+// traffic: an adversary being probed has not been routed around yet.
+func (a *Adaptive) observe(t prf.Epoch, e network.Edge) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t != a.lastEpoch {
+		if a.lastEpoch != 0 && !a.sawEdge {
+			a.silent++
+			if a.silent >= a.patience {
+				a.next = (a.next + 1) % len(a.targets)
+				a.Persistent.MoveTo(a.targets[a.next])
+				a.moves++
+				a.silent = 0
+			}
+		} else if a.sawEdge {
+			a.silent = 0
+		}
+		a.lastEpoch, a.sawEdge = t, false
+	}
+	if (e.Kind == network.EdgeAA || e.Kind == network.EdgeAQ) && e.From == a.Persistent.Aggregator() {
+		a.sawEdge = true
+	}
+}
+
+// Colluders returns two persistent tamperers pinned at two aggregators (two
+// subtrees attacking at once, with independent deltas) plus their combined
+// interceptor. Localization must blame both in one procedure.
+func Colluders(f *uint256.Field, aggA, aggB int, deltaA, deltaB uint64, start prf.Epoch) (*Persistent, *Persistent, network.Interceptor) {
+	a := NewPersistent(f, aggA, deltaA, start)
+	b := NewPersistent(f, aggB, deltaB, start)
+	return a, b, Compose(a.Interceptor(), b.Interceptor())
+}
+
+// Reroute drops one source's PSR at its S-A edge and re-adds it into the
+// final A-Q message — the duplicate+drop composition whose halves cancel
+// exactly. The share sum is unchanged, so SIES accepts, and the SUM is
+// unchanged too: the "attack" is an exactness-preserving re-route, the
+// boundary case of the detection table. Any imbalance (dropping one source
+// while duplicating another — see Duplicate and DropEdge) is detected.
+type Reroute struct {
+	f   *uint256.Field
+	src int
+
+	mu    sync.Mutex
+	epoch prf.Epoch
+	held  *core.PSR
+}
+
+// NewReroute targets the given source id.
+func NewReroute(f *uint256.Field, src int) *Reroute { return &Reroute{f: f, src: src} }
+
+// Interceptor returns the reroute hook.
+func (r *Reroute) Interceptor() network.Interceptor {
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		switch {
+		case e.Kind == network.EdgeSA && e.From == r.src:
+			psr, ok := m.(core.PSR)
+			if !ok {
+				return m
+			}
+			r.mu.Lock()
+			r.epoch, r.held = t, &psr
+			r.mu.Unlock()
+			return nil // dropped here …
+		case e.Kind == network.EdgeAQ:
+			r.mu.Lock()
+			held := r.held
+			match := held != nil && r.epoch == t
+			if match {
+				r.held = nil
+			}
+			r.mu.Unlock()
+			if !match {
+				return m
+			}
+			psr, ok := m.(core.PSR)
+			if !ok {
+				return m
+			}
+			return core.PSR{C: r.f.Add(psr.C, held.C)} // … re-added here
+		}
+		return m
+	}
+}
+
+// CMTDuplicate aggregates a chosen source's CMT ciphertext into itself — the
+// CMT analogue of Duplicate. The ciphertext's key stream doubles with it, so
+// the querier's decryption is left with an unmatched key and lands on
+// overflow garbage: CMT rejects only by that accident, with no verification
+// or attribution behind it (the same failure class as its drop behaviour).
+func CMTDuplicate(source int) network.Interceptor {
+	return func(_ prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != network.EdgeSA || e.From != source {
+			return m
+		}
+		c, ok := m.(cmt.Ciphertext)
+		if !ok {
+			return m
+		}
+		return cmt.Aggregate(c, c)
+	}
+}
+
+// FromByzantine adapts a chaos byzantine schedule into an interceptor: at
+// each epoch the schedule's active faults tamper or blackhole the affected
+// aggregators' out-edges. The per-epoch fault map is cached, so the hot path
+// is one map lookup per edge.
+func FromByzantine(f *uint256.Field, b *chaos.Byzantine) network.Interceptor {
+	var mu sync.Mutex
+	var cachedEpoch prf.Epoch
+	var active map[int]chaos.ByzantineEvent
+	var cached bool
+	return func(t prf.Epoch, e network.Edge, m network.Message) network.Message {
+		if e.Kind != network.EdgeAA && e.Kind != network.EdgeAQ {
+			return m
+		}
+		mu.Lock()
+		if !cached || t != cachedEpoch {
+			active, cachedEpoch, cached = b.Active(t), t, true
+		}
+		ev, ok := active[e.From]
+		mu.Unlock()
+		if !ok {
+			return m
+		}
+		switch ev.Mode {
+		case chaos.ByzTamper:
+			psr, isPSR := m.(core.PSR)
+			if !isPSR {
+				return m
+			}
+			return core.PSR{C: f.Add(psr.C, uint256.NewInt(ev.Delta))}
+		case chaos.ByzDrop:
+			return nil
+		}
+		return m
+	}
+}

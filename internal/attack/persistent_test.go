@@ -1,0 +1,143 @@
+package attack
+
+import (
+	"testing"
+
+	"github.com/sies/sies/internal/chaos"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+)
+
+func TestPersistentTampersEveryEpochFromStart(t *testing.T) {
+	eng, proto := siesSetup(t, 16, 4)
+	f := proto.Querier.Params().Field()
+	adv := NewPersistent(f, 2, 77, 3)
+	eng.SetInterceptor(adv.Interceptor())
+	defer eng.SetInterceptor(nil)
+	vals := values(16, 10)
+
+	// Before Start the adversary is dormant.
+	for epoch := prf.Epoch(1); epoch < 3; epoch++ {
+		if _, err := eng.RunEpoch(epoch, vals); err != nil {
+			t.Fatalf("dormant epoch %d rejected: %v", epoch, err)
+		}
+	}
+	// From Start, every epoch is tampered and detected.
+	for epoch := prf.Epoch(3); epoch < 6; epoch++ {
+		if _, err := eng.RunEpoch(epoch, vals); err == nil {
+			t.Fatalf("tampered epoch %d accepted", epoch)
+		}
+	}
+	if adv.Tampers() != 3 {
+		t.Fatalf("tampers = %d, want 3", adv.Tampers())
+	}
+	adv.Stop()
+	if _, err := eng.RunEpoch(6, vals); err != nil {
+		t.Fatalf("post-stop epoch rejected: %v", err)
+	}
+}
+
+func TestPersistentMoveTo(t *testing.T) {
+	eng, proto := siesSetup(t, 16, 4)
+	f := proto.Querier.Params().Field()
+	adv := NewPersistent(f, 1, 5, 1)
+	eng.SetInterceptor(adv.Interceptor())
+	defer eng.SetInterceptor(nil)
+	vals := values(16, 10)
+
+	// Tampering from agg 1: excluding its subtree yields a clean partial sum.
+	include := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	if _, err := eng.RunEpochOver(1, vals, include); err != nil {
+		t.Fatalf("routed-around epoch rejected: %v", err)
+	}
+	adv.MoveTo(2)
+	if _, err := eng.RunEpochOver(2, vals, include); err == nil {
+		t.Fatal("adversary moved to agg 2 but the old exclusion still worked")
+	}
+}
+
+func TestAdaptiveRelocatesWhenSilenced(t *testing.T) {
+	eng, proto := siesSetup(t, 16, 4)
+	f := proto.Querier.Params().Field()
+	adv := NewAdaptive(f, []int{1, 2}, 9, 1, 2)
+	eng.SetInterceptor(adv.Interceptor())
+	defer eng.SetInterceptor(nil)
+	vals := values(16, 10)
+
+	// Route around agg 1 (sources 0-3): its out-edge goes silent. After 2
+	// silent epochs the adversary moves to agg 2, whose subtree is still
+	// included — tampering resumes against the same exclusion.
+	include := []int{4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	rejected := 0
+	for epoch := prf.Epoch(1); epoch <= 8; epoch++ {
+		_, err := eng.RunEpochOver(epoch, vals, include)
+		if epoch <= 2 && err != nil {
+			t.Fatalf("epoch %d rejected before relocation: %v", epoch, err)
+		}
+		if err != nil {
+			rejected++
+		}
+	}
+	if adv.Moves() == 0 {
+		t.Fatal("adversary never relocated")
+	}
+	if adv.Aggregator() != 2 {
+		t.Fatalf("adversary at %d, want 2", adv.Aggregator())
+	}
+	if rejected == 0 {
+		t.Fatal("relocated adversary never tampered")
+	}
+}
+
+func TestColludersBothFire(t *testing.T) {
+	eng, proto := siesSetup(t, 16, 4)
+	f := proto.Querier.Params().Field()
+	a, b, ic := Colluders(f, 1, 3, 7, 11, 1)
+	eng.SetInterceptor(ic)
+	defer eng.SetInterceptor(nil)
+	if _, err := eng.RunEpoch(1, values(16, 10)); err == nil {
+		t.Fatal("colluding tamper accepted")
+	}
+	if a.Tampers() == 0 || b.Tampers() == 0 {
+		t.Fatalf("tampers %d/%d, want both > 0", a.Tampers(), b.Tampers())
+	}
+}
+
+func TestComposeShortCircuitsOnDrop(t *testing.T) {
+	calls := 0
+	counting := func(_ prf.Epoch, _ network.Edge, m network.Message) network.Message {
+		calls++
+		return m
+	}
+	ic := Compose(DropEdge(network.EdgeSA, -1), counting)
+	if got := ic(1, network.Edge{Kind: network.EdgeSA, From: 0, To: 0}, struct{}{}); got != nil {
+		t.Fatal("drop did not propagate")
+	}
+	if calls != 0 {
+		t.Fatal("later interceptor ran after a drop")
+	}
+}
+
+func TestFromByzantineFollowsSchedule(t *testing.T) {
+	eng, proto := siesSetup(t, 16, 4)
+	f := proto.Querier.Params().Field()
+	byz := &chaos.Byzantine{Events: []chaos.ByzantineEvent{
+		{From: 2, Until: 4, Aggregator: 1, Mode: chaos.ByzTamper, Delta: 5},
+		{From: 3, Until: 5, Aggregator: 2, Mode: chaos.ByzDrop},
+	}}
+	eng.SetInterceptor(FromByzantine(f, byz))
+	defer eng.SetInterceptor(nil)
+	vals := values(16, 10)
+
+	if _, err := eng.RunEpoch(1, vals); err != nil {
+		t.Fatalf("pre-fault epoch rejected: %v", err)
+	}
+	for epoch := prf.Epoch(2); epoch < 5; epoch++ {
+		if _, err := eng.RunEpoch(epoch, vals); err == nil {
+			t.Fatalf("faulty epoch %d accepted", epoch)
+		}
+	}
+	if _, err := eng.RunEpoch(5, vals); err != nil {
+		t.Fatalf("post-fault epoch rejected: %v", err)
+	}
+}

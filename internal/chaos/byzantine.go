@@ -1,0 +1,125 @@
+// Byzantine fault scheduling: aggregators that lie instead of crashing.
+// Crash-stop churn (churn.go) removes a subtree cleanly — the querier is
+// told who is gone. A byzantine aggregator keeps participating but tampers
+// or blackholes its out-edge, which the querier only sees as ErrIntegrity.
+// The schedule is plain data, like Churn, so the attack package can adapt it
+// into an interceptor without this package importing network.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// ByzMode is what a faulty aggregator does to its out-edge traffic.
+type ByzMode int
+
+// Byzantine fault modes.
+const (
+	ByzHonest ByzMode = iota // behaves correctly (fault cleared)
+	ByzTamper                // adds Delta to every outgoing ciphertext
+	ByzDrop                  // blackholes every outgoing message
+)
+
+// String names the mode for logs.
+func (m ByzMode) String() string {
+	switch m {
+	case ByzHonest:
+		return "honest"
+	case ByzTamper:
+		return "tamper"
+	case ByzDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("ByzMode(%d)", int(m))
+	}
+}
+
+// ByzantineEvent makes one aggregator faulty for an epoch interval
+// [From, Until). Until == 0 means the fault never clears.
+type ByzantineEvent struct {
+	From       prf.Epoch
+	Until      prf.Epoch
+	Aggregator int
+	Mode       ByzMode
+	Delta      uint64 // tamper offset, used by ByzTamper
+}
+
+// String renders the event for logs.
+func (e ByzantineEvent) String() string {
+	until := "∞"
+	if e.Until != 0 {
+		until = fmt.Sprintf("%d", e.Until)
+	}
+	return fmt.Sprintf("epoch [%d,%s): aggregator %d %s", e.From, until, e.Aggregator, e.Mode)
+}
+
+// active reports whether the fault covers epoch t.
+func (e ByzantineEvent) active(t prf.Epoch) bool {
+	return e.Mode != ByzHonest && t >= e.From && (e.Until == 0 || t < e.Until)
+}
+
+// Byzantine is a deterministic schedule of aggregator faults.
+type Byzantine struct {
+	Events []ByzantineEvent
+}
+
+// Active returns the faults in force at epoch t, keyed by aggregator. When
+// several events cover the same aggregator, the one starting latest wins —
+// a later event models the node changing behaviour.
+func (b *Byzantine) Active(t prf.Epoch) map[int]ByzantineEvent {
+	out := make(map[int]ByzantineEvent)
+	for _, e := range b.Events {
+		if !e.active(t) {
+			continue
+		}
+		if prev, ok := out[e.Aggregator]; ok && prev.From >= e.From {
+			continue
+		}
+		out[e.Aggregator] = e
+	}
+	return out
+}
+
+// Faulty returns the sorted aggregator ids faulty at epoch t.
+func (b *Byzantine) Faulty(t prf.Epoch) []int {
+	m := b.Active(t)
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// RandomByzantine generates faults spread over [1, epochs): each fault picks
+// a non-root aggregator (the root cannot be routed around — blaming it loses
+// the epoch by design, which the soak test asserts separately), a mode, a
+// small delta, and a bounded duration. The root (aggregator 0) is spared so
+// recovery always has a survivable cut.
+func RandomByzantine(rng *rand.Rand, numAggregators int, epochs, faults int) *Byzantine {
+	b := &Byzantine{}
+	if numAggregators < 2 || epochs < 4 {
+		return b
+	}
+	for i := 0; i < faults; i++ {
+		from := prf.Epoch(1 + rng.Intn(epochs-2))
+		dur := prf.Epoch(2 + rng.Intn(epochs/2))
+		mode := ByzTamper
+		if rng.Intn(4) == 0 {
+			mode = ByzDrop
+		}
+		b.Events = append(b.Events, ByzantineEvent{
+			From:       from,
+			Until:      from + dur,
+			Aggregator: 1 + rng.Intn(numAggregators-1),
+			Mode:       mode,
+			Delta:      1 + uint64(rng.Intn(1<<16)),
+		})
+	}
+	sort.Slice(b.Events, func(i, j int) bool { return b.Events[i].From < b.Events[j].From })
+	return b
+}

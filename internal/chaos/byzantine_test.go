@@ -1,0 +1,63 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestByzantineActiveWindows(t *testing.T) {
+	b := &Byzantine{Events: []ByzantineEvent{
+		{From: 2, Until: 5, Aggregator: 1, Mode: ByzTamper, Delta: 9},
+		{From: 3, Until: 0, Aggregator: 2, Mode: ByzDrop}, // never clears
+		{From: 4, Until: 6, Aggregator: 1, Mode: ByzDrop}, // later event wins
+	}}
+	if got := b.Faulty(1); len(got) != 0 {
+		t.Fatalf("epoch 1 faulty %v", got)
+	}
+	if got := b.Faulty(2); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("epoch 2 faulty %v", got)
+	}
+	act := b.Active(4)
+	if len(act) != 2 {
+		t.Fatalf("epoch 4 active %v", act)
+	}
+	if act[1].Mode != ByzDrop {
+		t.Fatalf("epoch 4 agg 1 mode %v, want the later event's drop", act[1].Mode)
+	}
+	if got := b.Faulty(100); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("epoch 100 faulty %v, want the unbounded fault only", got)
+	}
+}
+
+func TestRandomByzantineSparesRoot(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := RandomByzantine(rng, 21, 200, 40)
+	if len(b.Events) != 40 {
+		t.Fatalf("%d events, want 40", len(b.Events))
+	}
+	for _, e := range b.Events {
+		if e.Aggregator == 0 {
+			t.Fatal("root aggregator scheduled for a byzantine fault")
+		}
+		if e.Aggregator < 1 || e.Aggregator >= 21 {
+			t.Fatalf("aggregator %d out of range", e.Aggregator)
+		}
+		if e.Mode == ByzHonest {
+			t.Fatal("honest event scheduled as a fault")
+		}
+		if e.Until <= e.From {
+			t.Fatalf("empty fault window [%d,%d)", e.From, e.Until)
+		}
+	}
+	// Deterministic in the seed.
+	b2 := RandomByzantine(rand.New(rand.NewSource(3)), 21, 200, 40)
+	for i := range b.Events {
+		if b.Events[i] != b2.Events[i] {
+			t.Fatal("schedule not deterministic in the seed")
+		}
+	}
+	// Degenerate deployments yield empty schedules rather than panics.
+	if got := RandomByzantine(rng, 1, 200, 5); len(got.Events) != 0 {
+		t.Fatalf("single-aggregator schedule %v", got.Events)
+	}
+}

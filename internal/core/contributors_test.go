@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// epochFinal produces a valid final PSR for the full population, so the
+// validation tests exercise the contributor check and not a broken PSR.
+func epochFinal(t *testing.T, q *Querier, sources []*Source, epoch prf.Epoch) PSR {
+	t.Helper()
+	agg := NewAggregator(q.Params().Field())
+	var final PSR
+	for _, s := range sources {
+		psr, err := s.Encrypt(epoch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		final = agg.MergeInto(final, psr)
+	}
+	return final
+}
+
+func TestCheckContributors(t *testing.T) {
+	cases := []struct {
+		name string
+		ids  []int
+		ok   bool
+	}{
+		{"nil means all", nil, true},
+		{"valid sorted", []int{0, 2, 5}, true},
+		{"valid unsorted", []int{5, 0, 2}, true},
+		{"empty", []int{}, false},
+		{"duplicate", []int{1, 3, 3}, false},
+		{"duplicate unsorted", []int{3, 1, 3}, false},
+		{"negative", []int{-1, 2}, false},
+		{"out of range", []int{0, 8}, false},
+		{"boundary ok", []int{7}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out, err := CheckContributors(8, tc.ids)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("CheckContributors(%v) = %v", tc.ids, err)
+				}
+				for i := 1; i < len(out); i++ {
+					if out[i] <= out[i-1] {
+						t.Fatalf("output %v not sorted-unique", out)
+					}
+				}
+				return
+			}
+			if !errors.Is(err, ErrBadContributors) {
+				t.Fatalf("CheckContributors(%v) = %v, want ErrBadContributors", tc.ids, err)
+			}
+		})
+	}
+}
+
+func TestPrepareEpochRejectsBadContributors(t *testing.T) {
+	q, _, err := Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ids := range [][]int{{3, 3}, {-1}, {8}, {0, 1, 2, 2}, {}} {
+		if _, err := q.PrepareEpoch(1, ids); !errors.Is(err, ErrBadContributors) {
+			t.Fatalf("PrepareEpoch(%v) = %v, want ErrBadContributors", ids, err)
+		}
+	}
+}
+
+func TestEvaluateSubsetRejectsBadContributors(t *testing.T) {
+	q, sources, err := Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := epochFinal(t, q, sources, 1)
+	for _, ids := range [][]int{{2, 2}, {-3}, {9}} {
+		if _, err := q.EvaluateSubset(1, final, ids); !errors.Is(err, ErrBadContributors) {
+			t.Fatalf("EvaluateSubset(%v) = %v, want ErrBadContributors", ids, err)
+		}
+	}
+	// An unsorted-but-valid list must still evaluate: order is an in-process
+	// convenience, not a protocol violation.
+	if _, err := q.EvaluateSubset(1, final, []int{7, 0, 1, 2, 3, 4, 5, 6}); err != nil {
+		t.Fatalf("unsorted full set rejected: %v", err)
+	}
+}
+
+func TestScheduleCachePathRejectsDuplicates(t *testing.T) {
+	// The cached Schedule path must apply the same boundary validation as the
+	// direct API — a duplicated id must never become a cache key (it would
+	// alias a smaller legitimate subset and double-count one share).
+	q, sources, err := Setup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(q, ScheduleConfig{})
+	final := epochFinal(t, q, sources, 1)
+	for _, ids := range [][]int{{4, 4}, {0, 1, 1, 2}} {
+		if _, err := sched.Evaluate(1, final, ids); !errors.Is(err, ErrBadContributors) {
+			t.Fatalf("Schedule.Evaluate(%v) = %v, want ErrBadContributors", ids, err)
+		}
+	}
+	if _, err := sched.EpochState(1, []int{2, 2}); !errors.Is(err, ErrBadContributors) {
+		t.Fatal("Schedule.EpochState accepted a duplicated contributor")
+	}
+	if _, err := sched.Evaluate(1, final, nil); err != nil {
+		t.Fatalf("Schedule.Evaluate(nil) = %v", err)
+	}
+}

@@ -47,6 +47,10 @@ var (
 	ErrResultOverflow = errors.New("sies: SUM result overflows the value field")
 	// ErrBadPSR is returned when parsing a malformed wire PSR.
 	ErrBadPSR = errors.New("sies: malformed PSR")
+	// ErrBadContributors is returned when a contributor list handed to the
+	// evaluation API is not a set of valid source ids: empty, a duplicate id,
+	// a negative id, or an id at or past the deployment size.
+	ErrBadContributors = errors.New("sies: invalid contributor list")
 )
 
 // PSR is a partial state record: a ciphertext in [0, p).
@@ -421,11 +425,44 @@ type EpochState struct {
 // Schedule type layers a worker pool, an LRU cache and a prefetcher on top
 // of the same derivation.
 func (q *Querier) PrepareEpoch(t prf.Epoch, contributors []int) (*EpochState, error) {
-	ids := contributors
+	ids, err := CheckContributors(q.ring.N(), contributors)
+	if err != nil {
+		return nil, err
+	}
 	if ids == nil {
 		ids = allIDs(q.ring.N())
 	}
 	return q.prepareParallel(t, ids, 1)
+}
+
+// CheckContributors validates a contributor list for a deployment of n
+// sources at the API boundary: every id must be unique and in [0, n). It
+// returns a sorted copy (nil stays nil, meaning all sources); any violation
+// is an error wrapping ErrBadContributors. The wire-decode path
+// (DecodeContributorsBounded) additionally demands the canonical sorted
+// form; here order is tolerated because in-process callers assemble lists
+// from maps and reports.
+func CheckContributors(n int, ids []int) ([]int, error) {
+	if ids == nil {
+		return nil, nil
+	}
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("%w: no contributing sources", ErrBadContributors)
+	}
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	if out[0] < 0 {
+		return nil, fmt.Errorf("%w: negative source id %d", ErrBadContributors, out[0])
+	}
+	if out[len(out)-1] >= n {
+		return nil, fmt.Errorf("%w: source id %d out of range [0,%d)", ErrBadContributors, out[len(out)-1], n)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			return nil, fmt.Errorf("%w: duplicate source id %d", ErrBadContributors, out[i])
+		}
+	}
+	return out, nil
 }
 
 // Evaluate decrypts and verifies one final PSR against the prepared epoch.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/sies/sies/internal/prf"
@@ -70,6 +71,78 @@ func FuzzDecodeContributors(f *testing.F) {
 		}
 		if len(bounded) != len(ids) {
 			t.Fatal("bounded and unbounded decoders disagree on accepted input")
+		}
+	})
+}
+
+// FuzzEvaluateSubset drives the subset-verification primitive — the probe
+// oracle localization is built on — with random contributor subsets and
+// optionally a bit-flipped final PSR. The invariant is the one recovery
+// depends on: evaluation either returns the exact subset sum or a typed
+// rejection (ErrIntegrity / ErrResultOverflow); it never serves a wrong
+// value.
+func FuzzEvaluateSubset(f *testing.F) {
+	const n = 8
+	q, sources, err := Setup(n)
+	if err != nil {
+		f.Fatal(err)
+	}
+	agg := NewAggregator(q.Params().Field())
+
+	f.Add(uint8(0xff), uint64(1), uint64(7), uint16(0xffff))
+	f.Add(uint8(0x01), uint64(2), uint64(0), uint16(0))
+	f.Add(uint8(0xa5), uint64(3), uint64(12345), uint16(100))
+	f.Fuzz(func(t *testing.T, mask uint8, epoch, seed uint64, flip uint16) {
+		var ids []int
+		var want uint64
+		var final PSR
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			v := (seed >> (8 * uint(i) % 57)) & 0xffff // small, overflow-free values
+			psr, err := sources[i].Encrypt(prf.Epoch(epoch), v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			final = agg.MergeInto(final, psr)
+			ids = append(ids, i)
+			want += v
+		}
+		if len(ids) == 0 {
+			return
+		}
+
+		flipped := flip != 0xffff // 0xffff is the no-tamper sentinel
+		if flipped {
+			wire := final.Bytes()
+			bit := int(flip) % (PSRSize * 8)
+			wire[bit/8] ^= 1 << (bit % 8)
+			mutated, err := ParsePSR(wire[:], q.Params().Field())
+			if err != nil {
+				return // flip produced an invalid field element: rejected earlier
+			}
+			if mutated == final {
+				return // reduction collapsed the flip back to the original
+			}
+			final = mutated
+		}
+
+		res, err := q.EvaluateSubset(prf.Epoch(epoch), final, ids)
+		switch {
+		case err == nil:
+			if flipped {
+				t.Fatalf("bit-flipped PSR accepted (mask %02x, flip %d, sum %d)", mask, flip, res.Sum)
+			}
+			if res.Sum != want || res.N != len(ids) {
+				t.Fatalf("subset sum = %d over %d, want %d over %d", res.Sum, res.N, want, len(ids))
+			}
+		case errors.Is(err, ErrIntegrity), errors.Is(err, ErrResultOverflow):
+			if !flipped {
+				t.Fatalf("untampered subset rejected: %v", err)
+			}
+		default:
+			t.Fatalf("unexpected error class: %v", err)
 		}
 	})
 }

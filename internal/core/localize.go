@@ -1,0 +1,268 @@
+// Group-testing culprit localization.
+//
+// SIES detection is all-or-nothing: Evaluate reports *that* an epoch was
+// tampered with, never *where*. A single persistent tampering aggregator can
+// therefore deny service forever even though every attack is detected. The
+// Localizer turns detection into attribution by exploiting the property the
+// paper already proves for node failures (§IV-B): the querier can verify an
+// exact SUM over any contributor subset. Re-aggregating a subset along the
+// existing topology routes only through the aggregators above that subset, so
+// a subset probe verifies iff no tampered route carries it — exactly the
+// classic group-testing membership oracle.
+//
+// The search space is the aggregation tree itself, presented as a ProbeGroup
+// hierarchy: each group names the route to blame (an aggregator or a single
+// source) and the contributor ids beneath it. Localization descends breadth-
+// first: a failing group's children are probed; children that fail are
+// descended into, and a group is blamed directly when it cannot be narrowed —
+// it has no children, every probed child fails (the group's own out-edge is
+// the parsimonious explanation — except at the search root, where all-fail is
+// equally consistent with colluders split across every subtree and the
+// descent continues), or every child verifies (the corruption sits at the
+// group's own merge point). Blaming a group always *covers* the
+// corrupted routes beneath it, so recovery that excludes every blamed group's
+// sources is sound even when parsimony over-approximates; the final re-query
+// is independently verified regardless.
+//
+// Probe complexity: with d corrupted routes in a fanout-F tree of depth L,
+// each round probes at most d·F groups and corrupted routes are at most L
+// rounds deep, so localization needs at most 1 + d·F·L = O(d·log N) probes.
+// The budget and round caps bound the adversary's ability to stretch
+// forensics; when either trips, every unresolved group is blamed wholesale so
+// the exclusion set still covers all corrupted routes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ErrProbeBudget reports that localization ran out of probes (or rounds)
+// before fully narrowing the culprits. The suspects returned alongside it are
+// still a sound cover of every corrupted route.
+var ErrProbeBudget = errors.New("sies: probe budget exhausted during localization")
+
+// Route identifies one blamable element of the aggregation topology: an
+// aggregator (and with it the subtree it merges) or a single source edge.
+type Route struct {
+	Aggregator bool
+	ID         int
+}
+
+// String renders the route for logs.
+func (r Route) String() string {
+	if r.Aggregator {
+		return fmt.Sprintf("aggregator %d", r.ID)
+	}
+	return fmt.Sprintf("source %d", r.ID)
+}
+
+// ProbeGroup is one node of the group-testing search space. Sources lists the
+// contributor ids the group covers; Children partition (a subset of) them
+// into narrower groups. A group with no children is atomic: failing it blames
+// Route directly.
+type ProbeGroup struct {
+	Route    Route
+	Sources  []int
+	Children []ProbeGroup
+}
+
+// ProbeFunc runs one verified re-query over the given contributor ids.
+// It reports whether the subset SUM verified; a non-nil error means the probe
+// could not be carried out at all (not that verification failed) and aborts
+// localization.
+type ProbeFunc func(ids []int) (bool, error)
+
+// Suspect is one blamed route together with the contributor ids that must be
+// excluded to stop routing through it.
+type Suspect struct {
+	Route   Route
+	Sources []int
+}
+
+// LocalizeStats counts the work one localization performed.
+type LocalizeStats struct {
+	Probes   int // subset re-queries issued
+	Rounds   int // breadth-first descent rounds
+	Culprits int // routes blamed
+}
+
+// LocalizerConfig tunes a Localizer. The zero value selects the defaults.
+type LocalizerConfig struct {
+	// MaxProbes caps the subset re-queries one localization may issue
+	// (default 256). On exhaustion the unresolved groups are blamed wholesale
+	// and ErrProbeBudget is returned with the (still sound) suspects.
+	MaxProbes int
+	// MaxRounds caps the descent depth (default 64); exhaustion behaves like
+	// MaxProbes.
+	MaxRounds int
+	// Backoff, when non-nil, returns the pause before descent round `round`
+	// (1-based; the initial whole-set probe is round 0 and never delayed) —
+	// probes are re-queries over the live network and must not stampede it.
+	Backoff func(round int) time.Duration
+	// Sleep replaces time.Sleep for the Backoff pauses; tests inject a fake.
+	Sleep func(time.Duration)
+}
+
+// DefaultMaxProbes and DefaultMaxRounds bound a localization when the
+// configuration leaves them zero.
+const (
+	DefaultMaxProbes = 256
+	DefaultMaxRounds = 64
+)
+
+// Localizer runs group-testing localization over ProbeGroup trees.
+type Localizer struct {
+	cfg LocalizerConfig
+}
+
+// NewLocalizer builds a localizer, filling config defaults.
+func NewLocalizer(cfg LocalizerConfig) *Localizer {
+	if cfg.MaxProbes <= 0 {
+		cfg.MaxProbes = DefaultMaxProbes
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = DefaultMaxRounds
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Localizer{cfg: cfg}
+}
+
+// Localize pinpoints the corrupted routes beneath root. It returns nil
+// suspects when the whole-set probe verifies (the corruption was transient).
+// On any abort — probe budget, round cap, or a probe error — the unresolved
+// groups are blamed wholesale so the suspect set still covers every corrupted
+// route, and the cause is returned alongside.
+func (l *Localizer) Localize(root ProbeGroup, probe ProbeFunc) ([]Suspect, LocalizeStats, error) {
+	var stats LocalizeStats
+	blamed := map[Route]*Suspect{}
+	var order []Route // deterministic output order
+
+	blame := func(g *ProbeGroup) {
+		if _, ok := blamed[g.Route]; ok {
+			return
+		}
+		blamed[g.Route] = &Suspect{Route: g.Route, Sources: append([]int(nil), g.Sources...)}
+		order = append(order, g.Route)
+	}
+	finish := func(err error) ([]Suspect, LocalizeStats, error) {
+		out := make([]Suspect, 0, len(order))
+		for _, r := range order {
+			out = append(out, *blamed[r])
+		}
+		stats.Culprits = len(out)
+		return out, stats, err
+	}
+
+	run := func(g *ProbeGroup) (ok bool, abort error) {
+		if stats.Probes >= l.cfg.MaxProbes {
+			return false, ErrProbeBudget
+		}
+		stats.Probes++
+		ok, err := probe(g.Sources)
+		if err != nil {
+			return false, err
+		}
+		return ok, nil
+	}
+
+	ok, err := run(&root)
+	if err != nil {
+		blame(&root)
+		return finish(err)
+	}
+	if ok {
+		return nil, stats, nil
+	}
+
+	frontier := []*ProbeGroup{&root}
+	for len(frontier) > 0 {
+		if stats.Rounds >= l.cfg.MaxRounds {
+			for _, g := range frontier {
+				blame(g)
+			}
+			return finish(ErrProbeBudget)
+		}
+		stats.Rounds++
+		if l.cfg.Backoff != nil {
+			if d := l.cfg.Backoff(stats.Rounds); d > 0 {
+				l.cfg.Sleep(d)
+			}
+		}
+		var next []*ProbeGroup
+		for fi, g := range frontier {
+			var failing []*ProbeGroup
+			probed := 0
+			for i := range g.Children {
+				child := &g.Children[i]
+				if len(child.Sources) == 0 {
+					continue // nothing live beneath it; it cannot carry the corruption
+				}
+				ok, err := run(child)
+				if err != nil {
+					// Abort: blame this group (covering its children) and every
+					// group not yet narrowed, then surface the cause.
+					blame(g)
+					for _, rest := range frontier[fi+1:] {
+						blame(rest)
+					}
+					return finish(err)
+				}
+				probed++
+				if !ok {
+					failing = append(failing, child)
+				}
+			}
+			switch {
+			case probed == 0:
+				// Atomic group: nothing narrower to test.
+				blame(g)
+			case len(failing) == 0:
+				// Every part verifies in isolation yet the whole fails: the
+				// corruption sits at this group's own merge point.
+				blame(g)
+			case len(failing) == probed && g != &root:
+				// Every part fails: the parsimonious culprit is this group's
+				// own out-edge, shared by all of them. (If genuinely every
+				// child is corrupted, blaming the parent still covers them.)
+				blame(g)
+			case len(failing) == probed:
+				// At the search root the all-fail pattern is ambiguous: it is
+				// equally consistent with colluders split across every subtree
+				// (blaming the root would needlessly lose the whole epoch), so
+				// descend one level and let each subtree resolve — a genuine
+				// root-edge tamperer just fails them all again one round later.
+				next = append(next, failing...)
+			default:
+				next = append(next, failing...)
+			}
+		}
+		frontier = next
+	}
+	return finish(nil)
+}
+
+// UnionSources returns the sorted union of the suspects' contributor ids —
+// the exclusion set a verified re-query must subtract.
+func UnionSources(suspects []Suspect) []int {
+	var all []int
+	for _, s := range suspects {
+		all = append(all, s.Sources...)
+	}
+	if all == nil {
+		return nil
+	}
+	sort.Ints(all)
+	w := 0
+	for i, id := range all {
+		if i == 0 || id != all[w-1] {
+			all[w] = id
+			w++
+		}
+	}
+	return all[:w]
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// synthTree builds a fanout-2, depth-2 search space:
+//
+//	agg 0 ── agg 1 ── agg 3 {0,1}
+//	      │        └─ agg 4 {2,3}
+//	      └─ agg 2 ── agg 5 {4,5}
+//	               └─ agg 6 {6,7}
+//
+// Leaf aggregators carry two singleton source groups each.
+func synthTree() ProbeGroup {
+	leaf := func(agg, s0, s1 int) ProbeGroup {
+		return ProbeGroup{
+			Route:   Route{Aggregator: true, ID: agg},
+			Sources: []int{s0, s1},
+			Children: []ProbeGroup{
+				{Route: Route{ID: s0}, Sources: []int{s0}},
+				{Route: Route{ID: s1}, Sources: []int{s1}},
+			},
+		}
+	}
+	mid := func(agg int, a, b ProbeGroup) ProbeGroup {
+		return ProbeGroup{
+			Route:    Route{Aggregator: true, ID: agg},
+			Sources:  append(append([]int(nil), a.Sources...), b.Sources...),
+			Children: []ProbeGroup{a, b},
+		}
+	}
+	left := mid(1, leaf(3, 0, 1), leaf(4, 2, 3))
+	right := mid(2, leaf(5, 4, 5), leaf(6, 6, 7))
+	return mid(0, left, right)
+}
+
+// taintOracle fails any probe whose subset touches a tainted source id —
+// the behaviour of a tampering route above those sources.
+type taintOracle struct {
+	tainted map[int]bool
+	probes  int
+}
+
+func (o *taintOracle) probe(ids []int) (bool, error) {
+	o.probes++
+	for _, id := range ids {
+		if o.tainted[id] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func taint(ids ...int) *taintOracle {
+	m := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return &taintOracle{tainted: m}
+}
+
+func routesOf(suspects []Suspect) []Route {
+	out := make([]Route, len(suspects))
+	for i, s := range suspects {
+		out[i] = s.Route
+	}
+	return out
+}
+
+func TestLocalizeCleanTree(t *testing.T) {
+	l := NewLocalizer(LocalizerConfig{})
+	suspects, stats, err := l.Localize(synthTree(), taint().probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suspects != nil {
+		t.Fatalf("clean tree blamed %v", suspects)
+	}
+	if stats.Probes != 1 {
+		t.Fatalf("clean tree used %d probes, want 1", stats.Probes)
+	}
+}
+
+func TestLocalizeSingleSource(t *testing.T) {
+	// One tampered source edge: the descent must reach the atomic group.
+	l := NewLocalizer(LocalizerConfig{})
+	suspects, stats, err := l.Localize(synthTree(), taint(5).probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Route{{ID: 5}}
+	if !reflect.DeepEqual(routesOf(suspects), want) {
+		t.Fatalf("blamed %v, want %v", routesOf(suspects), want)
+	}
+	if !reflect.DeepEqual(suspects[0].Sources, []int{5}) {
+		t.Fatalf("suspect sources %v", suspects[0].Sources)
+	}
+	// O(d·log N) with d=1, F=2, L=3 descent levels: 1 + 2·3 = 7 probes max.
+	if stats.Probes > 7 {
+		t.Fatalf("localization used %d probes, bound is 7", stats.Probes)
+	}
+}
+
+func TestLocalizeSingleAggregatorParsimony(t *testing.T) {
+	// Both sources under leaf agg 6 are tainted — the shared out-edge is the
+	// parsimonious culprit, and the localizer must blame agg 6, not descend
+	// into two separate source blames.
+	l := NewLocalizer(LocalizerConfig{})
+	suspects, _, err := l.Localize(synthTree(), taint(6, 7).probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Route{{Aggregator: true, ID: 6}}
+	if !reflect.DeepEqual(routesOf(suspects), want) {
+		t.Fatalf("blamed %v, want %v", routesOf(suspects), want)
+	}
+	if !reflect.DeepEqual(suspects[0].Sources, []int{6, 7}) {
+		t.Fatalf("suspect sources %v", suspects[0].Sources)
+	}
+}
+
+func TestLocalizeColluders(t *testing.T) {
+	// Corruption in two distant subtrees must be blamed in one procedure.
+	l := NewLocalizer(LocalizerConfig{})
+	suspects, stats, err := l.Localize(synthTree(), taint(0, 1, 7).probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Route{{Aggregator: true, ID: 3}, {ID: 7}}
+	got := routesOf(suspects)
+	if len(got) != 2 {
+		t.Fatalf("blamed %v, want %v", got, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			if g == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("blamed %v, missing %v", got, w)
+		}
+	}
+	if !reflect.DeepEqual(UnionSources(suspects), []int{0, 1, 7}) {
+		t.Fatalf("union = %v", UnionSources(suspects))
+	}
+	// d=2 culprits: 1 + d·F·L = 1 + 2·2·3 = 13.
+	if stats.Probes > 13 {
+		t.Fatalf("%d probes for two culprits, bound 13", stats.Probes)
+	}
+}
+
+func TestLocalizeMergePointCorruption(t *testing.T) {
+	// Aggregator 1 tampers only when merging more than one input: each child
+	// verifies in isolation, yet any superset spanning both fails. The
+	// localizer must blame agg 1 itself.
+	tree := synthTree()
+	probe := func(ids []int) (bool, error) {
+		children := map[bool]bool{} // which half of agg 1 is present
+		for _, id := range ids {
+			if id <= 1 {
+				children[false] = true
+			} else if id <= 3 {
+				children[true] = true
+			}
+		}
+		return len(children) < 2, nil
+	}
+	l := NewLocalizer(LocalizerConfig{})
+	suspects, _, err := l.Localize(tree, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Route{{Aggregator: true, ID: 1}}
+	if !reflect.DeepEqual(routesOf(suspects), want) {
+		t.Fatalf("blamed %v, want %v", routesOf(suspects), want)
+	}
+	if !reflect.DeepEqual(suspects[0].Sources, []int{0, 1, 2, 3}) {
+		t.Fatalf("suspect sources %v", suspects[0].Sources)
+	}
+}
+
+func TestLocalizeProbeBudget(t *testing.T) {
+	// With the budget too small to finish, the unresolved frontier is blamed
+	// wholesale: the suspect set must still cover the tainted source.
+	l := NewLocalizer(LocalizerConfig{MaxProbes: 3})
+	suspects, stats, err := l.Localize(synthTree(), taint(5).probe)
+	if !errors.Is(err, ErrProbeBudget) {
+		t.Fatalf("err = %v, want ErrProbeBudget", err)
+	}
+	if stats.Probes > 3 {
+		t.Fatalf("issued %d probes over a budget of 3", stats.Probes)
+	}
+	covered := false
+	for _, id := range UnionSources(suspects) {
+		if id == 5 {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatalf("budget-abort suspects %v do not cover source 5", suspects)
+	}
+}
+
+func TestLocalizeRoundCap(t *testing.T) {
+	l := NewLocalizer(LocalizerConfig{MaxRounds: 1})
+	suspects, stats, err := l.Localize(synthTree(), taint(5).probe)
+	if !errors.Is(err, ErrProbeBudget) {
+		t.Fatalf("err = %v, want ErrProbeBudget", err)
+	}
+	if stats.Rounds > 1 {
+		t.Fatalf("ran %d rounds over a cap of 1", stats.Rounds)
+	}
+	if got := UnionSources(suspects); len(got) == 0 {
+		t.Fatal("round-cap abort blamed nothing")
+	}
+}
+
+func TestLocalizeProbeErrorAborts(t *testing.T) {
+	// A probe-infrastructure error (not a failed verification) aborts the
+	// procedure; everything not yet narrowed is blamed so exclusion stays a
+	// cover.
+	boom := errors.New("radio down")
+	calls := 0
+	probe := func(ids []int) (bool, error) {
+		calls++
+		if calls >= 3 {
+			return false, boom
+		}
+		for _, id := range ids {
+			if id == 7 {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	l := NewLocalizer(LocalizerConfig{})
+	suspects, _, err := l.Localize(synthTree(), probe)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	covered := false
+	for _, id := range UnionSources(suspects) {
+		if id == 7 {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatalf("abort suspects %v do not cover source 7", suspects)
+	}
+}
+
+func TestLocalizeBackoffPacing(t *testing.T) {
+	var slept []time.Duration
+	l := NewLocalizer(LocalizerConfig{
+		Backoff: func(round int) time.Duration { return time.Duration(round) * time.Millisecond },
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	_, stats, err := l.Localize(synthTree(), taint(5).probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slept) != stats.Rounds {
+		t.Fatalf("slept %d times over %d rounds", len(slept), stats.Rounds)
+	}
+	for i, d := range slept {
+		if d != time.Duration(i+1)*time.Millisecond {
+			t.Fatalf("round %d slept %v", i+1, d)
+		}
+	}
+}
+
+func TestUnionSources(t *testing.T) {
+	got := UnionSources([]Suspect{
+		{Sources: []int{5, 1}},
+		{Sources: []int{1, 3, 5}},
+		{Sources: nil},
+	})
+	if !reflect.DeepEqual(got, []int{1, 3, 5}) {
+		t.Fatalf("union = %v", got)
+	}
+	if UnionSources(nil) != nil {
+		t.Fatal("empty union not nil")
+	}
+}

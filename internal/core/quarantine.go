@@ -1,0 +1,244 @@
+// Quarantine registry: the memory between localizations.
+//
+// Localization (localize.go) names the routes that corrupted one epoch; the
+// Quarantine decides what to do with that knowledge across epochs. Each route
+// walks a suspect → confirmed → probation state machine:
+//
+//	clear ──report──▶ suspect ──report×ConfirmAfter──▶ confirmed
+//	                     │ SuspectTTL clean epochs         │ QuarantineEpochs clean epochs
+//	                     ▼                                 ▼
+//	                   clear ◀──ProbationEpochs clean── probation ──report──▶ confirmed
+//	                                                                (relapse: duration ×RelapseFactor)
+//
+// Only *confirmed* routes are pre-emptively excluded from queries — a single
+// sighting can be a transient chaos fault (a bit flip, a torn write) and must
+// not shrink N permanently. Confirmed routes decay back to probation after
+// QuarantineEpochs clean epochs, so a node whose fault cleared is reinstated;
+// a relapse while on probation re-confirms with a multiplicatively longer
+// quarantine, so a persistent adversary converges to near-permanent exclusion
+// while transient faults cost a bounded number of lost-coverage epochs.
+package core
+
+import "sync"
+
+// RouteState is a route's position in the quarantine state machine.
+type RouteState int
+
+// Quarantine states.
+const (
+	RouteClear     RouteState = iota // unknown or fully reinstated
+	RouteSuspect                     // blamed, not yet confirmed; still queried
+	RouteConfirmed                   // excluded from queries
+	RouteProbation                   // reinstated, watched; relapse re-confirms
+)
+
+// String names the state for logs.
+func (s RouteState) String() string {
+	switch s {
+	case RouteClear:
+		return "clear"
+	case RouteSuspect:
+		return "suspect"
+	case RouteConfirmed:
+		return "confirmed"
+	case RouteProbation:
+		return "probation"
+	default:
+		return "invalid"
+	}
+}
+
+// QuarantineConfig tunes the state machine; the zero value selects defaults.
+type QuarantineConfig struct {
+	// ConfirmAfter is how many localizations must blame a route before it is
+	// confirmed and excluded (default 2: one sighting is a suspect only).
+	ConfirmAfter int
+	// SuspectTTL is how many clean epochs erase an unconfirmed suspicion
+	// (default 16).
+	SuspectTTL int
+	// QuarantineEpochs is how many clean epochs a confirmed route stays
+	// excluded before reinstatement on probation (default 32).
+	QuarantineEpochs int
+	// ProbationEpochs is how many clean epochs on probation clear a route
+	// entirely (default 16).
+	ProbationEpochs int
+	// RelapseFactor multiplies the quarantine duration each time a route on
+	// probation is blamed again (default 2).
+	RelapseFactor int
+	// MaxQuarantineEpochs caps the relapse growth (default 4096).
+	MaxQuarantineEpochs int
+}
+
+func (c QuarantineConfig) withDefaults() QuarantineConfig {
+	if c.ConfirmAfter <= 0 {
+		c.ConfirmAfter = 2
+	}
+	if c.SuspectTTL <= 0 {
+		c.SuspectTTL = 16
+	}
+	if c.QuarantineEpochs <= 0 {
+		c.QuarantineEpochs = 32
+	}
+	if c.ProbationEpochs <= 0 {
+		c.ProbationEpochs = 16
+	}
+	if c.RelapseFactor < 2 {
+		c.RelapseFactor = 2
+	}
+	if c.MaxQuarantineEpochs <= 0 {
+		c.MaxQuarantineEpochs = 4096
+	}
+	return c
+}
+
+// QuarantinePopulation is a point-in-time census of the registry.
+type QuarantinePopulation struct {
+	Suspects  int `json:"suspects"`
+	Confirmed int `json:"confirmed"`
+	Probation int `json:"probation"`
+}
+
+// Total returns the number of routes in any non-clear state.
+func (p QuarantinePopulation) Total() int { return p.Suspects + p.Confirmed + p.Probation }
+
+// QuarantineStats accumulates lifecycle transitions.
+type QuarantineStats struct {
+	Confirmed  uint64 `json:"confirmed"`  // suspect/probation → confirmed transitions
+	Reinstated uint64 `json:"reinstated"` // confirmed → probation transitions
+	Cleared    uint64 `json:"cleared"`    // probation/suspect → clear transitions
+	Relapses   uint64 `json:"relapses"`   // re-confirmations from probation
+}
+
+type quarantineEntry struct {
+	state     RouteState
+	sightings int   // blame count while suspect
+	timer     int   // clean epochs remaining in the current state
+	duration  int   // current quarantine length (grows on relapse)
+	sources   []int // contributor ids the route carries
+}
+
+// Quarantine is a concurrency-safe registry of suspect and excluded routes.
+type Quarantine struct {
+	mu      sync.Mutex
+	cfg     QuarantineConfig
+	entries map[Route]*quarantineEntry
+	stats   QuarantineStats
+}
+
+// NewQuarantine builds an empty registry.
+func NewQuarantine(cfg QuarantineConfig) *Quarantine {
+	return &Quarantine{cfg: cfg.withDefaults(), entries: map[Route]*quarantineEntry{}}
+}
+
+// Report records one localization blaming the route (whose subtree covers the
+// given contributor ids) and returns the route's resulting state.
+func (q *Quarantine) Report(r Route, sources []int) RouteState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	e, ok := q.entries[r]
+	if !ok {
+		e = &quarantineEntry{state: RouteSuspect, duration: q.cfg.QuarantineEpochs}
+		q.entries[r] = e
+	}
+	e.sources = append(e.sources[:0], sources...)
+	switch e.state {
+	case RouteSuspect:
+		e.sightings++
+		e.timer = q.cfg.SuspectTTL
+		if e.sightings >= q.cfg.ConfirmAfter {
+			e.state = RouteConfirmed
+			e.timer = e.duration
+			q.stats.Confirmed++
+		}
+	case RouteConfirmed:
+		// Blamed again while excluded (an adaptive adversary re-implicating a
+		// shared ancestor): restart the clock.
+		e.timer = e.duration
+	case RouteProbation:
+		// Relapse: straight back to confirmed, for longer.
+		e.duration *= q.cfg.RelapseFactor
+		if e.duration > q.cfg.MaxQuarantineEpochs {
+			e.duration = q.cfg.MaxQuarantineEpochs
+		}
+		e.state = RouteConfirmed
+		e.timer = e.duration
+		q.stats.Confirmed++
+		q.stats.Relapses++
+	}
+	return e.state
+}
+
+// Tick records one clean epoch (no integrity failure): suspicions age out,
+// confirmed routes progress toward probation and probation toward clearance.
+func (q *Quarantine) Tick() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for r, e := range q.entries {
+		e.timer--
+		if e.timer > 0 {
+			continue
+		}
+		switch e.state {
+		case RouteSuspect:
+			delete(q.entries, r)
+			q.stats.Cleared++
+		case RouteConfirmed:
+			e.state = RouteProbation
+			e.sightings = 0
+			e.timer = q.cfg.ProbationEpochs
+			q.stats.Reinstated++
+		case RouteProbation:
+			delete(q.entries, r)
+			q.stats.Cleared++
+		}
+	}
+}
+
+// Excluded returns the sorted union of contributor ids carried by confirmed
+// routes — the set queries must pre-emptively subtract.
+func (q *Quarantine) Excluded() []int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var all []Suspect
+	for r, e := range q.entries {
+		if e.state == RouteConfirmed {
+			all = append(all, Suspect{Route: r, Sources: e.sources})
+		}
+	}
+	return UnionSources(all)
+}
+
+// StateOf returns the route's current state.
+func (q *Quarantine) StateOf(r Route) RouteState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if e, ok := q.entries[r]; ok {
+		return e.state
+	}
+	return RouteClear
+}
+
+// Population is a census of the registry.
+func (q *Quarantine) Population() QuarantinePopulation {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var p QuarantinePopulation
+	for _, e := range q.entries {
+		switch e.state {
+		case RouteSuspect:
+			p.Suspects++
+		case RouteConfirmed:
+			p.Confirmed++
+		case RouteProbation:
+			p.Probation++
+		}
+	}
+	return p
+}
+
+// Stats returns the cumulative transition counters.
+func (q *Quarantine) Stats() QuarantineStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.stats
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tick advances q by n clean epochs.
+func tick(q *Quarantine, n int) {
+	for i := 0; i < n; i++ {
+		q.Tick()
+	}
+}
+
+func TestQuarantineLifecycle(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{ConfirmAfter: 2, QuarantineEpochs: 3, ProbationEpochs: 2})
+	r := Route{Aggregator: true, ID: 7}
+
+	// First blame: suspect only — one sighting can be a transient fault, so
+	// nothing is excluded yet.
+	if s := q.Report(r, []int{4, 5}); s != RouteSuspect {
+		t.Fatalf("first report → %v, want suspect", s)
+	}
+	if got := q.Excluded(); got != nil {
+		t.Fatalf("suspect already excluded: %v", got)
+	}
+
+	// Second blame: confirmed, and its subtree is excluded.
+	if s := q.Report(r, []int{4, 5}); s != RouteConfirmed {
+		t.Fatalf("second report → %v, want confirmed", s)
+	}
+	if got := q.Excluded(); !reflect.DeepEqual(got, []int{4, 5}) {
+		t.Fatalf("excluded = %v, want [4 5]", got)
+	}
+
+	// QuarantineEpochs clean epochs: reinstated on probation, exclusion lifts.
+	tick(q, 3)
+	if s := q.StateOf(r); s != RouteProbation {
+		t.Fatalf("after quarantine → %v, want probation", s)
+	}
+	if got := q.Excluded(); got != nil {
+		t.Fatalf("probation still excluded: %v", got)
+	}
+	if st := q.Stats(); st.Confirmed != 1 || st.Reinstated != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// ProbationEpochs more clean epochs: fully cleared.
+	tick(q, 2)
+	if s := q.StateOf(r); s != RouteClear {
+		t.Fatalf("after probation → %v, want clear", s)
+	}
+	if st := q.Stats(); st.Cleared != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if p := q.Population(); p.Total() != 0 {
+		t.Fatalf("population %+v not empty", p)
+	}
+}
+
+func TestQuarantineRelapseDoublesDuration(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{ConfirmAfter: 1, QuarantineEpochs: 2, ProbationEpochs: 4, RelapseFactor: 2})
+	r := Route{ID: 3}
+
+	q.Report(r, []int{3}) // confirmed immediately (ConfirmAfter: 1)
+	tick(q, 2)            // → probation
+	if s := q.StateOf(r); s != RouteProbation {
+		t.Fatalf("state %v", s)
+	}
+
+	// Relapse: straight back to confirmed, with the duration doubled to 4.
+	if s := q.Report(r, []int{3}); s != RouteConfirmed {
+		t.Fatalf("relapse → %v, want confirmed", s)
+	}
+	if st := q.Stats(); st.Relapses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	tick(q, 2) // the old duration would have reinstated here
+	if s := q.StateOf(r); s != RouteConfirmed {
+		t.Fatalf("relapsed route reinstated after old duration: %v", s)
+	}
+	tick(q, 2)
+	if s := q.StateOf(r); s != RouteProbation {
+		t.Fatalf("relapsed route not reinstated after doubled duration: %v", s)
+	}
+}
+
+func TestQuarantineRelapseCap(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{ConfirmAfter: 1, QuarantineEpochs: 4, ProbationEpochs: 1, RelapseFactor: 2, MaxQuarantineEpochs: 8})
+	r := Route{ID: 0}
+	q.Report(r, []int{0})
+	for i := 0; i < 3; i++ { // repeated relapses: 4 → 8 → capped at 8
+		for q.StateOf(r) == RouteConfirmed {
+			tick(q, 1)
+		}
+		q.Report(r, []int{0}) // relapse from probation
+	}
+	// Duration is capped: 8 clean epochs must reinstate.
+	tick(q, 8)
+	if s := q.StateOf(r); s != RouteProbation {
+		t.Fatalf("capped duration did not reinstate: %v", s)
+	}
+}
+
+func TestQuarantineSuspectDecay(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{ConfirmAfter: 2, SuspectTTL: 3})
+	r := Route{Aggregator: true, ID: 1}
+	q.Report(r, []int{0, 1})
+	tick(q, 3)
+	if s := q.StateOf(r); s != RouteClear {
+		t.Fatalf("suspicion did not age out: %v", s)
+	}
+	// A fresh blame after decay starts the count over — still only a suspect.
+	if s := q.Report(r, []int{0, 1}); s != RouteSuspect {
+		t.Fatalf("post-decay report → %v, want suspect", s)
+	}
+}
+
+func TestQuarantineReReportRestartsClock(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{ConfirmAfter: 1, QuarantineEpochs: 3})
+	r := Route{ID: 9}
+	q.Report(r, []int{9})
+	tick(q, 2)
+	q.Report(r, []int{9}) // blamed again while excluded: clock restarts
+	tick(q, 2)
+	if s := q.StateOf(r); s != RouteConfirmed {
+		t.Fatalf("restarted clock expired early: %v", s)
+	}
+	tick(q, 1)
+	if s := q.StateOf(r); s != RouteProbation {
+		t.Fatalf("state %v, want probation", s)
+	}
+}
+
+func TestQuarantineExcludedUnion(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{ConfirmAfter: 1})
+	q.Report(Route{Aggregator: true, ID: 1}, []int{2, 0})
+	q.Report(Route{Aggregator: true, ID: 2}, []int{2, 5})
+	q.Report(Route{ID: 7}, []int{7}) // suspect only after this single... ConfirmAfter=1 confirms
+	if got := q.Excluded(); !reflect.DeepEqual(got, []int{0, 2, 5, 7}) {
+		t.Fatalf("excluded = %v", got)
+	}
+	p := q.Population()
+	if p.Confirmed != 3 || p.Suspects != 0 {
+		t.Fatalf("population %+v", p)
+	}
+}

@@ -32,7 +32,6 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -178,20 +177,16 @@ func (s *Schedule) Stats() ScheduleStats {
 
 // canonical normalises a contributor list to the cache's canonical form:
 // nil for the full set (also recognised when an explicit list covers every
-// source), otherwise a sorted deduplicated copy with every id range-checked.
+// source), otherwise a sorted copy. Validation matches the direct
+// PrepareEpoch path: duplicate, negative or out-of-range ids are rejected
+// with ErrBadContributors — a duplicated id silently collapsed here would
+// let a hostile failure report double-count a blinding key.
 func (s *Schedule) canonical(contributors []int) ([]int, error) {
-	if contributors == nil {
-		return nil, nil
+	ids, err := CheckContributors(s.q.ring.N(), contributors)
+	if err != nil {
+		return nil, err
 	}
-	if len(contributors) == 0 {
-		return nil, errors.New("sies: no contributing sources")
-	}
-	ids := NormalizeIDs(contributors)
-	n := s.q.ring.N()
-	if ids[0] < 0 || ids[len(ids)-1] >= n {
-		return nil, fmt.Errorf("sies: contributor id out of range [0,%d)", n)
-	}
-	if len(ids) == n {
+	if len(ids) == s.q.ring.N() {
 		return nil, nil // explicit full set aliases the fast path
 	}
 	return ids, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -169,14 +170,17 @@ func TestScheduleRejectsBadContributors(t *testing.T) {
 	sched := NewSchedule(q, ScheduleConfig{})
 	final := mergeAll(t, q, sources, 1, 1, nil)
 
-	if _, err := sched.Evaluate(1, final, []int{}); err == nil {
-		t.Fatal("empty non-nil contributor list accepted")
+	if _, err := sched.Evaluate(1, final, []int{}); !errors.Is(err, ErrBadContributors) {
+		t.Fatalf("empty non-nil contributor list: %v, want ErrBadContributors", err)
 	}
-	if _, err := sched.Evaluate(1, final, []int{0, 4}); err == nil {
-		t.Fatal("out-of-range contributor accepted")
+	if _, err := sched.Evaluate(1, final, []int{0, 4}); !errors.Is(err, ErrBadContributors) {
+		t.Fatalf("out-of-range contributor: %v, want ErrBadContributors", err)
 	}
-	if _, err := sched.Evaluate(1, final, []int{-1, 2}); err == nil {
-		t.Fatal("negative contributor accepted")
+	if _, err := sched.Evaluate(1, final, []int{-1, 2}); !errors.Is(err, ErrBadContributors) {
+		t.Fatalf("negative contributor: %v, want ErrBadContributors", err)
+	}
+	if _, err := sched.Evaluate(1, final, []int{1, 1}); !errors.Is(err, ErrBadContributors) {
+		t.Fatalf("duplicate contributor: %v, want ErrBadContributors", err)
 	}
 	if st := sched.Stats(); st.Misses != 0 && st.Hits != 0 {
 		// Rejection happens before the cache; only sanity-check no derivation ran.

@@ -7,6 +7,12 @@ import (
 	"github.com/sies/sies/internal/prf"
 )
 
+// ErrNothingToEvaluate means no contribution reached the querier this epoch:
+// every source failed, or an adversary blackholed the final message. Probe
+// re-queries classify it as a failing probe (the subset's route is dead),
+// distinct from probe-infrastructure errors that abort localization.
+var ErrNothingToEvaluate = errors.New("network: no contribution reached the querier")
+
 // Message is a scheme-specific partial state record flowing along an edge.
 // Protocol implementations define the concrete type.
 type Message interface{}
@@ -93,9 +99,14 @@ func (s EdgeStats) AvgBytes() float64 {
 }
 
 // Stats aggregates per-class traffic over the epochs an engine has run.
+// Probe re-queries (RunProbe) count their traffic in PerKind like any other
+// epoch — probes cost real radio time — but are tallied separately in Probes
+// instead of Epochs. Epochs counts served (verified) runs only; Probes counts
+// probes *issued*, since most probes fail verification by design.
 type Stats struct {
 	PerKind map[EdgeKind]*EdgeStats
 	Epochs  int
+	Probes  int
 }
 
 func newStats() *Stats {
@@ -206,8 +217,46 @@ func (e *Engine) deliver(t prf.Epoch, edge Edge, m Message) (Message, bool) {
 // through the tree and evaluates at the querier. Failed sources' values are
 // ignored. It returns the querier's result.
 func (e *Engine) RunEpoch(t prf.Epoch, values []uint64) (float64, error) {
+	return e.run(t, values, nil, false)
+}
+
+// RunEpochOver runs one epoch restricted to the given contributor ids: only
+// live sources in the set emit, and the querier evaluates against exactly the
+// restricted live set — the re-query primitive recovery uses to serve an
+// exact SUM that routes around excluded subtrees. nil means all sources.
+func (e *Engine) RunEpochOver(t prf.Epoch, values []uint64, include []int) (float64, error) {
+	return e.run(t, values, include, false)
+}
+
+// RunProbe re-aggregates a restricted contributor set along the existing
+// topology and verifies it at the querier — the group-testing membership
+// oracle for culprit localization. Identical to RunEpochOver except the run
+// is tallied under Stats.Probes, not Stats.Epochs. The adversary interceptor
+// stays active: probe traffic routes through the same (possibly tampering)
+// aggregators, which is precisely what makes subset probes localizing.
+func (e *Engine) RunProbe(t prf.Epoch, values []uint64, include []int) (float64, error) {
+	return e.run(t, values, include, true)
+}
+
+func (e *Engine) run(t prf.Epoch, values []uint64, include []int, probe bool) (float64, error) {
 	if len(values) != e.topo.NumSources() {
 		return 0, fmt.Errorf("network: %d values for %d sources", len(values), e.topo.NumSources())
+	}
+	var included map[int]bool
+	if include != nil {
+		included = make(map[int]bool, len(include))
+		for _, id := range include {
+			if id < 0 || id >= e.topo.NumSources() {
+				return 0, fmt.Errorf("network: included source %d out of range", id)
+			}
+			included[id] = true
+		}
+	}
+	emits := func(src int) bool {
+		return !e.failed[src] && (included == nil || included[src])
+	}
+	if probe {
+		e.stats.Probes++ // issued; most probes *fail* verification by design
 	}
 
 	var process func(agg int) (Message, bool, error)
@@ -217,7 +266,7 @@ func (e *Engine) RunEpoch(t prf.Epoch, values []uint64) (float64, error) {
 		}
 		var inbox []Message
 		for _, src := range e.topo.ChildSources(agg) {
-			if e.failed[src] {
+			if !emits(src) {
 				continue
 			}
 			m, err := e.proto.SourceEmit(src, t, values[src])
@@ -255,7 +304,7 @@ func (e *Engine) RunEpoch(t prf.Epoch, values []uint64) (float64, error) {
 		return 0, err
 	}
 	if !ok {
-		return 0, errors.New("network: every source failed; nothing to evaluate")
+		return 0, fmt.Errorf("%w: every source failed", ErrNothingToEvaluate)
 	}
 	final, err := e.proto.SinkFinalize(t, rootMsg)
 	if err != nil {
@@ -263,13 +312,42 @@ func (e *Engine) RunEpoch(t prf.Epoch, values []uint64) (float64, error) {
 	}
 	final, ok = e.deliver(t, Edge{Kind: EdgeAQ, From: e.topo.Root(), To: -1}, final)
 	if !ok {
-		return 0, errors.New("network: final message dropped before reaching the querier")
+		return 0, fmt.Errorf("%w: final message dropped", ErrNothingToEvaluate)
 	}
 
-	res, err := e.proto.Evaluate(t, final, e.Contributors())
+	contributors := e.Contributors()
+	if included != nil {
+		contributors = intersectContributors(contributors, included, e.topo.NumSources())
+		if len(contributors) == 0 {
+			return 0, errors.New("network: restricted contributor set is empty")
+		}
+	}
+	res, err := e.proto.Evaluate(t, final, contributors)
 	if err != nil {
 		return 0, err
 	}
-	e.stats.Epochs++
+	if !probe {
+		e.stats.Epochs++
+	}
 	return res, nil
+}
+
+// intersectContributors restricts the live contributor list (nil = all n) to
+// the included set, sorted.
+func intersectContributors(live []int, included map[int]bool, n int) []int {
+	var out []int
+	if live == nil {
+		for i := 0; i < n; i++ {
+			if included[i] {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for _, id := range live {
+		if included[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }

@@ -1,0 +1,272 @@
+// Recovery: localization, quarantine and verified re-query on top of the
+// in-memory engine.
+//
+// RunEpoch on a tampered tree returns ErrIntegrity and loses the epoch; the
+// Recovery supervisor instead treats that rejection as the start of a
+// forensic procedure: group-testing probes (core.Localizer) over the
+// topology's subtrees pinpoint the corrupted routes, the culprits land in a
+// core.Quarantine registry, and one final re-query excluding them serves an
+// exact, verified SUM over the surviving subset — the epoch degrades to
+// partial coverage instead of vanishing.
+package network
+
+import (
+	"errors"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+// RecoveryConfig tunes the supervisor. Zero values select defaults sized to
+// the topology.
+type RecoveryConfig struct {
+	// Localizer bounds and paces the group-testing probes. A zero MaxProbes
+	// defaults to ProbeBudget(topology) rather than core's flat default.
+	Localizer core.LocalizerConfig
+	// Quarantine tunes the suspect → confirmed → probation state machine.
+	Quarantine core.QuarantineConfig
+}
+
+// RecoveryStats accumulates the supervisor's counters across epochs. The
+// json tags feed the soak test's recovery-stats artifact and siessim output.
+type RecoveryStats struct {
+	Epochs        int                  `json:"epochs"`        // epochs driven through the supervisor
+	Clean         int                  `json:"clean"`         // served without any integrity failure
+	Recovered     int                  `json:"recovered"`     // served after localization + re-query
+	Lost          int                  `json:"lost"`          // explicitly reported lost
+	Localizations int                  `json:"localizations"` // forensic procedures run
+	ProbesIssued  int                  `json:"probes_issued"` // subset re-queries across all localizations
+	ProbeRounds   int                  `json:"probe_rounds"`  // descent rounds across all localizations
+	MaxProbes     int                  `json:"max_probes"`    // largest single localization, in probes
+	BudgetAborts  int                  `json:"budget_aborts"` // localizations cut off by the probe budget
+	Quarantine    core.QuarantineStats `json:"quarantine"`
+}
+
+// EpochOutcome is one epoch as the supervisor experienced it.
+type EpochOutcome struct {
+	Epoch     prf.Epoch
+	Sum       float64
+	Served    bool    // an exact verified SUM was delivered
+	Recovered bool    // served only after localization + re-query
+	Covered   []int   // contributor ids behind the served SUM (nil = all live)
+	Coverage  float64 // |Covered| / N
+	Excluded  []int   // ids subtracted this epoch (quarantine + fresh suspects)
+	Suspects  []core.Suspect
+	Probes    int
+	Rounds    int
+	Err       error // why the epoch was lost, when !Served
+}
+
+// Recovery drives an engine epoch by epoch, recovering integrity failures.
+type Recovery struct {
+	eng        *Engine
+	localizer  *core.Localizer
+	quarantine *core.Quarantine
+	stats      RecoveryStats
+}
+
+// ProbeBudget is the default probe cap for one localization over the given
+// topology: the O(d·log N) descent bound for a handful of simultaneous
+// culprits (d = 4), with the +1 whole-set probe folded in.
+func ProbeBudget(topo *Topology) int {
+	const d = 4
+	return 1 + d*topo.Fanout()*(topo.Depth()+1)
+}
+
+// NewRecovery wraps an engine in a recovery supervisor.
+func NewRecovery(eng *Engine, cfg RecoveryConfig) *Recovery {
+	if cfg.Localizer.MaxProbes <= 0 {
+		cfg.Localizer.MaxProbes = ProbeBudget(eng.Topology())
+	}
+	return &Recovery{
+		eng:        eng,
+		localizer:  core.NewLocalizer(cfg.Localizer),
+		quarantine: core.NewQuarantine(cfg.Quarantine),
+	}
+}
+
+// Quarantine exposes the registry (read-mostly: population, states).
+func (r *Recovery) Quarantine() *core.Quarantine { return r.quarantine }
+
+// Stats snapshots the supervisor's counters.
+func (r *Recovery) Stats() RecoveryStats {
+	s := r.stats
+	s.Quarantine = r.quarantine.Stats()
+	return s
+}
+
+// integrityFailure classifies an evaluation error as tampering. Overflow
+// counts: a tampered value field overflows as easily as it mismatches.
+func integrityFailure(err error) bool {
+	return errors.Is(err, core.ErrIntegrity) || errors.Is(err, core.ErrResultOverflow)
+}
+
+// RunEpoch drives one epoch with recovery. The flow:
+//
+//  1. Query over all live sources minus the quarantine's confirmed set.
+//  2. On success: tick the quarantine (decay toward reinstatement) and serve.
+//  3. On integrity failure: localize over the included set, report culprits
+//     to the quarantine, and re-query excluding every blamed route.
+//  4. Serve the verified partial SUM with its coverage, or report the epoch
+//     explicitly lost when even the re-query fails.
+func (r *Recovery) RunEpoch(t prf.Epoch, values []uint64) EpochOutcome {
+	r.stats.Epochs++
+	n := r.eng.Topology().NumSources()
+	out := EpochOutcome{Epoch: t}
+
+	excluded := r.quarantine.Excluded()
+	include := r.include(excluded)
+	if include == nil && len(excluded) > 0 {
+		// Everything is quarantined; nothing can be served.
+		out.Err = errors.New("network: every live source is quarantined")
+		out.Excluded = excluded
+		r.stats.Lost++
+		return out
+	}
+
+	sum, err := r.eng.RunEpochOver(t, values, include)
+	if err == nil {
+		r.quarantine.Tick()
+		out.Sum, out.Served = sum, true
+		out.Covered = r.covered(include)
+		out.Coverage = coverage(out.Covered, n)
+		out.Excluded = excluded
+		r.stats.Clean++
+		return out
+	}
+	if !integrityFailure(err) {
+		out.Err = err
+		r.stats.Lost++
+		return out
+	}
+
+	// Forensics: group-test the included topology for the corrupted routes.
+	r.stats.Localizations++
+	tree := r.eng.ProbeTree(include)
+	suspects, lstats, lerr := r.localizer.Localize(tree, func(ids []int) (bool, error) {
+		if len(ids) == 0 {
+			return true, nil
+		}
+		_, perr := r.eng.RunProbe(t, values, ids)
+		switch {
+		case perr == nil:
+			return true, nil
+		case integrityFailure(perr), errors.Is(perr, ErrNothingToEvaluate):
+			// Tampered or blackholed: either way the subset's route is bad.
+			return false, nil
+		default:
+			return false, perr
+		}
+	})
+	out.Suspects = suspects
+	out.Probes, out.Rounds = lstats.Probes, lstats.Rounds
+	r.stats.ProbesIssued += lstats.Probes
+	r.stats.ProbeRounds += lstats.Rounds
+	if lstats.Probes > r.stats.MaxProbes {
+		r.stats.MaxProbes = lstats.Probes
+	}
+	if errors.Is(lerr, core.ErrProbeBudget) {
+		r.stats.BudgetAborts++
+	}
+	for _, s := range suspects {
+		r.quarantine.Report(s.Route, s.Sources)
+	}
+
+	// Final re-query: route around every blamed subtree (plus the standing
+	// quarantine) and serve the verified remainder.
+	blame := core.UnionSources(suspects)
+	out.Excluded = core.NormalizeIDs(append(append([]int(nil), excluded...), blame...))
+	include = r.include(out.Excluded)
+	if include == nil {
+		out.Err = errors.New("network: localization blamed every route; epoch lost")
+		r.stats.Lost++
+		return out
+	}
+	sum, err = r.eng.RunEpochOver(t, values, include)
+	if err != nil {
+		out.Err = err
+		r.stats.Lost++
+		return out
+	}
+	out.Sum, out.Served, out.Recovered = sum, true, true
+	out.Covered = r.covered(include)
+	out.Coverage = coverage(out.Covered, n)
+	r.stats.Recovered++
+	return out
+}
+
+// include converts an exclusion list into the engine's include form: nil when
+// nothing is excluded, nil-with-loss when everything is.
+func (r *Recovery) include(excluded []int) []int {
+	if len(excluded) == 0 {
+		return nil
+	}
+	inc := core.Subtract(r.eng.Topology().NumSources(), excluded)
+	if len(inc) == 0 {
+		return nil
+	}
+	return inc
+}
+
+// covered returns the live contributor ids behind a served SUM.
+func (r *Recovery) covered(include []int) []int {
+	live := r.eng.Contributors()
+	if include == nil {
+		return live
+	}
+	inSet := make(map[int]bool, len(include))
+	for _, id := range include {
+		inSet[id] = true
+	}
+	return intersectContributors(live, inSet, r.eng.Topology().NumSources())
+}
+
+// coverage is |covered| / N, with nil meaning full coverage.
+func coverage(covered []int, n int) float64 {
+	if covered == nil {
+		return 1
+	}
+	return float64(len(covered)) / float64(n)
+}
+
+// ProbeTree builds the group-testing search space from the topology: one
+// group per live aggregator (children: its child aggregators plus one atomic
+// group per directly attached source), restricted to the given include set
+// (nil = all live sources). Groups left without live sources are pruned.
+func (e *Engine) ProbeTree(include []int) core.ProbeGroup {
+	var included map[int]bool
+	if include != nil {
+		included = make(map[int]bool, len(include))
+		for _, id := range include {
+			included[id] = true
+		}
+	}
+	var build func(agg int) (core.ProbeGroup, bool)
+	build = func(agg int) (core.ProbeGroup, bool) {
+		if e.failedAggs[agg] {
+			return core.ProbeGroup{}, false
+		}
+		g := core.ProbeGroup{Route: core.Route{Aggregator: true, ID: agg}}
+		for _, src := range e.topo.ChildSources(agg) {
+			if e.failed[src] || (included != nil && !included[src]) {
+				continue
+			}
+			g.Sources = append(g.Sources, src)
+			g.Children = append(g.Children, core.ProbeGroup{
+				Route:   core.Route{ID: src},
+				Sources: []int{src},
+			})
+		}
+		for _, child := range e.topo.ChildAggregators(agg) {
+			cg, ok := build(child)
+			if !ok || len(cg.Sources) == 0 {
+				continue
+			}
+			g.Sources = append(g.Sources, cg.Sources...)
+			g.Children = append(g.Children, cg)
+		}
+		return g, true
+	}
+	g, _ := build(e.topo.Root())
+	return g
+}

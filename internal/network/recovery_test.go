@@ -1,0 +1,275 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// tamperFrom adds delta to every SIES ciphertext leaving aggregator agg —
+// a persistent in-network tamperer (the attack package has richer versions;
+// this local copy avoids an import cycle in-package).
+func tamperFrom(f *uint256.Field, agg int, delta uint64) Interceptor {
+	d := uint256.NewInt(delta)
+	return func(_ prf.Epoch, e Edge, m Message) Message {
+		if e.Kind != EdgeAA && e.Kind != EdgeAQ || e.From != agg {
+			return m
+		}
+		psr, ok := m.(core.PSR)
+		if !ok {
+			return m
+		}
+		return core.PSR{C: f.Add(psr.C, d)}
+	}
+}
+
+// sumOver adds the values of the given contributor ids (nil = all).
+func sumOver(values []uint64, ids []int) float64 {
+	if ids == nil {
+		var s uint64
+		for _, v := range values {
+			s += v
+		}
+		return float64(s)
+	}
+	var s uint64
+	for _, id := range ids {
+		s += values[id]
+	}
+	return float64(s)
+}
+
+func seqValues(n int) []uint64 {
+	values := make([]uint64, n)
+	for i := range values {
+		values[i] = uint64(i + 1)
+	}
+	return values
+}
+
+func TestRecoveryCleanEpochs(t *testing.T) {
+	eng, _ := siesEngine(t, 16, 4)
+	rec := NewRecovery(eng, RecoveryConfig{})
+	values := seqValues(16)
+	for epoch := prf.Epoch(1); epoch <= 3; epoch++ {
+		out := rec.RunEpoch(epoch, values)
+		if !out.Served || out.Recovered {
+			t.Fatalf("epoch %d: %+v", epoch, out)
+		}
+		if out.Sum != sumOver(values, nil) || out.Coverage != 1 {
+			t.Fatalf("epoch %d: sum %v coverage %v", epoch, out.Sum, out.Coverage)
+		}
+	}
+	st := rec.Stats()
+	if st.Clean != 3 || st.Localizations != 0 || st.ProbesIssued != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRecoveryPersistentTamperer(t *testing.T) {
+	eng, proto := siesEngine(t, 16, 4)
+	field := proto.Querier.Params().Field()
+	const evil = 2
+	eng.SetInterceptor(tamperFrom(field, evil, 999))
+	rec := NewRecovery(eng, RecoveryConfig{})
+	values := seqValues(16)
+	topo := eng.Topology()
+	budget := ProbeBudget(topo)
+	bad := topo.ChildSources(evil)
+
+	// Epochs 1 and 2: detected, localized, recovered via re-query. The blame
+	// must name exactly the evil aggregator.
+	for epoch := prf.Epoch(1); epoch <= 2; epoch++ {
+		out := rec.RunEpoch(epoch, values)
+		if !out.Served || !out.Recovered {
+			t.Fatalf("epoch %d not recovered: %+v", epoch, out)
+		}
+		if len(out.Suspects) != 1 || out.Suspects[0].Route != (core.Route{Aggregator: true, ID: evil}) {
+			t.Fatalf("epoch %d suspects %v", epoch, out.Suspects)
+		}
+		if out.Sum != sumOver(values, out.Covered) {
+			t.Fatalf("epoch %d served %v over %v", epoch, out.Sum, out.Covered)
+		}
+		want := sumOver(values, nil) - sumOver(values, bad)
+		if out.Sum != want {
+			t.Fatalf("epoch %d sum %v, want %v", epoch, out.Sum, want)
+		}
+		if out.Probes > budget {
+			t.Fatalf("epoch %d used %d probes, budget %d", epoch, out.Probes, budget)
+		}
+		if out.Coverage != 0.75 {
+			t.Fatalf("epoch %d coverage %v", epoch, out.Coverage)
+		}
+	}
+
+	// Epoch 2 confirmed the route; epoch 3 routes around it pre-emptively —
+	// no localization, no probes, served clean at partial coverage.
+	before := rec.Stats().ProbesIssued
+	out := rec.RunEpoch(3, values)
+	if !out.Served || out.Recovered {
+		t.Fatalf("epoch 3: %+v", out)
+	}
+	if out.Coverage != 0.75 || out.Sum != sumOver(values, nil)-sumOver(values, bad) {
+		t.Fatalf("epoch 3 sum %v coverage %v", out.Sum, out.Coverage)
+	}
+	if rec.Stats().ProbesIssued != before {
+		t.Fatal("pre-emptive exclusion still probed")
+	}
+	if s := rec.Quarantine().StateOf(core.Route{Aggregator: true, ID: evil}); s != core.RouteConfirmed {
+		t.Fatalf("evil aggregator state %v", s)
+	}
+	st := rec.Stats()
+	if st.Recovered != 2 || st.Localizations != 2 || st.Lost != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRecoveryReinstatesAfterFaultClears(t *testing.T) {
+	eng, proto := siesEngine(t, 16, 4)
+	field := proto.Querier.Params().Field()
+	const evil = 3
+	rec := NewRecovery(eng, RecoveryConfig{
+		Quarantine: core.QuarantineConfig{ConfirmAfter: 2, QuarantineEpochs: 3, ProbationEpochs: 2},
+	})
+	values := seqValues(16)
+
+	eng.SetInterceptor(tamperFrom(field, evil, 7))
+	rec.RunEpoch(1, values)
+	rec.RunEpoch(2, values) // confirmed
+	eng.SetInterceptor(nil) // fault clears
+
+	// Three clean (partial-coverage) epochs decay the quarantine; the next
+	// epoch serves at full coverage again with the route on probation.
+	var out EpochOutcome
+	for epoch := prf.Epoch(3); epoch <= 7; epoch++ {
+		out = rec.RunEpoch(epoch, values)
+		if !out.Served {
+			t.Fatalf("epoch %d lost: %v", epoch, out.Err)
+		}
+	}
+	if out.Coverage != 1 {
+		t.Fatalf("coverage %v after fault cleared", out.Coverage)
+	}
+	st := rec.Stats()
+	if st.Quarantine.Reinstated != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	route := core.Route{Aggregator: true, ID: evil}
+	if s := rec.Quarantine().StateOf(route); s != core.RouteProbation && s != core.RouteClear {
+		t.Fatalf("route state %v after reinstatement", s)
+	}
+}
+
+func TestRecoveryColluders(t *testing.T) {
+	// Two tamperers in different subtrees must both be localized in one
+	// procedure and the re-query must route around both.
+	eng, proto := siesEngine(t, 16, 4)
+	field := proto.Querier.Params().Field()
+	ic1, ic2 := tamperFrom(field, 1, 11), tamperFrom(field, 4, 13)
+	eng.SetInterceptor(func(t prf.Epoch, e Edge, m Message) Message {
+		if m = ic1(t, e, m); m == nil {
+			return nil
+		}
+		return ic2(t, e, m)
+	})
+	rec := NewRecovery(eng, RecoveryConfig{})
+	values := seqValues(16)
+	topo := eng.Topology()
+
+	out := rec.RunEpoch(1, values)
+	if !out.Served || !out.Recovered {
+		t.Fatalf("not recovered: %+v", out)
+	}
+	if len(out.Suspects) != 2 {
+		t.Fatalf("suspects %v, want both colluders", out.Suspects)
+	}
+	want := sumOver(values, nil) - sumOver(values, topo.ChildSources(1)) - sumOver(values, topo.ChildSources(4))
+	if out.Sum != want {
+		t.Fatalf("sum %v, want %v", out.Sum, want)
+	}
+	if out.Coverage != 0.5 {
+		t.Fatalf("coverage %v", out.Coverage)
+	}
+}
+
+func TestRecoveryRootTamperLosesEpochExplicitly(t *testing.T) {
+	// The root's out-edge cannot be routed around: the epoch must be reported
+	// lost (never a wrong answer), with every route blamed.
+	eng, proto := siesEngine(t, 16, 4)
+	field := proto.Querier.Params().Field()
+	eng.SetInterceptor(tamperFrom(field, eng.Topology().Root(), 5))
+	rec := NewRecovery(eng, RecoveryConfig{})
+	values := seqValues(16)
+
+	out := rec.RunEpoch(1, values)
+	if out.Served {
+		t.Fatalf("root tamper served a result: %+v", out)
+	}
+	if out.Err == nil || !strings.Contains(out.Err.Error(), "blamed every route") {
+		t.Fatalf("err %v", out.Err)
+	}
+	if out.Probes > ProbeBudget(eng.Topology()) {
+		t.Fatalf("%d probes over budget", out.Probes)
+	}
+	if rec.Stats().Lost != 1 {
+		t.Fatalf("stats %+v", rec.Stats())
+	}
+}
+
+func TestRecoveryProbeTrafficAccounting(t *testing.T) {
+	eng, proto := siesEngine(t, 16, 4)
+	field := proto.Querier.Params().Field()
+	eng.SetInterceptor(tamperFrom(field, 2, 3))
+	rec := NewRecovery(eng, RecoveryConfig{})
+	values := seqValues(16)
+	out := rec.RunEpoch(1, values)
+	if !out.Served {
+		t.Fatal(out.Err)
+	}
+	st := eng.Stats()
+	if st.Probes != out.Probes {
+		t.Fatalf("engine counted %d probe runs, outcome says %d", st.Probes, out.Probes)
+	}
+	// First pass (failed, still counts traffic but not an Epoch) + re-query.
+	if st.Epochs != 1 {
+		t.Fatalf("engine epochs %d, want 1 (only the served re-query)", st.Epochs)
+	}
+}
+
+func TestProbeTreeRestriction(t *testing.T) {
+	eng, _ := siesEngine(t, 16, 4)
+	if err := eng.FailSource(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FailAggregator(4); err != nil {
+		t.Fatal(err)
+	}
+	include := []int{0, 1, 2, 3, 4, 5, 12, 13, 14, 15} // 12-15 live under failed agg 4
+	tree := eng.ProbeTree(include)
+	seen := map[int]bool{}
+	var walk func(g core.ProbeGroup)
+	walk = func(g core.ProbeGroup) {
+		if !g.Route.Aggregator {
+			seen[g.Route.ID] = true
+		}
+		for _, c := range g.Children {
+			walk(c)
+		}
+	}
+	walk(tree)
+	// Failed source 0 and agg 4's subtree (12-15) must be pruned; the rest of
+	// the include set must be present as atomic groups.
+	for _, id := range []int{1, 2, 3, 4, 5} {
+		if !seen[id] {
+			t.Fatalf("source %d missing from probe tree", id)
+		}
+	}
+	for _, id := range []int{0, 12, 13, 14, 15, 6, 7} {
+		if seen[id] {
+			t.Fatalf("source %d should be pruned from probe tree", id)
+		}
+	}
+}

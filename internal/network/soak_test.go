@@ -1,0 +1,297 @@
+// Seeded soak tests: hundreds of epochs of sustained attack plus churn. The
+// CI chaos-soak job runs these (and the chaos transport tests) with -race;
+// every run is deterministic in its seed. The invariants are the PR's
+// acceptance bar: a served SUM is always exact over its reported coverage,
+// every corrupted epoch is recovered or explicitly lost, localization stays
+// within its probe budget, and the quarantine drains after the fault clears.
+package network_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"testing"
+
+	"github.com/sies/sies/internal/attack"
+	"github.com/sies/sies/internal/chaos"
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/workload"
+)
+
+// soakReport is the recovery-stats artifact uploaded by CI.
+type soakReport struct {
+	Name           string                `json:"name"`
+	Seed           int64                 `json:"seed"`
+	Epochs         int                   `json:"epochs"`
+	WrongAnswers   int                   `json:"wrong_answers"`
+	ServedFraction float64               `json:"served_fraction"`
+	ProbeBudget    int                   `json:"probe_budget"`
+	Recovery       network.RecoveryStats `json:"recovery"`
+}
+
+// writeSoakStats appends the report to $SIES_SOAK_STATS when set (CI uploads
+// that file as the chaos-soak artifact).
+func writeSoakStats(t *testing.T, rep soakReport) {
+	t.Helper()
+	path := os.Getenv("SIES_SOAK_STATS")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Logf("soak stats: %v", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(rep); err != nil {
+		t.Logf("soak stats: %v", err)
+	}
+}
+
+func soakEngine(t *testing.T, n, fanout int) (*network.Engine, *network.SIESProtocol) {
+	t.Helper()
+	topo, err := network.CompleteTree(n, fanout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := network.NewSIESProtocol(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := network.NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, proto
+}
+
+func exactOver(values []uint64, ids []int, n int) float64 {
+	if ids == nil {
+		ids = make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	var s uint64
+	for _, id := range ids {
+		s += values[id]
+	}
+	return float64(s)
+}
+
+// TestSoakPersistentTamper pins a tampering adversary at a mid-tier
+// aggregator for most of the run, with crash-stop churn underneath. After
+// the first localization every epoch must be served exactly; once the
+// adversary stops, the quarantine must drain and coverage must return to
+// full.
+func TestSoakPersistentTamper(t *testing.T) {
+	const (
+		n      = 64
+		fanout = 4
+		seed   = 7
+		evil   = 2 // mid-tier aggregator: 16 sources beneath it
+	)
+	epochs := 400
+	if testing.Short() {
+		epochs = 80
+	}
+	attackFrom := prf.Epoch(10)
+	cleanTail := epochs / 4 // the last stretch runs clean
+	if cleanTail < 30 {
+		cleanTail = 30
+	}
+	attackUntil := prf.Epoch(epochs - cleanTail)
+
+	eng, proto := soakEngine(t, n, fanout)
+	field := proto.Querier.Params().Field()
+	adv := attack.NewPersistent(field, evil, 424242, attackFrom)
+	eng.SetInterceptor(adv.Interceptor())
+	rec := network.NewRecovery(eng, network.RecoveryConfig{
+		// Decay fast enough that the clean tail provably drains the registry
+		// even after relapse growth: 20 + 5 clean epochs worst case.
+		Quarantine: core.QuarantineConfig{QuarantineEpochs: 10, ProbationEpochs: 5, MaxQuarantineEpochs: 20},
+	})
+	budget := network.ProbeBudget(eng.Topology())
+
+	rng := rand.New(rand.NewSource(seed))
+	churn := chaos.RandomChurn(rng, epochs, n, eng.Topology().NumAggregators(), 0.01, 0.2)
+
+	wrong, served, firstLocalized := 0, 0, prf.Epoch(0)
+	for epoch := prf.Epoch(1); epoch <= prf.Epoch(epochs); epoch++ {
+		if epoch == attackUntil {
+			adv.Stop()
+		}
+		if err := churn.Apply(epoch, eng); err != nil {
+			t.Fatal(err)
+		}
+		values := workload.UniformReadings(n, workload.Scale1000, rng)
+		out := rec.RunEpoch(epoch, values)
+		if out.Served {
+			served++
+			if out.Sum != exactOver(values, out.Covered, n) {
+				wrong++
+				t.Errorf("epoch %d: served %v over %v (coverage %.2f)", epoch, out.Sum, out.Covered, out.Coverage)
+			}
+		}
+		if out.Recovered && firstLocalized == 0 {
+			firstLocalized = epoch
+		}
+		if out.Probes > budget {
+			t.Errorf("epoch %d: %d probes over budget %d", epoch, out.Probes, budget)
+		}
+	}
+
+	st := rec.Stats()
+	rep := soakReport{
+		Name: "persistent-tamper", Seed: seed, Epochs: epochs,
+		WrongAnswers: wrong, ServedFraction: float64(served) / float64(epochs),
+		ProbeBudget: budget, Recovery: st,
+	}
+	writeSoakStats(t, rep)
+
+	if wrong != 0 {
+		t.Fatalf("%d wrong answers", wrong)
+	}
+	if firstLocalized == 0 {
+		t.Fatal("adversary was never localized")
+	}
+	if rep.ServedFraction < 0.95 {
+		t.Fatalf("served %.1f%% of epochs, want ≥95%%", 100*rep.ServedFraction)
+	}
+	if st.BudgetAborts != 0 {
+		t.Fatalf("single tamperer exhausted the probe budget %d times", st.BudgetAborts)
+	}
+	if adv.Tampers() == 0 {
+		t.Fatal("adversary never fired: the soak tested nothing")
+	}
+	// The last quarter ran clean: the quarantine must have drained.
+	if p := rec.Quarantine().Population(); p.Total() != 0 {
+		t.Fatalf("quarantine still holds %+v after the fault cleared", p)
+	}
+	if st.Quarantine.Reinstated == 0 {
+		t.Fatal("the evil aggregator was never reinstated")
+	}
+}
+
+// TestSoakAdaptiveAdversary lets the tamperer relocate once its subtree is
+// quarantined — each new position must be localized in turn, and served sums
+// must stay exact throughout.
+func TestSoakAdaptiveAdversary(t *testing.T) {
+	const (
+		n      = 64
+		fanout = 4
+		seed   = 11
+	)
+	epochs := 300
+	if testing.Short() {
+		epochs = 80
+	}
+	eng, proto := soakEngine(t, n, fanout)
+	field := proto.Querier.Params().Field()
+	// Cycle over three mid-tier aggregators, moving after 2 silent epochs.
+	adv := attack.NewAdaptive(field, []int{1, 2, 3}, 99991, 5, 2)
+	eng.SetInterceptor(adv.Interceptor())
+	rec := network.NewRecovery(eng, network.RecoveryConfig{})
+	budget := network.ProbeBudget(eng.Topology())
+
+	rng := rand.New(rand.NewSource(seed))
+	wrong, served := 0, 0
+	for epoch := prf.Epoch(1); epoch <= prf.Epoch(epochs); epoch++ {
+		values := workload.UniformReadings(n, workload.Scale1000, rng)
+		out := rec.RunEpoch(epoch, values)
+		if out.Served {
+			served++
+			if out.Sum != exactOver(values, out.Covered, n) {
+				wrong++
+				t.Errorf("epoch %d: served %v over %v", epoch, out.Sum, out.Covered)
+			}
+		}
+		if out.Probes > budget {
+			t.Errorf("epoch %d: %d probes over budget %d", epoch, out.Probes, budget)
+		}
+	}
+
+	st := rec.Stats()
+	rep := soakReport{
+		Name: "adaptive-adversary", Seed: seed, Epochs: epochs,
+		WrongAnswers: wrong, ServedFraction: float64(served) / float64(epochs),
+		ProbeBudget: budget, Recovery: st,
+	}
+	writeSoakStats(t, rep)
+
+	if wrong != 0 {
+		t.Fatalf("%d wrong answers", wrong)
+	}
+	if rep.ServedFraction < 0.95 {
+		t.Fatalf("served %.1f%% of epochs, want ≥95%%", 100*rep.ServedFraction)
+	}
+	if adv.Moves() == 0 {
+		t.Fatal("adversary never relocated: quarantine never silenced it")
+	}
+	if st.Quarantine.Relapses == 0 && st.Localizations < 2 {
+		t.Fatalf("relocations were not re-localized: %+v", st)
+	}
+}
+
+// TestChaosByzantineSoak drives a random byzantine schedule — aggregators
+// that tamper or blackhole for bounded intervals, anywhere but the root —
+// under churn. Whatever the fault pattern, a served SUM must be exact over
+// its reported coverage and localization must stay within budget.
+func TestChaosByzantineSoak(t *testing.T) {
+	const (
+		n      = 64
+		fanout = 4
+		seed   = 23
+	)
+	epochs := 300
+	if testing.Short() {
+		epochs = 80
+	}
+	eng, proto := soakEngine(t, n, fanout)
+	field := proto.Querier.Params().Field()
+	rng := rand.New(rand.NewSource(seed))
+	byz := chaos.RandomByzantine(rng, eng.Topology().NumAggregators(), epochs, 6)
+	eng.SetInterceptor(attack.FromByzantine(field, byz))
+	rec := network.NewRecovery(eng, network.RecoveryConfig{})
+	budget := network.ProbeBudget(eng.Topology())
+	churn := chaos.RandomChurn(rng, epochs, n, eng.Topology().NumAggregators(), 0.005, 0.2)
+
+	wrong, served := 0, 0
+	for epoch := prf.Epoch(1); epoch <= prf.Epoch(epochs); epoch++ {
+		if err := churn.Apply(epoch, eng); err != nil {
+			t.Fatal(err)
+		}
+		values := workload.UniformReadings(n, workload.Scale1000, rng)
+		out := rec.RunEpoch(epoch, values)
+		if out.Served {
+			served++
+			if out.Sum != exactOver(values, out.Covered, n) {
+				wrong++
+				t.Errorf("epoch %d: served %v over %v", epoch, out.Sum, out.Covered)
+			}
+		}
+	}
+
+	st := rec.Stats()
+	rep := soakReport{
+		Name: "byzantine-churn", Seed: seed, Epochs: epochs,
+		WrongAnswers: wrong, ServedFraction: float64(served) / float64(epochs),
+		ProbeBudget: budget, Recovery: st,
+	}
+	writeSoakStats(t, rep)
+
+	if wrong != 0 {
+		t.Fatalf("%d wrong answers", wrong)
+	}
+	// Byzantine faults move around and collude, so hold a softer service bar
+	// than the pinned-adversary soak — but every epoch must be accounted for.
+	if st.Clean+st.Recovered+st.Lost != epochs {
+		t.Fatalf("epoch accounting: %+v over %d epochs", st, epochs)
+	}
+	if rep.ServedFraction < 0.90 {
+		t.Fatalf("served %.1f%% of epochs, want ≥90%%", 100*rep.ServedFraction)
+	}
+}

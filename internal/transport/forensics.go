@@ -1,0 +1,267 @@
+// Querier-side forensics: localization and quarantine over a live transport.
+//
+// The TCP protocol is push-based — the root streams one final PSR per epoch —
+// so the querier cannot re-aggregate subsets through the frame protocol
+// itself. Deployments that can issue subset re-queries (a control channel to
+// the aggregation tree, or the in-memory engine in tests and simulations)
+// plug that capability in as a ProbeFunc-shaped backend via ForensicsConfig;
+// the QuerierNode then turns every integrity rejection into a recovery
+// attempt instead of a lost epoch:
+//
+//  1. Fast path: if routes are already confirmed-quarantined, one re-query
+//     excluding them (a single probe) — a known persistent adversary costs
+//     one extra round-trip per epoch, not a full localization.
+//  2. Full path: group-testing descent (core.Localizer) over the probe tree,
+//     bounded by a probe budget and a wall-clock deadline, paced by the
+//     transport's Backoff policy between rounds.
+//  3. Verified re-query excluding every blamed route; the epoch is served
+//     with explicit coverage, or reported lost.
+package transport
+
+import (
+	"errors"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+)
+
+// ErrForensicsDeadline reports a localization cut off by its per-epoch
+// wall-clock deadline; the suspects gathered so far still cover the corrupted
+// routes, so recovery proceeds with them.
+var ErrForensicsDeadline = errors.New("transport: forensics deadline exceeded")
+
+// ProbeFunc issues one verified subset re-query over the deployment for the
+// given epoch and contributor ids. Implementations re-aggregate the restricted
+// set along the existing topology and evaluate at the querier.
+type ProbeFunc func(t prf.Epoch, ids []int) (core.Result, error)
+
+// ForensicsConfig wires a probe backend into a QuerierNode.
+type ForensicsConfig struct {
+	// Tree returns the current group-testing search space (one group per
+	// reachable aggregator, atomic groups per source). Called once per
+	// localization so topology changes between epochs are picked up.
+	Tree func() core.ProbeGroup
+	// Probe issues one subset re-query. Required.
+	Probe ProbeFunc
+	// Budget caps the probes of one localization (default
+	// core.DefaultMaxProbes). The final re-query is not counted.
+	Budget int
+	// Deadline bounds one forensic procedure's wall-clock time, probes
+	// included (default: none). On expiry the unresolved groups are blamed
+	// wholesale, which keeps the exclusion sound.
+	Deadline time.Duration
+	// Backoff paces descent rounds so probe re-queries cannot stampede a
+	// deployment that is already under attack. Nil means no pauses.
+	Backoff *Backoff
+	// Quarantine tunes the suspect → confirmed → probation registry.
+	Quarantine core.QuarantineConfig
+}
+
+// ForensicsStats accumulates the recovery counters surfaced through Health.
+type ForensicsStats struct {
+	Localizations  int // full group-testing procedures run
+	ProbesIssued   int // subset re-queries across all localizations
+	ProbeRounds    int // descent rounds across all localizations
+	FastRecoveries int // epochs recovered by the quarantine fast path alone
+	Recovered      int // rejected epochs served after localization + re-query
+	Lost           int // rejected epochs that stayed lost
+	BudgetAborts   int // localizations cut off by the probe budget
+	DeadlineAborts int // localizations cut off by the deadline
+
+	Quarantine    core.QuarantineStats      // cumulative state transitions
+	QuarantineNow core.QuarantinePopulation // current census
+}
+
+// forensics is the per-querier recovery engine.
+type forensics struct {
+	cfg        ForensicsConfig
+	localizer  *core.Localizer
+	quarantine *core.Quarantine
+	stats      ForensicsStats
+	sleep      func(time.Duration) // test seam
+	now        func() time.Time    // test seam
+}
+
+// EnableForensics installs a probe backend; from now on integrity-rejected
+// epochs trigger localization and verified re-query instead of surfacing the
+// rejection directly. Must be called before Run.
+func (qn *QuerierNode) EnableForensics(cfg ForensicsConfig) error {
+	if cfg.Probe == nil || cfg.Tree == nil {
+		return errors.New("transport: forensics needs Tree and Probe backends")
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = core.DefaultMaxProbes
+	}
+	var backoff *Backoff
+	if cfg.Backoff != nil {
+		b := cfg.Backoff.withDefaults()
+		backoff = &b
+	}
+	f := &forensics{
+		cfg:        cfg,
+		quarantine: core.NewQuarantine(cfg.Quarantine),
+		sleep:      time.Sleep,
+		now:        time.Now,
+	}
+	lcfg := core.LocalizerConfig{MaxProbes: cfg.Budget}
+	if backoff != nil {
+		lcfg.Backoff = func(round int) time.Duration { return backoff.Delay(round - 1) }
+		lcfg.Sleep = func(d time.Duration) { f.sleep(d) }
+	}
+	f.localizer = core.NewLocalizer(lcfg)
+	qn.forensics = f
+	return nil
+}
+
+// ForensicsStats snapshots the recovery counters (zero value when forensics
+// is not enabled).
+func (qn *QuerierNode) ForensicsStats() ForensicsStats {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	if qn.forensics == nil {
+		return ForensicsStats{}
+	}
+	s := qn.forensics.stats
+	s.Quarantine = qn.forensics.quarantine.Stats()
+	s.QuarantineNow = qn.forensics.quarantine.Population()
+	return s
+}
+
+// integrityRejection classifies an evaluation error as tampering (overflow
+// counts: a tampered value field overflows as easily as it mismatches).
+func integrityRejection(err error) bool {
+	return errors.Is(err, core.ErrIntegrity) || errors.Is(err, core.ErrResultOverflow)
+}
+
+// tick records one clean epoch with the quarantine registry.
+func (qn *QuerierNode) tickForensics() {
+	if qn.forensics != nil {
+		qn.forensics.quarantine.Tick()
+	}
+}
+
+// recover attempts to turn an integrity-rejected epoch into a served partial
+// result. reported is the epoch's reported-failed id list; out is the
+// rejection result, returned enriched (or unchanged when recovery fails).
+// Called from the serve loop; forensics state is guarded by qn.mu.
+func (qn *QuerierNode) recover(t prf.Epoch, reported []int, out EpochResult) EpochResult {
+	f := qn.forensics
+	n := qn.q.Params().N()
+	start := f.now()
+
+	// Fast path: a known quarantined culprit explains the failure — one
+	// re-query around the confirmed set, no localization.
+	excluded := f.quarantine.Excluded()
+	if len(excluded) > 0 {
+		if res, err := f.probeOver(t, n, reported, excluded); err == nil {
+			qn.mu.Lock()
+			f.stats.FastRecoveries++
+			f.stats.Recovered++
+			qn.mu.Unlock()
+			return servedResult(t, n, res, reported, excluded)
+		}
+	}
+
+	// Full localization over the currently reachable tree.
+	probe := func(ids []int) (bool, error) {
+		if f.cfg.Deadline > 0 && f.now().Sub(start) > f.cfg.Deadline {
+			return false, ErrForensicsDeadline
+		}
+		live := subtract(ids, reported)
+		if len(live) == 0 {
+			return true, nil // nothing of the group is live; it cannot explain the failure
+		}
+		_, perr := f.cfg.Probe(t, live)
+		switch {
+		case perr == nil:
+			return true, nil
+		case integrityRejection(perr):
+			return false, nil
+		default:
+			return false, perr
+		}
+	}
+	suspects, lstats, lerr := f.localizer.Localize(f.cfg.Tree(), probe)
+
+	qn.mu.Lock()
+	f.stats.Localizations++
+	f.stats.ProbesIssued += lstats.Probes
+	f.stats.ProbeRounds += lstats.Rounds
+	switch {
+	case errors.Is(lerr, core.ErrProbeBudget):
+		f.stats.BudgetAborts++
+	case errors.Is(lerr, ErrForensicsDeadline):
+		f.stats.DeadlineAborts++
+	}
+	qn.mu.Unlock()
+	for _, s := range suspects {
+		f.quarantine.Report(s.Route, s.Sources)
+	}
+	out.Probes = lstats.Probes
+
+	blame := core.UnionSources(suspects)
+	exclude := core.NormalizeIDs(append(append([]int(nil), excluded...), blame...))
+	if len(exclude) == 0 || len(exclude) >= n {
+		qn.mu.Lock()
+		f.stats.Lost++
+		qn.mu.Unlock()
+		return out // nothing to route around (or everything blamed): stays lost
+	}
+	res, err := f.probeOver(t, n, reported, exclude)
+	if err != nil {
+		qn.mu.Lock()
+		f.stats.Lost++
+		qn.mu.Unlock()
+		return out
+	}
+	qn.mu.Lock()
+	f.stats.Recovered++
+	qn.mu.Unlock()
+	served := servedResult(t, n, res, reported, exclude)
+	served.Probes = lstats.Probes
+	return served
+}
+
+// probeOver re-queries the epoch over all sources minus the reported-failed
+// and excluded sets.
+func (f *forensics) probeOver(t prf.Epoch, n int, reported, excluded []int) (core.Result, error) {
+	drop := core.NormalizeIDs(append(append([]int(nil), reported...), excluded...))
+	include := core.Subtract(n, drop)
+	if len(include) == 0 {
+		return core.Result{}, errors.New("transport: every source excluded")
+	}
+	return f.cfg.Probe(t, include)
+}
+
+// servedResult assembles a recovered EpochResult.
+func servedResult(t prf.Epoch, n int, res core.Result, reported, excluded []int) EpochResult {
+	return EpochResult{
+		Epoch:        t,
+		Sum:          res.Sum,
+		Contributors: res.N,
+		Coverage:     float64(res.N) / float64(n),
+		Partial:      true,
+		Recovered:    true,
+		Failed:       reported,
+		Excluded:     excluded,
+	}
+}
+
+// subtract returns ids minus the drop list (both need not be sorted).
+func subtract(ids, drop []int) []int {
+	if len(drop) == 0 {
+		return ids
+	}
+	dropSet := make(map[int]bool, len(drop))
+	for _, id := range drop {
+		dropSet[id] = true
+	}
+	var out []int
+	for _, id := range ids {
+		if !dropSet[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// forensicsRig is a querier with a live TCP session from an "evil root" and an
+// in-memory probe backend simulating a two-aggregator tree:
+//
+//	agg0 (root) ← agg1 ← sources 0-3 ; agg2 ← sources 4-7
+//
+// The adversary sits on agg1's out-edge and tampers everything it forwards —
+// final PSRs and probe re-queries alike — while `tampered(t)` holds.
+type forensicsRig struct {
+	q       *core.Querier
+	sources []*core.Source
+	values  []uint64
+	field   *uint256.Field
+	delta   uint256.Int
+
+	qn   *QuerierNode
+	conn net.Conn
+}
+
+// tampered says whether the agg1 adversary is active at epoch t: it attacks
+// epochs 1 and 2, then the compromise clears.
+func tampered(t prf.Epoch) bool { return t <= 2 }
+
+// newForensicsRig builds the rig; configure (optional) runs after
+// EnableForensics but before the querier serves, so tests can adjust the
+// forensics engine without racing the serve goroutine.
+func newForensicsRig(t *testing.T, qc core.QuarantineConfig, configure func(*forensics)) *forensicsRig {
+	t.Helper()
+	const n = 8
+	q, sources, err := core.Setup(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &forensicsRig{
+		q: q, sources: sources,
+		values: make([]uint64, n),
+		field:  q.Params().Field(),
+		delta:  uint256.NewInt(99991),
+	}
+	for i := range r.values {
+		r.values[i] = uint64(i + 1)
+	}
+
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qn.EnableForensics(ForensicsConfig{
+		Tree:       r.tree,
+		Probe:      r.probe,
+		Quarantine: qc,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if configure != nil {
+		configure(qn.forensics)
+	}
+	go qn.Run()
+	r.qn = qn
+
+	conn, err := net.Dial("tcp", qn.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	if err := WriteFrame(conn, Frame{Type: TypeHello, Payload: core.EncodeContributors(all)}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := ReadFrame(conn); err != nil || ack.Type != TypeHello {
+		t.Fatalf("hello-ack: %+v (%v)", ack, err)
+	}
+	r.conn = conn
+	t.Cleanup(func() { conn.Close(); qn.Close() })
+	return r
+}
+
+// tree is the querier's map of the aggregation topology for group testing.
+func (r *forensicsRig) tree() core.ProbeGroup {
+	atomic := func(ids ...int) []core.ProbeGroup {
+		out := make([]core.ProbeGroup, len(ids))
+		for i, id := range ids {
+			out[i] = core.ProbeGroup{Route: core.Route{ID: id}, Sources: []int{id}}
+		}
+		return out
+	}
+	return core.ProbeGroup{
+		Route:   core.Route{Aggregator: true, ID: 0},
+		Sources: []int{0, 1, 2, 3, 4, 5, 6, 7},
+		Children: []core.ProbeGroup{
+			{Route: core.Route{Aggregator: true, ID: 1}, Sources: []int{0, 1, 2, 3}, Children: atomic(0, 1, 2, 3)},
+			{Route: core.Route{Aggregator: true, ID: 2}, Sources: []int{4, 5, 6, 7}, Children: atomic(4, 5, 6, 7)},
+		},
+	}
+}
+
+// merge re-aggregates the given subset honestly, then applies the agg1
+// adversary if any of its subtree is included and the attack is live.
+func (r *forensicsRig) merge(t prf.Epoch, ids []int) (core.PSR, error) {
+	agg := core.NewAggregator(r.field)
+	acc := agg.NewMerge()
+	viaAgg1 := false
+	for _, id := range ids {
+		psr, err := r.sources[id].Encrypt(t, r.values[id])
+		if err != nil {
+			return core.PSR{}, err
+		}
+		acc.Add(psr)
+		if id < 4 {
+			viaAgg1 = true
+		}
+	}
+	final := acc.Final()
+	if viaAgg1 && tampered(t) {
+		final = core.PSR{C: r.field.Add(final.C, r.delta)}
+	}
+	return final, nil
+}
+
+// probe is the subset re-query backend handed to EnableForensics.
+func (r *forensicsRig) probe(t prf.Epoch, ids []int) (core.Result, error) {
+	final, err := r.merge(t, ids)
+	if err != nil {
+		return core.Result{}, err
+	}
+	return r.q.EvaluateSubset(t, final, ids)
+}
+
+// push sends the root's final PSR for epoch t over the wire and returns the
+// querier's EpochResult plus the decoded ack.
+func (r *forensicsRig) push(t *testing.T, epoch prf.Epoch) (EpochResult, bool) {
+	t.Helper()
+	all := make([]int, len(r.sources))
+	for i := range all {
+		all[i] = i
+	}
+	final, err := r.merge(epoch, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(r.conn, Frame{Type: TypePSR, Epoch: uint64(epoch),
+		Payload: encodeReport(final, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	var res EpochResult
+	select {
+	case res = <-r.qn.Results:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("no result for epoch %d", epoch)
+	}
+	ack, err := ReadFrame(r.conn)
+	if err != nil || ack.Type != TypeResult {
+		t.Fatalf("epoch %d ack: %+v (%v)", epoch, ack, err)
+	}
+	_, ok, err := DecodeResult(ack.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, ok
+}
+
+// TestForensicsRecoversOverTCP drives the full story end to end: a root
+// tampered at agg1 pushes corrupted finals for two epochs; the querier
+// localizes, quarantines, recovers both epochs via verified re-query (the
+// second through the fast path), then reinstates the subtree once the
+// compromise clears.
+func TestForensicsRecoversOverTCP(t *testing.T) {
+	r := newForensicsRig(t, core.QuarantineConfig{
+		ConfirmAfter:     1, // first conviction quarantines
+		QuarantineEpochs: 2,
+		ProbationEpochs:  1,
+	}, nil)
+	cleanSum := uint64(5 + 6 + 7 + 8) // sources 4-7
+
+	// Epoch 1: full localization pinpoints agg1, re-query serves the rest.
+	res, acked := r.push(t, 1)
+	if res.Err != nil {
+		t.Fatalf("epoch 1 not recovered: %v", res.Err)
+	}
+	if !res.Recovered || !acked {
+		t.Fatalf("epoch 1 recovered=%v acked=%v", res.Recovered, acked)
+	}
+	if res.Sum != cleanSum || res.Contributors != 4 || res.Coverage != 0.5 {
+		t.Fatalf("epoch 1 sum=%d n=%d cov=%f", res.Sum, res.Contributors, res.Coverage)
+	}
+	if want := []int{0, 1, 2, 3}; len(res.Excluded) != 4 || res.Excluded[0] != 0 || res.Excluded[3] != 3 {
+		t.Fatalf("epoch 1 excluded %v, want %v", res.Excluded, want)
+	}
+	if res.Probes == 0 {
+		t.Fatal("epoch 1 recovered without probes")
+	}
+	fs := r.qn.ForensicsStats()
+	if fs.Localizations != 1 || fs.Recovered != 1 || fs.FastRecoveries != 0 {
+		t.Fatalf("after epoch 1: %+v", fs)
+	}
+	if fs.QuarantineNow.Confirmed != 1 {
+		t.Fatalf("agg1 not quarantined: %+v", fs.QuarantineNow)
+	}
+
+	// Epoch 2: the quarantined culprit explains the failure — fast path, no
+	// second localization.
+	res, _ = r.push(t, 2)
+	if res.Err != nil || !res.Recovered || res.Sum != cleanSum {
+		t.Fatalf("epoch 2: %+v", res)
+	}
+	if res.Probes != 0 {
+		t.Fatalf("epoch 2 ran %d localization probes, want fast path", res.Probes)
+	}
+	fs = r.qn.ForensicsStats()
+	if fs.Localizations != 1 || fs.FastRecoveries != 1 || fs.Recovered != 2 {
+		t.Fatalf("after epoch 2: %+v", fs)
+	}
+
+	// The compromise clears; clean epochs drain the quarantine until agg1's
+	// subtree is reinstated and full coverage returns.
+	var last EpochResult
+	for epoch := prf.Epoch(3); epoch <= 6; epoch++ {
+		last, _ = r.push(t, epoch)
+		if last.Err != nil || last.Recovered {
+			t.Fatalf("clean epoch %d: %+v", epoch, last)
+		}
+	}
+	if last.Sum != 36 || last.Contributors != 8 {
+		t.Fatalf("final epoch sum=%d n=%d, want full coverage", last.Sum, last.Contributors)
+	}
+	fs = r.qn.ForensicsStats()
+	if fs.Quarantine.Reinstated != 1 {
+		t.Fatalf("Reinstated = %d, want 1 (%+v)", fs.Quarantine.Reinstated, fs)
+	}
+	if fs.QuarantineNow.Total() != 0 {
+		t.Fatalf("quarantine not drained: %+v", fs.QuarantineNow)
+	}
+	h := r.qn.Health()
+	if h.Forensics.Recovered != 2 || h.Rejected != 0 {
+		t.Fatalf("health: %+v", h)
+	}
+	if h.Epochs != 6 || h.Partial != 2 || h.Full != 4 {
+		t.Fatalf("health epochs=%d partial=%d full=%d", h.Epochs, h.Partial, h.Full)
+	}
+}
+
+// TestForensicsDeadlineAbortStillRecovers pins the deadline path: the clock is
+// advanced one step per probe so the budgeted descent is cut off mid-round.
+// The localizer blames the unresolved group wholesale — a sound cover — and
+// the re-query still serves the epoch.
+func TestForensicsDeadlineAbortStillRecovers(t *testing.T) {
+	var ticks time.Duration
+	base := time.Unix(0, 0)
+	r := newForensicsRig(t, core.QuarantineConfig{ConfirmAfter: 1}, func(f *forensics) {
+		f.cfg.Deadline = 3 * time.Millisecond
+		f.now = func() time.Time {
+			ticks++
+			return base.Add(ticks * time.Millisecond)
+		}
+	})
+
+	// Probe 4 (the first atomic probe under agg1) exceeds the deadline; agg1
+	// is blamed wholesale and the epoch is still served over sources 4-7.
+	res, _ := r.push(t, 1)
+	if res.Err != nil || !res.Recovered || res.Sum != 5+6+7+8 {
+		t.Fatalf("deadline epoch: %+v", res)
+	}
+	fs := r.qn.ForensicsStats()
+	if fs.DeadlineAborts != 1 {
+		t.Fatalf("DeadlineAborts = %d, want 1 (%+v)", fs.DeadlineAborts, fs)
+	}
+	if fs.QuarantineNow.Confirmed != 1 {
+		t.Fatalf("wholesale blame not quarantined: %+v", fs.QuarantineNow)
+	}
+}
+
+// TestForensicsBudgetAbortStillRecovers pins the probe-budget path the same
+// way: Budget 2 allows the whole-set probe and one child probe, then aborts;
+// the frontier is blamed wholesale and recovery proceeds over what remains.
+func TestForensicsBudgetAbortStillRecovers(t *testing.T) {
+	r := newForensicsRig(t, core.QuarantineConfig{ConfirmAfter: 1}, func(f *forensics) {
+		f.localizer = core.NewLocalizer(core.LocalizerConfig{MaxProbes: 2})
+	})
+
+	res, _ := r.push(t, 1)
+	fs := r.qn.ForensicsStats()
+	if fs.BudgetAborts != 1 {
+		t.Fatalf("BudgetAborts = %d, want 1 (%+v)", fs.BudgetAborts, fs)
+	}
+	// With only two probes the blame may cover agg1 alone (recoverable) — it
+	// must never produce a wrong answer.
+	if res.Err == nil && res.Recovered && res.Sum != 5+6+7+8 {
+		t.Fatalf("budget-aborted epoch served a wrong sum: %+v", res)
+	}
+}
+
+func TestEnableForensicsValidates(t *testing.T) {
+	q, _, err := core.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qn.Close()
+	if err := qn.EnableForensics(ForensicsConfig{}); err == nil {
+		t.Fatal("forensics enabled without a probe backend")
+	}
+	if qn.ForensicsStats() != (ForensicsStats{}) {
+		t.Fatal("stats non-zero with forensics disabled")
+	}
+}

@@ -654,8 +654,12 @@ type EpochResult struct {
 	Epoch        prf.Epoch
 	Sum          uint64
 	Contributors int
-	Partial      bool  // some sources did not contribute
-	Failed       []int // sorted non-contributor ids
+	Coverage     float64 // contributing fraction of the deployment (recovered epochs)
+	Partial      bool    // some sources did not contribute
+	Recovered    bool    // served via forensic localization and re-query
+	Failed       []int   // sorted non-contributor ids
+	Excluded     []int   // sorted ids excluded by quarantine/localization
+	Probes       int     // localization probes spent on this epoch
 	Err          error
 }
 
@@ -673,6 +677,10 @@ type Health struct {
 	// KeySchedule snapshots the evaluation engine's counters: derivations,
 	// cache hits/misses, prefetch wins and cumulative eval latency.
 	KeySchedule core.ScheduleStats
+
+	// Forensics snapshots the recovery counters (zero when no probe backend
+	// is installed — see EnableForensics).
+	Forensics ForensicsStats
 }
 
 // QuerierNode terminates the tree: it accepts the root aggregator's
@@ -685,10 +693,11 @@ type QuerierNode struct {
 	ln      net.Listener
 	Results chan EpochResult
 
-	mu       sync.Mutex
-	lastEval uint64
-	health   Health
-	roots    int
+	mu        sync.Mutex
+	lastEval  uint64
+	health    Health
+	roots     int
+	forensics *forensics
 }
 
 // NewQuerierNode starts listening for the root aggregator. Evaluation runs
@@ -729,6 +738,7 @@ func (qn *QuerierNode) Health() Health {
 	}
 	qn.mu.Unlock()
 	h.KeySchedule = qn.sched.Stats()
+	h.Forensics = qn.ForensicsStats()
 	return h
 }
 
@@ -810,13 +820,18 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 			}
 			res, evalErr := qn.sched.Evaluate(t, psr, contributors)
 			out := EpochResult{Epoch: t, Failed: failed, Partial: len(failed) > 0, Err: evalErr}
-			if evalErr == nil {
+			switch {
+			case evalErr == nil:
 				out.Sum = res.Sum
 				out.Contributors = res.N
+				out.Coverage = float64(res.N) / float64(qn.q.Params().N())
+				qn.tickForensics()
+			case qn.forensics != nil && integrityRejection(evalErr):
+				out = qn.recover(t, failed, out)
 			}
 			qn.record(out)
 			if ackable {
-				ack := EncodeResult(out.Sum, evalErr == nil)
+				ack := EncodeResult(out.Sum, out.Err == nil)
 				if err := WriteFrame(conn, Frame{Type: TypeResult, Epoch: f.Epoch, Payload: ack}); err != nil {
 					// The root departed after sending its final epochs; its
 					// remaining frames are still buffered — keep evaluating
