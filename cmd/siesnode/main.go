@@ -19,6 +19,12 @@
 // routes this node's links through a deterministic chaos injector, exercising
 // the reconnect/backoff path end to end. -reconnectWindow bounds how long an
 // aggregator keeps an epoch open for a returning child.
+//
+// Durability: -state-dir makes queriers and aggregators crash-recoverable —
+// every epoch commit is journaled there and a restarted process resumes at
+// its exact pre-crash frontier. SIGINT/SIGTERM trigger a graceful drain
+// (close the listener, settle in-flight epochs, sync the journal) bounded by
+// -drain; a kill -9 is also safe, it just replays the journal on restart.
 package main
 
 import (
@@ -48,6 +54,11 @@ var (
 	flagPeriod   = flag.Duration("period", time.Second, "epoch duration T (source)")
 	flagValue    = flag.Uint64("value", 0, "fixed reading per epoch; 0 = synthetic temperatures (source)")
 	flagN        = flag.Int("n", 0, "total sources in the deployment (querier; default from creds)")
+
+	flagStateDir = flag.String("state-dir", "",
+		"durable state directory (querier, aggregator): journal every epoch commit and recover the exact frontier after a crash")
+	flagDrain = flag.Duration("drain", 5*time.Second,
+		"graceful-drain deadline on SIGINT/SIGTERM before the process exits anyway")
 
 	flagReconnect  = flag.Duration("reconnectWindow", 0, "how long an aggregator holds epochs open for returning children (0 = -timeout)")
 	flagChaosSeed  = flag.Int64("chaosSeed", 0, "seed for deterministic fault injection (0 disables chaos)")
@@ -95,6 +106,30 @@ func main() {
 	}
 }
 
+// runUntilSignal waits for the node's run loop to finish or for
+// SIGINT/SIGTERM. On a signal it calls drain (which must make the run loop
+// return: close the listener, sync and close the journal) and then waits at
+// most -drain for in-flight epochs to settle before giving up.
+func runUntilSignal(done <-chan error, drain func()) error {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case err := <-done:
+		return err
+	case s := <-sig:
+		fmt.Printf("%v: draining (deadline %v)\n", s, *flagDrain)
+		drain()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(*flagDrain):
+			fmt.Println("drain deadline exceeded; exiting with epochs possibly in flight")
+			return nil
+		}
+	}
+}
+
 func runQuerier() error {
 	ring, field, err := creds.LoadQuerier(*flagCreds)
 	if err != nil {
@@ -112,19 +147,23 @@ func runQuerier() error {
 	if err != nil {
 		return err
 	}
-	node, err := transport.NewQuerierNode(*flagListen, q)
+	node, err := transport.NewQuerierNodeConfig(transport.QuerierConfig{
+		ListenAddr: *flagListen,
+		Schedule:   core.ScheduleConfig{Prefetch: true},
+		StateDir:   *flagStateDir,
+	}, q)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("querier listening on %s for %d sources\n", node.Addr(), n)
-	// SIGINT/SIGTERM close the listener so Run returns and the health and
-	// key-schedule summary below is printed before exit.
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		<-sig
-		node.Close()
-	}()
+	if *flagStateDir != "" {
+		if d := node.DurabilityStats(); d.ReplayedFromWAL > 0 {
+			fmt.Printf("recovered from %s: frontier epoch %d (%d journal records replayed)\n",
+				*flagStateDir, d.ReplayedFromWAL, d.ReplayedRecords)
+		} else {
+			fmt.Printf("durable state in %s\n", *flagStateDir)
+		}
+	}
 	go func() {
 		for res := range node.Results {
 			if res.Err != nil {
@@ -135,13 +174,21 @@ func runQuerier() error {
 				res.Epoch, res.Sum, res.Contributors, res.Failed)
 		}
 	}()
-	err = node.Run()
+	done := make(chan error, 1)
+	go func() { done <- node.Run() }()
+	// SIGINT/SIGTERM drain: Close stops the listener and syncs the journal, so
+	// the committed frontier survives into the next -state-dir start.
+	err = runUntilSignal(done, func() { node.Close() })
 	h := node.Health()
 	ks := h.KeySchedule
 	fmt.Printf("health: %d epochs (%d full, %d partial, %d empty, %d rejected)\n",
 		h.Epochs, h.Full, h.Partial, h.Empty, h.Rejected)
 	fmt.Printf("key schedule: %d derivations, %d cache hits / %d misses, %d prefetch wins, avg eval %v\n",
 		ks.Derivations, ks.Hits, ks.Misses, ks.PrefetchWins, ks.AvgEvalTime())
+	if d := h.Durability; d.Enabled {
+		fmt.Printf("durability: %d commits, %d checkpoints, %d dedup hits, %d journal errors\n",
+			d.Commits, d.Checkpoints, d.DedupHits, d.JournalErrors)
+	}
 	return err
 }
 
@@ -159,6 +206,7 @@ func runAggregator() error {
 		NumChildren:     *flagChildren,
 		Timeout:         *flagTimeout,
 		ReconnectWindow: *flagReconnect,
+		StateDir:        *flagStateDir,
 	}
 	if inj := injector(); inj != nil {
 		cfg.Dial = inj.Dial
@@ -171,7 +219,22 @@ func runAggregator() error {
 		return err
 	}
 	fmt.Printf("aggregator up: %d children, covering sources %v\n", *flagChildren, node.Covers())
-	return node.Run()
+	if *flagStateDir != "" {
+		if d := node.DurabilityStats(); d.ReplayedFromWAL > 0 {
+			fmt.Printf("recovered from %s: flush frontier epoch %d (%d journal records replayed)\n",
+				*flagStateDir, d.ReplayedFromWAL, d.ReplayedRecords)
+		} else {
+			fmt.Printf("durable state in %s\n", *flagStateDir)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- node.Run() }()
+	err = runUntilSignal(done, func() { node.Close() })
+	if d := node.DurabilityStats(); d.Enabled {
+		fmt.Printf("durability: %d commits, %d checkpoints, %d journal errors\n",
+			d.Commits, d.Checkpoints, d.JournalErrors)
+	}
+	return err
 }
 
 func runSource() error {
@@ -215,7 +278,19 @@ func runSource() error {
 		}
 	}
 	fmt.Printf("source %d reporting %d epochs every %v\n", id, *flagEpochs, *flagPeriod)
+	// Sources hold no durable state; graceful shutdown just means finishing
+	// the current report and closing the link between epochs rather than
+	// tearing it down mid-frame.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
 	for epoch := prf.Epoch(1); epoch <= prf.Epoch(*flagEpochs); epoch++ {
+		select {
+		case s := <-sig:
+			fmt.Printf("%v: stopping after %d epochs\n", s, epoch-1)
+			return nil
+		default:
+		}
 		v := *flagValue
 		if gen != nil {
 			v = gen.Readings(workload.Scale100)[0]
@@ -224,7 +299,12 @@ func runSource() error {
 			return err
 		}
 		if epoch < prf.Epoch(*flagEpochs) {
-			time.Sleep(*flagPeriod)
+			select {
+			case s := <-sig:
+				fmt.Printf("%v: stopping after %d epochs\n", s, epoch)
+				return nil
+			case <-time.After(*flagPeriod):
+			}
 		}
 	}
 	return nil

@@ -10,6 +10,7 @@
 //	siessim -scheme sies -n 64 -epochs 10 -fail 3,17 -attack replay
 //	siessim -scheme secoa -n 64 -epochs 3
 //	siessim -scheme sies -n 128 -epochs 50 -churn 0.05 -churnSeed 7
+//	siessim -scheme sies -n 128 -epochs 50 -crash 0.1 -crashSeed 3
 //
 // Any attack accepts a `@epoch` suffix to start mid-run (dormant before it):
 //
@@ -62,6 +63,10 @@ var (
 	flagChurn        = flag.Float64("churn", 0, "per-epoch probability that a live node fails (0 disables churn)")
 	flagChurnRecover = flag.Float64("churnRecover", 0.3, "per-epoch probability that a failed node recovers")
 	flagChurnSeed    = flag.Int64("churnSeed", 1, "churn schedule seed (deterministic given -n/-fanout)")
+
+	flagCrash     = flag.Float64("crash", 0, "per-epoch probability that an aggregator crashes mid-run and restarts later (0 disables)")
+	flagCrashDown = flag.Int("crashDown", 2, "maximum epochs a crashed aggregator stays down before restarting")
+	flagCrashSeed = flag.Int64("crashSeed", 1, "crash schedule seed (deterministic given -n/-fanout/-epochs)")
 )
 
 // validAttacks lists every adversary mode -attack accepts.
@@ -277,6 +282,16 @@ func run() error {
 			*flagEpochs, *flagN, topo.NumAggregators(), *flagChurn, *flagChurnRecover)
 	}
 
+	var crashes *chaos.CrashPlan
+	if *flagCrash > 0 {
+		if topo.NumAggregators() < 2 {
+			return fmt.Errorf("-crash needs a non-root aggregator (topology has %d; lower -fanout or raise -n)",
+				topo.NumAggregators())
+		}
+		crashes = chaos.RandomCrashes(rand.New(rand.NewSource(*flagCrashSeed)),
+			*flagEpochs, topo.NumAggregators()-1, *flagCrash, *flagCrashDown)
+	}
+
 	fmt.Printf("scheme=%s  N=%d  fanout=%d  depth=%d  aggregators=%d  domain=%s\n",
 		proto.Name(), *flagN, *flagFanout, topo.Depth(), topo.NumAggregators(), scale)
 	if adv.name != "" {
@@ -289,12 +304,27 @@ func run() error {
 		fmt.Printf("churn: fail=%.2f recover=%.2f seed=%d (%d scheduled events)\n",
 			*flagChurn, *flagChurnRecover, *flagChurnSeed, len(churn.Events))
 	}
+	if crashes != nil {
+		fmt.Printf("crash plan: %d kill/restart cycles (prob=%.2f maxDown=%d seed=%d)\n",
+			crashes.Crashes(), *flagCrash, *flagCrashDown, *flagCrashSeed)
+	}
 	fmt.Println()
 
 	accepted, rejected, full, partial := 0, 0, 0, 0
 	for epoch := prf.Epoch(1); epoch <= prf.Epoch(*flagEpochs); epoch++ {
 		if churn != nil {
 			if err := churn.Apply(epoch, eng); err != nil {
+				return err
+			}
+		}
+		if crashes != nil {
+			for _, e := range crashes.At(epoch) {
+				if e.Role == chaos.CrashAggregator {
+					fmt.Printf("chaos: epoch %d: aggregator %d crashes, down %d\n",
+						e.Epoch, e.ID+1, e.DownFor)
+				}
+			}
+			if err := crashes.Apply(epoch, simCrashTarget{eng}); err != nil {
 				return err
 			}
 		}
@@ -397,6 +427,29 @@ func run() error {
 		fmt.Printf("  in-network advantage at the bottleneck: %.1f×\n",
 			scheme.LifetimeEpochs/naive.LifetimeEpochs)
 	}
+	return nil
+}
+
+// simCrashTarget maps crash-plan events onto the in-memory engine: a killed
+// aggregator's whole subtree goes silent until the plan restarts it. Slot i
+// names non-root aggregator i+1 (killing the sim's root would silence the
+// entire deployment rather than model one crashed process). Querier events
+// are no-ops here — the sim querier is the driver process itself; querier
+// crash-recovery is exercised end to end by the transport restart soak.
+type simCrashTarget struct{ eng *network.Engine }
+
+func (s simCrashTarget) Kill(role chaos.CrashRole, id int) error {
+	if role == chaos.CrashQuerier {
+		return nil
+	}
+	return s.eng.FailAggregator(id + 1)
+}
+
+func (s simCrashTarget) Restart(role chaos.CrashRole, id int) error {
+	if role == chaos.CrashQuerier {
+		return nil
+	}
+	s.eng.RecoverAggregator(id + 1)
 	return nil
 }
 

@@ -1,0 +1,119 @@
+// Crash scheduling: kill-and-restart plans for durable nodes. A crash plan is
+// plain data, generated deterministically from an injected PRNG, so a soak
+// run that finds a bad interleaving is reproducible from its seed.
+//
+// Where churn (churn.go) models nodes cleanly leaving and rejoining the
+// deployment, a crash models the process dying mid-epoch with its in-memory
+// state — pending contributions, flushed windows, quarantine verdicts — gone,
+// and coming back from its state directory alone. The plan names which node
+// dies at which epoch and how many epochs it stays down; the harness maps
+// that onto CrashTarget hooks (kill = transport Crash(), restart = rebuild
+// the node from its durable directory).
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// CrashRole identifies which process a crash event hits.
+type CrashRole uint8
+
+const (
+	CrashAggregator CrashRole = iota // an aggregator process, by id
+	CrashQuerier                     // the querier process
+)
+
+// CrashTarget is the kill/restart surface a crash plan drives. Kill must tear
+// the process down without graceful shutdown (no flushes, no final fsync);
+// Restart must rebuild it from its durable state directory.
+type CrashTarget interface {
+	Kill(role CrashRole, id int) error
+	Restart(role CrashRole, id int) error
+}
+
+// CrashEvent kills one process at the start of one epoch; the harness
+// restarts it DownFor epochs later.
+type CrashEvent struct {
+	Epoch   prf.Epoch
+	Role    CrashRole
+	ID      int // aggregator id; ignored for the querier
+	DownFor int // epochs the process stays dead before Restart (≥ 1)
+}
+
+// String renders the event for logs.
+func (e CrashEvent) String() string {
+	who := fmt.Sprintf("aggregator %d", e.ID)
+	if e.Role == CrashQuerier {
+		who = "querier"
+	}
+	return fmt.Sprintf("epoch %d: %s crashes, down %d", e.Epoch, who, e.DownFor)
+}
+
+// CrashPlan is an epoch-ordered kill/restart schedule.
+type CrashPlan struct {
+	Events []CrashEvent
+}
+
+// At returns the crashes scheduled for epoch t.
+func (p *CrashPlan) At(t prf.Epoch) []CrashEvent {
+	i := sort.Search(len(p.Events), func(i int) bool { return p.Events[i].Epoch >= t })
+	j := i
+	for j < len(p.Events) && p.Events[j].Epoch == t {
+		j++
+	}
+	return p.Events[i:j]
+}
+
+// Crashes counts the plan's kill events.
+func (p *CrashPlan) Crashes() int { return len(p.Events) }
+
+// Apply drives epoch t against the target: kills scheduled for t, then
+// restarts of processes whose down window ended at t. Call it at the top of
+// every epoch, including epochs with no kills — restarts are derived from
+// earlier events' Epoch+DownFor.
+func (p *CrashPlan) Apply(t prf.Epoch, target CrashTarget) error {
+	for _, e := range p.Events {
+		if e.Epoch+prf.Epoch(e.DownFor) == t {
+			if err := target.Restart(e.Role, e.ID); err != nil {
+				return fmt.Errorf("chaos: restarting after %v: %w", e, err)
+			}
+		}
+	}
+	for _, e := range p.At(t) {
+		if err := target.Kill(e.Role, e.ID); err != nil {
+			return fmt.Errorf("chaos: applying %v: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// RandomCrashes draws a plan over epochs [1, epochs]: each epoch, a live
+// process crashes with crashProb and stays down 1–maxDown epochs. At most one
+// process is dead at a time, so every kill exercises a genuine single-fault
+// recovery rather than a dead deployment. Deterministic in the injected rng.
+func RandomCrashes(rng *rand.Rand, epochs, nAggregators int, crashProb float64, maxDown int) *CrashPlan {
+	if maxDown < 1 {
+		maxDown = 1
+	}
+	p := &CrashPlan{}
+	downUntil := prf.Epoch(0) // exclusive end of the current down window
+	for t := prf.Epoch(1); t <= prf.Epoch(epochs); t++ {
+		if t < downUntil || rng.Float64() >= crashProb {
+			continue
+		}
+		down := 1 + rng.Intn(maxDown)
+		// Processes: aggregators 0..nAggregators-1, then the querier.
+		pick := rng.Intn(nAggregators + 1)
+		e := CrashEvent{Epoch: t, Role: CrashAggregator, ID: pick, DownFor: down}
+		if pick == nAggregators {
+			e = CrashEvent{Epoch: t, Role: CrashQuerier, DownFor: down}
+		}
+		p.Events = append(p.Events, e)
+		downUntil = t + prf.Epoch(down)
+	}
+	return p
+}

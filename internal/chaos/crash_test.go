@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+type crashRecorder struct {
+	ops []string
+}
+
+func (r *crashRecorder) Kill(role CrashRole, id int) error {
+	if role == CrashQuerier {
+		r.ops = append(r.ops, "kill q")
+	} else {
+		r.ops = append(r.ops, "kill a")
+	}
+	return nil
+}
+
+func (r *crashRecorder) Restart(role CrashRole, id int) error {
+	if role == CrashQuerier {
+		r.ops = append(r.ops, "restart q")
+	} else {
+		r.ops = append(r.ops, "restart a")
+	}
+	return nil
+}
+
+func TestCrashPlanApply(t *testing.T) {
+	p := &CrashPlan{Events: []CrashEvent{
+		{Epoch: 2, Role: CrashAggregator, ID: 1, DownFor: 2},
+		{Epoch: 6, Role: CrashQuerier, DownFor: 1},
+	}}
+	rec := &crashRecorder{}
+	for e := prf.Epoch(1); e <= 8; e++ {
+		if err := p.Apply(e, rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"kill a", "restart a", "kill q", "restart q"}
+	if len(rec.ops) != len(want) {
+		t.Fatalf("ops = %v, want %v", rec.ops, want)
+	}
+	for i := range want {
+		if rec.ops[i] != want[i] {
+			t.Fatalf("ops = %v, want %v", rec.ops, want)
+		}
+	}
+}
+
+func TestRandomCrashesDeterministicAndSingleFault(t *testing.T) {
+	a := RandomCrashes(rand.New(rand.NewSource(7)), 500, 3, 0.2, 3)
+	b := RandomCrashes(rand.New(rand.NewSource(7)), 500, 3, 0.2, 3)
+	if len(a.Events) == 0 {
+		t.Fatal("seed 7 produced no crashes")
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different plans: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	// Down windows never overlap: at most one process dead at a time.
+	end := prf.Epoch(0)
+	for _, e := range a.Events {
+		if e.Epoch < end {
+			t.Fatalf("overlapping crash windows at %v", e)
+		}
+		if e.DownFor < 1 || e.DownFor > 3 {
+			t.Fatalf("down window out of range: %v", e)
+		}
+		end = e.Epoch + prf.Epoch(e.DownFor)
+	}
+}

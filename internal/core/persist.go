@@ -1,0 +1,242 @@
+// Checkpointable protocol state: versioned, deterministic encodings for the
+// pieces of querier state whose loss across a crash would weaken the
+// deployment — the quarantine registry (amnesia re-admits confirmed
+// tamperers) and the key-schedule counters (Health telemetry resets lie to
+// operators about a long-running deployment).
+//
+// Encodings are deterministic — map iteration is sorted before writing — so
+// identical state always produces identical bytes; checkpoint machinery and
+// tests can compare snapshots bytewise. Every blob leads with a format
+// version byte; Restore rejects unknown versions rather than guessing.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Snapshot format versions.
+const (
+	quarantineSnapVersion = 1
+	scheduleSnapVersion   = 1
+)
+
+// ErrBadSnapshot reports a Restore handed bytes that are not a valid snapshot
+// of the expected type and version.
+var ErrBadSnapshot = errors.New("sies: malformed state snapshot")
+
+// appendInts writes a u32 count followed by u32 ids.
+func appendInts(b []byte, ids []int) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ids)))
+	for _, id := range ids {
+		b = binary.BigEndian.AppendUint32(b, uint32(id))
+	}
+	return b
+}
+
+// reader is a bounds-checked cursor over a snapshot blob.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.err = ErrBadSnapshot
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.err = ErrBadSnapshot
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.err = ErrBadSnapshot
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *reader) ints() []int {
+	n := r.u32()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(n)*4 > uint64(len(r.b)) {
+		r.err = ErrBadSnapshot
+		return nil
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = int(r.u32())
+	}
+	return ids
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(r.b))
+	}
+	return nil
+}
+
+// Snapshot serialises the registry — every route's state-machine position
+// plus the cumulative stats — into a versioned, deterministic blob. The
+// config is not captured: it belongs to the process, and restoring onto a
+// retuned registry must adopt the new tuning.
+func (q *Quarantine) Snapshot() []byte {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	routes := make([]Route, 0, len(q.entries))
+	for r := range q.entries {
+		routes = append(routes, r)
+	}
+	sort.Slice(routes, func(i, j int) bool {
+		if routes[i].Aggregator != routes[j].Aggregator {
+			return !routes[i].Aggregator
+		}
+		return routes[i].ID < routes[j].ID
+	})
+
+	b := []byte{quarantineSnapVersion}
+	b = binary.BigEndian.AppendUint64(b, q.stats.Confirmed)
+	b = binary.BigEndian.AppendUint64(b, q.stats.Reinstated)
+	b = binary.BigEndian.AppendUint64(b, q.stats.Cleared)
+	b = binary.BigEndian.AppendUint64(b, q.stats.Relapses)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(routes)))
+	for _, r := range routes {
+		e := q.entries[r]
+		var agg uint8
+		if r.Aggregator {
+			agg = 1
+		}
+		b = append(b, agg, uint8(e.state))
+		b = binary.BigEndian.AppendUint32(b, uint32(r.ID))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.sightings))
+		b = binary.BigEndian.AppendUint32(b, uint32(max(e.timer, 0)))
+		b = binary.BigEndian.AppendUint32(b, uint32(e.duration))
+		b = appendInts(b, e.sources)
+	}
+	return b
+}
+
+// Restore replaces the registry's contents with a snapshot produced by
+// Snapshot. The receiver's config is kept (see Snapshot); restored durations
+// are clamped into the config's relapse cap so a snapshot from a laxer
+// tuning cannot exceed the current one.
+func (q *Quarantine) Restore(b []byte) error {
+	r := &reader{b: b}
+	if v := r.u8(); r.err == nil && v != quarantineSnapVersion {
+		return fmt.Errorf("%w: quarantine snapshot version %d", ErrBadSnapshot, v)
+	}
+	var stats QuarantineStats
+	stats.Confirmed = r.u64()
+	stats.Reinstated = r.u64()
+	stats.Cleared = r.u64()
+	stats.Relapses = r.u64()
+	n := r.u32()
+	entries := make(map[Route]*quarantineEntry, n)
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		agg := r.u8()
+		state := RouteState(r.u8())
+		if state < RouteSuspect || state > RouteProbation {
+			return fmt.Errorf("%w: route state %d", ErrBadSnapshot, state)
+		}
+		route := Route{Aggregator: agg == 1, ID: int(r.u32())}
+		e := &quarantineEntry{
+			state:     state,
+			sightings: int(r.u32()),
+			timer:     int(r.u32()),
+			duration:  int(r.u32()),
+			sources:   r.ints(),
+		}
+		if e.duration > q.cfg.MaxQuarantineEpochs {
+			e.duration = q.cfg.MaxQuarantineEpochs
+		}
+		if e.duration <= 0 {
+			e.duration = q.cfg.QuarantineEpochs
+		}
+		// Clamp the running timer into the receiver's tuning so a snapshot
+		// from a laxer config cannot outlive the current one's horizons.
+		maxTimer := e.duration
+		switch state {
+		case RouteSuspect:
+			maxTimer = q.cfg.SuspectTTL
+		case RouteProbation:
+			maxTimer = q.cfg.ProbationEpochs
+		}
+		if e.timer > maxTimer {
+			e.timer = maxTimer
+		}
+		if e.timer <= 0 {
+			e.timer = 1 // due for transition at the next clean epoch
+		}
+		entries[route] = e
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	q.entries = entries
+	q.stats = stats
+	q.mu.Unlock()
+	return nil
+}
+
+// Snapshot serialises the schedule's cumulative counters. Cached EpochStates
+// are deliberately not captured: each is a pure function of (epoch,
+// contributor set) over the long-term key ring and is cheaper to re-derive
+// than to validate after a restart. What a crash must not reset is the
+// telemetry a long-running querier reports through Health.
+func (s *Schedule) Snapshot() []byte {
+	st := s.Stats()
+	b := []byte{scheduleSnapVersion}
+	for _, v := range []uint64{
+		st.Derivations, st.Hits, st.Misses, st.Prefetches,
+		st.PrefetchWins, st.Evaluations, uint64(st.EvalTime),
+	} {
+		b = binary.BigEndian.AppendUint64(b, v)
+	}
+	return b
+}
+
+// Restore loads counters captured by Snapshot, replacing the current values.
+func (s *Schedule) Restore(b []byte) error {
+	r := &reader{b: b}
+	if v := r.u8(); r.err == nil && v != scheduleSnapVersion {
+		return fmt.Errorf("%w: schedule snapshot version %d", ErrBadSnapshot, v)
+	}
+	vals := make([]uint64, 7)
+	for i := range vals {
+		vals[i] = r.u64()
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	s.derivations.Store(vals[0])
+	s.hits.Store(vals[1])
+	s.misses.Store(vals[2])
+	s.prefetches.Store(vals[3])
+	s.prefetchWins.Store(vals[4])
+	s.evaluations.Store(vals[5])
+	s.evalNanos.Store(vals[6])
+	return nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// populatedQuarantine builds a registry with routes in every non-clear state:
+// aggregator 1 on probation, aggregator 3 confirmed, source 9 suspect.
+func populatedQuarantine(t *testing.T, cfg QuarantineConfig) *Quarantine {
+	t.Helper()
+	q := NewQuarantine(cfg)
+	q.Report(Route{Aggregator: true, ID: 1}, []int{0, 1})
+	q.Report(Route{Aggregator: true, ID: 1}, []int{0, 1})
+	for i := 0; i < q.cfg.QuarantineEpochs; i++ { // decay agg 1 to probation
+		q.Tick()
+	}
+	q.Report(Route{Aggregator: true, ID: 3}, []int{4, 5, 6})
+	q.Report(Route{Aggregator: true, ID: 3}, []int{4, 5, 6})
+	q.Report(Route{ID: 9}, []int{9})
+	return q
+}
+
+func TestQuarantineSnapshotRoundTrip(t *testing.T) {
+	cfg := QuarantineConfig{ConfirmAfter: 2, QuarantineEpochs: 8, SuspectTTL: 16}
+	q := populatedQuarantine(t, cfg)
+
+	snap := q.Snapshot()
+	q2 := NewQuarantine(cfg)
+	if err := q2.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, route := range []Route{
+		{Aggregator: true, ID: 3},
+		{ID: 9},
+		{Aggregator: true, ID: 1},
+	} {
+		if got, want := q2.StateOf(route), q.StateOf(route); got != want {
+			t.Fatalf("%v restored as %v, want %v", route, got, want)
+		}
+	}
+	if got, want := q2.Population(), q.Population(); got != want {
+		t.Fatalf("population %+v, want %+v", got, want)
+	}
+	if got, want := q2.Stats(), q.Stats(); got != want {
+		t.Fatalf("stats %+v, want %+v", got, want)
+	}
+	if got, want := q2.Excluded(), q.Excluded(); !equalInts(got, want) {
+		t.Fatalf("excluded %v, want %v", got, want)
+	}
+	// The restored registry must keep evolving correctly: ticking down the
+	// full quarantine duration reinstates aggregator 3 to probation.
+	for i := 0; i < cfg.QuarantineEpochs; i++ {
+		q2.Tick()
+	}
+	if got := q2.StateOf(Route{Aggregator: true, ID: 3}); got != RouteProbation {
+		t.Fatalf("after restored decay: %v", got)
+	}
+}
+
+func TestQuarantineSnapshotDeterministic(t *testing.T) {
+	cfg := QuarantineConfig{}
+	a := populatedQuarantine(t, cfg)
+	b := populatedQuarantine(t, cfg)
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("identical registries produced different snapshots")
+	}
+	// And a restore of a snapshot re-snapshots to the same bytes.
+	c := NewQuarantine(cfg)
+	if err := c.Restore(a.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Snapshot(), c.Snapshot()) {
+		t.Fatal("snapshot → restore → snapshot is not a fixed point")
+	}
+}
+
+func TestQuarantineRestoreRejectsGarbage(t *testing.T) {
+	q := NewQuarantine(QuarantineConfig{})
+	// badState: version 1, zero stats, one entry whose state byte is 0
+	// (RouteClear) — a state Snapshot can never emit.
+	badState := append([]byte{1}, make([]byte, 8*4)...)
+	badState = append(badState, 0, 0, 0, 1) // count = 1
+	badState = append(badState, make([]byte, 2+4*4+4)...)
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad version": {99},
+		"truncated":   populatedQuarantine(t, QuarantineConfig{}).Snapshot()[:10],
+		"bad state":   badState,
+	}
+	for name, blob := range cases {
+		if err := q.Restore(blob); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	// A failed restore must not clobber existing entries.
+	q.Report(Route{ID: 2}, []int{2})
+	if err := q.Restore([]byte{99}); err == nil {
+		t.Fatal("bad restore accepted")
+	}
+	if q.StateOf(Route{ID: 2}) != RouteSuspect {
+		t.Fatal("failed restore clobbered the registry")
+	}
+}
+
+func TestQuarantineRestoreClampsDuration(t *testing.T) {
+	lax := NewQuarantine(QuarantineConfig{MaxQuarantineEpochs: 1 << 20, QuarantineEpochs: 1 << 19})
+	lax.Report(Route{Aggregator: true, ID: 1}, []int{1})
+	lax.Report(Route{Aggregator: true, ID: 1}, []int{1})
+
+	strict := NewQuarantine(QuarantineConfig{MaxQuarantineEpochs: 64})
+	if err := strict.Restore(lax.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := strict.StateOf(Route{Aggregator: true, ID: 1}); got != RouteConfirmed {
+		t.Fatalf("restored state: %v", got)
+	}
+	// 64 clean epochs must reinstate under the strict cap; the lax snapshot
+	// carried a ~half-million-epoch timer.
+	for i := 0; i < 64; i++ {
+		strict.Tick()
+	}
+	if got := strict.StateOf(Route{Aggregator: true, ID: 1}); got == RouteConfirmed {
+		t.Fatal("restored duration not clamped to the strict config")
+	}
+}
+
+func TestScheduleSnapshotRoundTrip(t *testing.T) {
+	q, srcs, err := Setup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(q, ScheduleConfig{Workers: 1})
+	agg := NewAggregator(q.Params().Field())
+	var psrs []PSR
+	for i, src := range srcs {
+		psr, err := src.Encrypt(1, uint64(10*(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		psrs = append(psrs, psr)
+	}
+	final := agg.Merge(psrs...)
+	if _, err := s.Evaluate(1, final, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Evaluate(1, final, nil); err != nil { // a cache hit
+		t.Fatal(err)
+	}
+
+	before := s.Stats()
+	if before.Evaluations != 2 || before.Hits == 0 {
+		t.Fatalf("precondition stats: %+v", before)
+	}
+	s2 := NewSchedule(q, ScheduleConfig{Workers: 1})
+	if err := s2.Restore(s.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats(); got != before {
+		t.Fatalf("restored stats %+v, want %+v", got, before)
+	}
+	// Restored counters keep accumulating from where they left off.
+	if _, err := s2.Evaluate(1, final, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Stats().Evaluations; got != before.Evaluations+1 {
+		t.Fatalf("evaluations after restore: %d", got)
+	}
+	if s2.Stats().EvalTime < before.EvalTime {
+		t.Fatalf("eval time regressed: %v → %v", before.EvalTime, s2.Stats().EvalTime)
+	}
+}
+
+func TestScheduleRestoreRejectsGarbage(t *testing.T) {
+	q, _, err := Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSchedule(q, ScheduleConfig{})
+	for name, blob := range map[string][]byte{
+		"empty":       {},
+		"bad version": {42},
+		"short":       s.Snapshot()[:20],
+		"trailing":    append(s.Snapshot(), 0),
+	} {
+		if err := s.Restore(blob); !errors.Is(err, ErrBadSnapshot) {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+// Package durable is the crash-recovery substrate for long-lived SIES nodes:
+// an atomic snapshot store plus an append-only write-ahead journal.
+//
+// The paper's exactness guarantee is per-epoch, but the state that protects
+// it across epochs — the quarantine registry, the epoch high-water marks that
+// drive resync, pending partial SUMs — lives in node memory. A querier or
+// aggregator crash must not silently re-admit confirmed tamperers, re-answer
+// a committed epoch, or double-count a contribution after restart. This
+// package gives each node a per-role state directory holding:
+//
+//	state.snap — the last checkpoint: a versioned, CRC-guarded snapshot,
+//	             replaced atomically (temp file + fsync + rename + dir fsync)
+//	epochs.wal — the journal of per-epoch records appended since that
+//	             checkpoint, each CRC-framed; replay truncates a torn tail
+//
+// Recovery is snapshot ⊕ journal: restore the snapshot, then re-apply the
+// journal records in order. Consumers make replay idempotent (re-applying a
+// record already folded into the snapshot is a no-op), which lets Checkpoint
+// order its two steps — write the new snapshot, then reset the journal —
+// without a crash window: dying between the steps merely replays records the
+// snapshot already covers.
+package durable
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// ErrNoSnapshot reports a ReadSnapshot on a directory that has never been
+// checkpointed — a fresh node, not an error condition.
+var ErrNoSnapshot = errors.New("durable: no snapshot")
+
+// ErrCorrupt reports a snapshot or journal record whose framing or checksum
+// does not verify. For journals the corrupt tail is truncated on open; for
+// snapshots the caller decides (typically: start fresh and log loudly).
+var ErrCorrupt = errors.New("durable: corrupt record")
+
+// snapMagic brands snapshot files so a journal (or anything else) handed to
+// ReadSnapshot is rejected before its bytes are interpreted.
+var snapMagic = [8]byte{'S', 'I', 'E', 'S', 'S', 'N', 'A', 'P'}
+
+// Snapshot file layout (integers big-endian):
+//
+//	magic(8) version(u32) len(u32) payload crc32(u32)
+//
+// The CRC covers version ‖ len ‖ payload, so a truncated or bit-flipped
+// snapshot fails closed instead of restoring garbage state.
+
+// WriteSnapshot atomically replaces dir/name with a snapshot of payload.
+// The write path is crash-consistent: the bytes are written to a temp file in
+// the same directory, fsynced, renamed over the target, and the directory is
+// fsynced so the rename itself is durable. A crash at any point leaves either
+// the old snapshot or the new one, never a mix.
+func WriteSnapshot(dir, name string, version uint32, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(snapMagic)+4+4+len(payload)+4)
+	buf = append(buf, snapMagic[:]...)
+	buf = binary.BigEndian.AppendUint32(buf, version)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	sum := crc32.ChecksumIEEE(buf[len(snapMagic):])
+	buf = binary.BigEndian.AppendUint32(buf, sum)
+
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(buf); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// ReadSnapshot loads and verifies dir/name, returning its version and
+// payload. A missing file returns ErrNoSnapshot; bad framing or checksum
+// returns an error wrapping ErrCorrupt.
+func ReadSnapshot(dir, name string) (uint32, []byte, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(raw) < len(snapMagic)+4+4+4 || [8]byte(raw[:8]) != snapMagic {
+		return 0, nil, fmt.Errorf("%w: snapshot framing", ErrCorrupt)
+	}
+	body := raw[len(snapMagic) : len(raw)-4]
+	want := binary.BigEndian.Uint32(raw[len(raw)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return 0, nil, fmt.Errorf("%w: snapshot checksum", ErrCorrupt)
+	}
+	version := binary.BigEndian.Uint32(body[0:4])
+	n := binary.BigEndian.Uint32(body[4:8])
+	if int(n) != len(body)-8 {
+		return 0, nil, fmt.Errorf("%w: snapshot length %d ≠ payload %d", ErrCorrupt, n, len(body)-8)
+	}
+	return version, append([]byte(nil), body[8:]...), nil
+}
+
+// syncDir fsyncs a directory so a completed rename survives power loss. Some
+// filesystems reject directory fsync; that degrades durability, not
+// correctness, so those errors are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

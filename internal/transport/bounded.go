@@ -1,0 +1,65 @@
+package transport
+
+// boundedMap is a map capped at a fixed number of entries, evicting in
+// insertion order (FIFO) once full. Long-running nodes index per-source and
+// per-epoch bookkeeping by ids arriving from the network; without a cap,
+// deployment churn (or a hostile peer cycling ids) grows those maps without
+// limit. FIFO eviction keeps the working set — recent epochs, currently
+// flapping sources — while shedding the oldest entries first.
+//
+// The insertion order is also the serialisation order, making snapshots of a
+// boundedMap deterministic for a given history.
+type boundedMap[K comparable, V any] struct {
+	cap       int
+	m         map[K]V
+	order     []K // live keys, oldest first
+	evictions uint64
+}
+
+// newBoundedMap builds an empty map holding at most capacity entries
+// (capacity < 1 is treated as 1: a map that remembers only the newest key).
+func newBoundedMap[K comparable, V any](capacity int) *boundedMap[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &boundedMap[K, V]{cap: capacity, m: make(map[K]V)}
+}
+
+// get returns the value for k.
+func (b *boundedMap[K, V]) get(k K) (V, bool) {
+	v, ok := b.m[k]
+	return v, ok
+}
+
+// has reports whether k is present.
+func (b *boundedMap[K, V]) has(k K) bool {
+	_, ok := b.m[k]
+	return ok
+}
+
+// put inserts or updates k. Updates keep the original insertion position;
+// inserts evict the oldest entries until the map fits its cap again.
+func (b *boundedMap[K, V]) put(k K, v V) {
+	if _, ok := b.m[k]; ok {
+		b.m[k] = v
+		return
+	}
+	b.m[k] = v
+	b.order = append(b.order, k)
+	for len(b.order) > b.cap {
+		oldest := b.order[0]
+		b.order = b.order[1:]
+		delete(b.m, oldest)
+		b.evictions++
+	}
+}
+
+// len returns the number of live entries.
+func (b *boundedMap[K, V]) len() int { return len(b.m) }
+
+// each visits the live entries oldest-insertion first.
+func (b *boundedMap[K, V]) each(fn func(K, V)) {
+	for _, k := range b.order {
+		fn(k, b.m[k])
+	}
+}

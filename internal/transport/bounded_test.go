@@ -1,0 +1,61 @@
+package transport
+
+import "testing"
+
+func TestBoundedMapEvictsOldestFirst(t *testing.T) {
+	m := newBoundedMap[int, string](3)
+	for i, v := range []string{"a", "b", "c"} {
+		m.put(i, v)
+	}
+	m.put(3, "d") // evicts 0
+	if m.len() != 3 {
+		t.Fatalf("len = %d, want 3", m.len())
+	}
+	if m.has(0) {
+		t.Fatal("oldest entry survived past the cap")
+	}
+	if v, ok := m.get(1); !ok || v != "b" {
+		t.Fatalf("entry 1 = %q %v", v, ok)
+	}
+	if m.evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", m.evictions)
+	}
+}
+
+func TestBoundedMapUpdateKeepsPosition(t *testing.T) {
+	m := newBoundedMap[int, int](2)
+	m.put(1, 10)
+	m.put(2, 20)
+	m.put(1, 11) // update, not re-insert: 1 stays oldest
+	m.put(3, 30) // evicts 1, not 2
+	if m.has(1) {
+		t.Fatal("updated entry was treated as newest")
+	}
+	if v, _ := m.get(2); v != 20 {
+		t.Fatalf("entry 2 = %d", v)
+	}
+}
+
+func TestBoundedMapIterationOrder(t *testing.T) {
+	m := newBoundedMap[int, int](4)
+	for _, k := range []int{7, 3, 9, 1} {
+		m.put(k, k*10)
+	}
+	var keys []int
+	m.each(func(k, _ int) { keys = append(keys, k) })
+	want := []int{7, 3, 9, 1}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("iteration order %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestBoundedMapMinimumCapacity(t *testing.T) {
+	m := newBoundedMap[int, int](0) // clamped to 1
+	m.put(1, 1)
+	m.put(2, 2)
+	if m.len() != 1 || !m.has(2) || m.has(1) {
+		t.Fatalf("cap-0 map: len %d", m.len())
+	}
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+)
+
+// TestNodeCloseIdempotent closes every node type twice — sequentially and
+// concurrently — and requires the second close to be a quiet no-op. Shutdown
+// paths overlap in practice (a signal handler racing a deferred Close, a
+// supervisor and a test harness both cleaning up), and a double close must
+// not panic, deadlock or surface a spurious error.
+func TestNodeCloseIdempotent(t *testing.T) {
+	q, sources, err := core.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	field := q.Params().Field()
+
+	qn, err := NewQuerierNodeConfig(QuerierConfig{
+		ListenAddr: "127.0.0.1:0", StateDir: t.TempDir(),
+	}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() { runDone <- qn.Run() }()
+
+	aggLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggAddr := aggLn.Addr().String()
+	aggLn.Close()
+	type built struct {
+		node *AggregatorNode
+		err  error
+	}
+	builtCh := make(chan built, 1)
+	go func() {
+		node, err := NewAggregatorNode(AggregatorConfig{
+			ListenAddr: aggAddr, ParentAddr: qn.Addr(),
+			NumChildren: 2, Timeout: 250 * time.Millisecond,
+			StateDir: t.TempDir(),
+		}, field)
+		builtCh <- built{node, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	srcNodes := make([]*SourceNode, len(sources))
+	for i, s := range sources {
+		n, err := DialSource(aggAddr, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcNodes[i] = n
+	}
+	b := <-builtCh
+	if b.err != nil {
+		t.Fatal(b.err)
+	}
+	aggDone := make(chan error, 1)
+	go func() { aggDone <- b.node.Run() }()
+
+	// One epoch end to end, so every node has live connections to tear down.
+	for i, n := range srcNodes {
+		if err := n.Report(1, uint64(10*(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := <-qn.Results
+	if res.Err != nil || res.Sum != 30 {
+		t.Fatalf("epoch 1: %+v", res)
+	}
+
+	closers := map[string]func() error{
+		"source":     srcNodes[0].Close,
+		"source-2":   srcNodes[1].Close,
+		"aggregator": b.node.Close,
+		"querier":    qn.Close,
+	}
+	for name, close := range closers {
+		if err := close(); err != nil {
+			t.Fatalf("%s first Close: %v", name, err)
+		}
+		if err := close(); err != nil {
+			t.Fatalf("%s second Close: %v", name, err)
+		}
+		// And a concurrent burst: all calls return, none panics.
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := close(); err != nil {
+					t.Errorf("%s concurrent Close: %v", name, err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	select {
+	case err := <-aggDone:
+		if err != nil {
+			t.Fatalf("aggregator Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("aggregator Run did not exit after Close")
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("querier Run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("querier Run did not exit after Close")
+	}
+}

@@ -20,6 +20,7 @@ package transport
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/sies/sies/internal/core"
@@ -103,6 +104,15 @@ func (qn *QuerierNode) EnableForensics(cfg ForensicsConfig) error {
 		quarantine: core.NewQuarantine(cfg.Quarantine),
 		sleep:      time.Sleep,
 		now:        time.Now,
+	}
+	// A durable node restarting re-arms the registry it crashed with:
+	// confirmed culprits stay excluded across the restart (no quarantine
+	// amnesia). The snapshot came from this deployment's own journal, so a
+	// restore failure means real corruption and is surfaced, not skipped.
+	if qn.state != nil && len(qn.state.quarBlob) > 0 {
+		if err := f.quarantine.Restore(qn.state.quarBlob); err != nil {
+			return fmt.Errorf("transport: restoring quarantine registry: %w", err)
+		}
 	}
 	lcfg := core.LocalizerConfig{MaxProbes: cfg.Budget}
 	if backoff != nil {
@@ -197,6 +207,12 @@ func (qn *QuerierNode) recover(t prf.Epoch, reported []int, out EpochResult) Epo
 	qn.mu.Unlock()
 	for _, s := range suspects {
 		f.quarantine.Report(s.Route, s.Sources)
+	}
+	if len(suspects) > 0 {
+		// New verdicts reach the journal immediately rather than waiting for
+		// the next checkpoint: a crash right after confirming a culprit must
+		// not release it.
+		qn.persistQuarantine()
 	}
 	out.Probes = lstats.Probes
 

@@ -157,9 +157,16 @@ type AggregatorNode struct {
 
 	mu          sync.Mutex
 	closed      bool
+	crashed     bool
 	conns       map[net.Conn]struct{}
 	lastFlushed uint64
-	flushedCap  int // test hook: flushed-map reset threshold
+	// flushed remembers epochs already forwarded so that reports arriving
+	// after a flush — a late child, a reconnected child re-sending, or a
+	// journal replay after a restart — are dropped instead of triggering a
+	// duplicate. FIFO-bounded; duplicate suppression beyond the window is
+	// best-effort, which the querier tolerates (it just re-verifies).
+	flushed *boundedMap[uint64, struct{}]
+	state   *aggState // durable crash-recovery state; nil without a StateDir
 }
 
 type childState struct {
@@ -197,6 +204,14 @@ type AggregatorConfig struct {
 	// failure frames (default DefaultMaxSources). Set it to the deployment's
 	// N to reject any id a provisioned source could not hold.
 	MaxSources int
+	// StateDir, when set, makes the node durable: epoch contributions and
+	// commits are journaled there and recovered on restart, so a crashed
+	// aggregator resumes at its exact flush frontier (never re-opening a
+	// settled epoch, never double-counting a contribution).
+	StateDir string
+	// CheckpointEvery is how many flushed epochs elapse between snapshot
+	// checkpoints of the durable state (default DefaultCheckpointEvery).
+	CheckpointEvery int
 	// Dial and Listen replace net.Dial / net.Listen — chaos injection hooks.
 	Dial   func(network, addr string) (net.Conn, error)
 	Listen func(network, addr string) (net.Listener, error)
@@ -229,23 +244,32 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 	if dial == nil {
 		dial = net.Dial
 	}
-	ln, err := listen("tcp", cfg.ListenAddr)
-	if err != nil {
-		return nil, err
-	}
-
 	a := &AggregatorNode{
 		agg:              core.NewAggregator(field),
 		field:            field,
-		ln:               ln,
 		timeout:          cfg.Timeout,
 		reconnectWindow:  cfg.ReconnectWindow,
 		idleTimeout:      cfg.IdleTimeout,
 		handshakeTimeout: cfg.HandshakeTimeout,
 		maxSources:       cfg.MaxSources,
 		conns:            map[net.Conn]struct{}{},
-		flushedCap:       1 << 16,
+		flushed:          newBoundedMap[uint64, struct{}](DefaultCommittedCap),
 	}
+	// Recover durable state before accepting anyone: the children's hello-acks
+	// must carry the restored flush frontier as their resync epoch.
+	if cfg.StateDir != "" {
+		if err := a.openAggState(cfg.StateDir, cfg.CheckpointEvery); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		if a.state != nil {
+			a.state.store.Close()
+		}
+		return nil, err
+	}
+	a.ln = ln
 	for i := 0; i < cfg.NumChildren; i++ {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -359,6 +383,11 @@ func (a *AggregatorNode) closeAll() {
 	if a.upstream != nil {
 		a.upstream.Close()
 	}
+	if a.state != nil {
+		// Idempotent; a concurrent append observes the closed journal as a
+		// counted journal error, never a torn write.
+		a.state.store.Close()
+	}
 }
 
 // Close shuts the node down; Run returns after in-flight epochs drain.
@@ -374,10 +403,36 @@ func (a *AggregatorNode) Close() error {
 	return nil
 }
 
+// Crash tears the node down the way a process kill would: no flushes, no
+// commit records, no graceful drain, no final journal fsync. Recovery is
+// exercised by rebuilding the node from its state directory. This is the
+// restart-chaos hook; production shutdown is Close.
+func (a *AggregatorNode) Crash() {
+	a.mu.Lock()
+	if a.crashed {
+		a.mu.Unlock()
+		return
+	}
+	a.crashed = true
+	a.closed = true
+	st := a.state
+	a.mu.Unlock()
+	if st != nil {
+		st.store.Abandon()
+	}
+	a.closeAll()
+}
+
 func (a *AggregatorNode) isClosed() bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.closed
+}
+
+func (a *AggregatorNode) isCrashed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.crashed
 }
 
 // setLastFlushed records the highest epoch forwarded upstream; returning
@@ -397,6 +452,13 @@ type aggEvent struct {
 	gen   int
 	conn  net.Conn
 	rep   report
+}
+
+// aggEpochState is one in-flight epoch: the reports gathered so far, keyed by
+// child slot, and the flush deadline.
+type aggEpochState struct {
+	reports  map[int]report
+	deadline time.Time
 }
 
 // Run merges epochs until the node is closed or every child disconnects and
@@ -477,17 +539,29 @@ func (a *AggregatorNode) Run() error {
 		}
 	}()
 
-	type epochState struct {
-		reports  map[int]report
-		deadline time.Time
+	pending := map[prf.Epoch]*aggEpochState{}
+	// Fold journal-replayed contributions of still-open epochs into pending,
+	// matched to child slots by coverage key (slot indices are not stable
+	// across restarts; coverage sets are).
+	if a.state != nil && len(a.state.recovered) > 0 {
+		slotByKey := make(map[string]int, len(a.children))
+		for idx, c := range a.children {
+			slotByKey[c.key] = idx
+		}
+		for t, byKey := range a.state.recovered {
+			st := &aggEpochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
+			for key, rep := range byKey {
+				if idx, ok := slotByKey[key]; ok {
+					rep.child = idx
+					st.reports[idx] = rep
+				}
+			}
+			if len(st.reports) > 0 {
+				pending[t] = st
+			}
+		}
+		a.state.recovered = nil
 	}
-	pending := map[prf.Epoch]*epochState{}
-	// flushed remembers epochs already forwarded so that reports arriving
-	// after a flush — a late child, or a reconnected child re-sending — are
-	// dropped instead of triggering a duplicate. Bounded by periodic reset;
-	// duplicate suppression is best-effort across very long gaps, which the
-	// querier tolerates (it just re-verifies).
-	flushed := map[prf.Epoch]bool{}
 
 	gen := make([]int, len(a.children))
 	alive := make([]bool, len(a.children))
@@ -502,7 +576,12 @@ func (a *AggregatorNode) Run() error {
 		go readChild(idx, 1, c.conn)
 	}
 
-	flush := func(t prf.Epoch, st *epochState) error {
+	flush := func(t prf.Epoch, st *aggEpochState) error {
+		if a.isCrashed() {
+			// A crashed node does nothing more — not even the disconnect-
+			// triggered orphan flush a graceful Close would allow.
+			return errNodeClosed
+		}
 		// Stream the children's PSRs straight into the lazy merge kernel:
 		// no intermediate slice, one modular reduction for the whole epoch.
 		merge := a.agg.NewMerge()
@@ -519,22 +598,29 @@ func (a *AggregatorNode) Run() error {
 			}
 		}
 		delete(pending, t)
-		if len(flushed) > a.flushedCap {
-			flushed = map[prf.Epoch]bool{}
-		}
-		flushed[t] = true
+		a.flushed.put(uint64(t), struct{}{})
 		a.setLastFlushed(uint64(t))
 		failed = core.NormalizeIDs(failed)
+		var err error
 		if merge.Count() == 0 {
-			return a.upstream.Write(Frame{
+			err = a.upstream.Write(Frame{
 				Type: TypeFailure, Epoch: uint64(t),
 				Payload: core.EncodeContributors(failed),
 			})
+		} else {
+			err = a.upstream.Write(Frame{
+				Type: TypePSR, Epoch: uint64(t),
+				Payload: encodeReport(merge.Final(), failed),
+			})
 		}
-		return a.upstream.Write(Frame{
-			Type: TypePSR, Epoch: uint64(t),
-			Payload: encodeReport(merge.Final(), failed),
-		})
+		if err != nil {
+			// Not journaled as committed: after a restart the contributions
+			// replay and the epoch re-flushes — at-least-once delivery, which
+			// the querier's committed window dedups into exactly-once.
+			return err
+		}
+		a.commitFlush(t, pending)
+		return nil
 	}
 
 	// orphanFlush flushes every pending epoch whose outstanding reports can
@@ -581,6 +667,17 @@ func (a *AggregatorNode) Run() error {
 		}
 	}()
 
+	// Recovered epochs that were fully reported before the crash flush
+	// immediately; partially reported ones wait out the usual deadline for
+	// their missing children to re-send.
+	for t, st := range pending {
+		if len(st.reports) == len(a.children) {
+			if err := flush(t, st); err != nil {
+				return err
+			}
+		}
+	}
+
 	for {
 		select {
 		case ev := <-ch:
@@ -613,14 +710,15 @@ func (a *AggregatorNode) Run() error {
 					return err
 				}
 			case 'r':
-				if flushed[ev.rep.epoch] {
+				if a.flushed.has(uint64(ev.rep.epoch)) {
 					continue // late report for an epoch already forwarded
 				}
 				st, ok := pending[ev.rep.epoch]
 				if !ok {
-					st = &epochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
+					st = &aggEpochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
 					pending[ev.rep.epoch] = st
 				}
+				a.journalContribution(ev.rep, a.children[ev.rep.child].covers)
 				// Overwriting dedups a reconnected child re-sending an epoch.
 				st.reports[ev.rep.child] = ev.rep
 				if len(st.reports) == len(a.children) {
@@ -681,6 +779,10 @@ type Health struct {
 	// Forensics snapshots the recovery counters (zero when no probe backend
 	// is installed — see EnableForensics).
 	Forensics ForensicsStats
+
+	// Durability snapshots the crash-recovery bookkeeping (zero when the
+	// node runs without a state directory).
+	Durability DurabilityStats
 }
 
 // QuerierNode terminates the tree: it accepts the root aggregator's
@@ -696,8 +798,35 @@ type QuerierNode struct {
 	mu        sync.Mutex
 	lastEval  uint64
 	health    Health
+	missed    *boundedMap[int, uint64]    // per-source missed-epoch counters
+	committed *boundedMap[uint64, ackInfo] // settled epochs → remembered ack
 	roots     int
+	rootConn  net.Conn // live root connection, for crash teardown
 	forensics *forensics
+	state     *querierState // durable crash-recovery state; nil without a StateDir
+	lnClosed  bool
+	crashed   bool
+}
+
+// QuerierConfig configures NewQuerierNodeConfig.
+type QuerierConfig struct {
+	ListenAddr string
+	// Schedule tunes the evaluation engine (worker count, cache, prefetch).
+	Schedule core.ScheduleConfig
+	// StateDir, when set, makes the node durable: every epoch commit is
+	// journaled (fsynced before the result is emitted or acked) and recovered
+	// on restart, so a crashed querier resumes at its exact evaluation
+	// frontier and never re-answers a committed epoch.
+	StateDir string
+	// CheckpointEvery is how many committed epochs elapse between snapshot
+	// checkpoints (default DefaultCheckpointEvery).
+	CheckpointEvery int
+	// MissedCap bounds the per-source missed-epoch counters in Health
+	// (default DefaultMissedCap).
+	MissedCap int
+	// CommittedCap bounds the committed-epoch dedup window (default
+	// DefaultCommittedCap).
+	CommittedCap int
 }
 
 // NewQuerierNode starts listening for the root aggregator. Evaluation runs
@@ -711,30 +840,94 @@ func NewQuerierNode(listenAddr string, q *core.Querier) (*QuerierNode, error) {
 // NewQuerierNodeWith is NewQuerierNode with an explicit schedule
 // configuration (worker count, cache size, prefetch).
 func NewQuerierNodeWith(listenAddr string, q *core.Querier, cfg core.ScheduleConfig) (*QuerierNode, error) {
-	ln, err := net.Listen("tcp", listenAddr)
+	return NewQuerierNodeConfig(QuerierConfig{ListenAddr: listenAddr, Schedule: cfg}, q)
+}
+
+// NewQuerierNodeConfig builds a querier node from a full configuration,
+// recovering any durable state in cfg.StateDir before it starts listening.
+func NewQuerierNodeConfig(cfg QuerierConfig, q *core.Querier) (*QuerierNode, error) {
+	if cfg.MissedCap <= 0 {
+		cfg.MissedCap = DefaultMissedCap
+	}
+	if cfg.CommittedCap <= 0 {
+		cfg.CommittedCap = DefaultCommittedCap
+	}
+	qn := &QuerierNode{
+		q: q, sched: core.NewSchedule(q, cfg.Schedule),
+		Results:   make(chan EpochResult, 64),
+		missed:    newBoundedMap[int, uint64](cfg.MissedCap),
+		committed: newBoundedMap[uint64, ackInfo](cfg.CommittedCap),
+	}
+	// Recover before listening: the root's hello-ack must carry the restored
+	// evaluation frontier as its resync epoch.
+	if cfg.StateDir != "" {
+		if err := qn.openQuerierState(cfg.StateDir, cfg.CheckpointEvery); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
+		qn.closeState()
 		return nil, err
 	}
-	return &QuerierNode{
-		q: q, sched: core.NewSchedule(q, cfg), ln: ln,
-		Results: make(chan EpochResult, 64),
-		health:  Health{Missed: map[int]int{}},
-	}, nil
+	qn.ln = ln
+	return qn, nil
 }
 
 // Addr returns the address the querier listens on (for wiring up the root).
 func (qn *QuerierNode) Addr() string { return qn.ln.Addr().String() }
 
-// Close stops the listener.
-func (qn *QuerierNode) Close() error { return qn.ln.Close() }
+// Close stops the listener and syncs any durable state. Idempotent: extra
+// calls (a signal handler racing a deferred Close) are no-ops.
+func (qn *QuerierNode) Close() error {
+	qn.mu.Lock()
+	if qn.lnClosed {
+		qn.mu.Unlock()
+		return nil
+	}
+	qn.lnClosed = true
+	qn.mu.Unlock()
+	err := qn.ln.Close()
+	qn.closeState()
+	return err
+}
+
+// Crash tears the node down the way a process kill would: no further commit
+// records, no final journal fsync. Recovery is exercised by rebuilding the
+// node from its state directory. This is the restart-chaos hook; production
+// shutdown is Close.
+func (qn *QuerierNode) Crash() {
+	qn.mu.Lock()
+	if qn.crashed {
+		qn.mu.Unlock()
+		return
+	}
+	qn.crashed = true
+	qn.lnClosed = true
+	st := qn.state
+	root := qn.rootConn
+	qn.mu.Unlock()
+	if st != nil {
+		st.store.Abandon()
+	}
+	qn.ln.Close()
+	if root != nil {
+		// A dead process holds no sockets: sever the root link so in-flight
+		// frames are lost exactly as a kill would lose them.
+		root.Close()
+	}
+}
 
 // Health returns a snapshot of the per-epoch health summary.
 func (qn *QuerierNode) Health() Health {
 	qn.mu.Lock()
 	h := qn.health
-	h.Missed = make(map[int]int, len(qn.health.Missed))
-	for id, n := range qn.health.Missed {
-		h.Missed[id] = n
+	h.Missed = make(map[int]int, qn.missed.len())
+	qn.missed.each(func(id int, n uint64) {
+		h.Missed[id] = int(n)
+	})
+	if qn.state != nil {
+		h.Durability = qn.state.stats
 	}
 	qn.mu.Unlock()
 	h.KeySchedule = qn.sched.Stats()
@@ -750,6 +943,7 @@ func (qn *QuerierNode) ScheduleStats() core.ScheduleStats { return qn.sched.Stat
 // redial, re-handshake and resume.
 func (qn *QuerierNode) Run() error {
 	defer close(qn.Results)
+	defer qn.closeState()
 	for {
 		conn, err := qn.ln.Accept()
 		if err != nil {
@@ -759,16 +953,27 @@ func (qn *QuerierNode) Run() error {
 			return err
 		}
 		qn.mu.Lock()
+		if qn.crashed {
+			qn.mu.Unlock()
+			conn.Close()
+			return nil
+		}
 		qn.roots++
 		if qn.roots > 1 {
 			qn.health.RootReconnects++
 		}
+		qn.rootConn = conn
 		qn.mu.Unlock()
-		if err := qn.serve(conn); err != nil {
-			conn.Close()
+		err = qn.serve(conn)
+		qn.mu.Lock()
+		if qn.rootConn == conn {
+			qn.rootConn = nil
+		}
+		qn.mu.Unlock()
+		conn.Close()
+		if err != nil {
 			return err
 		}
-		conn.Close()
 	}
 }
 
@@ -807,6 +1012,18 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 			return nil // root closed or crashed: await its redial
 		}
 		t := prf.Epoch(f.Epoch)
+		// A frame for an epoch already committed — the root re-sending after
+		// a crash on either side — is answered from the remembered ack, never
+		// re-evaluated or re-emitted.
+		if ack, committed := qn.committedAck(t); committed {
+			if f.Type == TypePSR && ackable {
+				reply := EncodeResult(ack.sum, ack.ok)
+				if err := WriteFrame(conn, Frame{Type: TypeResult, Epoch: f.Epoch, Payload: reply}); err != nil {
+					ackable = false
+				}
+			}
+			continue
+		}
 		switch f.Type {
 		case TypePSR:
 			psr, failed, err := decodeReport(f.Payload, field, qn.q.Params().N())
@@ -850,28 +1067,49 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 	}
 }
 
-// record updates the health summary, the resync point and emits the result.
+// record commits the epoch durably (when a state directory is configured),
+// updates the health summary and the resync point, and emits the result. The
+// journal append fsyncs before the result leaves the node, so a committed
+// epoch survives any crash that follows.
 func (qn *QuerierNode) record(res EpochResult) {
 	qn.mu.Lock()
+	if qn.crashed {
+		// A killed process delivers nothing: committing or emitting here would
+		// leave an answer the restarted node cannot know about.
+		qn.mu.Unlock()
+		return
+	}
 	if uint64(res.Epoch) > qn.lastEval {
 		qn.lastEval = uint64(res.Epoch)
 	}
+	var kind uint8
 	switch {
 	case errors.Is(res.Err, ErrNoContributors):
+		kind = kindEmpty
 		qn.health.Empty++
 	case res.Err != nil:
+		kind = kindRejected
 		qn.health.Rejected++
 	case res.Partial:
+		kind = kindPartial
 		qn.health.Epochs++
 		qn.health.Partial++
 	default:
+		kind = kindFull
 		qn.health.Epochs++
 		qn.health.Full++
 	}
 	if res.Err == nil || errors.Is(res.Err, ErrNoContributors) {
 		for _, id := range res.Failed {
-			qn.health.Missed[id]++
+			qn.bumpMissed(id)
 		}
+	}
+	// Only definitive outcomes commit. A rejected epoch produced no answer —
+	// it stays retryable, so a later re-send (or a post-restart replay from
+	// the tree) can still serve it.
+	if kind != kindRejected {
+		qn.committed.put(uint64(res.Epoch), ackInfo{sum: res.Sum, ok: res.Err == nil})
+		qn.commitDurable(res, kind)
 	}
 	qn.mu.Unlock()
 	qn.Results <- res

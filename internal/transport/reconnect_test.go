@@ -239,7 +239,7 @@ func TestAggregatorLateAndDuplicateReports(t *testing.T) {
 		t.Fatal(b.err)
 	}
 	node := b.node
-	node.flushedCap = 0 // test hook: reset the flushed map at every flush
+	node.flushed.cap = 1 // test hook: remember only the latest flushed epoch
 	runDone := make(chan error, 1)
 	go func() { runDone <- node.Run() }()
 
