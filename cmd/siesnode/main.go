@@ -25,6 +25,11 @@
 // its exact pre-crash frontier. SIGINT/SIGTERM trigger a graceful drain
 // (close the listener, settle in-flight epochs, sync the journal) bounded by
 // -drain; a kill -9 is also safe, it just replays the journal on restart.
+//
+// Observability: -metrics-addr :9100 serves the node's metrics registry over
+// HTTP — /metrics (Prometheus text), /healthz (503 on journal errors),
+// /trace/epochs?n=K (recent epoch lifecycle spans as JSON) and /debug/pprof.
+// Off by default; no listener is opened without the flag.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"github.com/sies/sies/internal/chaos"
 	"github.com/sies/sies/internal/core"
 	"github.com/sies/sies/internal/creds"
+	"github.com/sies/sies/internal/obs"
 	"github.com/sies/sies/internal/prf"
 	"github.com/sies/sies/internal/transport"
 	"github.com/sies/sies/internal/workload"
@@ -57,6 +63,8 @@ var (
 
 	flagStateDir = flag.String("state-dir", "",
 		"durable state directory (querier, aggregator): journal every epoch commit and recover the exact frontier after a crash")
+	flagMetricsAddr = flag.String("metrics-addr", "",
+		"serve /metrics (Prometheus text), /healthz, /trace/epochs and /debug/pprof on this address (empty disables)")
 	flagDrain = flag.Duration("drain", 5*time.Second,
 		"graceful-drain deadline on SIGINT/SIGTERM before the process exits anyway")
 
@@ -84,6 +92,39 @@ func injector() *chaos.Injector {
 		cfg.DelayProb = 0.5
 	}
 	return chaos.New(cfg)
+}
+
+// backoff is the redial policy shared by every role. Seeding it from
+// -chaosSeed makes the jitter sequence — and with it a whole chaos run —
+// reproducible from a single number.
+func backoff() transport.Backoff {
+	return transport.Backoff{Seed: *flagChaosSeed}
+}
+
+// serveMetrics starts the observability endpoint when -metrics-addr is set.
+// healthz reports degraded (HTTP 503) on durability journal errors — the node
+// keeps serving, but its crash-recovery guarantee has a hole.
+func serveMetrics(reg *obs.Registry, tracer *obs.Tracer, dur func() transport.DurabilityStats) (*obs.Server, error) {
+	if *flagMetricsAddr == "" {
+		return nil, nil
+	}
+	srv, err := obs.Serve(*flagMetricsAddr, obs.ServerConfig{
+		Registry: reg,
+		Tracer:   tracer,
+		Healthz: func() (bool, string) {
+			if dur != nil {
+				if d := dur(); d.JournalErrors > 0 {
+					return false, fmt.Sprintf("degraded: %d journal errors", d.JournalErrors)
+				}
+			}
+			return true, "ok"
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("metrics server: %w", err)
+	}
+	fmt.Printf("metrics on http://%s/metrics\n", srv.Addr())
+	return srv, nil
 }
 
 func main() {
@@ -155,6 +196,14 @@ func runQuerier() error {
 	if err != nil {
 		return err
 	}
+	msrv, err := serveMetrics(node.Metrics(), node.Tracer(), node.DurabilityStats)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
+	}
 	fmt.Printf("querier listening on %s for %d sources\n", node.Addr(), n)
 	if *flagStateDir != "" {
 		if d := node.DurabilityStats(); d.ReplayedFromWAL > 0 {
@@ -207,6 +256,7 @@ func runAggregator() error {
 		Timeout:         *flagTimeout,
 		ReconnectWindow: *flagReconnect,
 		StateDir:        *flagStateDir,
+		Backoff:         backoff(),
 	}
 	if inj := injector(); inj != nil {
 		cfg.Dial = inj.Dial
@@ -217,6 +267,14 @@ func runAggregator() error {
 	node, err := transport.NewAggregatorNode(cfg, field)
 	if err != nil {
 		return err
+	}
+	msrv, err := serveMetrics(node.Metrics(), node.Tracer(), node.DurabilityStats)
+	if err != nil {
+		node.Close()
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
 	}
 	fmt.Printf("aggregator up: %d children, covering sources %v\n", *flagChildren, node.Covers())
 	if *flagStateDir != "" {
@@ -259,7 +317,7 @@ func runSource() error {
 	if err != nil {
 		return err
 	}
-	scfg := transport.SourceConfig{ParentAddr: *flagParent}
+	scfg := transport.SourceConfig{ParentAddr: *flagParent, Backoff: backoff()}
 	if inj := injector(); inj != nil {
 		scfg.Dial = inj.Dial
 		fmt.Printf("chaos enabled: seed=%d drop=%.2f delay=%v reset=%.2f\n",
@@ -270,6 +328,13 @@ func runSource() error {
 		return err
 	}
 	defer node.Close()
+	msrv, err := serveMetrics(node.Metrics(), nil, nil)
+	if err != nil {
+		return err
+	}
+	if msrv != nil {
+		defer msrv.Close()
+	}
 
 	var gen *workload.Generator
 	if *flagValue == 0 {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -34,6 +35,7 @@ import (
 	"github.com/sies/sies/internal/core"
 	"github.com/sies/sies/internal/energy"
 	"github.com/sies/sies/internal/network"
+	"github.com/sies/sies/internal/obs"
 	"github.com/sies/sies/internal/prf"
 	"github.com/sies/sies/internal/rsax"
 	"github.com/sies/sies/internal/secoa"
@@ -67,6 +69,9 @@ var (
 	flagCrash     = flag.Float64("crash", 0, "per-epoch probability that an aggregator crashes mid-run and restarts later (0 disables)")
 	flagCrashDown = flag.Int("crashDown", 2, "maximum epochs a crashed aggregator stays down before restarting")
 	flagCrashSeed = flag.Int64("crashSeed", 1, "crash schedule seed (deterministic given -n/-fanout/-epochs)")
+
+	flagMetricsJSON  = flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON (CI artifact)")
+	flagMetricsEvery = flag.Int("metrics-every", 0, "print a metrics snapshot every K epochs (0 disables)")
 )
 
 // validAttacks lists every adversary mode -attack accepts.
@@ -244,6 +249,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	eng.RegisterMetrics(reg)
+	epochsServed := reg.Counter("sies_sim_epochs_served_total", "epochs that produced a verified result")
+	epochsFull := reg.Counter("sies_sim_epochs_full_total", "epochs with every source contributing")
+	epochsPartial := reg.Counter("sies_sim_epochs_partial_total", "epochs verified over a strict subset")
+	epochsRejected := reg.Counter("sies_sim_epochs_rejected_total", "epochs rejected or lost")
 	if *flagFail != "" {
 		for _, part := range strings.Split(*flagFail, ",") {
 			id, err := strconv.Atoi(strings.TrimSpace(part))
@@ -335,21 +346,28 @@ func run() error {
 			switch {
 			case !out.Served:
 				rejected++
+				epochsRejected.Inc()
 				fmt.Printf("epoch %3d: LOST (%v)\n", epoch, out.Err)
 			case out.Recovered:
 				accepted++
 				partial++
+				epochsServed.Inc()
+				epochsPartial.Inc()
 				fmt.Printf("epoch %3d: RECOVERED result %12.1f  (coverage %3.0f%%, %d probes, excluded %v)\n",
 					epoch, out.Sum, out.Coverage*100, out.Probes, out.Excluded)
 			default:
 				accepted++
+				epochsServed.Inc()
 				if out.Coverage == 1 {
 					full++
+					epochsFull.Inc()
 				} else {
 					partial++
+					epochsPartial.Inc()
 				}
 				fmt.Printf("epoch %3d: result %12.1f  (coverage %3.0f%%)\n", epoch, out.Sum, out.Coverage*100)
 			}
+			dumpMetricsEvery(reg, epoch)
 			continue
 		}
 
@@ -364,19 +382,25 @@ func run() error {
 		res, err := eng.RunEpoch(epoch, readings)
 		if err != nil {
 			rejected++
+			epochsRejected.Inc()
 			fmt.Printf("epoch %3d: REJECTED (%v)\n", epoch, err)
+			dumpMetricsEvery(reg, epoch)
 			continue
 		}
 		accepted++
+		epochsServed.Inc()
 		tag := ""
 		if contributors == nil {
 			full++
+			epochsFull.Inc()
 		} else {
 			partial++
+			epochsPartial.Inc()
 			tag = fmt.Sprintf("  [partial: %d/%d contributors]", len(contributors), *flagN)
 		}
 		fmt.Printf("epoch %3d: result %12.1f  (true sum %d = %.2f°C total)%s\n",
 			epoch, res, truth, workload.ToFloat(truth, scale), tag)
+		dumpMetricsEvery(reg, epoch)
 	}
 
 	st := eng.Stats()
@@ -402,6 +426,10 @@ func run() error {
 		s := st.PerKind[kind]
 		fmt.Printf("  %-4s %8d msgs  %12d bytes  avg %10.1f B/msg\n",
 			kind, s.Messages, s.Bytes, s.AvgBytes())
+	}
+
+	if err := writeMetricsJSON(reg); err != nil {
+		return err
 	}
 
 	if *flagEnergy {
@@ -450,6 +478,41 @@ func (s simCrashTarget) Restart(role chaos.CrashRole, id int) error {
 		return nil
 	}
 	s.eng.RecoverAggregator(id + 1)
+	return nil
+}
+
+// dumpMetricsEvery prints the registry snapshot every -metrics-every epochs,
+// so long chaos runs expose their counters mid-flight without an HTTP port.
+func dumpMetricsEvery(reg *obs.Registry, epoch prf.Epoch) {
+	k := *flagMetricsEvery
+	if k <= 0 || int(epoch)%k != 0 {
+		return
+	}
+	snap := reg.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for name := range snap {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	fmt.Printf("metrics @ epoch %d:\n", epoch)
+	for _, name := range keys {
+		fmt.Printf("  %s %g\n", name, snap[name])
+	}
+}
+
+// writeMetricsJSON writes the final snapshot to -metrics-json for CI pickup.
+func writeMetricsJSON(reg *obs.Registry) error {
+	if *flagMetricsJSON == "" {
+		return nil
+	}
+	blob, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*flagMetricsJSON, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing -metrics-json: %w", err)
+	}
+	fmt.Printf("metrics snapshot written to %s\n", *flagMetricsJSON)
 	return nil
 }
 

@@ -1,0 +1,40 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sies/sies/internal/obs"
+)
+
+// RegisterMetrics exposes the engine's traffic accounting on reg: per-edge-
+// class message/byte counters (the paper's Table V quantities) plus the
+// epoch and probe tallies. The engine itself is single-threaded; the
+// registered funcs only read plain ints, so scrapes concurrent with a
+// running simulation see torn-but-monotonic values, which is the usual
+// Prometheus contract for uninstrumented hot loops.
+func (e *Engine) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	for _, kind := range []EdgeKind{EdgeSA, EdgeAA, EdgeAQ} {
+		st := e.stats.PerKind[kind]
+		label := strings.ToLower(strings.ReplaceAll(kind.String(), "-", ""))
+		reg.CounterFunc(
+			fmt.Sprintf("sies_sim_edge_messages_total{edge=%q}", label),
+			"messages carried per edge class",
+			func() uint64 { return uint64(st.Messages) })
+		reg.CounterFunc(
+			fmt.Sprintf("sies_sim_edge_bytes_total{edge=%q}", label),
+			"bytes carried per edge class",
+			func() uint64 { return uint64(st.Bytes) })
+		reg.GaugeFunc(
+			fmt.Sprintf("sies_sim_edge_max_bytes{edge=%q}", label),
+			"largest message seen per edge class",
+			func() float64 { return float64(st.MaxBytes) })
+	}
+	reg.CounterFunc("sies_sim_epochs_total", "verified epochs the engine has run",
+		func() uint64 { return uint64(e.stats.Epochs) })
+	reg.CounterFunc("sies_sim_probes_total", "localization probes the engine has issued",
+		func() uint64 { return uint64(e.stats.Probes) })
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series within a family in
+// registration order, one HELP/TYPE pair per family. Counters print exact
+// uint64 decimals; gauges and histogram sums print via strconv.FormatFloat.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		series := append([]*series(nil), f.series...)
+		sort.Slice(series, func(i, j int) bool { return series[i].order < series[j].order })
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range series {
+			if s.hist != nil {
+				writeHistogram(&b, s.fullName, s.hist)
+				continue
+			}
+			if u, g, isCounter := s.value(); isCounter {
+				fmt.Fprintf(&b, "%s %s\n", s.fullName, strconv.FormatUint(u, 10))
+			} else {
+				fmt.Fprintf(&b, "%s %s\n", s.fullName, formatFloat(g))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders the cumulative bucket lines plus _sum and _count.
+func writeHistogram(b *strings.Builder, name string, h *Histogram) {
+	base, labels := splitLabels(name)
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", base, labels, formatFloat(bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(b, "%s_bucket{%sle=\"+Inf\"} %d\n", base, labels, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", base, wrapLabels(labels), formatFloat(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", base, wrapLabels(labels), h.Count())
+}
+
+// splitLabels separates `name{a="b"}` into base name and `a="b",` (trailing
+// comma ready for the le label), or ("name", "") without labels.
+func splitLabels(full string) (base, labels string) {
+	i := strings.IndexByte(full, '{')
+	if i < 0 {
+		return full, ""
+	}
+	inner := strings.TrimSuffix(full[i+1:], "}")
+	if inner == "" {
+		return full[:i], ""
+	}
+	return full[:i], inner + ","
+}
+
+// wrapLabels re-wraps a trailing-comma label fragment into `{a="b"}`.
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + strings.TrimSuffix(labels, ",") + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients expect.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes newlines and backslashes in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

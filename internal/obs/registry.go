@@ -1,0 +1,271 @@
+// Package obs is the runtime observability layer: a dependency-free metrics
+// registry (atomic counters, gauges and bounded histograms with Prometheus
+// text exposition), a ring-buffered epoch-lifecycle tracer, and an opt-in
+// HTTP server exposing both plus the stdlib pprof profiles.
+//
+// The registry is the single home for every counter the system maintains —
+// transport nodes, the key-schedule engine, forensics, durability and the
+// simulation engine all register here, so one scrape answers the paper's
+// per-role cost-accounting questions (§VI) without reaching into process
+// internals. Counters are uint64 end-to-end: values never pass through int
+// and therefore never truncate on 32-bit platforms or wrap at 2^31.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a registered metric for the TYPE exposition line.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonically increasing uint64. The zero value is usable,
+// but counters normally come from Registry.Counter so they expose.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous int64 value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram: bounds are set at registration and
+// never grow, so the cardinality of an exposition is bounded by construction.
+// Observations and the running sum use atomics; Observe is lock-free.
+type Histogram struct {
+	bounds  []float64       // upper bounds, ascending; +Inf is implicit
+	counts  []atomic.Uint64 // len(bounds)+1, last is the overflow bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DurationBuckets is a general-purpose latency bucket ladder in seconds,
+// 10µs … 10s, a decade per three buckets.
+var DurationBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// series is one exposition line: a full name (base name plus optional
+// rendered label set) and a way to read its value(s).
+type series struct {
+	fullName string
+	counter  *Counter
+	gauge    *Gauge
+	hist     *Histogram
+	// fn-backed series read an external source at scrape time. cfn for
+	// counters (uint64, exact), gfn for gauges (float64).
+	cfn   func() uint64
+	gfn   func() float64
+	order int
+}
+
+// family groups every series sharing a base name under one HELP/TYPE pair.
+type family struct {
+	name   string
+	help   string
+	kind   Kind
+	series []*series
+}
+
+// Registry holds metric families and renders them in Prometheus text format.
+// Registration is idempotent per full name: re-registering returns the
+// existing collector (for func-backed series, the newest func wins, so a
+// restarted component re-binding its gauges observes the live instance).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	byFull   map[string]*series
+	nextOrd  int
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}, byFull: map[string]*series{}}
+}
+
+// baseName strips a label set from a full series name.
+func baseName(full string) string {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i]
+	}
+	return full
+}
+
+// register binds one series into its family, enforcing kind consistency.
+func (r *Registry) register(full, help string, kind Kind, s *series) *series {
+	base := baseName(full)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byFull[full]; ok {
+		// Idempotent re-registration: func-backed series rebind to the newest
+		// source; collector-backed series hand back the existing collector.
+		if s.cfn != nil {
+			prev.cfn = s.cfn
+		}
+		if s.gfn != nil {
+			prev.gfn = s.gfn
+		}
+		return prev
+	}
+	fam, ok := r.families[base]
+	if !ok {
+		fam = &family{name: base, help: help, kind: kind}
+		r.families[base] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %v, was %v", base, kind, fam.kind))
+	}
+	s.fullName = full
+	s.order = r.nextOrd
+	r.nextOrd++
+	fam.series = append(fam.series, s)
+	r.byFull[full] = s
+	return s
+}
+
+// Counter registers (or returns) the counter named name. The name may carry
+// a rendered label set, e.g. `sies_tree_bytes_total{edge="sa"}`.
+func (r *Registry) Counter(name, help string) *Counter {
+	s := r.register(name, help, KindCounter, &series{counter: &Counter{}})
+	return s.counter
+}
+
+// Gauge registers (or returns) the gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	s := r.register(name, help, KindGauge, &series{gauge: &Gauge{}})
+	return s.gauge
+}
+
+// Histogram registers (or returns) a histogram with the given upper bounds
+// (ascending; the +Inf bucket is implicit). Bounds are fixed for the life of
+// the registry, which bounds exposition cardinality by construction.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	if prev, ok := r.byFull[name]; ok && prev.hist != nil {
+		r.mu.Unlock()
+		return prev.hist
+	}
+	r.mu.Unlock()
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.counts = make([]atomic.Uint64, len(h.bounds)+1)
+	r.register(name, help, KindHistogram, &series{hist: h})
+	return h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for components that already keep their own atomics
+// (core.Schedule, durability, forensics). Values stay uint64 end-to-end.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, KindCounter, &series{cfn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, KindGauge, &series{gfn: fn})
+}
+
+// value reads a non-histogram series. Counters report exact uint64s.
+func (s *series) value() (uint64, float64, bool) {
+	switch {
+	case s.counter != nil:
+		return s.counter.Value(), 0, true
+	case s.cfn != nil:
+		return s.cfn(), 0, true
+	case s.gauge != nil:
+		return 0, float64(s.gauge.Value()), false
+	case s.gfn != nil:
+		return 0, s.gfn(), false
+	}
+	return 0, 0, false
+}
+
+// Snapshot returns every scalar series (and histogram _count/_sum pairs) as
+// a flat name → value map — the -metrics-json artifact shape. Counter values
+// above 2^53 lose precision here; the text exposition stays exact.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	out := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.series {
+			if s.hist != nil {
+				out[s.fullName+"_count"] = float64(s.hist.Count())
+				out[s.fullName+"_sum"] = s.hist.Sum()
+				continue
+			}
+			if u, g, isCounter := s.value(); isCounter {
+				out[s.fullName] = float64(u)
+			} else {
+				out[s.fullName] = g
+			}
+		}
+	}
+	return out
+}

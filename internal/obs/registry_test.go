@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// buildFixedRegistry assembles the registry behind the golden exposition
+// test: one of each collector kind, labelled series, and func-backed bridges.
+func buildFixedRegistry() *Registry {
+	r := NewRegistry()
+	c := r.Counter("sies_epochs_served_total", "epochs evaluated and verified")
+	c.Add(41)
+	c.Inc()
+	r.Counter("sies_epochs_rejected_total", "epochs failing integrity or decode")
+	r.Counter(`sies_tree_bytes_total{edge="sa"}`, "bytes per edge class")
+	r.Counter(`sies_tree_bytes_total{edge="aq"}`, "bytes per edge class").Add(1 << 40)
+	g := r.Gauge("sies_quarantine_confirmed", "confirmed culprits right now")
+	g.Set(3)
+	g.Add(-1)
+	r.GaugeFunc("sies_results_pending", "results waiting on the channel", func() float64 { return 7 })
+	r.CounterFunc("sies_schedule_derivations_total", "per-source derivations", func() uint64 {
+		return math.MaxUint64 // exactness check: must print all 20 digits
+	})
+	h := r.Histogram("sies_epoch_eval_seconds", "per-epoch evaluation latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0004, 0.002, 0.02, 0.02, 5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFixedRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "metrics.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestCounterExactUint64(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("big_total", "")
+	c.Add(math.MaxUint64 - 1)
+	c.Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "big_total 18446744073709551615\n") {
+		t.Errorf("uint64 counter truncated:\n%s", buf.String())
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "other help")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	a.Add(5)
+	if b.Value() != 5 {
+		t.Fatal("counters diverged")
+	}
+
+	// Func re-registration rebinds to the newest source.
+	r.GaugeFunc("y", "", func() float64 { return 1 })
+	r.GaugeFunc("y", "", func() float64 { return 2 })
+	if v := r.Snapshot()["y"]; v != 2 {
+		t.Fatalf("rebound gauge func reads %v, want 2", v)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("m", "")
+	r.Gauge("m2", "")
+	r.Gauge(`m{l="v"}`, "") // same family as the counter m
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{1, 2})
+	for _, v := range []float64{0.5, 1, 1.5, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if got := h.Sum(); got != 6 {
+		t.Fatalf("sum %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="2"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		`lat_seconds_count 4`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h_seconds", "", DurationBuckets)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.001)
+				r.Gauge("g", "").Set(int64(j))
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for j := 0; j < 50; j++ {
+				buf.Reset()
+				if err := r.WritePrometheus(&buf); err != nil {
+					t.Error(err)
+					return
+				}
+				r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// ServerConfig wires a registry and tracer into an HTTP endpoint.
+type ServerConfig struct {
+	Registry *Registry
+	Tracer   *Tracer
+	// Healthz, when set, decides /healthz: return (false, reason) for a 503.
+	// Nil always reports healthy.
+	Healthz func() (ok bool, detail string)
+}
+
+// NewHandler builds the observability mux:
+//
+//	/metrics          Prometheus text exposition of the registry
+//	/healthz          liveness (200 ok / 503 with detail)
+//	/trace/epochs?n=K JSON of the K most recent epoch-lifecycle spans
+//	/debug/pprof/*    the stdlib profiles
+func NewHandler(cfg ServerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Registry == nil {
+			http.Error(w, "no registry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		ok, detail := true, "ok"
+		if cfg.Healthz != nil {
+			ok, detail = cfg.Healthz()
+		}
+		if !ok {
+			http.Error(w, detail, http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, detail)
+	})
+	mux.HandleFunc("/trace/epochs", func(w http.ResponseWriter, req *http.Request) {
+		if cfg.Tracer == nil {
+			http.Error(w, "no tracer", http.StatusNotFound)
+			return
+		}
+		n := 0
+		if s := req.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Tracer.WriteJSON(w, n)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoint on addr (e.g. ":9464" or
+// "127.0.0.1:0") and serves in a background goroutine until Close.
+func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewHandler(cfg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

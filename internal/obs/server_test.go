@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("sies_epochs_served_total", "served").Add(9)
+	tr := NewTracer(8)
+	tr.Mark(3, StageReport)
+	tr.End(3, "full")
+
+	healthy := true
+	srv, err := Serve("127.0.0.1:0", ServerConfig{
+		Registry: reg,
+		Tracer:   tr,
+		Healthz: func() (bool, string) {
+			if healthy {
+				return true, "ok"
+			}
+			return false, "degraded: journal errors"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, "sies_epochs_served_total 9\n") {
+		t.Fatalf("/metrics: %d\n%s", code, body)
+	}
+	if code, body = get(t, base+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	healthy = false
+	if code, body = get(t, base+"/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("/healthz degraded: %d %q", code, body)
+	}
+
+	code, body = get(t, base+"/trace/epochs?n=5")
+	if code != 200 {
+		t.Fatalf("/trace/epochs: %d", code)
+	}
+	var spans []Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("trace JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0].Epoch != 3 {
+		t.Fatalf("spans %+v", spans)
+	}
+	if code, _ = get(t, base+"/trace/epochs?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad n accepted: %d", code)
+	}
+
+	if code, body = get(t, base+"/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/: %d", code)
+	}
+	if code, _ = get(t, base+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+}
+
+func TestServerWithoutTracer(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", ServerConfig{Registry: NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, _ := get(t, "http://"+srv.Addr()+"/trace/epochs"); code != http.StatusNotFound {
+		t.Fatalf("tracerless /trace/epochs: %d", code)
+	}
+	if code, _ := get(t, "http://"+srv.Addr()+"/healthz"); code != 200 {
+		t.Fatalf("default healthz: %d", code)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Canonical epoch-lifecycle stage names, in protocol order. A span need not
+// visit every stage: a clean epoch skips reject and forensics, a lost one
+// never reaches commit.
+const (
+	StageBroadcast = "query-broadcast"  // querier disseminated the epoch query
+	StageReport    = "reports-received" // the (merged) report frame arrived
+	StageFlush     = "flush"            // aggregator forwarded the epoch upstream
+	StageVerify    = "verify"           // integrity verification passed
+	StageReject    = "reject"           // integrity verification failed
+	StageForensics = "forensics"        // localization / verified re-query ran
+	StageCommit    = "commit"           // result journaled and emitted
+)
+
+// StageMark is one lifecycle stage visit, timed as an offset from span start.
+type StageMark struct {
+	Stage    string `json:"stage"`
+	OffsetUS int64  `json:"offset_us"`
+}
+
+// Span is one epoch's lifecycle: when it started, the stages it visited and
+// the terminal outcome (full, partial, empty, rejected, recovered, lost).
+type Span struct {
+	Epoch   uint64      `json:"epoch"`
+	Start   time.Time   `json:"start"`
+	Stages  []StageMark `json:"stages"`
+	Outcome string      `json:"outcome,omitempty"`
+	Done    bool        `json:"done"`
+}
+
+// maxStagesPerSpan bounds a span's stage list: re-sent frames and repeated
+// forensic rounds append marks, and an adversarial stream must not grow a
+// span without limit.
+const maxStagesPerSpan = 32
+
+// DefaultTraceCapacity is the tracer ring size when NewTracer gets n <= 0.
+const DefaultTraceCapacity = 256
+
+// Tracer records epoch lifecycles into a fixed ring: the last capacity epochs
+// begun are retained, older ones are overwritten. All methods are safe for
+// concurrent use; recording is O(1) and allocation-light, so it can sit on
+// the serve hot path.
+type Tracer struct {
+	mu    sync.Mutex
+	ring  []Span
+	next  int            // ring slot the next new span takes
+	index map[uint64]int // epoch → ring slot of its live span
+	now   func() time.Time
+}
+
+// NewTracer returns a tracer retaining the last capacity spans
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{
+		ring:  make([]Span, 0, capacity),
+		index: make(map[uint64]int, capacity),
+		now:   time.Now,
+	}
+}
+
+// span returns the live span for epoch, creating one if needed.
+// Caller holds t.mu.
+func (t *Tracer) span(epoch uint64) *Span {
+	if i, ok := t.index[epoch]; ok && t.ring[i].Epoch == epoch {
+		return &t.ring[i]
+	}
+	s := Span{Epoch: epoch, Start: t.now()}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, s)
+		t.index[epoch] = len(t.ring) - 1
+		return &t.ring[len(t.ring)-1]
+	}
+	// Overwrite the oldest slot; its epoch's index entry is dropped so a
+	// late mark for it opens a fresh span instead of corrupting this one.
+	i := t.next
+	t.next = (t.next + 1) % cap(t.ring)
+	delete(t.index, t.ring[i].Epoch)
+	t.ring[i] = s
+	t.index[epoch] = i
+	return &t.ring[i]
+}
+
+// Begin opens (or touches) the span for epoch.
+func (t *Tracer) Begin(epoch uint64) {
+	t.mu.Lock()
+	t.span(epoch)
+	t.mu.Unlock()
+}
+
+// Mark appends a stage visit to the epoch's span, opening it if absent.
+func (t *Tracer) Mark(epoch uint64, stage string) {
+	t.mu.Lock()
+	s := t.span(epoch)
+	if len(s.Stages) < maxStagesPerSpan {
+		s.Stages = append(s.Stages, StageMark{
+			Stage:    stage,
+			OffsetUS: t.now().Sub(s.Start).Microseconds(),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// End closes the epoch's span with a terminal outcome. Later marks for the
+// same epoch (a re-sent frame after commit) reopen nothing: they land on the
+// closed span until the ring recycles it.
+func (t *Tracer) End(epoch uint64, outcome string) {
+	t.mu.Lock()
+	s := t.span(epoch)
+	s.Outcome = outcome
+	s.Done = true
+	t.mu.Unlock()
+}
+
+// Recent returns up to n spans, oldest first, ending with the newest. n <= 0
+// returns every retained span.
+func (t *Tracer) Recent(n int) []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := len(t.ring)
+	if n <= 0 || n > total {
+		n = total
+	}
+	out := make([]Span, 0, n)
+	// Ring order: t.next is the oldest slot once the ring has wrapped.
+	start := 0
+	if len(t.ring) == cap(t.ring) {
+		start = t.next
+	}
+	for i := total - n; i < total; i++ {
+		s := t.ring[(start+i)%total]
+		s.Stages = append([]StageMark(nil), s.Stages...)
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON renders the n most recent spans as a JSON array.
+func (t *Tracer) WriteJSON(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Recent(n))
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock steps a fake clock by step on every reading.
+type fixedClock struct {
+	mu   sync.Mutex
+	at   time.Time
+	step time.Duration
+}
+
+func (c *fixedClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at = c.at.Add(c.step)
+	return c.at
+}
+
+func TestTracerLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	clk := &fixedClock{at: time.Unix(1000, 0), step: time.Millisecond}
+	tr.now = clk.now
+
+	tr.Begin(1)
+	tr.Mark(1, StageReport)
+	tr.Mark(1, StageVerify)
+	tr.Mark(1, StageCommit)
+	tr.End(1, "full")
+
+	spans := tr.Recent(0)
+	if len(spans) != 1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	s := spans[0]
+	if s.Epoch != 1 || !s.Done || s.Outcome != "full" {
+		t.Fatalf("span %+v", s)
+	}
+	if len(s.Stages) != 3 || s.Stages[0].Stage != StageReport || s.Stages[2].Stage != StageCommit {
+		t.Fatalf("stages %+v", s.Stages)
+	}
+	// The fake clock ticks 1ms per reading, so offsets are strictly rising.
+	if s.Stages[0].OffsetUS <= 0 || s.Stages[1].OffsetUS <= s.Stages[0].OffsetUS {
+		t.Fatalf("offsets not increasing: %+v", s.Stages)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for e := uint64(1); e <= 10; e++ {
+		tr.Mark(e, StageReport)
+		tr.End(e, "full")
+	}
+	spans := tr.Recent(0)
+	if len(spans) != 4 {
+		t.Fatalf("%d spans retained, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := uint64(7 + i); s.Epoch != want {
+			t.Fatalf("span %d is epoch %d, want %d (oldest-first)", i, s.Epoch, want)
+		}
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].Epoch != 10 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestTracerStageBound(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 10*maxStagesPerSpan; i++ {
+		tr.Mark(1, StageForensics)
+	}
+	if n := len(tr.Recent(1)[0].Stages); n != maxStagesPerSpan {
+		t.Fatalf("span grew to %d stages, want cap %d", n, maxStagesPerSpan)
+	}
+}
+
+func TestTracerJSON(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Mark(7, StageReport)
+	tr.End(7, "partial")
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	var spans []Span
+	if err := json.Unmarshal(buf.Bytes(), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Epoch != 7 || spans[0].Outcome != "partial" {
+		t.Fatalf("decoded %+v", spans)
+	}
+}
+
+func TestTracerConcurrency(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for e := uint64(1); e <= 200; e++ {
+				tr.Mark(e, StageReport)
+				tr.Mark(e, StageVerify)
+				tr.End(e, "full")
+			}
+		}(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Recent(16)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -14,11 +15,24 @@ type Backoff struct {
 	Multiplier float64       // growth factor between attempts (default 2)
 	Jitter     float64       // randomisation fraction in [0,1] (default 0.2)
 	MaxElapsed time.Duration // give up after this much retrying (default 30s; < 0 retries forever)
-	// Rand supplies the jitter; nil seeds a private PRNG from the clock. A
-	// node must not share one *rand.Rand with other nodes — inject one per
-	// node when reproducibility matters.
+	// Seed, when non-zero and Rand is nil, seeds the private jitter PRNG
+	// deterministically: two Backoffs defaulted from the same Seed produce
+	// identical delay sequences, which makes chaos runs reproducible.
+	Seed int64
+	// Rand supplies the jitter; nil seeds a private PRNG from Seed (or the
+	// clock when Seed is zero). *rand.Rand is not goroutine-safe on its own,
+	// so every jitter draw — including draws from a Rand shared across
+	// nodes — is serialised under one package-level lock. Jitter draws only
+	// happen on redial, so the lock is never contended on the hot path.
 	Rand *rand.Rand
 }
+
+// jitterMu serialises every jitter draw. Redialers run Delay concurrently
+// (one goroutine per reconnecting link) and frequently share one *rand.Rand:
+// a Backoff value is copied into each node it configures, and an injected
+// Rand travels with every copy. A single package lock makes all of those
+// shapes race-free without per-instance bookkeeping.
+var jitterMu sync.Mutex
 
 // withDefaults fills unset fields.
 func (b Backoff) withDefaults() Backoff {
@@ -40,12 +54,17 @@ func (b Backoff) withDefaults() Backoff {
 		b.MaxElapsed = 30 * time.Second
 	}
 	if b.Rand == nil {
-		b.Rand = rand.New(rand.NewSource(time.Now().UnixNano()))
+		seed := b.Seed
+		if seed == 0 {
+			seed = time.Now().UnixNano()
+		}
+		b.Rand = rand.New(rand.NewSource(seed))
 	}
 	return b
 }
 
 // Delay returns the jittered delay before retry number attempt (0-based).
+// Safe for concurrent use even when the underlying Rand is shared.
 func (b Backoff) Delay(attempt int) time.Duration {
 	d := float64(b.Initial)
 	for i := 0; i < attempt; i++ {
@@ -58,7 +77,10 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	if b.Jitter > 0 && b.Rand != nil {
 		// Spread uniformly over [1-Jitter, 1+Jitter] so synchronised children
 		// don't stampede the recovering parent.
-		d *= 1 - b.Jitter + 2*b.Jitter*b.Rand.Float64()
+		jitterMu.Lock()
+		u := b.Rand.Float64()
+		jitterMu.Unlock()
+		d *= 1 - b.Jitter + 2*b.Jitter*u
 	}
 	if d > float64(b.Max) {
 		d = float64(b.Max)

@@ -1,0 +1,83 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBackoffSeededDeterminism pins the reproducibility contract: two
+// Backoffs defaulted from the same Seed emit identical delay sequences, and
+// different seeds diverge. Chaos runs lean on this to replay fault schedules.
+func TestBackoffSeededDeterminism(t *testing.T) {
+	delays := func(seed int64) []time.Duration {
+		b := Backoff{Seed: seed}.withDefaults()
+		out := make([]time.Duration, 32)
+		for i := range out {
+			out[i] = b.Delay(i % 8)
+		}
+		return out
+	}
+	a, b := delays(42), delays(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed 42 diverged at draw %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := delays(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical jitter sequences")
+	}
+}
+
+// TestBackoffDelayBounds checks the jitter window and the per-attempt cap.
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Initial: 100 * time.Millisecond, Max: time.Second, Jitter: 0.2, Seed: 7}.withDefaults()
+	for attempt := 0; attempt < 12; attempt++ {
+		d := b.Delay(attempt)
+		if d < 0 || d > time.Second {
+			t.Fatalf("attempt %d: delay %v outside [0, max]", attempt, d)
+		}
+	}
+	// Attempt 0 stays within ±20% of Initial.
+	for i := 0; i < 100; i++ {
+		d := b.Delay(0)
+		if d < 80*time.Millisecond || d > 120*time.Millisecond {
+			t.Fatalf("attempt 0 delay %v outside jitter window", d)
+		}
+	}
+}
+
+// TestBackoffConcurrentDelay hammers Delay from many goroutines over one
+// shared *rand.Rand — the exact shape the redialers produce when one Backoff
+// value configures a whole deployment. Run under -race this is the
+// regression test for the shared-PRNG data race.
+func TestBackoffConcurrentDelay(t *testing.T) {
+	shared := rand.New(rand.NewSource(1))
+	b := Backoff{Rand: shared}.withDefaults()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each goroutine holds its own copy, as each redialer does; all
+			// copies share the one PRNG.
+			own := b
+			for i := 0; i < 500; i++ {
+				if d := own.Delay(i % 6); d < 0 {
+					t.Error("negative delay")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

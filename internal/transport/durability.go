@@ -34,6 +34,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/sies/sies/internal/core"
 	"github.com/sies/sies/internal/durable"
@@ -85,6 +86,26 @@ type DurabilityStats struct {
 	ReplayedFromWAL uint64 `json:"replayed_frontier"`// epoch frontier restored at boot
 	TornBytes       int64  `json:"torn_bytes"`       // torn-tail bytes truncated at boot
 	DedupHits       uint64 `json:"dedup_hits"`       // frames for already-committed epochs dropped
+}
+
+// durCounters holds the run-time durability counters as atomics, so stats
+// snapshots never contend with the commit path and metric scrapes never take
+// a node lock. The boot-time fields (ReplayedRecords, TornBytes, frontier)
+// are written once before the node serves and live in the boot snapshot.
+type durCounters struct {
+	commits       atomic.Uint64
+	checkpoints   atomic.Uint64
+	journalErrors atomic.Uint64
+	dedupHits     atomic.Uint64
+}
+
+// snapshot merges the live counters over the boot-time baseline.
+func (c *durCounters) snapshot(boot DurabilityStats) DurabilityStats {
+	boot.Commits = c.commits.Load()
+	boot.Checkpoints = c.checkpoints.Load()
+	boot.JournalErrors = c.journalErrors.Load()
+	boot.DedupHits = c.dedupHits.Load()
+	return boot
 }
 
 // ackInfo is the remembered outcome of a committed epoch, replayed as the
@@ -190,7 +211,8 @@ type querierState struct {
 	store           *durable.Store
 	checkpointEvery int
 	sinceCheckpoint int
-	stats           DurabilityStats
+	boot            DurabilityStats // boot-time fields, fixed before serving
+	ctr             durCounters
 	quarBlob        []byte // restored registry, applied by EnableForensics
 }
 
@@ -212,11 +234,14 @@ func decodeQuerierCommit(p []byte) (t prf.Epoch, kind uint8, sum uint64, failed 
 }
 
 // querierSnapshot encodes the full recoverable querier state under qn.mu.
+// The health counters read from the obs registry's atomics; the wire order
+// (epochs, full, partial, empty, rejected, root-reconnects) is the snapshot
+// format and must not change.
 func (qn *QuerierNode) querierSnapshot() []byte {
 	b := binary.BigEndian.AppendUint64(nil, qn.lastEval)
 	for _, v := range []uint64{
-		uint64(qn.health.Epochs), uint64(qn.health.Full), uint64(qn.health.Partial),
-		uint64(qn.health.Empty), uint64(qn.health.Rejected), uint64(qn.health.RootReconnects),
+		qn.obs.served.Value(), qn.obs.full.Value(), qn.obs.partial.Value(),
+		qn.obs.empty.Value(), qn.obs.rejected.Value(), qn.obs.rootReconnects.Value(),
 	} {
 		b = binary.BigEndian.AppendUint64(b, v)
 	}
@@ -261,12 +286,14 @@ func (qn *QuerierNode) quarantineSnapshot() []byte {
 func (qn *QuerierNode) restoreQuerierSnapshot(p []byte) error {
 	c := &cursor{b: p}
 	qn.lastEval = c.u64()
-	qn.health.Epochs = int(c.u64())
-	qn.health.Full = int(c.u64())
-	qn.health.Partial = int(c.u64())
-	qn.health.Empty = int(c.u64())
-	qn.health.Rejected = int(c.u64())
-	qn.health.RootReconnects = int(c.u64())
+	// Counters restore by adding into the freshly zeroed obs counters — the
+	// registry is the only store, there is no struct copy to assign.
+	qn.obs.served.Add(c.u64())
+	qn.obs.full.Add(c.u64())
+	qn.obs.partial.Add(c.u64())
+	qn.obs.empty.Add(c.u64())
+	qn.obs.rejected.Add(c.u64())
+	qn.obs.rootReconnects.Add(c.u64())
 	nm := c.u32()
 	for i := uint32(0); i < nm && c.err == nil; i++ {
 		id := int(c.u32())
@@ -306,9 +333,9 @@ func (qn *QuerierNode) openQuerierState(dir string, checkpointEvery int) error {
 		checkpointEvery = DefaultCheckpointEvery
 	}
 	qn.state = &querierState{store: store, checkpointEvery: checkpointEvery}
-	qn.state.stats.Enabled = true
-	qn.state.stats.ReplayedRecords = len(recs)
-	qn.state.stats.TornBytes = store.Journal().TruncatedBytes()
+	qn.state.boot.Enabled = true
+	qn.state.boot.ReplayedRecords = len(recs)
+	qn.state.boot.TornBytes = store.Journal().TruncatedBytes()
 
 	version, payload, err := store.LoadSnapshot()
 	switch {
@@ -346,15 +373,15 @@ func (qn *QuerierNode) openQuerierState(dir string, checkpointEvery int) error {
 			}
 			switch kind {
 			case kindFull:
-				qn.health.Epochs++
-				qn.health.Full++
+				qn.obs.served.Inc()
+				qn.obs.full.Inc()
 			case kindPartial:
-				qn.health.Epochs++
-				qn.health.Partial++
+				qn.obs.served.Inc()
+				qn.obs.partial.Inc()
 			case kindEmpty:
-				qn.health.Empty++
+				qn.obs.empty.Inc()
 			default:
-				qn.health.Rejected++
+				qn.obs.rejected.Inc()
 			}
 			if kind != kindRejected {
 				for _, id := range failed {
@@ -365,7 +392,7 @@ func (qn *QuerierNode) openQuerierState(dir string, checkpointEvery int) error {
 			qn.state.quarBlob = append([]byte(nil), rec.Payload...)
 		}
 	}
-	qn.state.stats.ReplayedFromWAL = qn.lastEval
+	qn.state.boot.ReplayedFromWAL = qn.lastEval
 	return nil
 }
 
@@ -388,18 +415,18 @@ func (qn *QuerierNode) commitDurable(res EpochResult, kind uint8) {
 		Payload: encodeQuerierCommit(res.Epoch, kind, res.Sum, res.Failed),
 	}
 	if err := st.store.Journal().Append(rec); err != nil {
-		st.stats.JournalErrors++
+		st.ctr.journalErrors.Add(1)
 		return
 	}
-	st.stats.Commits++
+	st.ctr.commits.Add(1)
 	st.sinceCheckpoint++
 	if st.sinceCheckpoint >= st.checkpointEvery {
 		if err := st.store.Checkpoint(stateVersion, qn.querierSnapshot()); err != nil {
-			st.stats.JournalErrors++
+			st.ctr.journalErrors.Add(1)
 			return
 		}
 		st.sinceCheckpoint = 0
-		st.stats.Checkpoints++
+		st.ctr.checkpoints.Add(1)
 	}
 }
 
@@ -415,7 +442,7 @@ func (qn *QuerierNode) persistQuarantine() {
 	blob := qn.forensics.quarantine.Snapshot()
 	st.quarBlob = blob
 	if err := st.store.Journal().Append(durable.Record{Type: recQuarantine, Payload: blob}); err != nil {
-		st.stats.JournalErrors++
+		st.ctr.journalErrors.Add(1)
 	}
 }
 
@@ -426,7 +453,7 @@ func (qn *QuerierNode) committedAck(t prf.Epoch) (ackInfo, bool) {
 	defer qn.mu.Unlock()
 	ack, ok := qn.committed.get(uint64(t))
 	if ok && qn.state != nil {
-		qn.state.stats.DedupHits++
+		qn.state.ctr.dedupHits.Add(1)
 	}
 	return ack, ok
 }
@@ -442,14 +469,13 @@ func (qn *QuerierNode) closeState() {
 }
 
 // DurabilityStats snapshots the crash-recovery counters (zero value when the
-// node runs without a state directory).
+// node runs without a state directory). Lock-free: the state pointer is fixed
+// after construction and the run-time counters are atomics.
 func (qn *QuerierNode) DurabilityStats() DurabilityStats {
-	qn.mu.Lock()
-	defer qn.mu.Unlock()
 	if qn.state == nil {
 		return DurabilityStats{}
 	}
-	return qn.state.stats
+	return qn.state.ctr.snapshot(qn.state.boot)
 }
 
 // ---------------------------------------------------------------------------
@@ -461,7 +487,8 @@ type aggState struct {
 	store           *durable.Store
 	checkpointEvery int
 	sinceCheckpoint int
-	stats           DurabilityStats
+	boot            DurabilityStats // boot-time fields, fixed before serving
+	ctr             durCounters
 	// recovered holds journal-replayed contributions of still-open epochs,
 	// keyed by epoch then by the child's coverage key. Run folds them into
 	// its pending map once the child slots exist.
@@ -537,9 +564,9 @@ func (a *AggregatorNode) openAggState(dir string, checkpointEvery int) error {
 		checkpointEvery: checkpointEvery,
 		recovered:       map[prf.Epoch]map[string]report{},
 	}
-	a.state.stats.Enabled = true
-	a.state.stats.ReplayedRecords = len(recs)
-	a.state.stats.TornBytes = store.Journal().TruncatedBytes()
+	a.state.boot.Enabled = true
+	a.state.boot.ReplayedRecords = len(recs)
+	a.state.boot.TornBytes = store.Journal().TruncatedBytes()
 	// Contributions are recoverable from children's re-sends; only commit
 	// records need their own fsync (flush issues it explicitly).
 	store.Journal().SyncEvery = 1 << 30
@@ -591,16 +618,14 @@ func (a *AggregatorNode) openAggState(dir string, checkpointEvery int) error {
 			delete(a.state.recovered, prf.Epoch(t))
 		}
 	}
-	a.state.stats.ReplayedFromWAL = a.lastFlushed
+	a.state.boot.ReplayedFromWAL = a.lastFlushed
 	return nil
 }
 
 // journalErr counts a failed durable write (durability degraded, node keeps
-// serving) under the node lock so Health/stats readers never race it.
+// serving). Atomic — no lock needed.
 func (a *AggregatorNode) journalErr() {
-	a.mu.Lock()
-	a.state.stats.JournalErrors++
-	a.mu.Unlock()
+	a.state.ctr.journalErrors.Add(1)
 }
 
 // journalContribution records one accepted child report before it enters the
@@ -634,8 +659,8 @@ func (a *AggregatorNode) commitFlush(t prf.Epoch, pending map[prf.Epoch]*aggEpoc
 		a.journalErr()
 		return
 	}
+	st.ctr.commits.Add(1)
 	a.mu.Lock()
-	st.stats.Commits++
 	st.sinceCheckpoint++
 	checkpoint := st.sinceCheckpoint >= st.checkpointEvery
 	var payload []byte
@@ -652,8 +677,8 @@ func (a *AggregatorNode) commitFlush(t prf.Epoch, pending map[prf.Epoch]*aggEpoc
 	}
 	a.mu.Lock()
 	st.sinceCheckpoint = 0
-	st.stats.Checkpoints++
 	a.mu.Unlock()
+	st.ctr.checkpoints.Add(1)
 	for _, es := range pending {
 		for idx, rep := range es.reports {
 			a.journalContribution(rep, a.children[idx].covers)
@@ -665,12 +690,11 @@ func (a *AggregatorNode) commitFlush(t prf.Epoch, pending map[prf.Epoch]*aggEpoc
 }
 
 // DurabilityStats snapshots the crash-recovery counters (zero value when the
-// node runs without a state directory).
+// node runs without a state directory). Lock-free: the state pointer is fixed
+// after construction and the run-time counters are atomics.
 func (a *AggregatorNode) DurabilityStats() DurabilityStats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.state == nil {
 		return DurabilityStats{}
 	}
-	return a.state.stats
+	return a.state.ctr.snapshot(a.state.boot)
 }

@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/obs"
+	"github.com/sies/sies/internal/prf"
+)
+
+// scrape fetches url and returns the body, failing the test on transport or
+// status errors.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}
+
+// parsePrometheus parses text exposition into full-series-name → value. This
+// is what the soak assertions consume: the node's state as a monitoring
+// system would see it, not as its internals report it.
+func parsePrometheus(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// scrapeSeries fetches and parses /metrics from a node's obs server.
+func scrapeSeries(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	return parsePrometheus(t, scrape(t, base+"/metrics"))
+}
+
+// TestMetricsScrapeUnderForensicsRecovery serves the forensics rig's registry
+// over HTTP and hammers /metrics, /trace/epochs and /healthz from several
+// goroutines while live epochs — two of them tampered and recovered via
+// localization — flow through the querier. Run under -race this is the
+// concurrency proof for the whole scrape path; the final assertions check the
+// recovery story as a scraper sees it.
+func TestMetricsScrapeUnderForensicsRecovery(t *testing.T) {
+	r := newForensicsRig(t, core.QuarantineConfig{}, nil)
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServerConfig{
+		Registry: r.qn.Metrics(),
+		Tracer:   r.qn.Tracer(),
+		Healthz: func() (bool, string) {
+			if d := r.qn.DurabilityStats(); d.JournalErrors > 0 {
+				return false, "degraded"
+			}
+			return true, "ok"
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	stop := make(chan struct{})
+	var scrapes atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/trace/epochs?n=8", "/healthz"} {
+					resp, err := http.Get(base + path)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						scrapes.Add(1)
+					}
+				}
+			}
+		}()
+	}
+
+	// Epochs 1 and 2 arrive tampered (agg1's adversary) and recover through
+	// group-testing localization; 3..6 are clean.
+	const epochs = 6
+	for e := prf.Epoch(1); e <= epochs; e++ {
+		res, _ := r.push(t, e)
+		if res.Err != nil {
+			t.Fatalf("epoch %d not served: %+v", e, res)
+		}
+		if tampered(e) && !res.Recovered {
+			t.Fatalf("epoch %d should have recovered: %+v", e, res)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if scrapes.Load() == 0 {
+		t.Fatal("no scrape completed during the run")
+	}
+
+	m := scrapeSeries(t, base)
+	if got := m["sies_epochs_served_total"]; got != epochs {
+		t.Errorf("sies_epochs_served_total = %v, want %d", got, epochs)
+	}
+	if got := m["sies_epochs_recovered_total"]; got != 2 {
+		t.Errorf("sies_epochs_recovered_total = %v, want 2", got)
+	}
+	if got := m["sies_forensics_recovered_total"]; got != 2 {
+		t.Errorf("sies_forensics_recovered_total = %v, want 2", got)
+	}
+	if got := m["sies_epochs_rejected_total"]; got != 0 {
+		t.Errorf("sies_epochs_rejected_total = %v, want 0", got)
+	}
+	if got := m["sies_epoch_eval_seconds_count"]; got < epochs {
+		t.Errorf("sies_epoch_eval_seconds_count = %v, want >= %d", got, epochs)
+	}
+	if got := m["sies_forensics_localizations_total"]; got < 1 {
+		t.Errorf("sies_forensics_localizations_total = %v, want >= 1", got)
+	}
+
+	// The trace endpoint must tell the same story: the tampered epoch's span
+	// walks report → reject → forensics → commit and ends "recovered".
+	var spans []obs.Span
+	if err := json.Unmarshal([]byte(scrape(t, base+"/trace/epochs?n=16")), &spans); err != nil {
+		t.Fatalf("trace JSON: %v", err)
+	}
+	byEpoch := map[uint64]obs.Span{}
+	for _, s := range spans {
+		byEpoch[s.Epoch] = s
+	}
+	rec, ok := byEpoch[1]
+	if !ok {
+		t.Fatal("no span for recovered epoch 1")
+	}
+	if rec.Outcome != "recovered" || !rec.Done {
+		t.Errorf("epoch 1 span outcome = %q done=%v, want recovered/true", rec.Outcome, rec.Done)
+	}
+	stages := map[string]bool{}
+	for _, s := range rec.Stages {
+		stages[s.Stage] = true
+	}
+	for _, want := range []string{obs.StageReport, obs.StageReject, obs.StageForensics, obs.StageCommit} {
+		if !stages[want] {
+			t.Errorf("epoch 1 span missing stage %q (have %v)", want, rec.Stages)
+		}
+	}
+	clean, ok := byEpoch[4]
+	if !ok || clean.Outcome != "full" {
+		t.Errorf("epoch 4 span = %+v, want outcome full", clean)
+	}
+}
+
+// TestQuerierCrashRestartScrapedCounters commits epochs on a durable querier,
+// crashes it, rebuilds it from the state directory, and checks that a fresh
+// scrape of the restarted node reports the pre-crash totals exactly once —
+// snapshot restore adds into zeroed counters, so nothing double-counts.
+func TestQuerierCrashRestartScrapedCounters(t *testing.T) {
+	q, sources, err := core.Setup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := QuerierConfig{ListenAddr: "127.0.0.1:0", StateDir: dir, CheckpointEvery: 2}
+
+	qn1, err := NewQuerierNodeConfig(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1 := make(chan error, 1)
+	go func() { run1 <- qn1.Run() }()
+	conn, _ := dialRoot(t, qn1.Addr(), 3)
+
+	const epochs = 5
+	for e := prf.Epoch(1); e <= epochs; e++ {
+		psr := mergeAll(t, q, sources, e, []uint64{1, 2, 3})
+		if err := WriteFrame(conn, Frame{Type: TypePSR, Epoch: uint64(e), Payload: encodeReport(psr, nil)}); err != nil {
+			t.Fatal(err)
+		}
+		if res := <-qn1.Results; res.Err != nil {
+			t.Fatalf("epoch %d: %+v", e, res)
+		}
+		readResult(t, conn)
+	}
+	conn.Close()
+	qn1.Crash()
+	<-run1
+
+	qn2, err := NewQuerierNodeConfig(cfg, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qn2.Close()
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServerConfig{Registry: qn2.Metrics()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	m := scrapeSeries(t, "http://"+srv.Addr())
+	if got := m["sies_epochs_served_total"]; got != epochs {
+		t.Errorf("restored sies_epochs_served_total = %v, want %d", got, epochs)
+	}
+	if got := m["sies_epochs_full_total"]; got != epochs {
+		t.Errorf("restored sies_epochs_full_total = %v, want %d", got, epochs)
+	}
+	if got := m["sies_last_eval_epoch"]; got != epochs {
+		t.Errorf("restored sies_last_eval_epoch = %v, want %d", got, epochs)
+	}
+	if got := m["sies_durability_enabled"]; got != 1 {
+		t.Errorf("sies_durability_enabled = %v, want 1", got)
+	}
+}
+
+// TestHealthPollHammer polls Health(), DurabilityStats() and the Prometheus
+// writer from many goroutines while epochs are being served. Under -race this
+// is the regression test for the stats-snapshot lock-scoping bug: the old
+// Health() copied a struct that other paths mutated field-by-field; the obs
+// registry makes every read an atomic load.
+func TestHealthPollHammer(t *testing.T) {
+	q, sources, err := core.Setup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := NewQuerierNodeConfig(QuerierConfig{ListenAddr: "127.0.0.1:0", StateDir: t.TempDir()}, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := make(chan error, 1)
+	go func() { run <- qn.Run() }()
+	conn, _ := dialRoot(t, qn.Addr(), 3)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := qn.Health()
+				// Coherence: the outcome split can never exceed the total.
+				if h.Full+h.Partial > h.Epochs {
+					t.Errorf("incoherent health snapshot: %+v", h)
+					return
+				}
+				_ = qn.DurabilityStats()
+				if err := qn.Metrics().WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}()
+	}
+
+	const epochs = 60
+	for e := prf.Epoch(1); e <= epochs; e++ {
+		// Alternate full and partial epochs so both counters move.
+		contributing := sources
+		var failed []int
+		if e%2 == 0 {
+			contributing = sources[:2]
+			failed = []int{2}
+		}
+		vals := []uint64{1, 2, 3}[:len(contributing)]
+		psr := mergeAll(t, q, contributing, e, vals)
+		if err := WriteFrame(conn, Frame{Type: TypePSR, Epoch: uint64(e), Payload: encodeReport(psr, failed)}); err != nil {
+			t.Fatal(err)
+		}
+		if res := <-qn.Results; res.Err != nil {
+			t.Fatalf("epoch %d: %+v", e, res)
+		}
+		readResult(t, conn)
+	}
+	close(stop)
+	wg.Wait()
+
+	h := qn.Health()
+	if h.Epochs != epochs || h.Full != epochs/2 || h.Partial != epochs/2 {
+		t.Fatalf("final health %+v, want %d epochs split %d/%d", h, epochs, epochs/2, epochs/2)
+	}
+	if h.Missed[2] != epochs/2 {
+		t.Fatalf("missed[2] = %d, want %d", h.Missed[2], epochs/2)
+	}
+	conn.Close()
+	qn.Close()
+	if err := <-run; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTraceEndpointBadInput pins the /trace/epochs error contract.
+func TestTraceEndpointBadInput(t *testing.T) {
+	q, _, err := core.Setup(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := NewQuerierNode("127.0.0.1:0", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qn.Close()
+	srv, err := obs.Serve("127.0.0.1:0", obs.ServerConfig{Registry: qn.Metrics(), Tracer: qn.Tracer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/trace/epochs?n=bogus", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad n → status %d, want 400", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/obs"
 	"github.com/sies/sies/internal/prf"
 	"github.com/sies/sies/internal/uint256"
 )
@@ -65,6 +66,9 @@ type SourceConfig struct {
 	Backoff Backoff
 	// HandshakeTimeout bounds the hello/hello-ack exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Metrics is the registry the node's counters expose through; nil gives
+	// the node a private registry (reachable via Metrics()).
+	Metrics *obs.Registry
 }
 
 // SourceNode is a leaf sensor process: it encrypts readings and streams the
@@ -72,6 +76,7 @@ type SourceConfig struct {
 type SourceNode struct {
 	src *core.Source
 	rd  *redialer
+	obs *sourceObs
 }
 
 // DialSource connects a source to its parent aggregator with the default
@@ -112,7 +117,9 @@ func DialSourceWith(cfg SourceConfig, src *core.Source) (*SourceNode, error) {
 		rd.Close()
 		return nil, fmt.Errorf("transport: source %d dialing parent: %w", src.ID(), err)
 	}
-	return &SourceNode{src: src, rd: rd}, nil
+	node := &SourceNode{src: src, rd: rd, obs: newSourceObs(cfg.Metrics)}
+	node.obs.bind(node)
+	return node, nil
 }
 
 // Report encrypts the epoch's reading and sends the PSR upstream, redialing
@@ -121,17 +128,25 @@ func DialSourceWith(cfg SourceConfig, src *core.Source) (*SourceNode, error) {
 // discard the report.
 func (s *SourceNode) Report(t prf.Epoch, v uint64) error {
 	if uint64(t) <= s.rd.SyncEpoch() {
+		s.obs.skipped.Inc()
 		return nil
 	}
 	psr, err := s.src.Encrypt(t, v)
 	if err != nil {
 		return err
 	}
-	return s.rd.Write(Frame{Type: TypePSR, Epoch: uint64(t), Payload: encodeReport(psr, nil)})
+	if err := s.rd.Write(Frame{Type: TypePSR, Epoch: uint64(t), Payload: encodeReport(psr, nil)}); err != nil {
+		return err
+	}
+	s.obs.reports.Inc()
+	return nil
 }
 
 // Reconnects counts how many times the source re-established its parent link.
 func (s *SourceNode) Reconnects() int { return s.rd.Reconnects() }
+
+// Metrics returns the node's metrics registry.
+func (s *SourceNode) Metrics() *obs.Registry { return s.obs.reg }
 
 // Close terminates the connection; the parent treats subsequent epochs as
 // failures of this source.
@@ -167,6 +182,7 @@ type AggregatorNode struct {
 	// best-effort, which the querier tolerates (it just re-verifies).
 	flushed *boundedMap[uint64, struct{}]
 	state   *aggState // durable crash-recovery state; nil without a StateDir
+	obs     *aggObs
 }
 
 type childState struct {
@@ -212,6 +228,12 @@ type AggregatorConfig struct {
 	// CheckpointEvery is how many flushed epochs elapse between snapshot
 	// checkpoints of the durable state (default DefaultCheckpointEvery).
 	CheckpointEvery int
+	// Metrics is the registry the node's counters expose through; nil gives
+	// the node a private registry (reachable via Metrics()).
+	Metrics *obs.Registry
+	// TraceCapacity sizes the epoch-lifecycle trace ring (default
+	// obs.DefaultTraceCapacity).
+	TraceCapacity int
 	// Dial and Listen replace net.Dial / net.Listen — chaos injection hooks.
 	Dial   func(network, addr string) (net.Conn, error)
 	Listen func(network, addr string) (net.Listener, error)
@@ -254,6 +276,7 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		maxSources:       cfg.MaxSources,
 		conns:            map[net.Conn]struct{}{},
 		flushed:          newBoundedMap[uint64, struct{}](DefaultCommittedCap),
+		obs:              newAggObs(cfg.Metrics, cfg.TraceCapacity),
 	}
 	// Recover durable state before accepting anyone: the children's hello-acks
 	// must carry the restored flush frontier as their resync epoch.
@@ -314,6 +337,7 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		a.closeAll()
 		return nil, fmt.Errorf("transport: aggregator dialing parent: %w", err)
 	}
+	a.obs.bind(a)
 	return a, nil
 }
 
@@ -350,6 +374,12 @@ func (a *AggregatorNode) Covers() []int { return append([]int(nil), a.covers...)
 // UpstreamReconnects counts how many times the upstream link was
 // re-established.
 func (a *AggregatorNode) UpstreamReconnects() int { return a.upstream.Reconnects() }
+
+// Metrics returns the node's metrics registry.
+func (a *AggregatorNode) Metrics() *obs.Registry { return a.obs.reg }
+
+// Tracer returns the node's epoch-lifecycle tracer (report → flush spans).
+func (a *AggregatorNode) Tracer() *obs.Tracer { return a.obs.tracer }
 
 // track registers a live child connection for shutdown bookkeeping.
 func (a *AggregatorNode) track(conn net.Conn) {
@@ -442,7 +472,9 @@ func (a *AggregatorNode) setLastFlushed(t uint64) {
 	if t > a.lastFlushed {
 		a.lastFlushed = t
 	}
+	flushed := a.lastFlushed
 	a.mu.Unlock()
+	a.obs.lastFlushedEpoch.Set(int64(flushed))
 }
 
 // aggEvent is one occurrence in the aggregator's single-threaded event loop.
@@ -600,14 +632,19 @@ func (a *AggregatorNode) Run() error {
 		delete(pending, t)
 		a.flushed.put(uint64(t), struct{}{})
 		a.setLastFlushed(uint64(t))
+		a.obs.flushes.Inc()
+		a.obs.tracer.Mark(uint64(t), obs.StageFlush)
 		failed = core.NormalizeIDs(failed)
 		var err error
 		if merge.Count() == 0 {
+			a.obs.failureFlushes.Inc()
+			a.obs.tracer.End(uint64(t), "failure")
 			err = a.upstream.Write(Frame{
 				Type: TypeFailure, Epoch: uint64(t),
 				Payload: core.EncodeContributors(failed),
 			})
 		} else {
+			a.obs.tracer.End(uint64(t), "flushed")
 			err = a.upstream.Write(Frame{
 				Type: TypePSR, Epoch: uint64(t),
 				Payload: encodeReport(merge.Final(), failed),
@@ -683,6 +720,7 @@ func (a *AggregatorNode) Run() error {
 		case ev := <-ch:
 			switch ev.kind {
 			case 'u':
+				a.obs.childReconnects.Inc()
 				gen[ev.child]++
 				if old := curConn[ev.child]; old != nil && old != ev.conn {
 					old.Close() // superseded: the child's new dial wins
@@ -698,6 +736,7 @@ func (a *AggregatorNode) Run() error {
 				if ev.gen != gen[ev.child] {
 					continue // a superseded connection unwinding
 				}
+				a.obs.childDisconnects.Inc()
 				curConn[ev.child] = nil
 				if alive[ev.child] {
 					alive[ev.child] = false
@@ -711,12 +750,16 @@ func (a *AggregatorNode) Run() error {
 				}
 			case 'r':
 				if a.flushed.has(uint64(ev.rep.epoch)) {
+					a.obs.lateDrops.Inc()
 					continue // late report for an epoch already forwarded
 				}
+				a.obs.reports.Inc()
 				st, ok := pending[ev.rep.epoch]
 				if !ok {
 					st = &aggEpochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
 					pending[ev.rep.epoch] = st
+					a.obs.tracer.Begin(uint64(ev.rep.epoch))
+					a.obs.tracer.Mark(uint64(ev.rep.epoch), obs.StageReport)
 				}
 				a.journalContribution(ev.rep, a.children[ev.rep.child].covers)
 				// Overwriting dedups a reconnected child re-sending an epoch.
@@ -762,15 +805,19 @@ type EpochResult struct {
 }
 
 // Health summarises the querier's view of the deployment over all evaluated
-// epochs — the per-epoch degradation contract made observable.
+// epochs — the per-epoch degradation contract made observable. It is a thin
+// read-side view over the node's metrics registry: every field is backed by
+// an atomic counter, so the snapshot is coherent without a long-held lock and
+// counts are uint64 end-to-end (no int truncation, no 32-bit wrap).
 type Health struct {
-	Epochs         int         // epochs evaluated and verified (full or partial)
-	Full           int         // epochs with every source contributing
-	Partial        int         // epochs verified over a strict subset
-	Empty          int         // epochs in which no source contributed
-	Rejected       int         // epochs failing integrity or decode
-	RootReconnects int         // times the root aggregator re-attached
-	Missed         map[int]int // per-source count of epochs it missed
+	Epochs         uint64         // epochs evaluated and verified (full or partial)
+	Full           uint64         // epochs with every source contributing
+	Partial        uint64         // epochs verified over a strict subset
+	Empty          uint64         // epochs in which no source contributed
+	Rejected       uint64         // epochs failing integrity or decode
+	Recovered      uint64         // rejected epochs served after forensic recovery
+	RootReconnects uint64         // times the root aggregator re-attached
+	Missed         map[int]uint64 // per-source count of epochs it missed
 
 	// KeySchedule snapshots the evaluation engine's counters: derivations,
 	// cache hits/misses, prefetch wins and cumulative eval latency.
@@ -797,7 +844,7 @@ type QuerierNode struct {
 
 	mu        sync.Mutex
 	lastEval  uint64
-	health    Health
+	obs       *querierObs
 	missed    *boundedMap[int, uint64]    // per-source missed-epoch counters
 	committed *boundedMap[uint64, ackInfo] // settled epochs → remembered ack
 	roots     int
@@ -827,6 +874,12 @@ type QuerierConfig struct {
 	// CommittedCap bounds the committed-epoch dedup window (default
 	// DefaultCommittedCap).
 	CommittedCap int
+	// Metrics is the registry the node's counters expose through; nil gives
+	// the node a private registry (reachable via Metrics()).
+	Metrics *obs.Registry
+	// TraceCapacity sizes the epoch-lifecycle trace ring (default
+	// obs.DefaultTraceCapacity).
+	TraceCapacity int
 }
 
 // NewQuerierNode starts listening for the root aggregator. Evaluation runs
@@ -855,11 +908,13 @@ func NewQuerierNodeConfig(cfg QuerierConfig, q *core.Querier) (*QuerierNode, err
 	qn := &QuerierNode{
 		q: q, sched: core.NewSchedule(q, cfg.Schedule),
 		Results:   make(chan EpochResult, 64),
+		obs:       newQuerierObs(cfg.Metrics, cfg.TraceCapacity),
 		missed:    newBoundedMap[int, uint64](cfg.MissedCap),
 		committed: newBoundedMap[uint64, ackInfo](cfg.CommittedCap),
 	}
 	// Recover before listening: the root's hello-ack must carry the restored
-	// evaluation frontier as its resync epoch.
+	// evaluation frontier as its resync epoch. Recovery replays counts into
+	// the obs counters, so the bundle must exist first.
 	if cfg.StateDir != "" {
 		if err := qn.openQuerierState(cfg.StateDir, cfg.CheckpointEvery); err != nil {
 			return nil, err
@@ -871,6 +926,7 @@ func NewQuerierNodeConfig(cfg QuerierConfig, q *core.Querier) (*QuerierNode, err
 		return nil, err
 	}
 	qn.ln = ln
+	qn.obs.bind(qn)
 	return qn, nil
 }
 
@@ -918,22 +974,39 @@ func (qn *QuerierNode) Crash() {
 	}
 }
 
-// Health returns a snapshot of the per-epoch health summary.
+// Health returns a snapshot of the per-epoch health summary. It is a view
+// over the metrics registry: counters read lock-free from their atomics, and
+// qn.mu is held only for the missed-source map — never across the schedule,
+// forensics or durability snapshots, which take their own locks.
 func (qn *QuerierNode) Health() Health {
-	qn.mu.Lock()
-	h := qn.health
-	h.Missed = make(map[int]int, qn.missed.len())
-	qn.missed.each(func(id int, n uint64) {
-		h.Missed[id] = int(n)
-	})
-	if qn.state != nil {
-		h.Durability = qn.state.stats
+	h := Health{
+		Epochs:         qn.obs.served.Value(),
+		Full:           qn.obs.full.Value(),
+		Partial:        qn.obs.partial.Value(),
+		Empty:          qn.obs.empty.Value(),
+		Rejected:       qn.obs.rejected.Value(),
+		Recovered:      qn.obs.recovered.Value(),
+		RootReconnects: qn.obs.rootReconnects.Value(),
 	}
+	qn.mu.Lock()
+	h.Missed = make(map[int]uint64, qn.missed.len())
+	qn.missed.each(func(id int, n uint64) {
+		h.Missed[id] = n
+	})
 	qn.mu.Unlock()
+	h.Durability = qn.DurabilityStats()
 	h.KeySchedule = qn.sched.Stats()
 	h.Forensics = qn.ForensicsStats()
 	return h
 }
+
+// Metrics returns the node's metrics registry — the scrape target for the
+// /metrics endpoint and the registry shared collectors bind into.
+func (qn *QuerierNode) Metrics() *obs.Registry { return qn.obs.reg }
+
+// Tracer returns the node's epoch-lifecycle tracer. Each evaluated epoch is
+// one span: reports-received → verify/reject → forensics → commit.
+func (qn *QuerierNode) Tracer() *obs.Tracer { return qn.obs.tracer }
 
 // ScheduleStats exposes the evaluation engine's counters directly.
 func (qn *QuerierNode) ScheduleStats() core.ScheduleStats { return qn.sched.Stats() }
@@ -960,7 +1033,7 @@ func (qn *QuerierNode) Run() error {
 		}
 		qn.roots++
 		if qn.roots > 1 {
-			qn.health.RootReconnects++
+			qn.obs.rootReconnects.Inc()
 		}
 		qn.rootConn = conn
 		qn.mu.Unlock()
@@ -1026,6 +1099,8 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 		}
 		switch f.Type {
 		case TypePSR:
+			qn.obs.tracer.Begin(f.Epoch)
+			qn.obs.tracer.Mark(f.Epoch, obs.StageReport)
 			psr, failed, err := decodeReport(f.Payload, field, qn.q.Params().N())
 			if err != nil {
 				qn.record(EpochResult{Epoch: t, Err: err})
@@ -1035,16 +1110,23 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 			if len(failed) > 0 {
 				contributors = core.Subtract(qn.q.Params().N(), failed)
 			}
+			start := time.Now()
 			res, evalErr := qn.sched.Evaluate(t, psr, contributors)
+			qn.obs.evalSeconds.Observe(time.Since(start).Seconds())
 			out := EpochResult{Epoch: t, Failed: failed, Partial: len(failed) > 0, Err: evalErr}
 			switch {
 			case evalErr == nil:
+				qn.obs.tracer.Mark(f.Epoch, obs.StageVerify)
 				out.Sum = res.Sum
 				out.Contributors = res.N
 				out.Coverage = float64(res.N) / float64(qn.q.Params().N())
 				qn.tickForensics()
 			case qn.forensics != nil && integrityRejection(evalErr):
+				qn.obs.tracer.Mark(f.Epoch, obs.StageReject)
+				qn.obs.tracer.Mark(f.Epoch, obs.StageForensics)
 				out = qn.recover(t, failed, out)
+			default:
+				qn.obs.tracer.Mark(f.Epoch, obs.StageReject)
 			}
 			qn.record(out)
 			if ackable {
@@ -1057,6 +1139,8 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 				}
 			}
 		case TypeFailure:
+			qn.obs.tracer.Begin(f.Epoch)
+			qn.obs.tracer.Mark(f.Epoch, obs.StageReport)
 			failed, err := core.DecodeContributorsBounded(f.Payload, qn.q.Params().N())
 			if err != nil {
 				qn.record(EpochResult{Epoch: t, Err: err})
@@ -1083,21 +1167,30 @@ func (qn *QuerierNode) record(res EpochResult) {
 		qn.lastEval = uint64(res.Epoch)
 	}
 	var kind uint8
+	var outcome string
 	switch {
 	case errors.Is(res.Err, ErrNoContributors):
 		kind = kindEmpty
-		qn.health.Empty++
+		outcome = "empty"
+		qn.obs.empty.Inc()
 	case res.Err != nil:
 		kind = kindRejected
-		qn.health.Rejected++
+		outcome = "rejected"
+		qn.obs.rejected.Inc()
 	case res.Partial:
 		kind = kindPartial
-		qn.health.Epochs++
-		qn.health.Partial++
+		outcome = "partial"
+		qn.obs.served.Inc()
+		qn.obs.partial.Inc()
 	default:
 		kind = kindFull
-		qn.health.Epochs++
-		qn.health.Full++
+		outcome = "full"
+		qn.obs.served.Inc()
+		qn.obs.full.Inc()
+	}
+	if res.Recovered {
+		outcome = "recovered"
+		qn.obs.recovered.Inc()
 	}
 	if res.Err == nil || errors.Is(res.Err, ErrNoContributors) {
 		for _, id := range res.Failed {
@@ -1110,7 +1203,9 @@ func (qn *QuerierNode) record(res EpochResult) {
 	if kind != kindRejected {
 		qn.committed.put(uint64(res.Epoch), ackInfo{sum: res.Sum, ok: res.Err == nil})
 		qn.commitDurable(res, kind)
+		qn.obs.tracer.Mark(uint64(res.Epoch), obs.StageCommit)
 	}
 	qn.mu.Unlock()
+	qn.obs.tracer.End(uint64(res.Epoch), outcome)
 	qn.Results <- res
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
 	"testing"
@@ -12,6 +14,7 @@ import (
 
 	"github.com/sies/sies/internal/chaos"
 	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/obs"
 	"github.com/sies/sies/internal/prf"
 )
 
@@ -151,6 +154,18 @@ func (c *restartCluster) Restart(role chaos.CrashRole, id int) error {
 	return c.startAggregator()
 }
 
+// metricsHandler serves the CURRENT querier generation's observability
+// endpoints — exactly what a scraper pointed at a restarting process sees:
+// each restart brings fresh counters that the durable snapshot re-fills.
+func (c *restartCluster) metricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c.mu.Lock()
+		qn := c.qn
+		c.mu.Unlock()
+		obs.NewHandler(obs.ServerConfig{Registry: qn.Metrics(), Tracer: qn.Tracer()}).ServeHTTP(w, r)
+	})
+}
+
 // TestRestartChaosSoak drives a durable cluster (3 sources → root aggregator
 // → querier) through a seeded crash plan of well over 20 kill/restart cycles
 // and checks the exactly-once commit contract end to end: every emitted SUM
@@ -206,6 +221,33 @@ func TestRestartChaosSoak(t *testing.T) {
 	if err := c.startQuerier(); err != nil {
 		t.Fatal(err)
 	}
+
+	// A scraper runs for the whole soak, crossing every querier generation:
+	// the handler always serves the live node, so this exercises scrape-
+	// during-crash-and-restart, and the final assertions consume the scraped
+	// exposition rather than node internals.
+	msrv := httptest.NewServer(c.metricsHandler())
+	defer msrv.Close()
+	scrapeStop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			case <-time.After(25 * time.Millisecond):
+			}
+			for _, path := range []string{"/metrics", "/trace/epochs?n=8"} {
+				resp, err := http.Get(msrv.URL + path)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
 	aggBuilt := make(chan error, 1)
 	go func() { aggBuilt <- c.startAggregator() }()
 	time.Sleep(100 * time.Millisecond) // aggregator listener up
@@ -276,11 +318,16 @@ func TestRestartChaosSoak(t *testing.T) {
 	if err := <-c.aggRun; err != nil {
 		t.Errorf("aggregator run: %v", err)
 	}
-	health := c.qn.Health()
+	// The final verdict comes from the scraped exposition, as a monitoring
+	// system would render it, not from reaching into the node.
+	metrics := parsePrometheus(t, scrape(t, msrv.URL+"/metrics"))
+	qStats := c.qn.DurabilityStats()
 	c.qn.Close()
 	if err := <-c.qnRun; err != nil {
 		t.Errorf("querier run: %v", err)
 	}
+	close(scrapeStop)
+	scrapeWG.Wait()
 	c.drains.Wait()
 	close(c.results)
 
@@ -330,19 +377,31 @@ func TestRestartChaosSoak(t *testing.T) {
 	if served < epochs*7/10 {
 		t.Errorf("served %d of %d epochs; the cluster wedged somewhere", served, epochs)
 	}
-	if health.Rejected != 0 {
-		t.Errorf("querier health counted %d rejected epochs", health.Rejected)
+	if got := metrics["sies_epochs_rejected_total"]; got != 0 {
+		t.Errorf("scraped sies_epochs_rejected_total = %v in a clean soak, want 0", got)
+	}
+	// Commits survive crashes: the final generation's counters — restored
+	// from the durable snapshot plus journal replay — must agree with the
+	// deduplicated outcome tally across every generation's emissions.
+	if got := metrics["sies_epochs_served_total"]; got != float64(full+partial) {
+		t.Errorf("scraped sies_epochs_served_total = %v, results channel saw %d", got, full+partial)
+	}
+	if got := metrics["sies_epochs_empty_total"]; got != float64(empty) {
+		t.Errorf("scraped sies_epochs_empty_total = %v, results channel saw %d", got, empty)
+	}
+	if got := metrics["sies_durability_enabled"]; got != 1 {
+		t.Errorf("scraped sies_durability_enabled = %v, want 1", got)
 	}
 	t.Logf("served %d/%d (full %d, partial %d, empty %d, lost %d), dedup hits %d, querier replay %d recs, agg replay %d recs",
 		served, epochs, full, partial, empty, lost,
-		health.Durability.DedupHits, health.Durability.ReplayedRecords, aggStats.ReplayedRecords)
+		qStats.DedupHits, qStats.ReplayedRecords, aggStats.ReplayedRecords)
 
 	writeRestartStats(t, restartSoakReport{
 		Name: "restart-chaos-soak", Seed: seed, Epochs: epochs,
 		Crashes: plan.Crashes(), QuerierCrashes: qCrashes, AggCrashes: aCrashes,
 		Served: served, Lost: lost, Full: full, Partial: partial, Empty: empty,
 		WrongAnswers: wrong, DuplicateCommits: dup,
-		Querier: health.Durability, Aggregator: aggStats,
+		Querier: qStats, Aggregator: aggStats,
 	})
 }
 
