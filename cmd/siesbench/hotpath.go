@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 	"time"
@@ -23,12 +24,13 @@ var (
 // benchRow is one machine-readable benchmark result. The JSON file is the
 // CI artifact that tracks hot-path regressions across commits.
 type benchRow struct {
-	Op          string  `json:"op"`
-	N           int     `json:"n"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	GitRev      string  `json:"gitrev"`
+	Op           string  `json:"op"`
+	N            int     `json:"n"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EpochsPerSec float64 `json:"epochs_per_sec,omitempty"`
+	GitRev       string  `json:"gitrev"`
 }
 
 type benchFile struct {
@@ -41,9 +43,35 @@ type benchFile struct {
 	Rows      []benchRow `json:"rows"`
 }
 
-// gitRev returns the short commit hash of the working tree, or "unknown"
-// outside a git checkout (e.g. a release tarball or a CI cache miss).
+// gitRev identifies the commit the benchmark binary was built from. The
+// build-info VCS stamp is preferred — it stays correct when the binary runs
+// outside the checkout (CI artifact dirs, release tarballs), where the old
+// exec-git lookup silently reported whatever repo the cwd happened to be in,
+// or "unknown". A modified working tree is marked -dirty so a row can never
+// masquerade as a clean commit. go run and -buildvcs=off builds carry no
+// stamp; those fall back to asking git.
 func gitRev() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev string
+		var dirty bool
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
 	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
 	if err != nil {
 		return "unknown"

@@ -13,8 +13,10 @@
 //	siesbench -figure 6a         # Figure 6a (querier CPU vs N)
 //	siesbench -figure 6b         # Figure 6b (querier CPU vs domain)
 //	siesbench -hotpath           # zero-allocation hot-path kernel sweep
+//	siesbench -pipeline          # batched I/O plane epochs/sec sweep
 //	siesbench -quick ...         # smaller sweeps for a fast smoke run
 //	siesbench -json ...          # also write machine-readable BENCH_<suite>.json
+//	siesbench -pipeline -baseline BENCH_transport.json   # CI regression gate
 //
 // Absolute numbers differ from the paper (different machine, Go stdlib
 // instead of GMP/OpenSSL); the shapes — who wins, by what factor, where the
@@ -52,7 +54,7 @@ var (
 
 func main() {
 	flag.Parse()
-	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule && !*flagHotpath {
+	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule && !*flagHotpath && !*flagPipeline {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -94,6 +96,9 @@ func main() {
 	}
 	if *flagAll || *flagHotpath {
 		run("Extra — zero-allocation hot-path kernels (lazy merge + Deriver)", hotpath)
+	}
+	if *flagAll || *flagPipeline {
+		run("Extra — batched I/O plane (coalesced frames + pipelined querier)", transportBench)
 	}
 }
 

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/transport"
+)
+
+var (
+	flagPipeline = flag.Bool("pipeline", false, "run the batched I/O plane throughput sweep (epochs/sec over loopback TCP)")
+	flagBaseline = flag.String("baseline", "", "BENCH_transport.json to gate against; fail on >20% epochs/sec regression")
+)
+
+// transportBench measures end-to-end epochs/sec of a live cluster — N source
+// nodes streaming into one aggregator into the querier, all over loopback TCP
+// — in two configurations: the classic one-syscall-per-frame plane, and the
+// batched plane (coalescing FrameWriters at every sender, buffered frame
+// reads, the pipelined querier serve path with group-commit-shaped ack
+// coalescing). The ratio is the PR's headline number.
+func transportBench() error {
+	type sweep struct{ n, epochs int }
+	sweeps := []sweep{{64, 800}, {256, 400}, {1024, 150}}
+	if *flagQuick {
+		sweeps = []sweep{{64, 400}, {256, 200}}
+	}
+
+	var rows []benchRow
+	fmt.Printf("%-8s %8s %16s %16s %10s\n", "N", "epochs", "unbatched eps", "batched eps", "speedup")
+	for _, s := range sweeps {
+		base, err := runTransportEpochs(s.n, s.epochs, false)
+		if err != nil {
+			return fmt.Errorf("N=%d unbatched: %w", s.n, err)
+		}
+		batched, err := runTransportEpochs(s.n, s.epochs, true)
+		if err != nil {
+			return fmt.Errorf("N=%d batched: %w", s.n, err)
+		}
+		rows = append(rows,
+			benchRow{Op: "cluster/unbatched", N: s.n, NsPerOp: 1e9 / base, EpochsPerSec: base},
+			benchRow{Op: "cluster/batched", N: s.n, NsPerOp: 1e9 / batched, EpochsPerSec: batched},
+		)
+		fmt.Printf("%-8d %8d %16.0f %16.0f %9.2fx\n", s.n, s.epochs, base, batched, batched/base)
+	}
+
+	if *flagJSON {
+		if err := writeBenchJSON("transport", rows); err != nil {
+			return err
+		}
+	}
+	if *flagBaseline != "" {
+		if err := gateTransport(rows, *flagBaseline); err != nil {
+			return err
+		}
+		fmt.Printf("(no regression beyond 20%% vs %s)\n", *flagBaseline)
+	}
+	fmt.Println("\nShape check: batching wins grow with N as per-frame syscalls are amortised;")
+	fmt.Println("the batched plane holds >=2x epochs/sec at N=256.")
+	return nil
+}
+
+// runTransportEpochs drives one cluster configuration for the given number of
+// epochs and returns end-to-end epochs/sec, timed from the first report to
+// the last verified result.
+func runTransportEpochs(n, epochs int, batched bool) (float64, error) {
+	q, sources, err := core.Setup(n)
+	if err != nil {
+		return 0, err
+	}
+	qcfg := transport.QuerierConfig{ListenAddr: "127.0.0.1:0"}
+	if batched {
+		qcfg.Pipeline = &transport.PipelineConfig{}
+	}
+	qn, err := transport.NewQuerierNodeConfig(qcfg, q)
+	if err != nil {
+		return 0, err
+	}
+	go qn.Run()
+
+	aggAddr, err := loopbackAddr()
+	if err != nil {
+		return 0, err
+	}
+	// The aggregator constructor blocks until all n children have completed
+	// their hello handshake, so it must run concurrently with the dials below.
+	acfg := transport.AggregatorConfig{
+		ListenAddr: aggAddr, ParentAddr: qn.Addr(),
+		NumChildren: n, Timeout: 10 * time.Second,
+	}
+	if batched {
+		acfg.Coalesce = &transport.FrameWriterConfig{}
+	}
+	aggReady := make(chan *transport.AggregatorNode, 1)
+	aggDone := make(chan error, 1)
+	go func() {
+		agg, err := transport.NewAggregatorNode(acfg, q.Params().Field())
+		aggReady <- agg
+		if err != nil {
+			aggDone <- err
+			return
+		}
+		aggDone <- agg.Run()
+	}()
+
+	srcs := make([]*transport.SourceNode, n)
+	for i, s := range sources {
+		scfg := transport.SourceConfig{ParentAddr: aggAddr}
+		if batched {
+			scfg.Coalesce = &transport.FrameWriterConfig{}
+		}
+		if srcs[i], err = dialSourceRetry(scfg, s); err != nil {
+			return 0, err
+		}
+	}
+	agg := <-aggReady
+	if agg == nil {
+		return 0, <-aggDone
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		got := 0
+		for res := range qn.Results {
+			if res.Err != nil {
+				done <- fmt.Errorf("epoch %d rejected: %w", res.Epoch, res.Err)
+				return
+			}
+			if got++; got == epochs {
+				done <- nil
+				return
+			}
+		}
+		done <- fmt.Errorf("results closed after %d/%d epochs", got, epochs)
+	}()
+
+	start := time.Now()
+	for e := 1; e <= epochs; e++ {
+		for i := range srcs {
+			if err := srcs[i].Report(prf.Epoch(e), uint64(1000+i)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := <-done; err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+
+	for _, s := range srcs {
+		s.Close()
+	}
+	agg.Close()
+	<-aggDone
+	qn.Close()
+	return float64(epochs) / elapsed.Seconds(), nil
+}
+
+// dialSourceRetry retries a source dial briefly: the first dial races the
+// aggregator goroutine's listen call on the pre-reserved port.
+func dialSourceRetry(cfg transport.SourceConfig, s *core.Source) (*transport.SourceNode, error) {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		src, err := transport.DialSourceWith(cfg, s)
+		if err == nil || time.Now().After(deadline) {
+			return src, err
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// loopbackAddr reserves a loopback port for a listener started right after.
+func loopbackAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// gateTransport fails when any row present in both runs regressed more than
+// 20% in epochs/sec against the committed baseline file.
+func gateTransport(rows []benchRow, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	old := map[string]float64{}
+	for _, r := range base.Rows {
+		old[fmt.Sprintf("%s/N=%d", r.Op, r.N)] = r.EpochsPerSec
+	}
+	var failed bool
+	for _, r := range rows {
+		key := fmt.Sprintf("%s/N=%d", r.Op, r.N)
+		was, ok := old[key]
+		if !ok || was <= 0 {
+			continue // new sweep point; nothing to gate against
+		}
+		if r.EpochsPerSec < 0.8*was {
+			failed = true
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f epochs/sec, baseline %.0f (-%.0f%%)\n",
+				key, r.EpochsPerSec, was, 100*(1-r.EpochsPerSec/was))
+		}
+	}
+	if failed {
+		return fmt.Errorf("throughput regressed >20%% vs %s (gitrev %s)", path, base.GitRev)
+	}
+	return nil
+}

@@ -52,6 +52,13 @@ type Config struct {
 	ShortWriteProb float64       // deliver only a prefix, reporting full success
 	ResetProb      float64       // close the connection mid-write
 
+	// ShortWriteErrProb delivers only a prefix, reports the true short count
+	// alongside an error and severs the connection — how a real kernel
+	// surfaces a connection dying mid-write. Unlike ShortWriteProb (which
+	// lies about success, modelling a crashed sender), the writer knows the
+	// tail was lost and can re-send everything on a fresh connection.
+	ShortWriteErrProb float64
+
 	Partitions []Window // scheduled outages relative to New()
 }
 
@@ -219,11 +226,12 @@ func (c *Conn) Close() error {
 
 // writeFault is one drawn decision for a Write call.
 type writeFault struct {
-	reset   bool
-	drop    bool
-	corrupt bool
-	short   int // bytes to deliver when > 0 and < len(p)
-	delay   time.Duration
+	reset    bool
+	drop     bool
+	corrupt  bool
+	short    int // bytes to deliver when > 0 and < len(p), reporting success
+	shortErr int // bytes to deliver when > 0 and < len(p), reporting failure
+	delay    time.Duration
 }
 
 // draw samples the fault decision for a write of n bytes.
@@ -248,6 +256,9 @@ func (c *Conn) draw(n int) writeFault {
 	}
 	if cfg.ShortWriteProb > 0 && n > 1 && c.rng.Float64() < cfg.ShortWriteProb {
 		f.short = 1 + c.rng.Intn(n-1)
+	}
+	if cfg.ShortWriteErrProb > 0 && n > 1 && c.rng.Float64() < cfg.ShortWriteErrProb {
+		f.shortErr = 1 + c.rng.Intn(n-1)
 	}
 	return f
 }
@@ -282,6 +293,18 @@ func (c *Conn) Write(p []byte) (int, error) {
 		bit := c.rng.Intn(len(out) * 8)
 		c.mu.Unlock()
 		out[bit/8] ^= 1 << (bit % 8)
+	}
+	if f.shortErr > 0 && f.shortErr < len(out) {
+		// Honest short write: a prefix reaches the peer, the error and byte
+		// count reach the writer, and the connection dies — the kernel's view
+		// of a link failing mid-write. The writer re-sends on a fresh
+		// connection; the peer discards the torn stream at its next read.
+		n, err := c.Conn.Write(out[:f.shortErr])
+		c.Cut()
+		if err != nil {
+			return 0, err
+		}
+		return n, ErrReset
 	}
 	if f.short > 0 && f.short < len(out) {
 		// Torn write: deliver a prefix but report full success, leaving the

@@ -1,0 +1,156 @@
+package durable
+
+import (
+	"errors"
+	"sync"
+)
+
+// Group commit: concurrent committers append their records under the journal
+// lock (one Write each, strictly ordered), then call SyncTo with the end
+// offset their append returned. The first SyncTo to arrive becomes the
+// leader of a sync round — it snapshots the journal's current end offset and
+// issues one fsync covering every append that landed before the snapshot.
+// Later committers whose offsets that round covers are acknowledged by the
+// same fsync without issuing their own; committers that land mid-round wait
+// for the next. The durability contract per committer is unchanged from
+// Append with SyncEvery=1 — SyncTo returns nil only once the caller's record
+// is on stable storage — but k concurrent commits cost ~1 fsync instead of k.
+
+// JournalStats is a snapshot of the journal's append/sync counters.
+type JournalStats struct {
+	Appends     int   // records appended since open/reset
+	Replayed    int   // records recovered at open
+	Syncs       int64 // fsyncs issued (inline, Sync, and SyncTo rounds)
+	SharedSyncs int64 // SyncTo acks satisfied by a round another caller led
+}
+
+// AppendNoSync frames and writes rec without fsyncing, returning the journal
+// end offset after the record. Pass that offset to SyncTo to make the record
+// durable; until then a power-loss-grade crash (AbandonUnsynced) drops it.
+func (j *Journal) AppendNoSync(rec Record) (int64, error) {
+	if len(rec.Payload) > MaxRecordSize {
+		return 0, errors.New("durable: record payload exceeds limit")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(rec)
+}
+
+// SyncTo blocks until every byte up to offset is on stable storage,
+// returning nil only then. Concurrent callers share fsyncs: one leads a sync
+// round, the rest ride it or wait for the next. A caller whose leader fails
+// retries as leader itself, so an fsync error is reported to someone rather
+// than swallowed.
+func (j *Journal) SyncTo(offset int64) error {
+	j.syncMu.Lock()
+	if j.syncCond == nil {
+		j.syncCond = sync.NewCond(&j.syncMu)
+	}
+	for {
+		if offset <= j.synced {
+			j.shared++
+			j.syncMu.Unlock()
+			return nil
+		}
+		if !j.syncing {
+			break // no round in flight: lead one
+		}
+		j.syncCond.Wait()
+	}
+	j.syncing = true
+	hook := j.beforeSync
+	j.syncMu.Unlock()
+
+	if hook != nil {
+		hook()
+	}
+
+	// Snapshot the covered range and file handle under mu; fsync outside all
+	// locks so appends keep flowing while the disk works.
+	j.mu.Lock()
+	f := j.f
+	end := j.goodOffset
+	j.mu.Unlock()
+
+	var err error
+	if f == nil {
+		err = errors.New("durable: journal closed")
+	} else {
+		err = f.Sync()
+	}
+
+	j.syncMu.Lock()
+	j.syncing = false
+	if err == nil {
+		if end > j.synced {
+			j.synced = end
+		}
+		j.syncs++
+	}
+	j.syncCond.Broadcast()
+	j.syncMu.Unlock()
+	return err
+}
+
+// AppendSync appends rec and blocks until it is durable, sharing the fsync
+// with any concurrent committers. The single-caller cost is identical to
+// Append with SyncEvery=1.
+func (j *Journal) AppendSync(rec Record) error {
+	off, err := j.AppendNoSync(rec)
+	if err != nil {
+		return err
+	}
+	return j.SyncTo(off)
+}
+
+// SyncedOffset reports how many bytes from offset 0 are known durable.
+func (j *Journal) SyncedOffset() int64 {
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	return j.synced
+}
+
+// Stats returns a snapshot of the journal's append/sync counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	appends, replayed := j.appended, j.replayed
+	j.mu.Unlock()
+	j.syncMu.Lock()
+	defer j.syncMu.Unlock()
+	return JournalStats{Appends: appends, Replayed: replayed, Syncs: j.syncs, SharedSyncs: j.shared}
+}
+
+// SetBeforeSync installs a hook the next SyncTo leader runs after claiming
+// its round but before the fsync — the window where appended records are not
+// yet durable. Crash tests aim kill -9 here. Pass nil to clear.
+func (j *Journal) SetBeforeSync(fn func()) {
+	j.syncMu.Lock()
+	j.beforeSync = fn
+	j.syncMu.Unlock()
+}
+
+// AbandonUnsynced truncates the journal to its last fsynced offset and
+// closes it without syncing — the power-loss-grade crash model. Unlike
+// Abandon (process kill: OS-buffered writes survive), records appended but
+// not yet covered by an fsync are gone, exactly what group commit risks in
+// the append-to-fsync window. Idempotent with Close/Abandon.
+func (j *Journal) AbandonUnsynced() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	j.syncMu.Lock()
+	synced := j.synced
+	j.syncMu.Unlock()
+	var err error
+	if synced < j.goodOffset {
+		err = j.f.Truncate(synced)
+		j.goodOffset = synced
+	}
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

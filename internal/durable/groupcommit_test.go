@@ -1,0 +1,179 @@
+package durable
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitSharedFsync races many committers through AppendSync and
+// asserts (a) every record is durable and replays, (b) the commits shared
+// fsyncs instead of paying one each. The BeforeSync hook widens the leader's
+// round window so followers deterministically pile up behind it.
+func TestGroupCommitSharedFsync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "gc.wal")
+	j, recs := openJournal(t, path)
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	j.SetBeforeSync(func() { time.Sleep(5 * time.Millisecond) })
+
+	const n = 32
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	start := make(chan struct{})
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = j.AppendSync(Record{Type: 7, Payload: []byte(fmt.Sprintf("commit-%02d", i))})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+
+	st := j.Stats()
+	if st.Appends != n {
+		t.Fatalf("appends = %d, want %d", st.Appends, n)
+	}
+	if st.Syncs >= n {
+		t.Fatalf("no fsync sharing: %d syncs for %d commits", st.Syncs, n)
+	}
+	if st.SharedSyncs == 0 {
+		t.Fatalf("no commit rode a shared fsync (syncs=%d)", st.Syncs)
+	}
+	if got, want := j.SyncedOffset(), j.Size(); got != want {
+		t.Fatalf("synced offset %d != size %d after all commits acked", got, want)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, replayed := openJournal(t, path)
+	if len(replayed) != n {
+		t.Fatalf("replayed %d records, want %d", len(replayed), n)
+	}
+	seen := map[string]bool{}
+	for _, r := range replayed {
+		seen[string(r.Payload)] = true
+	}
+	for i := 0; i < n; i++ {
+		if !seen[fmt.Sprintf("commit-%02d", i)] {
+			t.Fatalf("commit-%02d lost", i)
+		}
+	}
+}
+
+// TestAppendSyncSerial checks the degenerate single-committer case: no
+// concurrency means no sharing, and the durability contract matches Append
+// with SyncEvery=1.
+func TestAppendSyncSerial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "serial.wal")
+	j, _ := openJournal(t, path)
+	const k = 5
+	for i := 0; i < k; i++ {
+		if err := j.AppendSync(Record{Type: 1, Payload: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := j.SyncedOffset(), j.Size(); got != want {
+			t.Fatalf("after commit %d: synced %d != size %d", i, got, want)
+		}
+	}
+	if st := j.Stats(); st.Syncs != k || st.SharedSyncs != 0 {
+		t.Fatalf("serial commits: syncs=%d shared=%d, want %d/0", st.Syncs, st.SharedSyncs, k)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, replayed := openJournal(t, path)
+	if len(replayed) != k {
+		t.Fatalf("replayed %d, want %d", len(replayed), k)
+	}
+}
+
+// TestAbandonUnsyncedDropsTail models the power-loss-grade crash: records
+// appended but not yet covered by an fsync vanish; synced records survive and
+// the reopened journal is clean (no torn tail to truncate).
+func TestAbandonUnsyncedDropsTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.wal")
+	j, _ := openJournal(t, path)
+	if err := j.AppendSync(Record{Type: 1, Payload: []byte("durable")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendNoSync(Record{Type: 1, Payload: []byte("in-window")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendNoSync(Record{Type: 1, Payload: []byte("also-in-window")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.AbandonUnsynced(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, replayed := openJournal(t, path)
+	if len(replayed) != 1 || string(replayed[0].Payload) != "durable" {
+		t.Fatalf("replayed %v, want only the durable record", replayed)
+	}
+	if j2.TruncatedBytes() != 0 {
+		t.Fatalf("crash left a torn tail: %d bytes", j2.TruncatedBytes())
+	}
+	// The journal stays usable after the crash-reopen.
+	if err := j2.AppendSync(Record{Type: 1, Payload: []byte("post-crash")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, again := openJournal(t, path)
+	if len(again) != 2 || string(again[1].Payload) != "post-crash" {
+		t.Fatalf("post-crash state wrong: %v", again)
+	}
+}
+
+// TestBeforeSyncCrashWindow arms the hook that crash tests use: the journal
+// dies between a commit's append and its fsync, so SyncTo must fail (the
+// commit was never acknowledged) and the record must not survive.
+func TestBeforeSyncCrashWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "window.wal")
+	j, _ := openJournal(t, path)
+	if err := j.AppendSync(Record{Type: 1, Payload: []byte("before")}); err != nil {
+		t.Fatal(err)
+	}
+	j.SetBeforeSync(func() { _ = j.AbandonUnsynced() })
+	off, err := j.AppendNoSync(Record{Type: 1, Payload: []byte("doomed")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SyncTo(off); err == nil {
+		t.Fatal("SyncTo acknowledged a commit the crash dropped")
+	}
+	_, replayed := openJournal(t, path)
+	if len(replayed) != 1 || string(replayed[0].Payload) != "before" {
+		t.Fatalf("crash window leaked records: %v", replayed)
+	}
+}
+
+// TestSyncToClosed verifies SyncTo reports failure rather than blocking or
+// acking when the journal is gone.
+func TestSyncToClosed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.wal")
+	j, _ := openJournal(t, path)
+	off, err := j.AppendNoSync(Record{Type: 1, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Abandon(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SyncTo(off); err == nil {
+		t.Fatal("SyncTo succeeded on a closed journal")
+	}
+}

@@ -52,6 +52,18 @@ type Journal struct {
 	replayed   int // records recovered at open (telemetry, tests)
 	truncated  int64
 	goodOffset int64
+
+	// Group-commit state (see groupcommit.go). syncMu orders sync rounds and
+	// guards everything below; it is only ever acquired after mu when both are
+	// held, and SyncTo never holds it across a mu acquisition, so the lock
+	// order mu → syncMu is acyclic.
+	syncMu     sync.Mutex
+	syncCond   *sync.Cond
+	syncing    bool  // a leader's fsync round is in flight
+	synced     int64 // bytes known durable (fsynced) from offset 0
+	syncs      int64 // fsyncs issued (inline, Sync, and SyncTo rounds)
+	shared     int64 // SyncTo acks satisfied without leading an fsync
+	beforeSync func()
 }
 
 // OpenJournal opens (creating if needed) the journal at path, replays every
@@ -72,7 +84,7 @@ func OpenJournal(path string) (*Journal, []Record, error) {
 		f.Close()
 		return nil, nil, serr
 	}
-	j := &Journal{f: f, path: path, SyncEvery: 1, replayed: len(recs), goodOffset: good}
+	j := &Journal{f: f, path: path, SyncEvery: 1, replayed: len(recs), goodOffset: good, synced: good}
 	if good < st.Size() {
 		// Torn or corrupt tail: cut it so the next append starts on a clean
 		// record boundary instead of extending garbage.
@@ -138,16 +150,12 @@ func ReplayJournal(r io.Reader) ([]Record, int64, error) {
 	}
 }
 
-// Append frames and writes rec, fsyncing per the SyncEvery policy. The frame
-// goes down in a single Write call so a crash tears at most the final record.
-func (j *Journal) Append(rec Record) error {
-	if len(rec.Payload) > MaxRecordSize {
-		return fmt.Errorf("durable: record payload %d exceeds limit", len(rec.Payload))
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
+// appendLocked frames and writes rec in a single Write call (so a crash tears
+// at most the final record), returning the journal's end offset after the
+// write. Caller holds j.mu.
+func (j *Journal) appendLocked(rec Record) (int64, error) {
 	if j.f == nil {
-		return errors.New("durable: journal closed")
+		return 0, errors.New("durable: journal closed")
 	}
 	j.buf = j.buf[:0]
 	j.buf = binary.BigEndian.AppendUint32(j.buf, uint32(1+len(rec.Payload)))
@@ -156,18 +164,49 @@ func (j *Journal) Append(rec Record) error {
 	sum := crc32.ChecksumIEEE(j.buf)
 	j.buf = binary.BigEndian.AppendUint32(j.buf, sum)
 	if _, err := j.f.Write(j.buf); err != nil {
-		return err
+		return 0, err
 	}
 	j.goodOffset += int64(len(j.buf))
 	j.appended++
 	j.sinceSync++
+	return j.goodOffset, nil
+}
+
+// noteSynced records that every byte up to off is on stable storage. Safe to
+// call with j.mu held (lock order mu → syncMu).
+func (j *Journal) noteSynced(off int64) {
+	j.syncMu.Lock()
+	if off > j.synced {
+		j.synced = off
+	}
+	j.syncs++
+	if j.syncCond != nil {
+		j.syncCond.Broadcast()
+	}
+	j.syncMu.Unlock()
+}
+
+// Append frames and writes rec, fsyncing per the SyncEvery policy.
+func (j *Journal) Append(rec Record) error {
+	if len(rec.Payload) > MaxRecordSize {
+		return fmt.Errorf("durable: record payload %d exceeds limit", len(rec.Payload))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end, err := j.appendLocked(rec)
+	if err != nil {
+		return err
+	}
 	every := j.SyncEvery
 	if every < 1 {
 		every = 1
 	}
 	if j.sinceSync >= every {
 		j.sinceSync = 0
-		return j.f.Sync()
+		if err := j.f.Sync(); err != nil {
+			return err
+		}
+		j.noteSynced(end)
 	}
 	return nil
 }
@@ -180,7 +219,11 @@ func (j *Journal) Sync() error {
 		return nil
 	}
 	j.sinceSync = 0
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.noteSynced(j.goodOffset)
+	return nil
 }
 
 // Reset empties the journal — the step after a successful checkpoint has
@@ -198,7 +241,14 @@ func (j *Journal) Reset() error {
 		return err
 	}
 	j.goodOffset, j.sinceSync, j.appended = 0, 0, 0
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.syncMu.Lock()
+	j.synced = 0
+	j.syncs++
+	j.syncMu.Unlock()
+	return nil
 }
 
 // Size returns the journal's clean length in bytes.

@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Frame types.
@@ -54,46 +55,128 @@ type Frame struct {
 // ErrFrameTooLarge is returned for frames exceeding MaxFrameSize.
 var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
 
+// frameHeaderSize is the on-wire overhead per frame: length(u32) + type(u8) +
+// epoch(u64).
+const frameHeaderSize = 4 + 1 + 8
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice. It is the allocation-free encoding primitive WriteFrame and
+// FrameWriter share.
+func AppendFrame(dst []byte, f Frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(1+8+len(f.Payload)))
+	dst = append(dst, f.Type)
+	dst = binary.BigEndian.AppendUint64(dst, f.Epoch)
+	return append(dst, f.Payload...)
+}
+
+// putFrameHeader writes the 13-byte header for a frame with plen payload
+// bytes into dst, which must have room.
+func putFrameHeader(dst []byte, t byte, epoch uint64, plen int) {
+	binary.BigEndian.PutUint32(dst[0:4], uint32(1+8+plen))
+	dst[4] = t
+	binary.BigEndian.PutUint64(dst[5:13], epoch)
+}
+
+// frameBufPool recycles encode buffers through encode→write→release so the
+// steady-state WriteFrame path allocates nothing.
+var frameBufPool = sync.Pool{New: func() any { return &frameBuf{} }}
+
+type frameBuf struct{ b []byte }
+
 // WriteFrame serialises f to w in a single Write call, so a frame either
 // reaches the transport whole or not at all — fault injectors that swallow a
-// write drop a clean frame rather than desynchronising the stream.
+// write drop a clean frame rather than desynchronising the stream. The
+// encode buffer comes from a pool and is released after the write.
 func WriteFrame(w io.Writer, f Frame) error {
 	if len(f.Payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+1+8+len(f.Payload))
-	binary.BigEndian.PutUint32(buf[0:4], uint32(1+8+len(f.Payload)))
-	buf[4] = f.Type
-	binary.BigEndian.PutUint64(buf[5:13], f.Epoch)
-	copy(buf[13:], f.Payload)
-	if _, err := w.Write(buf); err != nil {
+	fb := frameBufPool.Get().(*frameBuf)
+	fb.b = AppendFrame(fb.b[:0], f)
+	_, err := w.Write(fb.b)
+	frameBufPool.Put(fb)
+	if err != nil {
 		return fmt.Errorf("transport: writing frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame parses the next frame from r.
+// ReadFrame parses the next frame from r, allocating a fresh payload the
+// caller owns. Loop-heavy readers should use FrameReader, which recycles one
+// buffer across frames.
 func ReadFrame(r io.Reader) (Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return Frame{}, err // io.EOF propagates cleanly for closed peers
+	f, _, err := ReadFrameInto(r, nil, MaxFrameSize)
+	return f, err
+}
+
+// ReadFrameInto parses the next frame from r into buf, growing it only when
+// the frame outsizes its capacity, and returns the (possibly grown) buffer
+// for the next call. The frame's Payload aliases the returned buffer and is
+// valid until the buffer's next use. Frames whose payload exceeds maxPayload
+// are rejected from the length prefix alone, before any allocation.
+func ReadFrameInto(r io.Reader, buf []byte, maxPayload int) (Frame, []byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 0, 512)
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, buf, err // io.EOF propagates cleanly for closed peers
+	}
+	n := binary.BigEndian.Uint32(hdr)
 	if n < 9 {
-		return Frame{}, errors.New("transport: frame shorter than its header")
+		return Frame{}, buf, errors.New("transport: frame shorter than its header")
 	}
-	if n > MaxFrameSize+9 {
-		return Frame{}, ErrFrameTooLarge
+	if maxPayload < 0 || maxPayload > MaxFrameSize {
+		maxPayload = MaxFrameSize
 	}
-	body := make([]byte, n)
+	if n > uint32(maxPayload)+9 {
+		return Frame{}, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	body := buf[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return Frame{}, fmt.Errorf("transport: reading frame body: %w", err)
+		return Frame{}, buf, fmt.Errorf("transport: reading frame body: %w", err)
 	}
 	return Frame{
 		Type:    body[0],
 		Epoch:   binary.BigEndian.Uint64(body[1:9]),
-		Payload: body[9:],
-	}, nil
+		Payload: body[9:n],
+	}, buf, nil
+}
+
+// FrameReader reads frames from one stream, recycling a single payload
+// buffer across calls — the fix for ReadFrame's per-frame allocation on hot
+// receive loops. Returned frames alias the internal buffer: a frame is valid
+// only until the next Read. MaxPayload (default MaxFrameSize) rejects
+// oversized frames before any allocation.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+
+	// MaxPayload caps accepted payload sizes; 0 means MaxFrameSize. Peers
+	// that only ever exchange small frames can set a tight bound so a
+	// corrupt or hostile length prefix can't force a large allocation.
+	MaxPayload int
+}
+
+// NewFrameReader wraps r. Frames returned by Read share one buffer.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// Read parses the next frame. The frame's Payload aliases the reader's
+// internal buffer and is invalidated by the following Read — callers that
+// keep payload bytes across frames must copy them out.
+func (fr *FrameReader) Read() (Frame, error) {
+	max := fr.MaxPayload
+	if max <= 0 {
+		max = MaxFrameSize
+	}
+	f, buf, err := ReadFrameInto(fr.r, fr.buf, max)
+	fr.buf = buf
+	return f, err
 }
 
 // EncodeResult builds a result payload.

@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"time"
@@ -69,6 +71,12 @@ type SourceConfig struct {
 	// Metrics is the registry the node's counters expose through; nil gives
 	// the node a private registry (reachable via Metrics()).
 	Metrics *obs.Registry
+	// Coalesce batches outgoing PSR frames through a FrameWriter over the
+	// redialing link: reports enqueue into a pooled buffer and a short flush
+	// deadline (FrameWriterConfig.FlushDelay) bounds the added latency. Nil
+	// keeps the classic one-write-syscall-per-report path. The config's Sink
+	// is ignored — the redialer is always the sink.
+	Coalesce *FrameWriterConfig
 }
 
 // SourceNode is a leaf sensor process: it encrypts readings and streams the
@@ -77,6 +85,14 @@ type SourceNode struct {
 	src *core.Source
 	rd  *redialer
 	obs *sourceObs
+
+	// Coalescing state (nil fw = unbatched). psrWire + fill let Report hand
+	// the encoded PSR to EnqueueAppend without a per-call closure allocation;
+	// the fill callback runs synchronously inside EnqueueAppend, so the
+	// single-threaded Report contract keeps psrWire safe.
+	fw      *FrameWriter
+	psrWire [core.PSRSize]byte
+	fill    func([]byte)
 }
 
 // DialSource connects a source to its parent aggregator with the default
@@ -118,6 +134,16 @@ func DialSourceWith(cfg SourceConfig, src *core.Source) (*SourceNode, error) {
 		return nil, fmt.Errorf("transport: source %d dialing parent: %w", src.ID(), err)
 	}
 	node := &SourceNode{src: src, rd: rd, obs: newSourceObs(cfg.Metrics)}
+	if cfg.Coalesce != nil {
+		fwCfg := *cfg.Coalesce
+		fwCfg.Sink = redialSink{rd: rd}
+		node.fw = NewFrameWriter(fwCfg)
+		node.fill = func(dst []byte) {
+			copy(dst, node.psrWire[:])
+			// Empty failed-source list: u32 zero count.
+			dst[core.PSRSize], dst[core.PSRSize+1], dst[core.PSRSize+2], dst[core.PSRSize+3] = 0, 0, 0, 0
+		}
+	}
 	node.obs.bind(node)
 	return node, nil
 }
@@ -135,6 +161,14 @@ func (s *SourceNode) Report(t prf.Epoch, v uint64) error {
 	if err != nil {
 		return err
 	}
+	if s.fw != nil {
+		s.psrWire = psr.Bytes()
+		if err := s.fw.EnqueueAppend(TypePSR, uint64(t), core.PSRSize+4, s.fill); err != nil {
+			return err
+		}
+		s.obs.reports.Inc()
+		return nil
+	}
 	if err := s.rd.Write(Frame{Type: TypePSR, Epoch: uint64(t), Payload: encodeReport(psr, nil)}); err != nil {
 		return err
 	}
@@ -148,9 +182,14 @@ func (s *SourceNode) Reconnects() int { return s.rd.Reconnects() }
 // Metrics returns the node's metrics registry.
 func (s *SourceNode) Metrics() *obs.Registry { return s.obs.reg }
 
-// Close terminates the connection; the parent treats subsequent epochs as
-// failures of this source.
-func (s *SourceNode) Close() error { return s.rd.Close() }
+// Close flushes any coalesced frames still queued, then terminates the
+// connection; the parent treats subsequent epochs as failures of this source.
+func (s *SourceNode) Close() error {
+	if s.fw != nil {
+		s.fw.Close()
+	}
+	return s.rd.Close()
+}
 
 // AggregatorNode is an internal tree node process: it accepts a fixed set of
 // children, merges their per-epoch PSRs and forwards one PSR upstream. The
@@ -183,6 +222,7 @@ type AggregatorNode struct {
 	flushed *boundedMap[uint64, struct{}]
 	state   *aggState // durable crash-recovery state; nil without a StateDir
 	obs     *aggObs
+	upfw    *FrameWriter // coalescing upstream writer; nil = unbatched
 }
 
 type childState struct {
@@ -234,6 +274,18 @@ type AggregatorConfig struct {
 	// TraceCapacity sizes the epoch-lifecycle trace ring (default
 	// obs.DefaultTraceCapacity).
 	TraceCapacity int
+	// Coalesce batches upstream PSR/failure frames through a FrameWriter over
+	// the redialing parent link — catch-up bursts (reconnects, recovered
+	// epochs) collapse into vectored writes. The config's Sink is ignored; the
+	// upstream redialer is always the sink. Nil keeps one write per flush.
+	//
+	// The commit record is journaled once the frame is queued rather than once
+	// it reaches the parent's TCP buffer, so a process crash can additionally
+	// lose up to one coalescing window (FlushDelay) of flushed epochs — the
+	// same class of loss as the parent crashing before reading, and bounded by
+	// the same at-least-once recovery: epochs never committed re-flush on
+	// restart from replayed contributions.
+	Coalesce *FrameWriterConfig
 	// Dial and Listen replace net.Dial / net.Listen — chaos injection hooks.
 	Dial   func(network, addr string) (net.Conn, error)
 	Listen func(network, addr string) (net.Listener, error)
@@ -337,6 +389,11 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		a.closeAll()
 		return nil, fmt.Errorf("transport: aggregator dialing parent: %w", err)
 	}
+	if cfg.Coalesce != nil {
+		fwCfg := *cfg.Coalesce
+		fwCfg.Sink = redialSink{rd: up}
+		a.upfw = NewFrameWriter(fwCfg)
+	}
 	a.obs.bind(a)
 	return a, nil
 }
@@ -410,6 +467,11 @@ func (a *AggregatorNode) closeAll() {
 	if a.ln != nil {
 		a.ln.Close()
 	}
+	if a.upfw != nil {
+		// Deliver queued upstream frames before severing the link (a no-op
+		// when Crash already severed it — the flusher's writes fail fast).
+		a.upfw.Close()
+	}
 	if a.upstream != nil {
 		a.upstream.Close()
 	}
@@ -448,7 +510,17 @@ func (a *AggregatorNode) Crash() {
 	st := a.state
 	a.mu.Unlock()
 	if st != nil {
+		// Process-kill grade: issued writes survive in the OS page cache even
+		// though the aggregator journal barely fsyncs (SyncEvery is effectively
+		// off — contributions are recoverable from children's re-sends). The
+		// stricter power-loss truncation lives on the querier, whose group
+		// commit is what actually leaves an unsynced window.
 		st.store.Abandon()
+	}
+	if a.upfw != nil {
+		// Sever the upstream link first so queued coalesced frames are
+		// dropped (a crashed process delivers nothing), not flushed.
+		a.upstream.Close()
 	}
 	a.closeAll()
 }
@@ -506,11 +578,21 @@ func (a *AggregatorNode) Run() error {
 	readChild := func(child, gen int, conn net.Conn) {
 		defer wg.Done()
 		defer a.forget(conn)
+		// On the batched plane, buffered frame reads drain a coalescing
+		// child's whole batch in one syscall. Nothing downstream retains the
+		// payload — decodeReport and DecodeContributorsBounded copy what they
+		// keep — so the reader's recycled buffer is safe here. The classic
+		// plane keeps unbuffered reads: one syscall per frame, by design.
+		var r io.Reader = conn
+		if a.upfw != nil {
+			r = bufio.NewReader(conn)
+		}
+		fr := NewFrameReader(r)
 		for {
 			if a.idleTimeout > 0 {
 				conn.SetReadDeadline(time.Now().Add(a.idleTimeout))
 			}
-			f, err := ReadFrame(conn)
+			f, err := fr.Read()
 			if err != nil {
 				ch <- aggEvent{kind: 'd', child: child, gen: gen}
 				return
@@ -635,20 +717,26 @@ func (a *AggregatorNode) Run() error {
 		a.obs.flushes.Inc()
 		a.obs.tracer.Mark(uint64(t), obs.StageFlush)
 		failed = core.NormalizeIDs(failed)
-		var err error
+		var out Frame
 		if merge.Count() == 0 {
 			a.obs.failureFlushes.Inc()
 			a.obs.tracer.End(uint64(t), "failure")
-			err = a.upstream.Write(Frame{
+			out = Frame{
 				Type: TypeFailure, Epoch: uint64(t),
 				Payload: core.EncodeContributors(failed),
-			})
+			}
 		} else {
 			a.obs.tracer.End(uint64(t), "flushed")
-			err = a.upstream.Write(Frame{
+			out = Frame{
 				Type: TypePSR, Epoch: uint64(t),
 				Payload: encodeReport(merge.Final(), failed),
-			})
+			}
+		}
+		var err error
+		if a.upfw != nil {
+			err = a.upfw.Enqueue(out)
+		} else {
+			err = a.upstream.Write(out)
 		}
 		if err != nil {
 			// Not journaled as committed: after a restart the contributions
@@ -845,7 +933,7 @@ type QuerierNode struct {
 	mu        sync.Mutex
 	lastEval  uint64
 	obs       *querierObs
-	missed    *boundedMap[int, uint64]    // per-source missed-epoch counters
+	missed    *boundedMap[int, uint64]     // per-source missed-epoch counters
 	committed *boundedMap[uint64, ackInfo] // settled epochs → remembered ack
 	roots     int
 	rootConn  net.Conn // live root connection, for crash teardown
@@ -853,6 +941,12 @@ type QuerierNode struct {
 	state     *querierState // durable crash-recovery state; nil without a StateDir
 	lnClosed  bool
 	crashed   bool
+
+	pipeline *PipelineConfig // non-nil selects the pipelined serve path
+	// forMu serializes forensics mutation (quarantine ticks, localization)
+	// across pipelined workers; the serial path is single-threaded and never
+	// contends on it.
+	forMu sync.Mutex
 }
 
 // QuerierConfig configures NewQuerierNodeConfig.
@@ -880,6 +974,12 @@ type QuerierConfig struct {
 	// TraceCapacity sizes the epoch-lifecycle trace ring (default
 	// obs.DefaultTraceCapacity).
 	TraceCapacity int
+	// Pipeline, when non-nil, runs the batched ingest/verify/commit pipeline:
+	// frames decode and verify on worker goroutines while earlier epochs
+	// journal and fsync, commits share group-commit fsyncs, and result acks
+	// coalesce into vectored writes. Results may emit out of epoch order. Nil
+	// keeps the classic serial serve loop.
+	Pipeline *PipelineConfig
 }
 
 // NewQuerierNode starts listening for the root aggregator. Evaluation runs
@@ -926,6 +1026,11 @@ func NewQuerierNodeConfig(cfg QuerierConfig, q *core.Querier) (*QuerierNode, err
 		return nil, err
 	}
 	qn.ln = ln
+	if cfg.Pipeline != nil {
+		p := *cfg.Pipeline
+		p.applyDefaults()
+		qn.pipeline = &p
+	}
 	qn.obs.bind(qn)
 	return qn, nil
 }
@@ -964,7 +1069,11 @@ func (qn *QuerierNode) Crash() {
 	root := qn.rootConn
 	qn.mu.Unlock()
 	if st != nil {
-		st.store.Abandon()
+		// Power-loss grade: journal records not yet covered by an fsync are
+		// gone — exactly what the group-commit append-to-fsync window risks.
+		// For the serial path (fsync riding every append) this truncates
+		// nothing beyond what Abandon would lose.
+		st.store.CrashAbandon()
 	}
 	qn.ln.Close()
 	if root != nil {
@@ -1077,6 +1186,10 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 		return nil
 	}
 
+	if qn.pipeline != nil {
+		return qn.servePipelined(conn)
+	}
+
 	field := qn.q.Params().Field()
 	ackable := true // stop acking (but keep evaluating) once the root is gone
 	for {
@@ -1156,12 +1269,36 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 // journal append fsyncs before the result leaves the node, so a committed
 // epoch survives any crash that follows.
 func (qn *QuerierNode) record(res EpochResult) {
+	qn.recordWith(res, false)
+}
+
+// recordWith is record's shared core. With grouped=false (the serial serve
+// loop) the commit fsync rides the journal append. With grouped=true (the
+// pipelined workers) the append happens under qn.mu but the fsync is deferred
+// to a group-commit SyncTo outside the lock, so concurrent epochs share one
+// fsync; the emit still strictly follows durability. The returned ackInfo and
+// flag tell the caller what to acknowledge: grouped callers racing on the
+// same epoch get the stored ack of whoever committed first (the
+// concurrent-duplicate guard — the epoch is emitted exactly once), and a
+// crashed node acknowledges nothing.
+func (qn *QuerierNode) recordWith(res EpochResult, grouped bool) (ackInfo, bool) {
 	qn.mu.Lock()
 	if qn.crashed {
 		// A killed process delivers nothing: committing or emitting here would
 		// leave an answer the restarted node cannot know about.
 		qn.mu.Unlock()
-		return
+		return ackInfo{}, false
+	}
+	if grouped {
+		// Two workers can carry the same epoch past the ingest dedup check;
+		// the second one lands here and re-acks instead of double-committing.
+		if ack, ok := qn.committed.get(uint64(res.Epoch)); ok {
+			if qn.state != nil {
+				qn.state.ctr.dedupHits.Add(1)
+			}
+			qn.mu.Unlock()
+			return ack, true
+		}
 	}
 	if uint64(res.Epoch) > qn.lastEval {
 		qn.lastEval = uint64(res.Epoch)
@@ -1200,12 +1337,35 @@ func (qn *QuerierNode) record(res EpochResult) {
 	// Only definitive outcomes commit. A rejected epoch produced no answer —
 	// it stays retryable, so a later re-send (or a post-restart replay from
 	// the tree) can still serve it.
+	var syncOff int64
 	if kind != kindRejected {
 		qn.committed.put(uint64(res.Epoch), ackInfo{sum: res.Sum, ok: res.Err == nil})
-		qn.commitDurable(res, kind)
+		if grouped {
+			syncOff = qn.commitDurableNoSync(res, kind)
+		} else {
+			qn.commitDurable(res, kind)
+		}
 		qn.obs.tracer.Mark(uint64(res.Epoch), obs.StageCommit)
 	}
 	qn.mu.Unlock()
+	if syncOff > 0 {
+		// Group commit: make the append durable before the result leaves the
+		// node, sharing the fsync with every concurrently committing worker.
+		if err := qn.state.store.Journal().SyncTo(syncOff); err != nil {
+			qn.state.ctr.journalErrors.Add(1)
+			qn.mu.Lock()
+			crashed := qn.crashed
+			qn.mu.Unlock()
+			if crashed {
+				// The crash hook fired inside the append-to-fsync window: the
+				// record is gone from the journal and must not be emitted.
+				return ackInfo{}, false
+			}
+			// A real IO error degrades durability (counted above) but the
+			// verified result still serves, matching the serial path.
+		}
+	}
 	qn.obs.tracer.End(uint64(res.Epoch), outcome)
 	qn.Results <- res
+	return ackInfo{sum: res.Sum, ok: res.Err == nil}, true
 }

@@ -34,6 +34,8 @@ type redialer struct {
 	connects  int
 	closed    bool
 	closeCh   chan struct{}
+
+	scratch net.Buffers // writeBuffers' reusable vectored-write view
 }
 
 // newRedialer assembles a redialer; the caller runs Connect to establish the
@@ -169,6 +171,60 @@ func (r *redialer) Write(f Frame) error {
 		}
 	}
 }
+
+// writeBuffers sends a coalesced batch of pre-encoded frames as one vectored
+// write, redialing with backoff exactly like Write. On any failure the whole
+// batch is re-sent on a fresh connection — receivers may see duplicate frames
+// (the committed-epoch window dedups them) but never torn ones, since a dead
+// stream's tail is discarded at the receiver's next read error.
+//
+// Called only from a FrameWriter's flusher goroutine, so the scratch view is
+// effectively single-threaded and retained across calls for zero steady-state
+// allocation.
+func (r *redialer) writeBuffers(segs [][]byte) error {
+	if c := r.current(); c != nil {
+		// net.Buffers consumes its receiver, so rebuild the view per attempt.
+		r.scratch = append(r.scratch[:0], segs...)
+		if _, err := r.scratch.WriteTo(c); err == nil {
+			return nil
+		}
+		r.markDead(c)
+	}
+	start := time.Now()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-r.closeCh:
+			return errNodeClosed
+		default:
+		}
+		c, err := r.Connect()
+		if err == nil {
+			r.scratch = append(r.scratch[:0], segs...)
+			if _, err = r.scratch.WriteTo(c); err == nil {
+				return nil
+			}
+			r.markDead(c)
+		}
+		if errors.Is(err, errNodeClosed) {
+			return err
+		}
+		lastErr = err
+		if r.backoff.MaxElapsed >= 0 && time.Since(start) >= r.backoff.MaxElapsed {
+			return fmt.Errorf("transport: redial gave up after %v: %w", r.backoff.MaxElapsed, lastErr)
+		}
+		select {
+		case <-time.After(r.backoff.Delay(attempt)):
+		case <-r.closeCh:
+			return errNodeClosed
+		}
+	}
+}
+
+// redialSink adapts a redialer into a FrameWriter batch sink.
+type redialSink struct{ rd *redialer }
+
+func (s redialSink) WriteBatch(segs [][]byte) error { return s.rd.writeBuffers(segs) }
 
 // Close tears the connection down and aborts in-flight retries.
 func (r *redialer) Close() error {
