@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/sies/sies/internal/cmt"
@@ -50,10 +51,20 @@ var (
 	flagQuick    = flag.Bool("quick", false, "smaller sweeps for a fast smoke run")
 	flagExtra    = flag.Bool("extra", false, "run the extra commit-and-attest scalability experiment")
 	flagSchedule = flag.Bool("schedule", false, "run the querier key-schedule engine sweep")
+	flagCPUProf  = flag.String("cpuprofile", "", "write a CPU profile of the selected benchmarks to this file")
 )
 
 func main() {
 	flag.Parse()
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule && !*flagHotpath && !*flagPipeline {
 		flag.Usage()
 		os.Exit(2)

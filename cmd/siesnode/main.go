@@ -20,6 +20,14 @@
 // the reconnect/backoff path end to end. -reconnectWindow bounds how long an
 // aggregator keeps an epoch open for a returning child.
 //
+// Self-healing: -parents gives sources and aggregators a ranked candidate
+// list — when the preferred parent's redial budget is exhausted the node
+// re-homes to the next candidate with an epoch-fenced hello. -accept-new lets
+// an aggregator (a failover target or childless hot standby) adopt re-homing
+// children it was never provisioned with. On SIGINT/SIGTERM, sources and
+// aggregators announce a graceful Leave upstream before closing, so the
+// querier records a departure instead of a permanent failure.
+//
 // Durability: -state-dir makes queriers and aggregators crash-recoverable —
 // every epoch commit is journaled there and a restarted process resumes at
 // its exact pre-crash frontier. SIGINT/SIGTERM trigger a graceful drain
@@ -37,6 +45,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,7 +63,9 @@ var (
 	flagCreds    = flag.String("creds", "", "credential file from sieskeys")
 	flagListen   = flag.String("listen", "", "listen address (querier, aggregator)")
 	flagParent   = flag.String("parent", "", "parent address (aggregator, source)")
+	flagParents  = flag.String("parents", "", "comma-separated ranked parent addresses for failover dialing; supersedes -parent (aggregator, source)")
 	flagChildren = flag.Int("children", 0, "number of children to wait for (aggregator)")
+	flagAccept   = flag.Bool("accept-new", false, "accept re-homing children with unknown coverage mid-run — failover targets and standbys (aggregator)")
 	flagTimeout  = flag.Duration("timeout", 2*time.Second, "per-epoch child timeout (aggregator)")
 	flagEpochs   = flag.Int("epochs", 10, "epochs to report (source)")
 	flagPeriod   = flag.Duration("period", time.Second, "epoch duration T (source)")
@@ -99,6 +110,21 @@ func injector() *chaos.Injector {
 // reproducible from a single number.
 func backoff() transport.Backoff {
 	return transport.Backoff{Seed: *flagChaosSeed}
+}
+
+// rankedParents splits -parents into the ranked failover list, nil when the
+// flag is unset (single -parent deployments).
+func rankedParents() []string {
+	if *flagParents == "" {
+		return nil
+	}
+	var out []string
+	for _, a := range strings.Split(*flagParents, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // serveMetrics starts the observability endpoint when -metrics-addr is set.
@@ -246,13 +272,15 @@ func runAggregator() error {
 	if err != nil {
 		return err
 	}
-	if *flagChildren < 1 {
-		return fmt.Errorf("aggregator needs -children ≥ 1")
+	if *flagChildren < 1 && !*flagAccept {
+		return fmt.Errorf("aggregator needs -children ≥ 1 (or -accept-new for a childless standby)")
 	}
 	cfg := transport.AggregatorConfig{
 		ListenAddr:      *flagListen,
 		ParentAddr:      *flagParent,
+		ParentAddrs:     rankedParents(),
 		NumChildren:     *flagChildren,
+		AcceptNew:       *flagAccept,
 		Timeout:         *flagTimeout,
 		ReconnectWindow: *flagReconnect,
 		StateDir:        *flagStateDir,
@@ -287,7 +315,10 @@ func runAggregator() error {
 	}
 	done := make(chan error, 1)
 	go func() { done <- node.Run() }()
-	err = runUntilSignal(done, func() { node.Close() })
+	// The drain announces a graceful Leave upstream first: the parent shrinks
+	// its covered union, so this subtree's absence from later epochs reads as
+	// an expected departure rather than a failure.
+	err = runUntilSignal(done, func() { node.Leave(); node.Close() })
 	if d := node.DurabilityStats(); d.Enabled {
 		fmt.Printf("durability: %d commits, %d checkpoints, %d journal errors\n",
 			d.Commits, d.Checkpoints, d.JournalErrors)
@@ -317,7 +348,7 @@ func runSource() error {
 	if err != nil {
 		return err
 	}
-	scfg := transport.SourceConfig{ParentAddr: *flagParent, Backoff: backoff()}
+	scfg := transport.SourceConfig{ParentAddr: *flagParent, ParentAddrs: rankedParents(), Backoff: backoff()}
 	if inj := injector(); inj != nil {
 		scfg.Dial = inj.Dial
 		fmt.Printf("chaos enabled: seed=%d drop=%.2f delay=%v reset=%.2f\n",
@@ -343,16 +374,23 @@ func runSource() error {
 		}
 	}
 	fmt.Printf("source %d reporting %d epochs every %v\n", id, *flagEpochs, *flagPeriod)
-	// Sources hold no durable state; graceful shutdown just means finishing
-	// the current report and closing the link between epochs rather than
-	// tearing it down mid-frame.
+	// Sources hold no durable state; a graceful shutdown finishes the current
+	// report, announces a Leave upstream (so the querier stops expecting this
+	// source instead of flagging it failed forever) and closes the link
+	// between epochs rather than tearing it down mid-frame.
+	leave := func(s os.Signal, done prf.Epoch) {
+		fmt.Printf("%v: leaving after %d epochs\n", s, done)
+		if err := node.Leave(); err != nil {
+			fmt.Printf("leave not delivered (%v); the querier will see this source as failed\n", err)
+		}
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sig)
 	for epoch := prf.Epoch(1); epoch <= prf.Epoch(*flagEpochs); epoch++ {
 		select {
 		case s := <-sig:
-			fmt.Printf("%v: stopping after %d epochs\n", s, epoch-1)
+			leave(s, epoch-1)
 			return nil
 		default:
 		}
@@ -366,7 +404,7 @@ func runSource() error {
 		if epoch < prf.Epoch(*flagEpochs) {
 			select {
 			case s := <-sig:
-				fmt.Printf("%v: stopping after %d epochs\n", s, epoch)
+				leave(s, epoch)
 				return nil
 			case <-time.After(*flagPeriod):
 			}

@@ -11,6 +11,7 @@
 //	siessim -scheme secoa -n 64 -epochs 3
 //	siessim -scheme sies -n 128 -epochs 50 -churn 0.05 -churnSeed 7
 //	siessim -scheme sies -n 128 -epochs 50 -crash 0.1 -crashSeed 3
+//	siessim -scheme sies -n 64 -epochs 30 -standby 1 -failover
 //
 // Any attack accepts a `@epoch` suffix to start mid-run (dormant before it):
 //
@@ -69,6 +70,10 @@ var (
 	flagCrash     = flag.Float64("crash", 0, "per-epoch probability that an aggregator crashes mid-run and restarts later (0 disables)")
 	flagCrashDown = flag.Int("crashDown", 2, "maximum epochs a crashed aggregator stays down before restarting")
 	flagCrashSeed = flag.Int64("crashSeed", 1, "crash schedule seed (deterministic given -n/-fanout/-epochs)")
+
+	flagStandby      = flag.Int("standby", 0, "standby aggregators provisioned (childless) under the root, held in reserve for -failover")
+	flagFailover     = flag.Bool("failover", false, "permanent-kill plan: every interior aggregator dies exactly once, its subtree re-homed onto a standby (requires -standby ≥ 1)")
+	flagFailoverSeed = flag.Int64("failoverSeed", 1, "failover plan seed (kill order and epochs)")
 
 	flagMetricsJSON  = flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON (CI artifact)")
 	flagMetricsEvery = flag.Int("metrics-every", 0, "print a metrics snapshot every K epochs (0 disables)")
@@ -245,6 +250,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var standbys []int
+	for i := 0; i < *flagStandby; i++ {
+		id, err := topo.AddStandby(topo.Root())
+		if err != nil {
+			return err
+		}
+		standbys = append(standbys, id)
+	}
 	eng, err := network.NewEngine(topo, proto)
 	if err != nil {
 		return err
@@ -300,7 +313,26 @@ func run() error {
 				topo.NumAggregators())
 		}
 		crashes = chaos.RandomCrashes(rand.New(rand.NewSource(*flagCrashSeed)),
-			*flagEpochs, topo.NumAggregators()-1, *flagCrash, *flagCrashDown)
+			*flagEpochs, topo.NumAggregators()-1-*flagStandby, *flagCrash, *flagCrashDown)
+	}
+
+	var failovers *chaos.FailoverPlan
+	if *flagFailover {
+		if len(standbys) == 0 {
+			return fmt.Errorf("-failover needs -standby ≥ 1 to absorb the orphaned subtrees")
+		}
+		var victims []int
+		for a := 0; a < topo.NumAggregators(); a++ {
+			if a == topo.Root() || topo.IsStandby(a) {
+				continue
+			}
+			victims = append(victims, a)
+		}
+		failovers, err = chaos.ExhaustiveFailovers(rand.New(rand.NewSource(*flagFailoverSeed)),
+			*flagEpochs, victims, standbys)
+		if err != nil {
+			return err
+		}
 	}
 
 	fmt.Printf("scheme=%s  N=%d  fanout=%d  depth=%d  aggregators=%d  domain=%s\n",
@@ -319,9 +351,14 @@ func run() error {
 		fmt.Printf("crash plan: %d kill/restart cycles (prob=%.2f maxDown=%d seed=%d)\n",
 			crashes.Crashes(), *flagCrash, *flagCrashDown, *flagCrashSeed)
 	}
+	if failovers != nil {
+		fmt.Printf("failover plan: %d permanent kills, %d standby(s) absorb (seed=%d)\n",
+			failovers.Kills(), len(standbys), *flagFailoverSeed)
+	}
 	fmt.Println()
 
 	accepted, rejected, full, partial := 0, 0, 0, 0
+	failTarget := simFailoverTarget{eng: eng, standby: -1}
 	for epoch := prf.Epoch(1); epoch <= prf.Epoch(*flagEpochs); epoch++ {
 		if churn != nil {
 			if err := churn.Apply(epoch, eng); err != nil {
@@ -336,6 +373,14 @@ func run() error {
 				}
 			}
 			if err := crashes.Apply(epoch, simCrashTarget{eng}); err != nil {
+				return err
+			}
+		}
+		if failovers != nil {
+			for _, e := range failovers.At(epoch) {
+				fmt.Printf("chaos: %v\n", e)
+			}
+			if err := failovers.Apply(epoch, &failTarget); err != nil {
 				return err
 			}
 		}
@@ -390,7 +435,10 @@ func run() error {
 		accepted++
 		epochsServed.Inc()
 		tag := ""
-		if contributors == nil {
+		// A non-nil contributor list covering all N sources is full coverage —
+		// after a standby absorbs a killed subtree the engine keeps an explicit
+		// list, but nobody is actually missing.
+		if contributors == nil || len(contributors) == *flagN {
 			full++
 			epochsFull.Inc()
 		} else {
@@ -406,6 +454,10 @@ func run() error {
 	st := eng.Stats()
 	fmt.Printf("\nhealth: %d full, %d partial, %d rejected (of %d epochs)\n",
 		full, partial, rejected, accepted+rejected)
+	if failovers != nil {
+		fmt.Printf("failover: %d permanent kills applied, %d attachments re-parented onto standbys\n",
+			failovers.Kills(), eng.Reparents())
+	}
 	if rec != nil {
 		stats := rec.Stats()
 		blob, err := json.MarshalIndent(stats, "", "  ")
@@ -479,6 +531,32 @@ func (s simCrashTarget) Restart(role chaos.CrashRole, id int) error {
 	}
 	s.eng.RecoverAggregator(id + 1)
 	return nil
+}
+
+// simFailoverTarget maps permanent-kill failover events onto the engine.
+// chaos.FailoverPlan promotes the standby before killing the victim, but
+// Engine.PromoteStandby wants the victim already killed — so Promote just
+// stages the standby id and the next kill consumes it.
+type simFailoverTarget struct {
+	eng     *network.Engine
+	standby int // staged by Promote for the next kill; -1 = ranked-list only
+}
+
+func (s *simFailoverTarget) Promote(standbyID int) error {
+	s.standby = standbyID
+	return nil
+}
+
+func (s *simFailoverTarget) KillPermanently(aggID int) error {
+	if err := s.eng.KillAggregator(aggID); err != nil {
+		return err
+	}
+	if s.standby < 0 {
+		return nil
+	}
+	err := s.eng.PromoteStandby(aggID, s.standby)
+	s.standby = -1
+	return err
 }
 
 // dumpMetricsEvery prints the registry snapshot every -metrics-every epochs,

@@ -1,0 +1,112 @@
+// Failover scheduling: permanent-kill plans for the self-healing tree
+// (DESIGN.md §15). Where a crash plan (crash.go) kills a durable node and
+// restarts it from its state directory, a failover plan kills an interior
+// aggregator *permanently* — the process never returns — and relies on the
+// children's ranked parent lists to re-home the orphaned subtree onto a
+// standby (or any surviving sibling that accepts new children). The plan is
+// plain data, deterministic in the injected PRNG, so a soak run that finds a
+// bad interleaving is reproducible from its seed.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// FailoverTarget is the surface a failover plan drives. KillPermanently must
+// tear the aggregator down without graceful shutdown and never restart it;
+// Promote readies the standby that the victim's children will escalate to
+// (a no-op in deployments whose standbys are always live).
+type FailoverTarget interface {
+	KillPermanently(aggID int) error
+	Promote(standbyID int) error
+}
+
+// FailoverEvent kills one interior aggregator for good at the start of one
+// epoch. Standby names the node expected to absorb the orphans — carried for
+// harness bookkeeping and promotion; -1 means the children's ranked parent
+// lists alone decide where the subtree re-homes.
+type FailoverEvent struct {
+	Epoch   prf.Epoch
+	AggID   int
+	Standby int
+}
+
+// String renders the event for logs.
+func (e FailoverEvent) String() string {
+	if e.Standby < 0 {
+		return fmt.Sprintf("epoch %d: aggregator %d killed permanently", e.Epoch, e.AggID)
+	}
+	return fmt.Sprintf("epoch %d: aggregator %d killed permanently, standby %d absorbs", e.Epoch, e.AggID, e.Standby)
+}
+
+// FailoverPlan is an epoch-ordered permanent-kill schedule.
+type FailoverPlan struct {
+	Events []FailoverEvent
+}
+
+// At returns the kills scheduled for epoch t.
+func (p *FailoverPlan) At(t prf.Epoch) []FailoverEvent {
+	i := sort.Search(len(p.Events), func(i int) bool { return p.Events[i].Epoch >= t })
+	j := i
+	for j < len(p.Events) && p.Events[j].Epoch == t {
+		j++
+	}
+	return p.Events[i:j]
+}
+
+// Kills counts the plan's permanent kills.
+func (p *FailoverPlan) Kills() int { return len(p.Events) }
+
+// Apply drives epoch t against the target: each scheduled kill promotes its
+// standby first (so the escalation target is up before the orphans dial),
+// then kills the victim. Call it at the top of every epoch.
+func (p *FailoverPlan) Apply(t prf.Epoch, target FailoverTarget) error {
+	for _, e := range p.At(t) {
+		if e.Standby >= 0 {
+			if err := target.Promote(e.Standby); err != nil {
+				return fmt.Errorf("chaos: promoting standby for %v: %w", e, err)
+			}
+		}
+		if err := target.KillPermanently(e.AggID); err != nil {
+			return fmt.Errorf("chaos: applying %v: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// ExhaustiveFailovers draws a plan over epochs [2, epochs] that kills every
+// listed interior aggregator exactly once, in random order at distinct,
+// roughly evenly spread epochs — the soak-proof shape: no interior node
+// survives the run, so coverage recovery is exercised for each of them.
+// Standbys are assigned round-robin from standbyIDs (empty = -1 throughout).
+// Deterministic in the injected rng.
+func ExhaustiveFailovers(rng *rand.Rand, epochs int, aggIDs, standbyIDs []int) (*FailoverPlan, error) {
+	n := len(aggIDs)
+	if n == 0 {
+		return &FailoverPlan{}, nil
+	}
+	// Epoch 1 is spared so every aggregator flushes at least once before it
+	// can die; each victim then gets its own slice of the remaining run.
+	if epochs-1 < n {
+		return nil, errors.New("chaos: not enough epochs to kill every aggregator once")
+	}
+	order := append([]int(nil), aggIDs...)
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	p := &FailoverPlan{}
+	span := (epochs - 1) / n
+	for i, id := range order {
+		lo := 2 + i*span
+		e := FailoverEvent{Epoch: prf.Epoch(lo + rng.Intn(span)), AggID: id, Standby: -1}
+		if len(standbyIDs) > 0 {
+			e.Standby = standbyIDs[i%len(standbyIDs)]
+		}
+		p.Events = append(p.Events, e)
+	}
+	sort.Slice(p.Events, func(i, j int) bool { return p.Events[i].Epoch < p.Events[j].Epoch })
+	return p, nil
+}

@@ -1,0 +1,111 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// recordingFailoverTarget logs the order plan application drives it in.
+type recordingFailoverTarget struct {
+	killed   []int
+	promoted []int
+}
+
+func (r *recordingFailoverTarget) KillPermanently(id int) error {
+	r.killed = append(r.killed, id)
+	return nil
+}
+
+func (r *recordingFailoverTarget) Promote(id int) error {
+	r.promoted = append(r.promoted, id)
+	return nil
+}
+
+func TestExhaustiveFailoversKillsEveryAggregatorOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	aggs := []int{1, 2, 3, 4}
+	plan, err := ExhaustiveFailovers(rng, 40, aggs, []int{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Kills() != len(aggs) {
+		t.Fatalf("kills = %d, want %d", plan.Kills(), len(aggs))
+	}
+	seen := map[int]int{}
+	var last prf.Epoch
+	for _, e := range plan.Events {
+		seen[e.AggID]++
+		if e.Epoch < 2 || e.Epoch > 40 {
+			t.Fatalf("event %v outside [2, 40]", e)
+		}
+		if e.Epoch < last {
+			t.Fatalf("events out of epoch order: %v", plan.Events)
+		}
+		last = e.Epoch
+		if e.Standby != 9 {
+			t.Fatalf("event %v: standby = %d, want 9", e, e.Standby)
+		}
+	}
+	for _, id := range aggs {
+		if seen[id] != 1 {
+			t.Fatalf("aggregator %d killed %d times, want exactly once", id, seen[id])
+		}
+	}
+}
+
+func TestExhaustiveFailoversDeterministic(t *testing.T) {
+	a, err := ExhaustiveFailovers(rand.New(rand.NewSource(11)), 30, []int{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExhaustiveFailovers(rand.New(rand.NewSource(11)), 30, []int{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("plans differ in length: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+		if a.Events[i].Standby != -1 {
+			t.Fatalf("no standbys given, event %v should carry -1", a.Events[i])
+		}
+	}
+}
+
+func TestExhaustiveFailoversRejectsTooFewEpochs(t *testing.T) {
+	if _, err := ExhaustiveFailovers(rand.New(rand.NewSource(1)), 3, []int{1, 2, 3}, nil); err == nil {
+		t.Fatal("want error when epochs cannot fit one kill per aggregator")
+	}
+}
+
+func TestFailoverPlanApplyPromotesBeforeKilling(t *testing.T) {
+	plan := &FailoverPlan{Events: []FailoverEvent{
+		{Epoch: 3, AggID: 1, Standby: 5},
+		{Epoch: 3, AggID: 2, Standby: -1},
+		{Epoch: 7, AggID: 3, Standby: 5},
+	}}
+	tgt := &recordingFailoverTarget{}
+	for t0 := prf.Epoch(1); t0 <= 10; t0++ {
+		if err := plan.Apply(t0, tgt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantKilled := []int{1, 2, 3}
+	if len(tgt.killed) != len(wantKilled) {
+		t.Fatalf("killed %v, want %v", tgt.killed, wantKilled)
+	}
+	for i, id := range wantKilled {
+		if tgt.killed[i] != id {
+			t.Fatalf("killed %v, want %v", tgt.killed, wantKilled)
+		}
+	}
+	// Standby -1 events promote nothing; the others promote before the kill.
+	if len(tgt.promoted) != 2 || tgt.promoted[0] != 5 || tgt.promoted[1] != 5 {
+		t.Fatalf("promoted %v, want [5 5]", tgt.promoted)
+	}
+}

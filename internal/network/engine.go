@@ -122,6 +122,8 @@ type Engine struct {
 	stats       *Stats
 	failed      map[int]bool
 	failedAggs  map[int]bool
+	killed      map[int]bool // permanently killed aggregators (see standby.go)
+	reparents   int          // attachments moved by standby promotions
 	interceptor Interceptor
 }
 
@@ -170,8 +172,15 @@ func (e *Engine) FailAggregator(id int) error {
 	return nil
 }
 
-// RecoverAggregator clears an aggregator failure.
-func (e *Engine) RecoverAggregator(id int) { delete(e.failedAggs, id) }
+// RecoverAggregator clears an aggregator failure. Permanently killed
+// aggregators (KillAggregator) stay dead: their subtrees come back only by
+// standby promotion.
+func (e *Engine) RecoverAggregator(id int) {
+	if e.killed[id] {
+		return
+	}
+	delete(e.failedAggs, id)
+}
 
 // aggAlive reports whether agg and every ancestor up to the root is live.
 func (e *Engine) aggAlive(agg int) bool {

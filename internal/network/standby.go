@@ -1,0 +1,99 @@
+// Standby aggregators and permanent-kill failover for the in-memory
+// simulator — the counterpart of the transport plane's self-healing tree
+// (DESIGN.md §15). A standby is an aggregator provisioned with no children:
+// it idles until an interior sibling is killed permanently, at which point
+// the victim's children are re-parented onto it and its subtree contributes
+// again. The simulator models the *steady state after re-homing* (who is
+// attached where, which sources contribute); the transition dynamics —
+// backoff budgets, fences, membership events — live in internal/transport.
+package network
+
+import "fmt"
+
+// AddStandby appends a standby aggregator under parent: a node with no
+// children of its own, exempt from Validate's no-children and fanout checks
+// (capacity held in reserve is not load). It returns the new aggregator id.
+func (t *Topology) AddStandby(parent int) (int, error) {
+	if parent < 0 || parent >= t.NumAggregators() {
+		return 0, fmt.Errorf("network: standby parent %d out of range", parent)
+	}
+	id := len(t.parentOfAgg)
+	t.parentOfAgg = append(t.parentOfAgg, parent)
+	t.childAggs = append(t.childAggs, nil)
+	t.childSources = append(t.childSources, nil)
+	t.childAggs[parent] = append(t.childAggs[parent], id)
+	if t.standby == nil {
+		t.standby = map[int]bool{}
+	}
+	t.standby[id] = true
+	return id, nil
+}
+
+// IsStandby reports whether agg was provisioned as a standby.
+func (t *Topology) IsStandby(agg int) bool { return t.standby[agg] }
+
+// reparent moves every child (aggregators and sources) of victim onto target
+// and returns how many attachments changed. The victim keeps its slot in the
+// aggregator list (ids are stable) but ends up childless.
+func (t *Topology) reparent(victim, target int) int {
+	moved := 0
+	for _, src := range t.childSources[victim] {
+		t.sourceParent[src] = target
+		t.childSources[target] = append(t.childSources[target], src)
+		moved++
+	}
+	t.childSources[victim] = nil
+	for _, agg := range t.childAggs[victim] {
+		t.parentOfAgg[agg] = target
+		t.childAggs[target] = append(t.childAggs[target], agg)
+		moved++
+	}
+	t.childAggs[victim] = nil
+	return moved
+}
+
+// KillAggregator fails an aggregator permanently: unlike FailAggregator its
+// subtree never recovers by itself — RecoverAggregator refuses the id — and
+// the only way its sources contribute again is PromoteStandby re-homing them.
+func (e *Engine) KillAggregator(id int) error {
+	if err := e.FailAggregator(id); err != nil {
+		return err
+	}
+	if id == e.topo.Root() {
+		return fmt.Errorf("network: cannot permanently kill the root")
+	}
+	if e.killed == nil {
+		e.killed = map[int]bool{}
+	}
+	e.killed[id] = true
+	return nil
+}
+
+// Killed reports whether an aggregator was permanently killed.
+func (e *Engine) Killed(id int) bool { return e.killed[id] }
+
+// PromoteStandby re-homes a killed aggregator's children onto a live standby:
+// every child source and child aggregator of victim re-parents to standby,
+// and the re-parent counter advances by the number of moved attachments.
+// Promotion is what the transport plane's ranked parent lists do organically;
+// the simulator applies it as one atomic step.
+func (e *Engine) PromoteStandby(victim, standby int) error {
+	if !e.killed[victim] {
+		return fmt.Errorf("network: aggregator %d is not permanently killed", victim)
+	}
+	if standby < 0 || standby >= e.topo.NumAggregators() {
+		return fmt.Errorf("network: standby %d out of range", standby)
+	}
+	if e.failedAggs[standby] {
+		return fmt.Errorf("network: standby %d is itself down", standby)
+	}
+	if !e.aggAlive(standby) {
+		return fmt.Errorf("network: standby %d has no live path to the root", standby)
+	}
+	e.reparents += e.topo.reparent(victim, standby)
+	return nil
+}
+
+// Reparents returns the cumulative number of attachments moved by standby
+// promotions.
+func (e *Engine) Reparents() int { return e.reparents }

@@ -1,0 +1,143 @@
+package network
+
+import (
+	"testing"
+
+	"github.com/sies/sies/internal/prf"
+)
+
+// buildStandbyEngine assembles a 6-source fanout-3 tree with one standby
+// under the root and a SIES protocol adapter over it.
+func buildStandbyEngine(t *testing.T) (*Engine, []uint64, int) {
+	t.Helper()
+	topo, err := CompleteTree(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	standby, err := topo.AddStandby(topo.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto, err := NewSIESProtocol(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(topo, proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := make([]uint64, 6)
+	for i := range values {
+		values[i] = uint64(100 * (i + 1))
+	}
+	return eng, values, standby
+}
+
+func TestStandbyTopologyValidates(t *testing.T) {
+	topo, err := CompleteTree(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := topo.AddStandby(topo.Root())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !topo.IsStandby(id) {
+		t.Fatalf("aggregator %d not marked standby", id)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("standby topology must validate: %v", err)
+	}
+}
+
+func TestKillAggregatorIsPermanent(t *testing.T) {
+	eng, values, _ := buildStandbyEngine(t)
+	victim := eng.Topology().ChildAggregators(eng.Topology().Root())[0]
+	if eng.Topology().IsStandby(victim) {
+		t.Fatalf("picked the standby as victim")
+	}
+	if err := eng.KillAggregator(victim); err != nil {
+		t.Fatal(err)
+	}
+	eng.RecoverAggregator(victim) // must be refused
+	if !eng.Killed(victim) {
+		t.Fatal("kill must survive RecoverAggregator")
+	}
+	sum, err := eng.RunEpoch(1, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for i := 0; i < 6; i++ {
+		if eng.Topology().SourceParent(i) != victim {
+			want += float64(values[i])
+		}
+	}
+	if sum != want {
+		t.Fatalf("partial sum = %v, want %v", sum, want)
+	}
+}
+
+func TestPromoteStandbyRestoresFullCoverage(t *testing.T) {
+	eng, values, standby := buildStandbyEngine(t)
+	topo := eng.Topology()
+	victim := -1
+	for _, a := range topo.ChildAggregators(topo.Root()) {
+		if !topo.IsStandby(a) {
+			victim = a
+			break
+		}
+	}
+	orphans := len(topo.ChildSources(victim)) + len(topo.ChildAggregators(victim))
+	if orphans == 0 {
+		t.Fatalf("victim %d has no children to orphan", victim)
+	}
+
+	if err := eng.PromoteStandby(victim, standby); err == nil {
+		t.Fatal("promotion before the kill must be refused")
+	}
+	if err := eng.KillAggregator(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PromoteStandby(victim, standby); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Reparents(); got != orphans {
+		t.Fatalf("reparents = %d, want %d", got, orphans)
+	}
+
+	var want float64
+	for _, v := range values {
+		want += float64(v)
+	}
+	for epoch := prf.Epoch(1); epoch <= 3; epoch++ {
+		sum, err := eng.RunEpoch(epoch, values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != want {
+			t.Fatalf("epoch %d: sum = %v, want %v (full coverage after promotion)", epoch, sum, want)
+		}
+	}
+}
+
+func TestPromoteStandbyRefusesDeadStandby(t *testing.T) {
+	eng, _, standby := buildStandbyEngine(t)
+	topo := eng.Topology()
+	victim := -1
+	for _, a := range topo.ChildAggregators(topo.Root()) {
+		if !topo.IsStandby(a) {
+			victim = a
+			break
+		}
+	}
+	if err := eng.KillAggregator(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FailAggregator(standby); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PromoteStandby(victim, standby); err == nil {
+		t.Fatal("promotion onto a dead standby must be refused")
+	}
+}

@@ -18,10 +18,11 @@ import (
 // Aggregator 0 is the root (the sink talking to the querier).
 type Topology struct {
 	fanout       int
-	parentOfAgg  []int   // parent aggregator id, -1 for the root
-	childAggs    [][]int // child aggregators per aggregator
-	childSources [][]int // child sources per aggregator
-	sourceParent []int   // parent aggregator per source
+	parentOfAgg  []int        // parent aggregator id, -1 for the root
+	childAggs    [][]int      // child aggregators per aggregator
+	childSources [][]int      // child sources per aggregator
+	sourceParent []int        // parent aggregator per source
+	standby      map[int]bool // aggregators provisioned childless (see standby.go)
 }
 
 // CompleteTree builds the paper's experimental topology: nSources sources
@@ -118,8 +119,14 @@ func (t *Topology) Depth() int {
 func (t *Topology) Validate() error {
 	seen := make([]bool, t.NumSources())
 	for agg := 0; agg < t.NumAggregators(); agg++ {
-		kids := len(t.childAggs[agg]) + len(t.childSources[agg])
-		if kids == 0 {
+		kids := 0
+		for _, c := range t.childAggs[agg] {
+			if !t.standby[c] {
+				kids++ // standbys are reserve capacity, not fanout load
+			}
+		}
+		kids += len(t.childSources[agg])
+		if kids == 0 && !t.standby[agg] {
 			return fmt.Errorf("network: aggregator %d has no children", agg)
 		}
 		if kids > t.fanout {

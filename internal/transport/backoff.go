@@ -15,6 +15,12 @@ type Backoff struct {
 	Multiplier float64       // growth factor between attempts (default 2)
 	Jitter     float64       // randomisation fraction in [0,1] (default 0.2)
 	MaxElapsed time.Duration // give up after this much retrying (default 30s; < 0 retries forever)
+	// MaxAttempts caps the number of redial attempts before the budget is
+	// exhausted (0 = no attempt cap, MaxElapsed alone bounds retrying). On a
+	// node with several ranked parent addresses the budget is spent per
+	// address: exhausting it escalates the redialer to the next candidate
+	// parent rather than giving up outright.
+	MaxAttempts int
 	// Seed, when non-zero and Rand is nil, seeds the private jitter PRNG
 	// deterministically: two Backoffs defaulted from the same Seed produce
 	// identical delay sequences, which makes chaos runs reproducible.
@@ -61,6 +67,17 @@ func (b Backoff) withDefaults() Backoff {
 		b.Rand = rand.New(rand.NewSource(seed))
 	}
 	return b
+}
+
+// Exhausted reports whether a retry budget that began at start and has spent
+// attempts redials is used up. Attempt budgets and elapsed-time budgets
+// compose: whichever trips first ends the budget. A negative MaxElapsed
+// (retry forever) only gives up on an explicit MaxAttempts.
+func (b Backoff) Exhausted(start time.Time, attempts int) bool {
+	if b.MaxAttempts > 0 && attempts >= b.MaxAttempts {
+		return true
+	}
+	return b.MaxElapsed >= 0 && time.Since(start) >= b.MaxElapsed
 }
 
 // Delay returns the jittered delay before retry number attempt (0-based).

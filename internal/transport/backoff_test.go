@@ -56,6 +56,58 @@ func TestBackoffDelayBounds(t *testing.T) {
 	}
 }
 
+// TestBackoffExhaustedAttemptBudget pins the attempt-budget contract: with
+// MaxAttempts set, the budget trips on the configured attempt count no matter
+// how little wall-clock time has passed.
+func TestBackoffExhaustedAttemptBudget(t *testing.T) {
+	b := Backoff{MaxAttempts: 3, MaxElapsed: time.Hour}.withDefaults()
+	start := time.Now()
+	for attempts := 0; attempts < 3; attempts++ {
+		if b.Exhausted(start, attempts) {
+			t.Fatalf("budget tripped at %d attempts, cap is 3", attempts)
+		}
+	}
+	if !b.Exhausted(start, 3) {
+		t.Fatal("budget must trip at MaxAttempts")
+	}
+	if !b.Exhausted(start, 100) {
+		t.Fatal("budget must stay tripped past MaxAttempts")
+	}
+}
+
+// TestBackoffExhaustedElapsedBudget pins the elapsed-time budget: it trips
+// once MaxElapsed has passed regardless of attempts, and composes with the
+// attempt cap (whichever trips first wins).
+func TestBackoffExhaustedElapsedBudget(t *testing.T) {
+	b := Backoff{MaxElapsed: 10 * time.Millisecond}.withDefaults()
+	fresh := time.Now()
+	if b.Exhausted(fresh, 1_000_000) {
+		t.Fatal("no attempt cap set: attempts alone must not trip the budget")
+	}
+	old := time.Now().Add(-time.Second)
+	if !b.Exhausted(old, 0) {
+		t.Fatal("budget must trip once MaxElapsed has passed")
+	}
+
+	both := Backoff{MaxElapsed: time.Hour, MaxAttempts: 2}.withDefaults()
+	if !both.Exhausted(fresh, 2) {
+		t.Fatal("attempt cap must trip before the elapsed budget")
+	}
+}
+
+// TestBackoffExhaustedRetryForever pins the retry-forever shape: a negative
+// MaxElapsed never trips on time, only on an explicit MaxAttempts.
+func TestBackoffExhaustedRetryForever(t *testing.T) {
+	b := Backoff{MaxElapsed: -1}.withDefaults()
+	if b.Exhausted(time.Now().Add(-24*time.Hour), 1_000_000) {
+		t.Fatal("negative MaxElapsed must retry forever without an attempt cap")
+	}
+	capped := Backoff{MaxElapsed: -1, MaxAttempts: 5}.withDefaults()
+	if !capped.Exhausted(time.Now().Add(-24*time.Hour), 5) {
+		t.Fatal("MaxAttempts must still bound a retry-forever backoff")
+	}
+}
+
 // TestBackoffConcurrentDelay hammers Delay from many goroutines over one
 // shared *rand.Rand — the exact shape the redialers produce when one Backoff
 // value configures a whole deployment. Run under -race this is the

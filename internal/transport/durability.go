@@ -397,7 +397,12 @@ func (qn *QuerierNode) openQuerierState(dir string, checkpointEvery int) error {
 }
 
 // bumpMissed increments one source's missed-epoch counter in the bounded map.
+// Sources that departed gracefully (a leave notice reconciled into the tree
+// view) are expected to be absent, so their counters stop accruing.
 func (qn *QuerierNode) bumpMissed(id int) {
+	if qn.tree.departed(id) {
+		return
+	}
 	n, _ := qn.missed.get(id)
 	qn.missed.put(id, n+1)
 }
@@ -640,7 +645,7 @@ func (a *AggregatorNode) openAggState(dir string, checkpointEvery int) error {
 				byKey = map[string]report{}
 				a.state.recovered[t] = byKey
 			}
-			byKey[coversKey(covers)] = report{epoch: t, psr: psr, failed: failed}
+			byKey[coversKey(covers)] = report{epoch: t, psr: psr, failed: failed, covers: covers}
 		case recAggCommit:
 			c := &cursor{b: rec.Payload}
 			t := c.u64()
@@ -717,8 +722,11 @@ func (a *AggregatorNode) commitFlush(t prf.Epoch, pending map[prf.Epoch]*aggEpoc
 	a.mu.Unlock()
 	st.ctr.checkpoints.Add(1)
 	for _, es := range pending {
-		for idx, rep := range es.reports {
-			a.journalContribution(rep, a.children[idx].covers)
+		for _, rep := range es.reports {
+			// The report's own acceptance-time coverage snapshot, not the
+			// slot's current claim — a steal between acceptance and checkpoint
+			// must not rewrite what this PSR vouches for.
+			a.journalContribution(rep, rep.covers)
 		}
 	}
 	if err := st.store.Journal().Sync(); err != nil {

@@ -7,22 +7,30 @@
 // Wire protocol (all integers big-endian):
 //
 //	frame  := length(u32) type(u8) epoch(u64) payload
-//	types  := hello | psr | failure | result
+//	types  := hello | psr | failure | result | leave | member
 //
 // A child (source or aggregator) opens one TCP connection to its parent and
 // sends a hello identifying the set of source ids its subtree covers; the
-// parent answers with a hello-ack (a hello frame with an empty payload) whose
-// epoch field carries the parent's resync point — the highest epoch it has
-// already settled — so a reconnecting child can skip reports the parent would
-// discard anyway. Every epoch the child sends one psr frame (the 32-byte PSR)
-// plus, when sources under it failed, a failure frame listing the missing
-// ids. The root aggregator's parent is the querier, which evaluates and
-// replies with a result frame on the connection the final PSR arrived on.
+// hello's epoch field carries the child's *fence* — the highest epoch it may
+// already have handed to a different parent (zero for a child that never
+// re-parented). The parent answers with a hello-ack (a hello frame with an
+// empty payload) whose epoch field carries the parent's resync point — the
+// highest epoch it has already settled — so a reconnecting child can skip
+// reports the parent would discard anyway. Every epoch the child sends one
+// psr frame (the 32-byte PSR) plus, when sources under it failed, a failure
+// frame listing the missing ids. The root aggregator's parent is the
+// querier, which evaluates and replies with a result frame on the connection
+// the final PSR arrived on. A gracefully draining child sends a leave frame
+// before closing; member frames carry join/orphan/re-home/leave events up
+// the tree so the querier can reconcile its live contributor view.
 //
 // Fault model: a child whose parent link drops redials with exponential
 // backoff + jitter, repeats the hello exchange and resumes at the current
 // epoch; the parent matches the returning child to its slot by the coverage
 // set in the hello and drops re-sent reports for epochs already forwarded.
+// A child whose parent stays dead past the per-address retry budget
+// escalates to the next address of its ranked parent list; the fence carried
+// by its next hello keeps re-homed epochs single-path (DESIGN.md §15).
 package transport
 
 import (
@@ -35,10 +43,12 @@ import (
 
 // Frame types.
 const (
-	TypeHello   byte = 1 // payload: contributor-id list (subtree coverage)
+	TypeHello   byte = 1 // payload: contributor-id list (subtree coverage); epoch: fence
 	TypePSR     byte = 2 // payload: 32-byte PSR
 	TypeFailure byte = 3 // payload: contributor-id list of failed sources
 	TypeResult  byte = 4 // payload: result(u64) ‖ ok(u8)
+	TypeLeave   byte = 5 // payload: contributor-id list departing gracefully
+	TypeMember  byte = 6 // payload: membership event (see membership.go)
 )
 
 // MaxFrameSize bounds a frame's payload; large enough for a failure report

@@ -3,6 +3,8 @@ package transport
 import (
 	"bytes"
 	"testing"
+
+	"github.com/sies/sies/internal/core"
 )
 
 // FuzzReadFrame feeds arbitrary bytes to the frame parser: it must never
@@ -28,6 +30,77 @@ func FuzzReadFrame(f *testing.F) {
 		consumed := len(data) - r.Len()
 		if !bytes.Equal(out.Bytes(), data[:consumed]) {
 			t.Fatal("frame re-encoding differs from consumed input")
+		}
+	})
+}
+
+// FuzzHelloFrame feeds arbitrary hello frames — fence epoch plus coverage
+// payload — through the wire encode/decode and the contributor-list parser.
+// The parsers must never panic; accepted hellos must round-trip the fence
+// exactly and yield a canonical (sorted, duplicate-free, bounded) coverage
+// set that re-encodes to the parsed payload.
+func FuzzHelloFrame(f *testing.F) {
+	f.Add(uint64(0), []byte(core.EncodeContributors([]int{0, 1, 2})))
+	f.Add(uint64(42), []byte(core.EncodeContributors(nil)))
+	f.Add(uint64(1<<63), []byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(uint64(7), []byte{0, 0, 0, 2, 0, 0, 0, 5, 0, 0, 0, 5}) // duplicate ids
+	f.Fuzz(func(t *testing.T, fence uint64, payload []byte) {
+		var wire bytes.Buffer
+		if err := WriteFrame(&wire, Frame{Type: TypeHello, Epoch: fence, Payload: payload}); err != nil {
+			return // oversized payload: rejected before hitting the wire
+		}
+		frame, err := ReadFrame(&wire)
+		if err != nil {
+			t.Fatalf("written hello failed to parse: %v", err)
+		}
+		if frame.Type != TypeHello || frame.Epoch != fence {
+			t.Fatalf("hello round trip changed header: type %d fence %d, want %d %d",
+				frame.Type, frame.Epoch, TypeHello, fence)
+		}
+		covers, err := core.DecodeContributorsBounded(frame.Payload, 1<<16)
+		if err != nil {
+			return // hostile coverage list: rejected, never panics
+		}
+		for i, id := range covers {
+			if id < 0 || id >= 1<<16 {
+				t.Fatalf("accepted out-of-range id %d", id)
+			}
+			if i > 0 && covers[i-1] >= id {
+				t.Fatalf("accepted non-canonical coverage %v", covers)
+			}
+		}
+		if !bytes.Equal(core.EncodeContributors(covers), frame.Payload) {
+			t.Fatal("accepted coverage does not re-encode to the parsed payload")
+		}
+	})
+}
+
+// FuzzDecodeMember checks the membership-event parser: arbitrary payloads
+// must never panic, and accepted events must carry a bounded canonical id set
+// and a label no longer than the declared length.
+func FuzzDecodeMember(f *testing.F) {
+	f.Add(encodeMember(memberJoin, "127.0.0.1:9999", []int{0, 3, 5}))
+	f.Add(encodeMember(memberLeave, "", nil))
+	f.Add([]byte{})
+	f.Add([]byte{99, 200, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := decodeMember(data, 1<<12)
+		if err != nil {
+			return
+		}
+		if ev.kind < memberJoin || ev.kind > memberLeave {
+			t.Fatalf("accepted unknown kind %d", ev.kind)
+		}
+		if len(ev.label) > maxMemberLabel {
+			t.Fatalf("accepted overlong label (%d bytes)", len(ev.label))
+		}
+		for i, id := range ev.ids {
+			if id < 0 || id >= 1<<12 {
+				t.Fatalf("accepted out-of-range id %d", id)
+			}
+			if i > 0 && ev.ids[i-1] >= id {
+				t.Fatalf("accepted non-canonical ids %v", ev.ids)
+			}
 		}
 	})
 }

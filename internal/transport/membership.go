@@ -1,0 +1,295 @@
+// Membership reconciliation for the self-healing tree (DESIGN.md §15).
+//
+// Aggregators emit member frames describing their own child-slot events —
+// join, orphan (link lost), re-home (coverage stolen by a failover child) and
+// leave (graceful drain) — and relay their children's member frames upstream
+// unchanged, so every event eventually reaches the querier. The querier folds
+// the stream into a live contributor view: which sources are attached where,
+// which are currently orphaned, and how long re-homing took. The view is
+// observability and health accounting only — verification correctness never
+// depends on it (the authoritative contributor list stays the per-epoch
+// failed set carried with each PSR).
+package transport
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/sies/sies/internal/core"
+	"github.com/sies/sies/internal/obs"
+)
+
+// Member event kinds (the first payload byte of a TypeMember frame).
+const (
+	memberJoin   byte = 1 // ids attached as a child slot of the labelled parent
+	memberOrphan byte = 2 // ids lost their link to the labelled parent
+	memberRehome byte = 3 // ids re-attributed between the labelled parent's slots
+	memberLeave  byte = 4 // ids departed the labelled parent gracefully
+)
+
+// maxMemberLabel bounds the parent label carried in a member event.
+const maxMemberLabel = 255
+
+// memberEvent is one decoded membership event.
+type memberEvent struct {
+	kind  byte
+	label string // emitting parent's listen address
+	ids   []int  // the slot's (sorted, canonical) source ids
+}
+
+// encodeMember packs a membership event:
+//
+//	payload := kind(u8) ‖ labelLen(u8) ‖ label ‖ contributor-ids
+func encodeMember(kind byte, label string, ids []int) []byte {
+	if len(label) > maxMemberLabel {
+		label = label[:maxMemberLabel]
+	}
+	out := make([]byte, 0, 2+len(label)+4+4*len(ids))
+	out = append(out, kind, byte(len(label)))
+	out = append(out, label...)
+	return append(out, core.EncodeContributors(ids)...)
+}
+
+// decodeMember unpacks a membership event, bounding ids by maxID (see
+// core.DecodeContributorsBounded — canonical sorted duplicate-free form
+// required, so a hostile frame cannot inflate the view).
+func decodeMember(payload []byte, maxID int) (memberEvent, error) {
+	if len(payload) < 2 {
+		return memberEvent{}, errors.New("transport: short member payload")
+	}
+	kind := payload[0]
+	if kind < memberJoin || kind > memberLeave {
+		return memberEvent{}, errors.New("transport: unknown member event kind")
+	}
+	n := int(payload[1])
+	if len(payload) < 2+n {
+		return memberEvent{}, errors.New("transport: member label overruns payload")
+	}
+	label := string(payload[2 : 2+n])
+	ids, err := core.DecodeContributorsBounded(payload[2+n:], maxID)
+	if err != nil {
+		return memberEvent{}, err
+	}
+	return memberEvent{kind: kind, label: label, ids: ids}, nil
+}
+
+// TreeStats is a point-in-time summary of the querier's contributor view,
+// exposed through Health().
+type TreeStats struct {
+	Members   int            // sources currently attached somewhere
+	Orphaned  int            // sources currently between parents
+	Departed  int            // sources gone via graceful leave
+	Reparents uint64         // sources whose immediate parent changed
+	Rehomes   uint64         // slot-coverage re-attributions observed at parents
+	Joins     uint64         // join events folded into the view
+	Leaves    uint64         // leave events folded into the view
+	Children  map[string]int // live direct-child slots per parent label
+}
+
+// treeView is the querier's live membership view. All mutation comes from
+// member/leave frames on serve connections; reads come from Health() and the
+// metrics registry.
+type treeView struct {
+	mu       sync.Mutex
+	parent   map[int]string    // source id → immediate parent label
+	orphaned map[int]time.Time // source id → when its parent link was lost
+	// pending latches an orphaned id until its next leaf-grained join: a
+	// re-home event may clear the orphan gauge (the subtree's coverage is
+	// re-attributed) before the source's own join arrives, but the re-parent
+	// still has to be counted — and its latency measured — exactly once.
+	pending map[int]time.Time
+	left    map[int]struct{}               // sources departed via graceful leave
+	slots   map[string]map[string]struct{} // parent label → live slot keys
+
+	reparents *obs.Counter
+	rehomes   *obs.Counter
+	joins     *obs.Counter
+	leaves    *obs.Counter
+	orphanG   *obs.Gauge
+	membersG  *obs.Gauge
+	latency   *obs.Histogram
+	reg       *obs.Registry
+	childG    map[string]*obs.Gauge // per-parent child-slot gauges
+}
+
+func newTreeView(reg *obs.Registry) *treeView {
+	return &treeView{
+		parent:   map[int]string{},
+		orphaned: map[int]time.Time{},
+		pending:  map[int]time.Time{},
+		left:     map[int]struct{}{},
+		slots:    map[string]map[string]struct{}{},
+		childG:   map[string]*obs.Gauge{},
+		reg:      reg,
+		reparents: reg.Counter("sies_tree_reparents_total",
+			"sources whose immediate parent changed (failover re-homes)"),
+		rehomes: reg.Counter("sies_tree_rehomes_total",
+			"slot-coverage re-attributions observed at parents (failover steals)"),
+		joins: reg.Counter("sies_tree_joins_total",
+			"membership join events folded into the contributor view"),
+		leaves: reg.Counter("sies_tree_leaves_total",
+			"membership leave events folded into the contributor view"),
+		orphanG: reg.Gauge("sies_tree_orphaned_sources",
+			"sources currently between parents (link lost, not yet re-homed)"),
+		membersG: reg.Gauge("sies_tree_members",
+			"sources currently attached somewhere in the tree"),
+		latency: reg.Histogram("sies_tree_reparent_seconds",
+			"orphan-to-re-home latency per source", obs.DurationBuckets),
+	}
+}
+
+// labelEscape renders a parent label safe for a Prometheus label value.
+func labelEscape(label string) string {
+	label = strings.ReplaceAll(label, `\`, `\\`)
+	return strings.ReplaceAll(label, `"`, `\"`)
+}
+
+// childGauge returns (registering on first use) the child-slot gauge for one
+// parent label.
+func (v *treeView) childGauge(label string) *obs.Gauge {
+	g, ok := v.childG[label]
+	if !ok {
+		g = v.reg.Gauge(`sies_tree_children{parent="`+labelEscape(label)+`"}`,
+			"live direct-child slots per parent")
+		v.childG[label] = g
+	}
+	return g
+}
+
+// apply folds one membership event into the view.
+func (v *treeView) apply(ev memberEvent) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	key := coversKey(ev.ids)
+	switch ev.kind {
+	case memberJoin:
+		v.joins.Inc()
+		slots, ok := v.slots[ev.label]
+		if !ok {
+			slots = map[string]struct{}{}
+			v.slots[ev.label] = slots
+		}
+		slots[key] = struct{}{}
+		v.childGauge(ev.label).Set(int64(len(slots)))
+		// Per-source parent attribution only for leaf-grained slots: a slot
+		// covering one id is (in every deployment this repo builds) a source
+		// attaching to its parent. Coarser joins from higher tree levels keep
+		// the slot gauges honest without mislabelling grandparents as parents.
+		if len(ev.ids) == 1 {
+			id := ev.ids[0]
+			delete(v.left, id)
+			if since, latched := v.pending[id]; latched {
+				// The orphan-to-re-home cycle completes here, whether or not a
+				// re-home event already cleared the orphan gauge in between.
+				v.reparents.Inc()
+				v.latency.Observe(time.Since(since).Seconds())
+				delete(v.pending, id)
+			} else if prev, had := v.parent[id]; had && prev != ev.label {
+				v.reparents.Inc() // proactive move: new parent, no orphan seen
+			}
+			v.parent[id] = ev.label
+			v.clearOrphanLocked(id)
+			v.membersG.Set(int64(len(v.parent)))
+		}
+	case memberOrphan:
+		if slots, ok := v.slots[ev.label]; ok {
+			delete(slots, key)
+			v.childGauge(ev.label).Set(int64(len(slots)))
+		}
+		now := time.Now()
+		for _, id := range ev.ids {
+			if _, gone := v.left[id]; gone {
+				continue // a graceful leave also drops the link; not an orphan
+			}
+			if _, ok := v.orphaned[id]; !ok {
+				v.orphaned[id] = now
+			}
+			if _, ok := v.pending[id]; !ok {
+				v.pending[id] = now
+			}
+			if v.parent[id] == ev.label {
+				delete(v.parent, id)
+			}
+		}
+		v.orphanG.Set(int64(len(v.orphaned)))
+		v.membersG.Set(int64(len(v.parent)))
+	case memberRehome:
+		v.rehomes.Inc()
+		for _, id := range ev.ids {
+			v.clearOrphanLocked(id)
+		}
+	case memberLeave:
+		v.leaves.Inc()
+		if slots, ok := v.slots[ev.label]; ok {
+			delete(slots, key)
+			v.childGauge(ev.label).Set(int64(len(slots)))
+		}
+		for _, id := range ev.ids {
+			v.left[id] = struct{}{}
+			delete(v.parent, id)
+			delete(v.pending, id)
+			v.clearOrphanLocked(id)
+		}
+		v.membersG.Set(int64(len(v.parent)))
+	}
+}
+
+// clearOrphanLocked ends an id's orphan interval (gauge only — re-home
+// latency is observed when the pending latch resolves at the source's next
+// leaf-grained join). Caller holds v.mu.
+func (v *treeView) clearOrphanLocked(id int) {
+	if _, ok := v.orphaned[id]; ok {
+		delete(v.orphaned, id)
+		v.orphanG.Set(int64(len(v.orphaned)))
+	}
+}
+
+// departed reports whether id left the deployment gracefully — its absence
+// from an epoch is expected, not a miss.
+func (v *treeView) departed(id int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	_, ok := v.left[id]
+	return ok
+}
+
+// departedIDs returns the sorted set of gracefully departed sources, nil when
+// none. The querier subtracts these from the expected contributor set: after a
+// drain the tree's flushes neither carry the leaver's data nor list it as
+// failed, so verification must stop expecting it.
+func (v *treeView) departedIDs() []int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.left) == 0 {
+		return nil
+	}
+	ids := make([]int, 0, len(v.left))
+	for id := range v.left {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// stats snapshots the view for Health().
+func (v *treeView) stats() TreeStats {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := TreeStats{
+		Members:   len(v.parent),
+		Orphaned:  len(v.orphaned),
+		Departed:  len(v.left),
+		Reparents: v.reparents.Value(),
+		Rehomes:   v.rehomes.Value(),
+		Joins:     v.joins.Value(),
+		Leaves:    v.leaves.Value(),
+		Children:  make(map[string]int, len(v.slots)),
+	}
+	for label, slots := range v.slots {
+		st.Children[label] = len(slots)
+	}
+	return st
+}

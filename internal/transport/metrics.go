@@ -40,6 +40,7 @@ type querierObs struct {
 	rejected       *obs.Counter
 	recovered      *obs.Counter // served via forensic localization + re-query
 	rootReconnects *obs.Counter
+	fenceRejects   *obs.Counter // uncommitted frames dropped at or below the root fence
 	evalSeconds    *obs.Histogram
 
 	// Pipelined-path stage instrumentation (always registered; flat zeros
@@ -64,6 +65,7 @@ func newQuerierObs(reg *obs.Registry, traceCap int) *querierObs {
 		rejected:       reg.Counter(mEpochsRejected, "epochs failing integrity or decode"),
 		recovered:      reg.Counter(mEpochsRecovered, "rejected epochs served after forensic recovery"),
 		rootReconnects: reg.Counter(mRootReconnects, "times the root aggregator re-attached"),
+		fenceRejects:   reg.Counter("sies_querier_fence_rejects_total", "uncommitted frames dropped at or below the root's fence epoch"),
 		evalSeconds:    reg.Histogram(mEvalSeconds, "per-epoch end-to-end evaluation latency", obs.DurationBuckets),
 
 		pipeJobs:           reg.Counter(mPipeJobs, "frames handed to the pipelined decode/verify stage"),
@@ -175,8 +177,13 @@ type aggObs struct {
 	flushes          *obs.Counter
 	failureFlushes   *obs.Counter
 	lateDrops        *obs.Counter
+	fenceDrops       *obs.Counter
+	staleDrops       *obs.Counter
+	steals           *obs.Counter
+	memberForwards   *obs.Counter
 	childDisconnects *obs.Counter
 	childReconnects  *obs.Counter
+	childrenGauge    *obs.Gauge
 	lastFlushedEpoch *obs.Gauge
 }
 
@@ -191,8 +198,13 @@ func newAggObs(reg *obs.Registry, traceCap int) *aggObs {
 		flushes:          reg.Counter("sies_agg_flushes_total", "epochs merged and forwarded upstream"),
 		failureFlushes:   reg.Counter("sies_agg_failure_flushes_total", "epochs forwarded with no contributing PSR"),
 		lateDrops:        reg.Counter("sies_agg_late_drops_total", "reports dropped for already-flushed epochs"),
+		fenceDrops:       reg.Counter("sies_agg_fence_drops_total", "reports dropped below a re-homed child's fence epoch"),
+		staleDrops:       reg.Counter("sies_agg_stale_drops_total", "reports dropped from slots whose coverage was stolen or drained"),
+		steals:           reg.Counter("sies_agg_steals_total", "coverage re-attributions from stale slots to re-homing children"),
+		memberForwards:   reg.Counter("sies_agg_member_relays_total", "membership events sent or relayed upstream"),
 		childDisconnects: reg.Counter("sies_agg_child_disconnects_total", "child links lost"),
 		childReconnects:  reg.Counter("sies_agg_child_reconnects_total", "children matched back to their slot"),
+		childrenGauge:    reg.Gauge("sies_agg_children", "live child slots attached to this aggregator"),
 		lastFlushedEpoch: reg.Gauge("sies_agg_last_flushed_epoch", "highest epoch forwarded upstream"),
 	}
 }
@@ -201,6 +213,8 @@ func newAggObs(reg *obs.Registry, traceCap int) *aggObs {
 func (o *aggObs) bind(a *AggregatorNode) {
 	o.reg.CounterFunc("sies_agg_upstream_reconnects_total", "times the upstream link was re-established",
 		func() uint64 { return uint64(a.UpstreamReconnects()) })
+	o.reg.CounterFunc("sies_agg_upstream_failovers_total", "escalations to the next candidate parent address",
+		func() uint64 { return uint64(a.UpstreamFailovers()) })
 	bindDurability(o.reg, "sies_agg_durability", func() DurabilityStats { return a.DurabilityStats() })
 	if a.upfw != nil {
 		bindFrameWriter(o.reg, "sies_agg_upstream", a.upfw)
@@ -242,6 +256,8 @@ func newSourceObs(reg *obs.Registry) *sourceObs {
 func (o *sourceObs) bind(s *SourceNode) {
 	o.reg.CounterFunc("sies_source_reconnects_total", "times the parent link was re-established",
 		func() uint64 { return uint64(s.Reconnects()) })
+	o.reg.CounterFunc("sies_source_failovers_total", "escalations to the next candidate parent address",
+		func() uint64 { return uint64(s.Failovers()) })
 	if s.fw != nil {
 		bindFrameWriter(o.reg, "sies_source", s.fw)
 	}

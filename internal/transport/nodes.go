@@ -20,12 +20,57 @@ import (
 var ErrNoContributors = errors.New("transport: no source contributed to this epoch")
 
 // report is one child's contribution to one epoch: an optional PSR plus the
-// ids of sources in its subtree that failed.
+// ids of sources in its subtree that failed. covers snapshots the child
+// slot's coverage at acceptance time, so flush attribution stays correct even
+// if the slot's coverage is later stolen by a failover re-home.
 type report struct {
 	child  int
 	epoch  prf.Epoch
 	psr    *core.PSR
 	failed []int
+	covers []int
+}
+
+// idsMinus returns a ∖ b for sorted canonical id lists (core.NormalizeIDs
+// form), allocating only the result.
+func idsMinus(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, id := range a {
+		for j < len(b) && b[j] < id {
+			j++
+		}
+		if j < len(b) && b[j] == id {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// idsSorted reports whether ids is strictly increasing (canonical form).
+func idsSorted(ids []int) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// idsIntersect returns a ∩ b for sorted canonical id lists.
+func idsIntersect(a, b []int) []int {
+	var out []int
+	j := 0
+	for _, id := range a {
+		for j < len(b) && b[j] < id {
+			j++
+		}
+		if j < len(b) && b[j] == id {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // encodeReport packs a PSR + failed-id list into a TypePSR payload.
@@ -62,6 +107,12 @@ func decodeReport(payload []byte, f *uint256.Field, maxID int) (core.PSR, []int,
 // SourceConfig configures a fault-tolerant source connection.
 type SourceConfig struct {
 	ParentAddr string
+	// ParentAddrs is the ranked candidate-parent list for failover dialing;
+	// when set it supersedes ParentAddr. The source spends its per-address
+	// Backoff budget (MaxElapsed / MaxAttempts) on each address in turn,
+	// re-running the fenced hello handshake against the next candidate when
+	// the current parent stays dead (DESIGN.md §15).
+	ParentAddrs []string
 	// Dial replaces net.Dial — chaos injection and tests hook here.
 	Dial func(network, addr string) (net.Conn, error)
 	// Backoff is the redial policy after the parent link drops.
@@ -110,9 +161,9 @@ func DialSourceWith(cfg SourceConfig, src *core.Source) (*SourceNode, error) {
 		dial = net.Dial
 	}
 	rd := newRedialer(
-		func() (net.Conn, error) { return dial("tcp", cfg.ParentAddr) },
-		func() Frame {
-			return Frame{Type: TypeHello, Payload: core.EncodeContributors([]int{src.ID()})}
+		dialRanked(dial, cfg.ParentAddrs, cfg.ParentAddr),
+		func(fence uint64) Frame {
+			return Frame{Type: TypeHello, Epoch: fence, Payload: core.EncodeContributors([]int{src.ID()})}
 		},
 		cfg.Backoff, cfg.HandshakeTimeout,
 	)
@@ -179,8 +230,23 @@ func (s *SourceNode) Report(t prf.Epoch, v uint64) error {
 // Reconnects counts how many times the source re-established its parent link.
 func (s *SourceNode) Reconnects() int { return s.rd.Reconnects() }
 
+// Failovers counts escalations to the next candidate parent address.
+func (s *SourceNode) Failovers() int { return s.rd.Failovers() }
+
 // Metrics returns the node's metrics registry.
 func (s *SourceNode) Metrics() *obs.Registry { return s.obs.reg }
+
+// Leave announces a graceful departure: queued reports are flushed and a
+// leave frame tells the parent to mark this source departed immediately,
+// instead of burning an epoch timeout per remaining epoch waiting for it.
+// Call it from a drain path, before Close. Best-effort: a dead parent link
+// just means the departure is discovered by timeout, as before.
+func (s *SourceNode) Leave() error {
+	if s.fw != nil {
+		s.fw.Flush()
+	}
+	return s.rd.Write(Frame{Type: TypeLeave, Payload: core.EncodeContributors([]int{s.src.ID()})})
+}
 
 // Close flushes any coalesced frames still queued, then terminates the
 // connection; the parent treats subsequent epochs as failures of this source.
@@ -191,23 +257,41 @@ func (s *SourceNode) Close() error {
 	return s.rd.Close()
 }
 
-// AggregatorNode is an internal tree node process: it accepts a fixed set of
+// dialRanked builds the redialer's ranked dial list from a ParentAddrs list
+// (preferred) or the single ParentAddr.
+func dialRanked(dial func(network, addr string) (net.Conn, error), addrs []string, single string) []func() (net.Conn, error) {
+	if len(addrs) == 0 {
+		addrs = []string{single}
+	}
+	dials := make([]func() (net.Conn, error), len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		dials[i] = func() (net.Conn, error) { return dial("tcp", addr) }
+	}
+	return dials
+}
+
+// AggregatorNode is an internal tree node process: it accepts a set of
 // children, merges their per-epoch PSRs and forwards one PSR upstream. The
 // listener stays open for the node's lifetime so children that lost their
 // link can return; re-sent reports for epochs already forwarded are dropped.
+// With AcceptNew set the child set is dynamic: children of a failed sibling
+// re-home here, their coverage is stolen from whichever stale slot claimed
+// it, and the upstream hello is refreshed when the covered union grows.
 type AggregatorNode struct {
 	agg      *core.Aggregator
 	field    *uint256.Field
 	upstream *redialer
 	ln       net.Listener
-	children []*childState
-	covers   []int // union of children's source ids
+	children []*childState // append-only; slots empty out when stolen, never shift
+	covers   []int         // union of children's source ids (guarded by mu for writes)
 
 	timeout          time.Duration
 	reconnectWindow  time.Duration
 	idleTimeout      time.Duration
 	handshakeTimeout time.Duration
 	maxSources       int
+	acceptNew        bool
 
 	mu          sync.Mutex
 	closed      bool
@@ -225,10 +309,17 @@ type AggregatorNode struct {
 	upfw    *FrameWriter // coalescing upstream writer; nil = unbatched
 }
 
+// childState is one child slot. After construction, every field is owned by
+// the Run event loop (single-threaded); covers is replaced wholesale (never
+// mutated in place) on steals so report snapshots stay valid.
 type childState struct {
-	covers []int  // sorted source ids under this child
-	key    string // canonical form of covers, for matching returning children
-	conn   net.Conn
+	covers   []int  // sorted source ids currently attributed to this child
+	key      string // canonical form of covers, for matching returning children
+	conn     net.Conn
+	fence    uint64 // reports accepted only for epochs strictly above this
+	gen      int    // bumped per (re)connect; stale-conn 'd' events are ignored
+	alive    bool
+	departed bool // graceful leave: stop waiting for it, keep covers for attribution
 }
 
 // coversKey canonicalises a sorted id list for child matching.
@@ -242,6 +333,18 @@ type AggregatorConfig struct {
 	ParentAddr  string        // parent aggregator or querier address
 	NumChildren int           // children to wait for before starting
 	Timeout     time.Duration // per-epoch wait for missing children (default 2s)
+
+	// ParentAddrs is the ranked candidate-parent list for failover dialing;
+	// when set it supersedes ParentAddr (see SourceConfig.ParentAddrs).
+	ParentAddrs []string
+	// AcceptNew lets children that are not part of the initial set attach
+	// mid-run: a failover target (standby aggregator, or any interior node
+	// ranked in its siblings' ParentAddrs) accepts the re-homing child,
+	// steals its coverage from whichever stale slot still claims it, and
+	// refreshes the upstream hello when the covered union grows. AcceptNew
+	// additionally allows NumChildren of zero (a pure standby starts empty)
+	// and keeps the node alive while it has no children.
+	AcceptNew bool
 
 	// ReconnectWindow is the grace period after the last child disconnects
 	// before Run concludes the deployment is gone and exits (default:
@@ -295,7 +398,7 @@ type AggregatorConfig struct {
 // in both directions, dials its parent and returns a node ready to Run. It
 // holds only the public modulus, like the in-protocol aggregator.
 func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorNode, error) {
-	if cfg.NumChildren < 1 {
+	if cfg.NumChildren < 1 && !cfg.AcceptNew {
 		return nil, errors.New("transport: aggregator needs at least one child")
 	}
 	if cfg.Timeout <= 0 {
@@ -326,6 +429,7 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		idleTimeout:      cfg.IdleTimeout,
 		handshakeTimeout: cfg.HandshakeTimeout,
 		maxSources:       cfg.MaxSources,
+		acceptNew:        cfg.AcceptNew,
 		conns:            map[net.Conn]struct{}{},
 		flushed:          newBoundedMap[uint64, struct{}](DefaultCommittedCap),
 		obs:              newAggObs(cfg.Metrics, cfg.TraceCapacity),
@@ -351,22 +455,22 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 			a.closeAll()
 			return nil, err
 		}
-		covers, err := a.handshakeChild(conn)
+		covers, fence, err := a.handshakeChild(conn)
 		if err != nil {
 			conn.Close()
 			a.closeAll()
 			return nil, fmt.Errorf("transport: child %d: %w", i, err)
 		}
 		a.track(conn)
-		a.children = append(a.children, &childState{conn: conn, covers: covers, key: coversKey(covers)})
+		a.children = append(a.children, &childState{conn: conn, covers: covers, key: coversKey(covers), fence: fence})
 		a.covers = append(a.covers, covers...)
 	}
 	a.covers = core.NormalizeIDs(a.covers)
 
 	a.upstream = newRedialer(
-		func() (net.Conn, error) { return dial("tcp", cfg.ParentAddr) },
-		func() Frame {
-			return Frame{Type: TypeHello, Payload: core.EncodeContributors(a.covers)}
+		dialRanked(dial, cfg.ParentAddrs, cfg.ParentAddr),
+		func(fence uint64) Frame {
+			return Frame{Type: TypeHello, Epoch: fence, Payload: core.EncodeContributors(a.helloCovers())}
 		},
 		cfg.Backoff, cfg.HandshakeTimeout,
 	)
@@ -394,43 +498,111 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		fwCfg.Sink = redialSink{rd: up}
 		a.upfw = NewFrameWriter(fwCfg)
 	}
+	// Announce the initial children so the querier's contributor view starts
+	// populated (best-effort, like every member event).
+	for _, c := range a.children {
+		a.sendMember(memberJoin, c.covers)
+	}
 	a.obs.bind(a)
 	return a, nil
 }
 
 // handshakeChild reads a child's hello and answers with a hello-ack carrying
-// the resync epoch (our highest flushed epoch).
-func (a *AggregatorNode) handshakeChild(conn net.Conn) ([]int, error) {
+// the resync epoch (our highest flushed epoch). The returned fence is the
+// hello's epoch field: the highest epoch the child may already have handed to
+// a different parent, above which alone its reports may be accepted.
+func (a *AggregatorNode) handshakeChild(conn net.Conn) ([]int, uint64, error) {
 	conn.SetReadDeadline(time.Now().Add(a.handshakeTimeout))
 	f, err := ReadFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("bad hello: %w", err)
+		return nil, 0, fmt.Errorf("bad hello: %w", err)
 	}
 	if f.Type != TypeHello {
-		return nil, fmt.Errorf("bad hello: frame type %d", f.Type)
+		return nil, 0, fmt.Errorf("bad hello: frame type %d", f.Type)
 	}
 	conn.SetReadDeadline(time.Time{})
 	// Bounded + canonical: duplicate, unsorted or out-of-range ids in a
 	// hello would poison coverage matching for the child's whole lifetime.
 	covers, err := core.DecodeContributorsBounded(f.Payload, a.maxSources)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	a.mu.Lock()
 	resync := a.lastFlushed
 	a.mu.Unlock()
 	if err := WriteFrame(conn, Frame{Type: TypeHello, Epoch: resync}); err != nil {
-		return nil, fmt.Errorf("writing hello-ack: %w", err)
+		return nil, 0, fmt.Errorf("writing hello-ack: %w", err)
 	}
-	return covers, nil
+	return covers, f.Epoch, nil
 }
 
 // Covers returns the source ids under this aggregator.
-func (a *AggregatorNode) Covers() []int { return append([]int(nil), a.covers...) }
+func (a *AggregatorNode) Covers() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.covers...)
+}
+
+// helloCovers snapshots the covered union for the upstream hello closure.
+func (a *AggregatorNode) helloCovers() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.covers...)
+}
+
+// label identifies this aggregator in member events: its listen address.
+func (a *AggregatorNode) label() string { return a.ln.Addr().String() }
+
+// sendUpstreamBestEffort forwards an auxiliary (member) frame upstream
+// without engaging the redial loop: when the parent link is down the frame is
+// dropped — the view reconciles from later events, and blocking the event
+// loop on observability traffic would stall aggregation.
+func (a *AggregatorNode) sendUpstreamBestEffort(f Frame) {
+	if a.upfw != nil {
+		if a.upfw.Enqueue(f) == nil {
+			a.obs.memberForwards.Inc()
+		}
+		return
+	}
+	c := a.upstream.current()
+	if c == nil {
+		return
+	}
+	if err := WriteFrame(c, f); err != nil {
+		a.upstream.markDead(c)
+		return
+	}
+	a.obs.memberForwards.Inc()
+}
+
+// sendMember emits one membership event about this node's own child slots.
+func (a *AggregatorNode) sendMember(kind byte, ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	a.sendUpstreamBestEffort(Frame{Type: TypeMember, Payload: encodeMember(kind, a.label(), ids)})
+}
+
+// Leave announces a graceful drain of this node's whole subtree to the
+// parent: the covered sources' absence from future epochs becomes expected
+// rather than a failure. Call it before Close on a planned decommission.
+func (a *AggregatorNode) Leave() error {
+	ids := a.helloCovers()
+	if len(ids) == 0 {
+		return nil
+	}
+	if a.upfw != nil {
+		a.upfw.Flush()
+	}
+	return a.upstream.Write(Frame{Type: TypeLeave, Payload: core.EncodeContributors(ids)})
+}
 
 // UpstreamReconnects counts how many times the upstream link was
 // re-established.
 func (a *AggregatorNode) UpstreamReconnects() int { return a.upstream.Reconnects() }
+
+// UpstreamFailovers counts escalations to the next candidate parent address.
+func (a *AggregatorNode) UpstreamFailovers() int { return a.upstream.Failovers() }
 
 // Metrics returns the node's metrics registry.
 func (a *AggregatorNode) Metrics() *obs.Registry { return a.obs.reg }
@@ -551,11 +723,14 @@ func (a *AggregatorNode) setLastFlushed(t uint64) {
 
 // aggEvent is one occurrence in the aggregator's single-threaded event loop.
 type aggEvent struct {
-	kind  byte // 'r' report, 'd' child down, 'u' child (re)connected
-	child int
-	gen   int
-	conn  net.Conn
-	rep   report
+	kind    byte // 'r' report, 'd' child down, 'h' hello (attach or coverage update), 'l' leave, 'm' member relay
+	child   int  // slot index; -1 for accept-path hellos (no slot yet)
+	gen     int
+	conn    net.Conn
+	rep     report
+	covers  []int  // 'h': the hello's coverage; 'l': the departing ids
+	fence   uint64 // 'h': the hello's fence epoch
+	payload []byte // 'm': the relayed member payload (copied)
 }
 
 // aggEpochState is one in-flight epoch: the reports gathered so far, keyed by
@@ -566,13 +741,14 @@ type aggEpochState struct {
 }
 
 // Run merges epochs until the node is closed or every child disconnects and
-// stays away for ReconnectWindow. For each epoch it waits up to the
-// configured timeout for all children; children that miss the deadline have
-// their whole subtree reported as failed. When a disconnect makes an epoch's
-// outstanding reports impossible (every missing child is down) the epoch is
-// flushed immediately instead of waiting out the deadline.
+// stays away for ReconnectWindow (AcceptNew nodes wait indefinitely — a
+// standby with no children yet is healthy, not done). For each epoch it waits
+// up to the configured timeout for all expected children; children that miss
+// the deadline have their whole subtree reported as failed. When a disconnect
+// makes an epoch's outstanding reports impossible (every missing child is
+// down) the epoch is flushed immediately instead of waiting out the deadline.
 func (a *AggregatorNode) Run() error {
-	ch := make(chan aggEvent, len(a.children)*2)
+	ch := make(chan aggEvent, len(a.children)*2+8)
 	var wg sync.WaitGroup
 
 	readChild := func(child, gen int, conn net.Conn) {
@@ -616,14 +792,36 @@ func (a *AggregatorNode) Run() error {
 				}
 				ch <- aggEvent{kind: 'r', child: child, gen: gen,
 					rep: report{child: child, epoch: prf.Epoch(f.Epoch), failed: failed}}
+			case TypeHello:
+				// A mid-stream hello is a coverage update from a child whose
+				// own subtree changed (a standby that gained children).
+				covers, err := core.DecodeContributorsBounded(f.Payload, a.maxSources)
+				if err != nil {
+					ch <- aggEvent{kind: 'd', child: child, gen: gen}
+					return
+				}
+				ch <- aggEvent{kind: 'h', child: child, gen: gen, conn: conn, covers: covers, fence: f.Epoch}
+			case TypeLeave:
+				ids, err := core.DecodeContributorsBounded(f.Payload, a.maxSources)
+				if err != nil {
+					ch <- aggEvent{kind: 'd', child: child, gen: gen}
+					return
+				}
+				ch <- aggEvent{kind: 'l', child: child, gen: gen, covers: ids}
+			case TypeMember:
+				// Relay a descendant's membership event towards the querier.
+				ch <- aggEvent{kind: 'm', child: child, gen: gen,
+					payload: append([]byte(nil), f.Payload...)}
 			default:
-				// Hello and result frames are ignored mid-stream.
+				// Result frames are ignored mid-stream.
 			}
 		}
 	}
 
 	// Accept loop: children that lost their link redial, re-handshake and are
-	// matched back to their slot by the coverage set in their hello.
+	// matched back to their slot by the coverage set in their hello; unknown
+	// coverage sets attach as new slots when AcceptNew allows (failover
+	// re-homing), and are cut otherwise.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -636,19 +834,12 @@ func (a *AggregatorNode) Run() error {
 			wg.Add(1)
 			go func(conn net.Conn) {
 				defer wg.Done()
-				covers, err := a.handshakeChild(conn)
+				covers, fence, err := a.handshakeChild(conn)
 				if err != nil {
 					a.forget(conn)
 					return
 				}
-				key := coversKey(covers)
-				for idx, c := range a.children {
-					if c.key == key {
-						ch <- aggEvent{kind: 'u', child: idx, conn: conn}
-						return
-					}
-				}
-				a.forget(conn) // not one of ours
+				ch <- aggEvent{kind: 'h', child: -1, conn: conn, covers: covers, fence: fence}
 			}(conn)
 		}
 	}()
@@ -677,18 +868,27 @@ func (a *AggregatorNode) Run() error {
 		a.state.recovered = nil
 	}
 
-	gen := make([]int, len(a.children))
-	alive := make([]bool, len(a.children))
-	curConn := make([]net.Conn, len(a.children))
 	living := len(a.children)
 	lastAllGone := time.Now()
 	for idx, c := range a.children {
-		gen[idx] = 1
-		alive[idx] = true
-		curConn[idx] = c.conn
+		c.gen = 1
+		c.alive = true
 		wg.Add(1)
 		go readChild(idx, 1, c.conn)
 	}
+	a.obs.childrenGauge.Set(int64(living))
+
+	// expects reports whether slot c still owes a report for epoch t: departed
+	// and coverage-stolen slots owe nothing, and neither does a slot whose
+	// fence covers t (its contribution for t travelled through its previous
+	// parent, by the fence invariant).
+	expects := func(c *childState, t prf.Epoch) bool {
+		return !c.departed && len(c.covers) > 0 && uint64(t) > c.fence
+	}
+
+	// contribBuf is flush's reusable contributor scratch — flush only runs on
+	// the Run goroutine and nothing retains the slice past the call.
+	contribBuf := make([]int, 0, len(a.covers))
 
 	flush := func(t prf.Epoch, st *aggEpochState) error {
 		if a.isCrashed() {
@@ -698,19 +898,35 @@ func (a *AggregatorNode) Run() error {
 		}
 		// Stream the children's PSRs straight into the lazy merge kernel:
 		// no intermediate slice, one modular reduction for the whole epoch.
+		// Contributor attribution works from each report's coverage snapshot
+		// (taken at acceptance), so a slot whose coverage was stolen mid-epoch
+		// still vouches for exactly the ids its PSR actually carries: the
+		// failed set is our covered union minus everything some report
+		// vouches for.
 		merge := a.agg.NewMerge()
-		var failed []int
-		for idx, c := range a.children {
+		contrib := contribBuf[:0]
+		for idx := range a.children {
 			rep, ok := st.reports[idx]
 			if !ok {
-				failed = append(failed, c.covers...) // missed the deadline
 				continue
 			}
-			failed = append(failed, rep.failed...)
 			if rep.psr != nil {
 				merge.Add(*rep.psr)
 			}
+			if len(rep.failed) == 0 {
+				contrib = append(contrib, rep.covers...)
+			} else {
+				contrib = append(contrib, idsMinus(rep.covers, rep.failed)...)
+			}
 		}
+		contribBuf = contrib
+		// Slots report in index order and each snapshot is sorted, so in the
+		// steady state the concatenation is already strictly increasing — only
+		// churned topologies pay for the sort.
+		if !idsSorted(contrib) {
+			contrib = core.NormalizeIDs(contrib)
+		}
+		failed := idsMinus(a.covers, contrib)
 		delete(pending, t)
 		a.flushed.put(uint64(t), struct{}{})
 		a.setLastFlushed(uint64(t))
@@ -748,13 +964,52 @@ func (a *AggregatorNode) Run() error {
 		return nil
 	}
 
+	// allRegular caches whether every slot is expected for every epoch — no
+	// slot departed, coverage-stolen empty, or fenced. True in the steady
+	// state; recomputed (O(children)) only on the rare membership events that
+	// can change it: attach, steal, leave.
+	allRegular := true
+	recomputeRegular := func() {
+		allRegular = true
+		for _, c := range a.children {
+			if c.departed || len(c.covers) == 0 || c.fence > 0 {
+				allRegular = false
+				return
+			}
+		}
+	}
+	recomputeRegular()
+
+	// allReported reports whether every slot still expected for t has
+	// reported — the epoch cannot gain anything by waiting. The steady-state
+	// fast path is a count compare; the per-slot scan runs only while some
+	// slot is irregular (failover churn), else per-report scans would cost
+	// O(children²) per epoch.
+	allReported := func(t prf.Epoch, st *aggEpochState) bool {
+		if allRegular {
+			return len(st.reports) == len(a.children)
+		}
+		for idx, c := range a.children {
+			if !expects(c, t) {
+				continue
+			}
+			if _, ok := st.reports[idx]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+
 	// orphanFlush flushes every pending epoch whose outstanding reports can
-	// no longer arrive because each missing child is down.
+	// no longer arrive because each missing expected child is down.
 	orphanFlush := func() error {
 		for t, st := range pending {
 			complete := true
-			for idx := range a.children {
-				if _, ok := st.reports[idx]; !ok && alive[idx] {
+			for idx, c := range a.children {
+				if !expects(c, t) {
+					continue
+				}
+				if _, ok := st.reports[idx]; !ok && c.alive {
 					complete = false
 					break
 				}
@@ -766,6 +1021,149 @@ func (a *AggregatorNode) Run() error {
 			}
 		}
 		return nil
+	}
+
+	// settledFlush flushes every pending epoch that became complete through a
+	// membership change (a leave, or a fence excusing a slot) rather than a
+	// report arrival.
+	settledFlush := func() error {
+		for t, st := range pending {
+			if allReported(t, st) {
+				if err := flush(t, st); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+
+	// attach wires a connection into slot idx (stealing overlapping coverage
+	// from stale slots for new or updated coverage sets) and refreshes the
+	// upstream coverage claim when the covered union changes.
+	attach := func(ev aggEvent) {
+		key := coversKey(ev.covers)
+		idx := ev.child
+		if idx < 0 {
+			// Accept-path hello: match a returning child to its slot by its
+			// coverage set.
+			for i, c := range a.children {
+				if c.key == key {
+					idx = i
+					break
+				}
+			}
+		}
+		coverageChanged := false
+		// A hello from the accept path ((re)attaching a connection) is a join;
+		// a mid-stream hello on a live connection is a coverage change, which
+		// the stolen-ids re-home event below already describes — emitting a
+		// join for it would mislabel an interior subtree as the sources'
+		// immediate parent in the querier's view.
+		attached := ev.child < 0
+		var slot *childState
+		switch {
+		case idx >= 0 && ev.child >= 0:
+			// Mid-stream coverage update on a live connection.
+			slot = a.children[idx]
+			if ev.gen != slot.gen {
+				return // a superseded connection's leftover hello
+			}
+			coverageChanged = slot.key != key
+			if coverageChanged {
+				slot.covers = append([]int(nil), ev.covers...)
+				slot.key = key
+			}
+		case idx >= 0:
+			// A returning child re-attaching to its existing slot.
+			slot = a.children[idx]
+			a.obs.childReconnects.Inc()
+			slot.gen++
+			if old := slot.conn; old != nil && old != ev.conn {
+				old.Close() // superseded: the child's new dial wins
+			}
+			slot.conn = ev.conn
+			wg.Add(1)
+			go readChild(idx, slot.gen, ev.conn)
+		default:
+			// Unknown coverage set: a re-homing child, when allowed.
+			if !a.acceptNew {
+				a.forget(ev.conn) // not one of ours
+				return
+			}
+			slot = &childState{
+				covers: append([]int(nil), ev.covers...),
+				key:    key, conn: ev.conn, gen: 1,
+			}
+			a.children = append(a.children, slot)
+			idx = len(a.children) - 1
+			coverageChanged = true
+			wg.Add(1)
+			go readChild(idx, 1, ev.conn)
+		}
+		if ev.fence > slot.fence {
+			slot.fence = ev.fence
+		}
+		slot.departed = false
+		if !slot.alive {
+			slot.alive = true
+			living++
+		}
+		if coverageChanged {
+			// Steal the (re)claimed ids from every stale slot: each source id
+			// is attributed to exactly one slot at any time, and the newest
+			// hello wins. Covers are replaced wholesale, never mutated, so
+			// pending reports keep their acceptance-time snapshots.
+			var stolen []int
+			for i, c := range a.children {
+				if i == idx {
+					continue
+				}
+				overlap := idsIntersect(c.covers, slot.covers)
+				if len(overlap) == 0 {
+					continue
+				}
+				stolen = append(stolen, overlap...)
+				c.covers = idsMinus(c.covers, overlap)
+				c.key = coversKey(c.covers)
+				if len(c.covers) == 0 {
+					// Nothing left to wait for or attribute; the slot stays
+					// (slot indices are stable) but no longer counts.
+					c.departed = true
+				}
+			}
+			if len(stolen) > 0 {
+				a.obs.steals.Inc()
+				a.sendMember(memberRehome, core.NormalizeIDs(stolen))
+			}
+			// Refresh the covered union and announce growth upstream so the
+			// parent (re)attributes this subtree before its next flush.
+			var union []int
+			for _, c := range a.children {
+				union = append(union, c.covers...)
+			}
+			union = core.NormalizeIDs(union)
+			a.mu.Lock()
+			unionChanged := coversKey(union) != coversKey(a.covers)
+			if unionChanged {
+				a.covers = union
+			}
+			a.mu.Unlock()
+			if unionChanged {
+				a.sendUpstreamBestEffort(Frame{Type: TypeHello, Epoch: a.upstream.Fence(),
+					Payload: core.EncodeContributors(union)})
+			}
+		}
+		if attached {
+			a.sendMember(memberJoin, slot.covers)
+		}
+		recomputeRegular()
+		liveSlots := 0
+		for _, c := range a.children {
+			if c.alive && !c.departed {
+				liveSlots++
+			}
+		}
+		a.obs.childrenGauge.Set(int64(liveSlots))
 	}
 
 	// The tick drives both deadline flushes and the exit check, so it must be
@@ -796,7 +1194,7 @@ func (a *AggregatorNode) Run() error {
 	// immediately; partially reported ones wait out the usual deadline for
 	// their missing children to re-send.
 	for t, st := range pending {
-		if len(st.reports) == len(a.children) {
+		if allReported(t, st) {
 			if err := flush(t, st); err != nil {
 				return err
 			}
@@ -807,36 +1205,86 @@ func (a *AggregatorNode) Run() error {
 		select {
 		case ev := <-ch:
 			switch ev.kind {
-			case 'u':
-				a.obs.childReconnects.Inc()
-				gen[ev.child]++
-				if old := curConn[ev.child]; old != nil && old != ev.conn {
-					old.Close() // superseded: the child's new dial wins
-				}
-				curConn[ev.child] = ev.conn
-				if !alive[ev.child] {
-					alive[ev.child] = true
-					living++
-				}
-				wg.Add(1)
-				go readChild(ev.child, gen[ev.child], ev.conn)
+			case 'h':
+				attach(ev)
 			case 'd':
-				if ev.gen != gen[ev.child] {
+				slot := a.children[ev.child]
+				if ev.gen != slot.gen {
 					continue // a superseded connection unwinding
 				}
 				a.obs.childDisconnects.Inc()
-				curConn[ev.child] = nil
-				if alive[ev.child] {
-					alive[ev.child] = false
+				slot.conn = nil
+				if slot.alive {
+					slot.alive = false
 					living--
 					if living == 0 {
 						lastAllGone = time.Now()
+					}
+					if !slot.departed && len(slot.covers) > 0 {
+						a.sendMember(memberOrphan, slot.covers)
 					}
 				}
 				if err := orphanFlush(); err != nil {
 					return err
 				}
+			case 'l':
+				// A graceful leave covering the slot's whole remaining coverage
+				// drains the slot: its absence from future epochs is expected,
+				// not a failure. A partial leave (some ids of a subtree drained)
+				// just shrinks the coverage claim.
+				slot := a.children[ev.child]
+				if ev.gen != slot.gen {
+					continue
+				}
+				left := idsIntersect(slot.covers, ev.covers)
+				if len(left) == 0 {
+					continue
+				}
+				slot.covers = idsMinus(slot.covers, left)
+				slot.key = coversKey(slot.covers)
+				if len(slot.covers) == 0 {
+					slot.departed = true
+					// Drop the leaver's in-flight reports: every flush written
+					// after the leave relay below must carry neither the
+					// leaver's data nor a claim about it, or the querier —
+					// which excludes departed sources from the contributor
+					// set — would reject the epoch. An epoch straddling the
+					// boundary degrades to partial, never to a wrong SUM.
+					for _, st := range pending {
+						delete(st.reports, ev.child)
+					}
+				}
+				a.mu.Lock()
+				a.covers = idsMinus(a.covers, left)
+				a.mu.Unlock()
+				a.sendMember(memberLeave, left)
+				recomputeRegular()
+				// Tell the parent too: its covered union must shrink before its
+				// next flush, or every future epoch reads as partial.
+				a.sendUpstreamBestEffort(Frame{Type: TypeLeave, Payload: core.EncodeContributors(left)})
+				if err := settledFlush(); err != nil {
+					return err
+				}
+			case 'm':
+				slot := a.children[ev.child]
+				if ev.gen != slot.gen {
+					continue
+				}
+				a.sendUpstreamBestEffort(Frame{Type: TypeMember, Payload: ev.payload})
 			case 'r':
+				slot := a.children[ev.rep.child]
+				if uint64(ev.rep.epoch) <= slot.fence {
+					// The child's fence says this epoch may have travelled via a
+					// previous parent — contributing it here could double-count.
+					a.obs.fenceDrops.Inc()
+					continue
+				}
+				if len(slot.covers) == 0 {
+					// A zombie slot whose coverage was wholly stolen or drained:
+					// nothing it reports is attributable any more.
+					a.obs.staleDrops.Inc()
+					continue
+				}
 				if a.flushed.has(uint64(ev.rep.epoch)) {
 					a.obs.lateDrops.Inc()
 					continue // late report for an epoch already forwarded
@@ -849,10 +1297,14 @@ func (a *AggregatorNode) Run() error {
 					a.obs.tracer.Begin(uint64(ev.rep.epoch))
 					a.obs.tracer.Mark(uint64(ev.rep.epoch), obs.StageReport)
 				}
-				a.journalContribution(ev.rep, a.children[ev.rep.child].covers)
+				// Snapshot the slot's coverage at acceptance: flush-time
+				// attribution must describe what this PSR actually contains,
+				// even if the slot's claim changes before the epoch settles.
+				ev.rep.covers = slot.covers
+				a.journalContribution(ev.rep, ev.rep.covers)
 				// Overwriting dedups a reconnected child re-sending an epoch.
 				st.reports[ev.rep.child] = ev.rep
-				if len(st.reports) == len(a.children) {
+				if allReported(ev.rep.epoch, st) {
 					if err := flush(ev.rep.epoch, st); err != nil {
 						return err
 					}
@@ -870,7 +1322,10 @@ func (a *AggregatorNode) Run() error {
 			if a.isClosed() {
 				return nil
 			}
-			if living == 0 && len(pending) == 0 && now.Sub(lastAllGone) >= a.reconnectWindow {
+			// A standby (AcceptNew) stays up with zero children indefinitely:
+			// its whole purpose is to be there when orphans arrive.
+			if living == 0 && len(pending) == 0 && !a.acceptNew &&
+				now.Sub(lastAllGone) >= a.reconnectWindow {
 				return nil
 			}
 		}
@@ -907,6 +1362,10 @@ type Health struct {
 	RootReconnects uint64         // times the root aggregator re-attached
 	Missed         map[int]uint64 // per-source count of epochs it missed
 
+	// Tree snapshots the live contributor view reconciled from membership
+	// events: who is attached where, who is orphaned, how many re-parents.
+	Tree TreeStats
+
 	// KeySchedule snapshots the evaluation engine's counters: derivations,
 	// cache hits/misses, prefetch wins and cumulative eval latency.
 	KeySchedule core.ScheduleStats
@@ -932,7 +1391,9 @@ type QuerierNode struct {
 
 	mu        sync.Mutex
 	lastEval  uint64
+	rootFence uint64 // max fence epoch declared by any root hello
 	obs       *querierObs
+	tree      *treeView                    // live contributor view from member events
 	missed    *boundedMap[int, uint64]     // per-source missed-epoch counters
 	committed *boundedMap[uint64, ackInfo] // settled epochs → remembered ack
 	roots     int
@@ -1012,6 +1473,7 @@ func NewQuerierNodeConfig(cfg QuerierConfig, q *core.Querier) (*QuerierNode, err
 		missed:    newBoundedMap[int, uint64](cfg.MissedCap),
 		committed: newBoundedMap[uint64, ackInfo](cfg.CommittedCap),
 	}
+	qn.tree = newTreeView(qn.obs.reg)
 	// Recover before listening: the root's hello-ack must carry the restored
 	// evaluation frontier as its resync epoch. Recovery replays counts into
 	// the obs counters, so the bundle must exist first.
@@ -1106,6 +1568,7 @@ func (qn *QuerierNode) Health() Health {
 	h.Durability = qn.DurabilityStats()
 	h.KeySchedule = qn.sched.Stats()
 	h.Forensics = qn.ForensicsStats()
+	h.Tree = qn.tree.stats()
 	return h
 }
 
@@ -1119,6 +1582,38 @@ func (qn *QuerierNode) Tracer() *obs.Tracer { return qn.obs.tracer }
 
 // ScheduleStats exposes the evaluation engine's counters directly.
 func (qn *QuerierNode) ScheduleStats() core.ScheduleStats { return qn.sched.Stats() }
+
+// noteRootFence raises the fence epoch carried by a root hello: the highest
+// epoch the root's subtree may already have handed to a previous link. The
+// fence only ever rises, so a zombie reconnecting with a stale (lower) fence
+// cannot reopen epochs a newer root already disclaimed.
+func (qn *QuerierNode) noteRootFence(fence uint64) {
+	qn.mu.Lock()
+	if fence > qn.rootFence {
+		qn.rootFence = fence
+	}
+	qn.mu.Unlock()
+}
+
+// fencedEpoch reports whether an uncommitted data frame for epoch t must be
+// dropped because t lies at or below the declared root fence.
+func (qn *QuerierNode) fencedEpoch(t uint64) bool {
+	qn.mu.Lock()
+	defer qn.mu.Unlock()
+	return qn.rootFence > 0 && t <= qn.rootFence
+}
+
+// withDeparted widens a per-epoch failed list with the gracefully departed
+// sources: after a drain the tree's flushes neither carry the leaver's data
+// nor name it as failed, so verification must subtract it from the expected
+// contributor set itself or reject every post-leave epoch.
+func (qn *QuerierNode) withDeparted(failed []int) []int {
+	gone := qn.tree.departedIDs()
+	if len(gone) == 0 {
+		return failed
+	}
+	return core.NormalizeIDs(append(append([]int{}, failed...), gone...))
+}
 
 // Run accepts root connections and evaluates epochs until the listener is
 // closed, then closes the Results channel. A root that disconnects may
@@ -1174,11 +1669,18 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 	if err != nil {
 		return err
 	}
-	// Canonical ids in [0, N) with length N can only be the full set.
+	// Canonical ids in [0, N) with length N can only be the full set. After
+	// graceful leaves the root legitimately covers less: every id missing from
+	// its claim must be one the membership view saw depart.
 	if len(covers) != qn.q.Params().N() {
-		return fmt.Errorf("transport: root covers %d sources, deployment has %d",
-			len(covers), qn.q.Params().N())
+		for _, id := range core.Subtract(qn.q.Params().N(), covers) {
+			if !qn.tree.departed(id) {
+				return fmt.Errorf("transport: root covers %d sources, deployment has %d (source %d unaccounted)",
+					len(covers), qn.q.Params().N(), id)
+			}
+		}
 	}
+	qn.noteRootFence(f.Epoch)
 	qn.mu.Lock()
 	resync := qn.lastEval
 	qn.mu.Unlock()
@@ -1210,7 +1712,26 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 			}
 			continue
 		}
+		// Uncommitted data frames at or below the fence are suspect: a newer
+		// root declared those epochs may have travelled via a previous link
+		// (re-parenting), so a zombie's late flush is dropped, never evaluated.
+		if (f.Type == TypePSR || f.Type == TypeFailure) && qn.fencedEpoch(f.Epoch) {
+			qn.obs.fenceRejects.Inc()
+			continue
+		}
 		switch f.Type {
+		case TypeHello:
+			// A mid-stream hello refreshes the root's coverage claim (a subtree
+			// re-homed below it) and may raise the fence.
+			qn.noteRootFence(f.Epoch)
+		case TypeMember:
+			if ev, err := decodeMember(f.Payload, qn.q.Params().N()); err == nil {
+				qn.tree.apply(ev)
+			}
+		case TypeLeave:
+			if ids, err := core.DecodeContributorsBounded(f.Payload, qn.q.Params().N()); err == nil {
+				qn.tree.apply(memberEvent{kind: memberLeave, label: conn.RemoteAddr().String(), ids: ids})
+			}
 		case TypePSR:
 			qn.obs.tracer.Begin(f.Epoch)
 			qn.obs.tracer.Mark(f.Epoch, obs.StageReport)
@@ -1219,6 +1740,7 @@ func (qn *QuerierNode) serve(conn net.Conn) error {
 				qn.record(EpochResult{Epoch: t, Err: err})
 				continue
 			}
+			failed = qn.withDeparted(failed)
 			var contributors []int // nil = all sources, the schedule's fast path
 			if len(failed) > 0 {
 				contributors = core.Subtract(qn.q.Params().N(), failed)

@@ -107,8 +107,31 @@ func (qn *QuerierNode) servePipelined(conn net.Conn) error {
 			}
 			continue
 		}
-		if f.Type != TypePSR && f.Type != TypeFailure {
-			continue // hello and result frames are ignored mid-stream
+		switch f.Type {
+		case TypeHello:
+			// Mid-stream coverage refresh from a root whose subtree re-homed;
+			// it may raise the fence.
+			qn.noteRootFence(f.Epoch)
+			continue
+		case TypeMember:
+			if ev, err := decodeMember(f.Payload, qn.q.Params().N()); err == nil {
+				qn.tree.apply(ev)
+			}
+			continue
+		case TypeLeave:
+			if ids, err := core.DecodeContributorsBounded(f.Payload, qn.q.Params().N()); err == nil {
+				qn.tree.apply(memberEvent{kind: memberLeave, label: conn.RemoteAddr().String(), ids: ids})
+			}
+			continue
+		case TypePSR, TypeFailure:
+			// Uncommitted data at or below the fence is a zombie link's late
+			// flush of a re-homed subtree: dropped, never evaluated.
+			if qn.fencedEpoch(f.Epoch) {
+				qn.obs.fenceRejects.Inc()
+				continue
+			}
+		default:
+			continue // result frames are ignored mid-stream
 		}
 		job := pipeJobPool.Get().(*pipeJob)
 		job.typ, job.epoch = f.Type, f.Epoch
@@ -146,6 +169,7 @@ func (qn *QuerierNode) pipeWorker(jobs <-chan *pipeJob, ackW *FrameWriter) {
 				ackable = false // the serial path records decode garbage without acking
 				break
 			}
+			failed = qn.withDeparted(failed)
 			var contributors []int // nil = all sources, the schedule's fast path
 			if len(failed) > 0 {
 				contributors = core.Subtract(n, failed)

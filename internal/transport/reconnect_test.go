@@ -158,15 +158,21 @@ func dialChild(t *testing.T, addr string, covers []int) (net.Conn, uint64) {
 	return conn, ack.Epoch
 }
 
-// readUpstream reads the aggregator's next frame at the fake parent.
+// readUpstream reads the aggregator's next data frame at the fake parent,
+// skipping the best-effort membership events interleaved with the data plane.
 func readUpstream(t *testing.T, conn net.Conn) Frame {
 	t.Helper()
 	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
-	f, err := ReadFrame(conn)
-	if err != nil {
-		t.Fatalf("reading upstream frame: %v", err)
+	for {
+		f, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatalf("reading upstream frame: %v", err)
+		}
+		if f.Type == TypeMember {
+			continue
+		}
+		return f
 	}
-	return f
 }
 
 // sendPSR reports one epoch for one source over a raw child connection.
