@@ -14,6 +14,7 @@
 //	siesbench -figure 6b         # Figure 6b (querier CPU vs domain)
 //	siesbench -hotpath           # zero-allocation hot-path kernel sweep
 //	siesbench -pipeline          # batched I/O plane epochs/sec sweep
+//	siesbench -aggmerge          # sharded aggregator merge-plane sweep
 //	siesbench -quick ...         # smaller sweeps for a fast smoke run
 //	siesbench -json ...          # also write machine-readable BENCH_<suite>.json
 //	siesbench -pipeline -baseline BENCH_transport.json   # CI regression gate
@@ -65,7 +66,7 @@ func main() {
 		pprof.StartCPUProfile(f)
 		defer pprof.StopCPUProfile()
 	}
-	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule && !*flagHotpath && !*flagPipeline {
+	if !*flagAll && *flagTable == "" && *flagFigure == "" && !*flagExtra && !*flagSchedule && !*flagHotpath && !*flagPipeline && !*flagAggMerge {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -110,6 +111,15 @@ func main() {
 	}
 	if *flagAll || *flagPipeline {
 		run("Extra — batched I/O plane (coalesced frames + pipelined querier)", transportBench)
+	}
+	if *flagAll || *flagAggMerge {
+		run("Extra — sharded aggregator merge plane (fanout × shard sweep)", aggmergeBench)
+	}
+	if len(transportRows) > 0 {
+		if err := flushTransportRows(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 

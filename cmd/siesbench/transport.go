@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/sies/sies/internal/core"
@@ -17,6 +18,31 @@ var (
 	flagPipeline = flag.Bool("pipeline", false, "run the batched I/O plane throughput sweep (epochs/sec over loopback TCP)")
 	flagBaseline = flag.String("baseline", "", "BENCH_transport.json to gate against; fail on >20% epochs/sec regression")
 )
+
+// transportRows accumulates the transport-suite benchmark rows across the
+// -pipeline and -aggmerge sweeps so one BENCH_transport.json holds both; main
+// writes and gates it after every selected suite has run.
+var transportRows []benchRow
+
+// flushTransportRows writes the accumulated transport rows (with -json) and
+// applies the baseline regression gate (with -baseline).
+func flushTransportRows() error {
+	if len(transportRows) == 0 {
+		return nil
+	}
+	if *flagJSON {
+		if err := writeBenchJSON("transport", transportRows); err != nil {
+			return err
+		}
+	}
+	if *flagBaseline != "" {
+		if err := gateTransport(transportRows, *flagBaseline); err != nil {
+			return err
+		}
+		fmt.Printf("(no regression beyond tolerance vs %s)\n", *flagBaseline)
+	}
+	return nil
+}
 
 // transportBench measures end-to-end epochs/sec of a live cluster — N source
 // nodes streaming into one aggregator into the querier, all over loopback TCP
@@ -31,7 +57,6 @@ func transportBench() error {
 		sweeps = []sweep{{64, 400}, {256, 200}}
 	}
 
-	var rows []benchRow
 	fmt.Printf("%-8s %8s %16s %16s %10s\n", "N", "epochs", "unbatched eps", "batched eps", "speedup")
 	for _, s := range sweeps {
 		base, err := runTransportEpochs(s.n, s.epochs, false)
@@ -42,24 +67,13 @@ func transportBench() error {
 		if err != nil {
 			return fmt.Errorf("N=%d batched: %w", s.n, err)
 		}
-		rows = append(rows,
+		transportRows = append(transportRows,
 			benchRow{Op: "cluster/unbatched", N: s.n, NsPerOp: 1e9 / base, EpochsPerSec: base},
 			benchRow{Op: "cluster/batched", N: s.n, NsPerOp: 1e9 / batched, EpochsPerSec: batched},
 		)
 		fmt.Printf("%-8d %8d %16.0f %16.0f %9.2fx\n", s.n, s.epochs, base, batched, batched/base)
 	}
 
-	if *flagJSON {
-		if err := writeBenchJSON("transport", rows); err != nil {
-			return err
-		}
-	}
-	if *flagBaseline != "" {
-		if err := gateTransport(rows, *flagBaseline); err != nil {
-			return err
-		}
-		fmt.Printf("(no regression beyond 20%% vs %s)\n", *flagBaseline)
-	}
 	fmt.Println("\nShape check: batching wins grow with N as per-frame syscalls are amortised;")
 	fmt.Println("the batched plane holds >=2x epochs/sec at N=256.")
 	return nil
@@ -185,8 +199,11 @@ func loopbackAddr() (string, error) {
 	return addr, nil
 }
 
-// gateTransport fails when any row present in both runs regressed more than
-// 20% in epochs/sec against the committed baseline file.
+// gateTransport fails when any row present in both runs regressed in
+// epochs/sec against the committed baseline file: more than 20% for the
+// cluster rows, more than 40% for the aggmerge microbenchmark rows, whose
+// tens-of-milliseconds runs carry proportionally more scheduler noise on
+// shared CI hosts.
 func gateTransport(rows []benchRow, path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -207,14 +224,18 @@ func gateTransport(rows []benchRow, path string) error {
 		if !ok || was <= 0 {
 			continue // new sweep point; nothing to gate against
 		}
-		if r.EpochsPerSec < 0.8*was {
+		floor := 0.8
+		if strings.HasPrefix(r.Op, "aggmerge/") {
+			floor = 0.6
+		}
+		if r.EpochsPerSec < floor*was {
 			failed = true
 			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f epochs/sec, baseline %.0f (-%.0f%%)\n",
 				key, r.EpochsPerSec, was, 100*(1-r.EpochsPerSec/was))
 		}
 	}
 	if failed {
-		return fmt.Errorf("throughput regressed >20%% vs %s (gitrev %s)", path, base.GitRev)
+		return fmt.Errorf("throughput regressed beyond tolerance vs %s (gitrev %s)", path, base.GitRev)
 	}
 	return nil
 }

@@ -76,6 +76,12 @@ var (
 		"durable state directory (querier, aggregator): journal every epoch commit and recover the exact frontier after a crash")
 	flagMetricsAddr = flag.String("metrics-addr", "",
 		"serve /metrics (Prometheus text), /healthz, /trace/epochs and /debug/pprof on this address (empty disables)")
+	flagProfileContention = flag.Int("profile-contention", 0,
+		"mutex/block profiling sample rate for /debug/pprof/{mutex,block} (1 = every event, 0 = off; needs -metrics-addr)")
+	flagShards = flag.Int("shards", 0,
+		"aggregator epoch-table stripe count, rounded up to a power of two (0 = default; 1 serialises the table)")
+	flagMergeWorkers = flag.Int("merge-workers", 0,
+		"aggregator merge-plane worker count (0 = default min(4, GOMAXPROCS); 1 serialises flushes)")
 	flagDrain = flag.Duration("drain", 5*time.Second,
 		"graceful-drain deadline on SIGINT/SIGTERM before the process exits anyway")
 
@@ -135,8 +141,9 @@ func serveMetrics(reg *obs.Registry, tracer *obs.Tracer, dur func() transport.Du
 		return nil, nil
 	}
 	srv, err := obs.Serve(*flagMetricsAddr, obs.ServerConfig{
-		Registry: reg,
-		Tracer:   tracer,
+		Registry:          reg,
+		Tracer:            tracer,
+		ProfileContention: *flagProfileContention,
 		Healthz: func() (bool, string) {
 			if dur != nil {
 				if d := dur(); d.JournalErrors > 0 {
@@ -284,6 +291,8 @@ func runAggregator() error {
 		Timeout:         *flagTimeout,
 		ReconnectWindow: *flagReconnect,
 		StateDir:        *flagStateDir,
+		Shards:          *flagShards,
+		MergeWorkers:    *flagMergeWorkers,
 		Backoff:         backoff(),
 	}
 	if inj := injector(); inj != nil {

@@ -75,6 +75,8 @@ var (
 	flagFailover     = flag.Bool("failover", false, "permanent-kill plan: every interior aggregator dies exactly once, its subtree re-homed onto a standby (requires -standby ≥ 1)")
 	flagFailoverSeed = flag.Int64("failoverSeed", 1, "failover plan seed (kill order and epochs)")
 
+	flagMergeWorkers = flag.Int("merge-workers", 0, "process sibling subtrees in parallel with up to this many concurrent merges (0/1 = serial walk)")
+
 	flagMetricsJSON  = flag.String("metrics-json", "", "write the final metrics snapshot to this file as JSON (CI artifact)")
 	flagMetricsEvery = flag.Int("metrics-every", 0, "print a metrics snapshot every K epochs (0 disables)")
 )
@@ -261,6 +263,9 @@ func run() error {
 	eng, err := network.NewEngine(topo, proto)
 	if err != nil {
 		return err
+	}
+	if *flagMergeWorkers > 1 {
+		eng.SetMergeWorkers(*flagMergeWorkers)
 	}
 	reg := obs.NewRegistry()
 	eng.RegisterMetrics(reg)

@@ -3,6 +3,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/sies/sies/internal/prf"
 )
@@ -120,11 +121,17 @@ type Engine struct {
 	topo        *Topology
 	proto       Protocol
 	stats       *Stats
+	statsMu     sync.Mutex // guards stats when subtrees process in parallel
 	failed      map[int]bool
 	failedAggs  map[int]bool
 	killed      map[int]bool // permanently killed aggregators (see standby.go)
 	reparents   int          // attachments moved by standby promotions
 	interceptor Interceptor
+
+	// mergeWorkers > 1 processes sibling subtrees concurrently, the simulated
+	// twin of the transport aggregator's merge plane. Serial by default.
+	mergeWorkers int
+	mergeSem     chan struct{} // bounds concurrent merge/emit computations
 }
 
 // NewEngine assembles an engine. The topology is validated once here.
@@ -147,6 +154,39 @@ func (e *Engine) Topology() *Topology { return e.topo }
 
 // SetInterceptor installs (or clears, with nil) the adversary hook.
 func (e *Engine) SetInterceptor(ic Interceptor) { e.interceptor = ic }
+
+// SetMergeWorkers opts the engine into parallel subtree merging: sibling
+// subtrees of every interior node process concurrently, with at most n
+// merge/emit computations running at once — the simulated counterpart of the
+// transport aggregator's sharded merge plane. n ≤ 1 restores the serial walk
+// (the default). Results are bit-identical either way: each node's inbox
+// keeps topology order, so the merge tree is deterministic. Protocols must
+// tolerate concurrent SourceEmit/Merge calls when n > 1 (the bundled ones
+// do — their per-epoch state is read-only); interceptors must be their own
+// judge. Call between epochs, not during a run.
+func (e *Engine) SetMergeWorkers(n int) {
+	if n <= 1 {
+		e.mergeWorkers, e.mergeSem = 1, nil
+		return
+	}
+	e.mergeWorkers = n
+	e.mergeSem = make(chan struct{}, n)
+}
+
+// acquireMerge/releaseMerge bound concurrent computations. They must never be
+// held across a recursive process() call — a parent waiting on its children
+// while holding a token could starve the pool.
+func (e *Engine) acquireMerge() {
+	if e.mergeSem != nil {
+		e.mergeSem <- struct{}{}
+	}
+}
+
+func (e *Engine) releaseMerge() {
+	if e.mergeSem != nil {
+		<-e.mergeSem
+	}
+}
 
 // FailSource marks a source as failed: it stops emitting and is reported to
 // the querier as a non-contributor (paper §IV-B discussion).
@@ -210,7 +250,9 @@ func (e *Engine) Contributors() []int {
 }
 
 // deliver applies the interceptor (if any) and records traffic. The second
-// return value is false when the adversary dropped the message.
+// return value is false when the adversary dropped the message. Stats ride a
+// mutex so parallel sibling subtrees never tear a counter; the serial walk
+// pays one uncontended lock per message.
 func (e *Engine) deliver(t prf.Epoch, edge Edge, m Message) (Message, bool) {
 	if e.interceptor != nil {
 		m = e.interceptor(t, edge, m)
@@ -218,7 +260,10 @@ func (e *Engine) deliver(t prf.Epoch, edge Edge, m Message) (Message, bool) {
 			return nil, false
 		}
 	}
-	e.stats.PerKind[edge.Kind].add(e.proto.WireSize(m))
+	size := e.proto.WireSize(m)
+	e.statsMu.Lock()
+	e.stats.PerKind[edge.Kind].add(size)
+	e.statsMu.Unlock()
 	return m, true
 }
 
@@ -265,7 +310,9 @@ func (e *Engine) run(t prf.Epoch, values []uint64, include []int, probe bool) (f
 		return !e.failed[src] && (included == nil || included[src])
 	}
 	if probe {
+		e.statsMu.Lock()
 		e.stats.Probes++ // issued; most probes *fail* verification by design
+		e.statsMu.Unlock()
 	}
 
 	var process func(agg int) (Message, bool, error)
@@ -274,34 +321,75 @@ func (e *Engine) run(t prf.Epoch, values []uint64, include []int, probe bool) (f
 			return nil, false, nil // crashed node: its subtree contributes nothing
 		}
 		var inbox []Message
+		e.acquireMerge()
 		for _, src := range e.topo.ChildSources(agg) {
 			if !emits(src) {
 				continue
 			}
 			m, err := e.proto.SourceEmit(src, t, values[src])
 			if err != nil {
+				e.releaseMerge()
 				return nil, false, fmt.Errorf("network: source %d: %w", src, err)
 			}
 			if dm, ok := e.deliver(t, Edge{Kind: EdgeSA, From: src, To: agg}, m); ok {
 				inbox = append(inbox, dm)
 			}
 		}
-		for _, child := range e.topo.ChildAggregators(agg) {
-			m, ok, err := process(child)
-			if err != nil {
-				return nil, false, err
+		e.releaseMerge()
+		children := e.topo.ChildAggregators(agg)
+		if e.mergeWorkers > 1 && len(children) > 1 {
+			// Sibling subtrees process concurrently; inbox order stays the
+			// topology order via the indexed results, so the merge stays
+			// deterministic. No merge token is held here — the semaphore only
+			// bounds leaf computations, never a parent waiting on children.
+			type subtree struct {
+				m   Message
+				ok  bool
+				err error
 			}
-			if !ok {
-				continue // whole subtree failed
+			results := make([]subtree, len(children))
+			var wg sync.WaitGroup
+			for i, child := range children {
+				wg.Add(1)
+				go func(i, child int) {
+					defer wg.Done()
+					m, ok, err := process(child)
+					results[i] = subtree{m: m, ok: ok, err: err}
+				}(i, child)
 			}
-			if dm, ok := e.deliver(t, Edge{Kind: EdgeAA, From: child, To: agg}, m); ok {
-				inbox = append(inbox, dm)
+			wg.Wait()
+			for i, child := range children {
+				r := results[i]
+				if r.err != nil {
+					return nil, false, r.err
+				}
+				if !r.ok {
+					continue // whole subtree failed
+				}
+				if dm, ok := e.deliver(t, Edge{Kind: EdgeAA, From: child, To: agg}, r.m); ok {
+					inbox = append(inbox, dm)
+				}
+			}
+		} else {
+			for _, child := range children {
+				m, ok, err := process(child)
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					continue // whole subtree failed
+				}
+				if dm, ok := e.deliver(t, Edge{Kind: EdgeAA, From: child, To: agg}, m); ok {
+					inbox = append(inbox, dm)
+				}
 			}
 		}
 		if len(inbox) == 0 {
 			return nil, false, nil
 		}
+		e.acquireMerge()
 		merged, err := e.proto.Merge(t, inbox)
+		e.releaseMerge()
 		if err != nil {
 			return nil, false, fmt.Errorf("network: aggregator %d: %w", agg, err)
 		}
@@ -336,7 +424,9 @@ func (e *Engine) run(t prf.Epoch, values []uint64, include []int, probe bool) (f
 		return 0, err
 	}
 	if !probe {
+		e.statsMu.Lock()
 		e.stats.Epochs++
+		e.statsMu.Unlock()
 	}
 	return res, nil
 }

@@ -394,3 +394,37 @@ func containsID(ids []int, id int) bool {
 	}
 	return false
 }
+
+// TestEngineParallelMergeParity runs the same epochs through a serial walk and
+// a parallel one (SetMergeWorkers): sums, epoch counts and per-edge byte
+// accounting must be bit-identical — the parallel walk changes scheduling,
+// never results. Run under -race this also soaks the stats mutex and the
+// bounded merge semaphore.
+func TestEngineParallelMergeParity(t *testing.T) {
+	serial, _ := siesEngine(t, 81, 3)
+	par, _ := siesEngine(t, 81, 3)
+	par.SetMergeWorkers(4)
+
+	r := rand.New(rand.NewSource(7))
+	for epoch := prf.Epoch(1); epoch <= 8; epoch++ {
+		values := workload.UniformReadings(81, workload.Scale100, r)
+		gotS, errS := serial.RunEpoch(epoch, values)
+		gotP, errP := par.RunEpoch(epoch, values)
+		if errS != nil || errP != nil {
+			t.Fatalf("epoch %d: serial %v, parallel %v", epoch, errS, errP)
+		}
+		if gotS != gotP {
+			t.Fatalf("epoch %d: serial SUM %f, parallel SUM %f", epoch, gotS, gotP)
+		}
+	}
+	ss, ps := serial.Stats(), par.Stats()
+	if ss.Epochs != ps.Epochs || ss.Probes != ps.Probes {
+		t.Fatalf("stats diverge: serial %+v, parallel %+v", ss, ps)
+	}
+	for kind, s := range ss.PerKind {
+		p := ps.PerKind[kind]
+		if s.Messages != p.Messages || s.Bytes != p.Bytes || s.MaxBytes != p.MaxBytes {
+			t.Fatalf("%v accounting diverges: serial %+v, parallel %+v", kind, s, p)
+		}
+	}
+}

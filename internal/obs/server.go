@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"time"
 )
@@ -16,6 +17,19 @@ type ServerConfig struct {
 	// Healthz, when set, decides /healthz: return (false, reason) for a 503.
 	// Nil always reports healthy.
 	Healthz func() (ok bool, detail string)
+	// ProfileContention enables the runtime's mutex and blocking profilers so
+	// /debug/pprof/mutex and /debug/pprof/block are actually populated: with
+	// the runtime defaults both profiles exist but record nothing. The value
+	// is the sampling rate — 1 records every contention event (the useful
+	// setting when hunting shard-lock contention), larger values sample 1/N.
+	// Zero leaves profiling off. Process-global: the last Serve call wins.
+	ProfileContention int
+}
+
+// enableContentionProfiling applies the process-global sampling rates.
+func enableContentionProfiling(rate int) {
+	runtime.SetMutexProfileFraction(rate)
+	runtime.SetBlockProfileRate(rate)
 }
 
 // NewHandler builds the observability mux:
@@ -79,6 +93,9 @@ type Server struct {
 // Serve starts the observability endpoint on addr (e.g. ":9464" or
 // "127.0.0.1:0") and serves in a background goroutine until Close.
 func Serve(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.ProfileContention > 0 {
+		enableContentionProfiling(cfg.ProfileContention)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listening on %s: %w", addr, err)

@@ -34,6 +34,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"github.com/sies/sies/internal/core"
@@ -523,11 +524,14 @@ func (qn *QuerierNode) DurabilityStats() DurabilityStats {
 // ---------------------------------------------------------------------------
 // Aggregator durable state
 
-// aggState is the durable side of an AggregatorNode. Mutation happens on the
-// Run event loop; construction-time replay happens before Run starts.
+// aggState is the durable side of an AggregatorNode. Construction-time replay
+// happens before Run starts; at run time the merge workers append and commit
+// concurrently — the journal is internally locked, and the checkpoint cadence
+// rides its own small mutex.
 type aggState struct {
 	store           *durable.Store
 	checkpointEvery int
+	ckptMu          sync.Mutex // guards sinceCheckpoint and snapshot building
 	sinceCheckpoint int
 	boot            DurabilityStats // boot-time fields, fixed before serving
 	ctr             durCounters
@@ -573,20 +577,21 @@ func (a *AggregatorNode) decodeAggContrib(p []byte) (t prf.Epoch, covers []int, 
 // aggSnapshot encodes the flush frontier. Pending contributions stay in the
 // journal (checkpointing re-appends them after the reset).
 func (a *AggregatorNode) aggSnapshot() []byte {
-	b := binary.BigEndian.AppendUint64(nil, a.lastFlushed)
-	b = binary.BigEndian.AppendUint32(b, uint32(a.flushed.len()))
-	a.flushed.each(func(epoch uint64, _ struct{}) {
+	b := binary.BigEndian.AppendUint64(nil, a.lastFlushed.Load())
+	flushed := a.table.flushedEpochs()
+	b = binary.BigEndian.AppendUint32(b, uint32(len(flushed)))
+	for _, epoch := range flushed {
 		b = binary.BigEndian.AppendUint64(b, epoch)
-	})
+	}
 	return b
 }
 
 func (a *AggregatorNode) restoreAggSnapshot(p []byte) error {
 	c := &cursor{b: p}
-	a.lastFlushed = c.u64()
+	a.lastFlushed.Store(c.u64())
 	n := c.u32()
 	for i := uint32(0); i < n && c.err == nil; i++ {
-		a.flushed.put(c.u64(), struct{}{})
+		a.table.markFlushed(c.u64())
 	}
 	return c.done()
 }
@@ -637,7 +642,7 @@ func (a *AggregatorNode) openAggState(dir string, checkpointEvery int) error {
 				store.Close()
 				return fmt.Errorf("transport: aggregator journal: %w", err)
 			}
-			if a.flushed.has(uint64(t)) {
+			if a.table.hasFlushed(uint64(t)) {
 				continue // already settled; a torn checkpoint's leftover
 			}
 			byKey := a.state.recovered[t]
@@ -653,14 +658,14 @@ func (a *AggregatorNode) openAggState(dir string, checkpointEvery int) error {
 				store.Close()
 				return fmt.Errorf("transport: aggregator journal: %w", err)
 			}
-			a.flushed.put(t, struct{}{})
-			if t > a.lastFlushed {
-				a.lastFlushed = t
+			a.table.markFlushed(t)
+			if t > a.lastFlushed.Load() {
+				a.lastFlushed.Store(t)
 			}
 			delete(a.state.recovered, prf.Epoch(t))
 		}
 	}
-	a.state.boot.ReplayedFromWAL = a.lastFlushed
+	a.state.boot.ReplayedFromWAL = a.lastFlushed.Load()
 	return nil
 }
 
@@ -685,9 +690,14 @@ func (a *AggregatorNode) journalContribution(rep report, covers []int) {
 }
 
 // commitFlush journals an epoch commit (fsynced) after its upstream write,
-// and checkpoints on cadence, re-journaling contributions of still-pending
-// epochs so the reset cannot orphan them. Runs only on the Run event loop.
-func (a *AggregatorNode) commitFlush(t prf.Epoch, pending map[prf.Epoch]*aggEpochState) {
+// and checkpoints on cadence, re-journaling contributions of still-open
+// epochs so the reset cannot orphan them. Called concurrently by the merge
+// workers: the journal serialises appends internally, and ckptMu makes the
+// cadence check + snapshot build atomic. A contribution appended between the
+// snapshot build and the journal reset can be lost to the reset — that epoch
+// re-flushes after a restart from the children's re-sends, the documented
+// at-least-once path the querier's committed window dedups.
+func (a *AggregatorNode) commitFlush(t prf.Epoch) {
 	st := a.state
 	if st == nil || a.isCrashed() {
 		return
@@ -702,33 +712,26 @@ func (a *AggregatorNode) commitFlush(t prf.Epoch, pending map[prf.Epoch]*aggEpoc
 		return
 	}
 	st.ctr.commits.Add(1)
-	a.mu.Lock()
+	st.ckptMu.Lock()
 	st.sinceCheckpoint++
-	checkpoint := st.sinceCheckpoint >= st.checkpointEvery
-	var payload []byte
-	if checkpoint {
-		payload = a.aggSnapshot()
-	}
-	a.mu.Unlock()
-	if !checkpoint {
+	if st.sinceCheckpoint < st.checkpointEvery {
+		st.ckptMu.Unlock()
 		return
 	}
+	st.sinceCheckpoint = 0
+	payload := a.aggSnapshot()
+	st.ckptMu.Unlock()
 	if err := st.store.Checkpoint(stateVersion, payload); err != nil {
 		a.journalErr()
 		return
 	}
-	a.mu.Lock()
-	st.sinceCheckpoint = 0
-	a.mu.Unlock()
 	st.ctr.checkpoints.Add(1)
-	for _, es := range pending {
-		for _, rep := range es.reports {
-			// The report's own acceptance-time coverage snapshot, not the
-			// slot's current claim — a steal between acceptance and checkpoint
-			// must not rewrite what this PSR vouches for.
-			a.journalContribution(rep, rep.covers)
-		}
-	}
+	a.table.eachReport(func(rep report) {
+		// The report's own acceptance-time coverage snapshot, not the slot's
+		// current claim — a steal between acceptance and checkpoint must not
+		// rewrite what this PSR vouches for.
+		a.journalContribution(rep, rep.covers)
+	})
 	if err := st.store.Journal().Sync(); err != nil {
 		a.journalErr()
 	}

@@ -185,7 +185,18 @@ type aggObs struct {
 	childReconnects  *obs.Counter
 	childrenGauge    *obs.Gauge
 	lastFlushedEpoch *obs.Gauge
+
+	// Sharded epoch table + merge plane instrumentation (DESIGN.md §16).
+	shardContention *obs.Counter
+	ingestRetries   *obs.Counter
+	mergeJobs       *obs.Counter
+	mergeLazy       *obs.Counter
+	mergeRebuilds   *obs.Counter
+	shardOccupancy  *obs.Histogram
 }
+
+// shardOccupancyBuckets grades open slots per shard at flush time.
+var shardOccupancyBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64}
 
 func newAggObs(reg *obs.Registry, traceCap int) *aggObs {
 	if reg == nil {
@@ -206,6 +217,12 @@ func newAggObs(reg *obs.Registry, traceCap int) *aggObs {
 		childReconnects:  reg.Counter("sies_agg_child_reconnects_total", "children matched back to their slot"),
 		childrenGauge:    reg.Gauge("sies_agg_children", "live child slots attached to this aggregator"),
 		lastFlushedEpoch: reg.Gauge("sies_agg_last_flushed_epoch", "highest epoch forwarded upstream"),
+		shardContention:  reg.Counter("sies_agg_shard_contention_total", "epoch-shard lock acquisitions that found the lock held"),
+		ingestRetries:    reg.Counter("sies_agg_ingest_retries_total", "optimistic ingests rolled back by the membership-generation fence"),
+		mergeJobs:        reg.Counter("sies_agg_merge_jobs_total", "claimed epochs handed to the merge plane"),
+		mergeLazy:        reg.Counter("sies_agg_merge_lazy_total", "flushes served from the ingest-time lazy partial"),
+		mergeRebuilds:    reg.Counter("sies_agg_merge_rebuilds_total", "flushes that rebuilt the merge from retained reports"),
+		shardOccupancy:   reg.Histogram("sies_agg_shard_occupancy", "open slots left in a shard after a flush", shardOccupancyBuckets),
 	}
 }
 
@@ -216,6 +233,14 @@ func (o *aggObs) bind(a *AggregatorNode) {
 	o.reg.CounterFunc("sies_agg_upstream_failovers_total", "escalations to the next candidate parent address",
 		func() uint64 { return uint64(a.UpstreamFailovers()) })
 	bindDurability(o.reg, "sies_agg_durability", func() DurabilityStats { return a.DurabilityStats() })
+	o.reg.GaugeFunc("sies_agg_shards", "epoch-table stripe count",
+		func() float64 { return float64(a.table.size()) })
+	o.reg.GaugeFunc("sies_agg_merge_workers", "merge-plane worker count",
+		func() float64 { return float64(a.plane.workers) })
+	o.reg.GaugeFunc("sies_agg_shard_open_epochs", "in-flight epoch slots across all shards",
+		func() float64 { return float64(a.table.open.Load()) })
+	o.reg.GaugeFunc("sies_agg_merge_queue_depth", "claimed epochs queued for the merge workers",
+		func() float64 { return float64(len(a.plane.jobs)) })
 	if a.upfw != nil {
 		bindFrameWriter(o.reg, "sies_agg_upstream", a.upfw)
 	}

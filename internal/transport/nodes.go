@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/sies/sies/internal/core"
@@ -77,6 +79,13 @@ func idsIntersect(a, b []int) []int {
 func encodeReport(psr core.PSR, failed []int) []byte {
 	wire := psr.Bytes()
 	return append(wire[:], core.EncodeContributors(failed)...)
+}
+
+// EncodeReport builds a TypePSR frame payload from a merged PSR and the
+// canonical failed-id list. Exported for load generators and benchmarks that
+// drive an aggregator with raw child connections instead of full source nodes.
+func EncodeReport(psr core.PSR, failed []int) []byte {
+	return encodeReport(psr, failed)
 }
 
 // DefaultMaxSources bounds contributor ids accepted from the wire when a
@@ -293,25 +302,51 @@ type AggregatorNode struct {
 	maxSources       int
 	acceptNew        bool
 
-	mu          sync.Mutex
-	closed      bool
-	crashed     bool
-	conns       map[net.Conn]struct{}
-	lastFlushed uint64
-	// flushed remembers epochs already forwarded so that reports arriving
-	// after a flush — a late child, a reconnected child re-sending, or a
-	// journal replay after a restart — are dropped instead of triggering a
-	// duplicate. FIFO-bounded; duplicate suppression beyond the window is
-	// best-effort, which the querier tolerates (it just re-verifies).
-	flushed *boundedMap[uint64, struct{}]
-	state   *aggState // durable crash-recovery state; nil without a StateDir
-	obs     *aggObs
-	upfw    *FrameWriter // coalescing upstream writer; nil = unbatched
+	// mu is the slow-path lifecycle lock (DESIGN.md §16). Write-held only for
+	// membership events — attach, coverage steal, leave, disconnect, close,
+	// crash — and read-held by the ingest/flush hot paths just long enough to
+	// snapshot child state. Epoch state itself lives in the sharded table
+	// below and is never guarded by mu. Lock order: mu before any shard lock.
+	mu         sync.RWMutex
+	closed     bool
+	crashed    bool
+	conns      map[net.Conn]struct{}
+	allRegular bool // every slot expected for every epoch; see recomputeRegular
+
+	// closedA/crashedA mirror closed/crashed for lock-free reads on the hot
+	// paths; transitions happen under mu with the atomic stored last.
+	closedA  atomic.Bool
+	crashedA atomic.Bool
+	// memberGen is the epoch-generation fence: bumped (under mu) by every
+	// membership event that can invalidate an in-flight ingest's snapshot of
+	// child state — attach, steal, leave. Ingest validates it after inserting
+	// under the shard lock and rolls back + retries on a mismatch, so a
+	// lifecycle event never interleaves half-way through an acceptance.
+	memberGen   atomic.Uint64
+	lastFlushed atomic.Uint64
+
+	// table is the sharded concurrent epoch table: in-flight epoch slots plus
+	// the striped flushed-epoch dedup window (reports arriving after a flush —
+	// a late child, a reconnected child re-sending, or a journal replay after
+	// a restart — are dropped instead of triggering a duplicate; FIFO-bounded
+	// per stripe, best-effort beyond the window, which the querier tolerates).
+	table *epochShards
+	// plane is the parallel merge plane flushing claimed slots.
+	plane *mergePlane
+
+	failOnce sync.Once
+	failCh   chan struct{}
+	runErr   error
+
+	state *aggState // durable crash-recovery state; nil without a StateDir
+	obs   *aggObs
+	upfw  *FrameWriter // coalescing upstream writer; nil = unbatched
 }
 
-// childState is one child slot. After construction, every field is owned by
-// the Run event loop (single-threaded); covers is replaced wholesale (never
-// mutated in place) on steals so report snapshots stay valid.
+// childState is one child slot. Fields are written only under a.mu's write
+// lock (membership events) and read under the read lock by the ingest path;
+// covers is replaced wholesale (never mutated in place) on steals so report
+// snapshots stay valid.
 type childState struct {
 	covers   []int  // sorted source ids currently attributed to this child
 	key      string // canonical form of covers, for matching returning children
@@ -363,6 +398,14 @@ type AggregatorConfig struct {
 	// failure frames (default DefaultMaxSources). Set it to the deployment's
 	// N to reject any id a provisioned source could not hold.
 	MaxSources int
+	// Shards is the epoch-table stripe count (rounded up to a power of two;
+	// default DefaultShards). Concurrent child readers ingesting different
+	// epochs take different stripe locks; 1 serialises the table — useful as a
+	// contention baseline.
+	Shards int
+	// MergeWorkers sizes the parallel merge plane flushing completed epochs
+	// (default min(DefaultMergeWorkers, GOMAXPROCS)); 1 serialises flushes.
+	MergeWorkers int
 	// StateDir, when set, makes the node durable: epoch contributions and
 	// commits are journaled there and recovered on restart, so a crashed
 	// aggregator resumes at its exact flush frontier (never re-opening a
@@ -421,6 +464,17 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 	if dial == nil {
 		dial = net.Dial
 	}
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	workers := cfg.MergeWorkers
+	if workers <= 0 {
+		workers = DefaultMergeWorkers
+		if n := runtime.GOMAXPROCS(0); n < workers {
+			workers = n
+		}
+	}
 	a := &AggregatorNode{
 		agg:              core.NewAggregator(field),
 		field:            field,
@@ -431,9 +485,11 @@ func NewAggregatorNode(cfg AggregatorConfig, field *uint256.Field) (*AggregatorN
 		maxSources:       cfg.MaxSources,
 		acceptNew:        cfg.AcceptNew,
 		conns:            map[net.Conn]struct{}{},
-		flushed:          newBoundedMap[uint64, struct{}](DefaultCommittedCap),
+		plane:            newMergePlane(workers),
+		failCh:           make(chan struct{}),
 		obs:              newAggObs(cfg.Metrics, cfg.TraceCapacity),
 	}
+	a.table = newEpochShards(shards, DefaultCommittedCap, a.obs.shardContention)
 	// Recover durable state before accepting anyone: the children's hello-acks
 	// must carry the restored flush frontier as their resync epoch.
 	if cfg.StateDir != "" {
@@ -527,9 +583,7 @@ func (a *AggregatorNode) handshakeChild(conn net.Conn) ([]int, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	a.mu.Lock()
-	resync := a.lastFlushed
-	a.mu.Unlock()
+	resync := a.lastFlushed.Load()
 	if err := WriteFrame(conn, Frame{Type: TypeHello, Epoch: resync}); err != nil {
 		return nil, 0, fmt.Errorf("writing hello-ack: %w", err)
 	}
@@ -538,15 +592,15 @@ func (a *AggregatorNode) handshakeChild(conn net.Conn) ([]int, uint64, error) {
 
 // Covers returns the source ids under this aggregator.
 func (a *AggregatorNode) Covers() []int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return append([]int(nil), a.covers...)
 }
 
 // helloCovers snapshots the covered union for the upstream hello closure.
 func (a *AggregatorNode) helloCovers() []int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
 	return append([]int(nil), a.covers...)
 }
 
@@ -662,6 +716,7 @@ func (a *AggregatorNode) Close() error {
 		return nil
 	}
 	a.closed = true
+	a.closedA.Store(true)
 	a.mu.Unlock()
 	a.closeAll()
 	return nil
@@ -679,6 +734,8 @@ func (a *AggregatorNode) Crash() {
 	}
 	a.crashed = true
 	a.closed = true
+	a.crashedA.Store(true)
+	a.closedA.Store(true)
 	st := a.state
 	a.mu.Unlock()
 	if st != nil {
@@ -697,47 +754,195 @@ func (a *AggregatorNode) Crash() {
 	a.closeAll()
 }
 
-func (a *AggregatorNode) isClosed() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.closed
-}
-
-func (a *AggregatorNode) isCrashed() bool {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.crashed
-}
+func (a *AggregatorNode) isClosed() bool  { return a.closedA.Load() }
+func (a *AggregatorNode) isCrashed() bool { return a.crashedA.Load() }
 
 // setLastFlushed records the highest epoch forwarded upstream; returning
-// children learn it through the hello-ack and skip settled epochs.
+// children learn it through the hello-ack and skip settled epochs. Lock-free
+// CAS max: merge workers flush out of epoch order.
 func (a *AggregatorNode) setLastFlushed(t uint64) {
-	a.mu.Lock()
-	if t > a.lastFlushed {
-		a.lastFlushed = t
+	for {
+		cur := a.lastFlushed.Load()
+		if t <= cur {
+			a.obs.lastFlushedEpoch.Set(int64(cur))
+			return
+		}
+		if a.lastFlushed.CompareAndSwap(cur, t) {
+			a.obs.lastFlushedEpoch.Set(int64(t))
+			return
+		}
 	}
-	flushed := a.lastFlushed
-	a.mu.Unlock()
-	a.obs.lastFlushedEpoch.Set(int64(flushed))
 }
 
-// aggEvent is one occurrence in the aggregator's single-threaded event loop.
+// aggEvent is one occurrence on the aggregator's slow-path event loop. The
+// report hot path no longer travels here: child readers ingest PSR and
+// failure frames directly into the sharded epoch table.
 type aggEvent struct {
-	kind    byte // 'r' report, 'd' child down, 'h' hello (attach or coverage update), 'l' leave, 'm' member relay
+	kind    byte // 'd' child down, 'h' hello (attach or coverage update), 'l' leave, 'm' member relay
 	child   int  // slot index; -1 for accept-path hellos (no slot yet)
 	gen     int
 	conn    net.Conn
-	rep     report
 	covers  []int  // 'h': the hello's coverage; 'l': the departing ids
 	fence   uint64 // 'h': the hello's fence epoch
 	payload []byte // 'm': the relayed member payload (copied)
 }
 
-// aggEpochState is one in-flight epoch: the reports gathered so far, keyed by
-// child slot, and the flush deadline.
-type aggEpochState struct {
-	reports  map[int]report
-	deadline time.Time
+// recomputeRegular refreshes the allRegular cache: whether every slot is
+// expected for every epoch — no slot departed, coverage-stolen empty, or
+// fenced. True in the steady state; recomputed (O(children)) only on the rare
+// membership events that can change it: attach, steal, leave. Caller holds
+// a.mu's write lock.
+func (a *AggregatorNode) recomputeRegular() {
+	a.allRegular = true
+	for _, c := range a.children {
+		if c.departed || len(c.covers) == 0 || c.fence > 0 {
+			a.allRegular = false
+			return
+		}
+	}
+}
+
+// ingestOutcome tells ingestReport what to do once every lock is released —
+// submitting to the merge plane or re-scanning completeness while holding a
+// lock could deadlock against the workers.
+type ingestOutcome struct {
+	retry  bool // generation moved mid-insert: rolled back, try again
+	submit bool // slot claimed complete: hand it to the merge plane
+	settle bool // irregular membership: re-check completeness the slow way
+}
+
+// ingestReport is the child readers' hot path: accept one report into the
+// sharded epoch table without touching the global lock beyond a brief read
+// hold. Concurrent readers for different epochs contend only on their
+// stripes. The rare generation-fence retry loop falls back to the write lock
+// after a few spins, where membership cannot move.
+func (a *AggregatorNode) ingestReport(rep report) {
+	out := a.tryIngest(&rep, false)
+	for i := 0; out.retry; i++ {
+		a.obs.ingestRetries.Inc()
+		if i >= 3 {
+			a.mu.Lock()
+			out = a.tryIngest(&rep, true)
+			a.mu.Unlock()
+			break
+		}
+		out = a.tryIngest(&rep, false)
+	}
+	t := uint64(rep.epoch)
+	if out.submit {
+		a.plane.submit(t)
+	} else if out.settle {
+		a.settleIrregular(t)
+	}
+}
+
+// tryIngest performs one optimistic acceptance attempt. With locked set the
+// caller holds a.mu's write lock (the churn fallback) and the generation
+// check is skipped — nothing can move.
+func (a *AggregatorNode) tryIngest(rep *report, locked bool) ingestOutcome {
+	g1 := a.memberGen.Load()
+	if !locked {
+		a.mu.RLock()
+	}
+	if a.closed {
+		if !locked {
+			a.mu.RUnlock()
+		}
+		return ingestOutcome{}
+	}
+	slot := a.children[rep.child]
+	fence, departed := slot.fence, slot.departed
+	covers := slot.covers // replaced wholesale, never mutated: safe past RUnlock
+	nch := len(a.children)
+	allReg := a.allRegular
+	if !locked {
+		a.mu.RUnlock()
+	}
+	t := uint64(rep.epoch)
+	if t <= fence {
+		// The child's fence says this epoch may have travelled via a previous
+		// parent — contributing it here could double-count.
+		a.obs.fenceDrops.Inc()
+		return ingestOutcome{}
+	}
+	if departed || len(covers) == 0 {
+		// A zombie slot whose coverage was wholly stolen or drained: nothing
+		// it reports is attributable any more.
+		a.obs.staleDrops.Inc()
+		return ingestOutcome{}
+	}
+	// Snapshot the slot's coverage at acceptance: flush-time attribution must
+	// describe what this PSR actually contains, even if the slot's claim
+	// changes before the epoch settles.
+	rep.covers = covers
+
+	sh := a.table.shard(t)
+	a.table.lock(sh)
+	if sh.flushed.has(t) {
+		sh.mu.Unlock()
+		a.obs.lateDrops.Inc() // late report for an epoch already forwarded
+		return ingestOutcome{}
+	}
+	sl := sh.slots[t]
+	created := sl == nil
+	if created {
+		sl = &epochSlot{epoch: rep.epoch, reports: make(map[int]report, nch),
+			deadline: time.Now().Add(a.timeout), gen: g1}
+		sh.slots[t] = sl
+		a.table.open.Add(1)
+		a.obs.tracer.Begin(t)
+		a.obs.tracer.Mark(t, obs.StageReport)
+	}
+	prev, existed := sl.reports[rep.child]
+	sl.reports[rep.child] = *rep
+	folded := false
+	switch {
+	case existed:
+		// Overwriting dedups a reconnected child re-sending an epoch; the
+		// lazy partial no longer matches the map, so the flush rebuilds.
+		sl.dirty = true
+	case rep.psr != nil:
+		sl.acc.Add(rep.psr.C)
+		sl.accN++
+		folded = true
+	}
+	if !locked && a.memberGen.Load() != g1 {
+		// The epoch-generation fence tripped: a lifecycle event (attach,
+		// steal, leave) ran between the child-state snapshot above and this
+		// insert, so the snapshot may be stale. Roll the insert back under the
+		// still-held shard lock and retry against the fresh membership —
+		// an acceptance never interleaves half-way through a membership event.
+		if existed {
+			sl.reports[rep.child] = prev
+		} else {
+			delete(sl.reports, rep.child)
+			if folded {
+				sl.dirty = true // acc holds a PSR the map no longer does
+			}
+		}
+		if created && len(sl.reports) == 0 {
+			delete(sh.slots, t)
+			a.table.open.Add(-1)
+		}
+		sh.mu.Unlock()
+		return ingestOutcome{retry: true}
+	}
+	var out ingestOutcome
+	if allReg {
+		// Steady-state completeness fast path: a count compare, valid because
+		// the generation held from the allRegular read through this claim.
+		if !sl.claimed && len(sl.reports) == nch {
+			sl.claimed = true
+			out.submit = true
+		}
+	} else {
+		out.settle = true
+	}
+	sh.mu.Unlock()
+
+	a.obs.reports.Inc()
+	a.journalContribution(*rep, covers)
+	return out
 }
 
 // Run merges epochs until the node is closed or every child disconnects and
@@ -782,16 +987,16 @@ func (a *AggregatorNode) Run() error {
 					ch <- aggEvent{kind: 'd', child: child, gen: gen}
 					return
 				}
-				ch <- aggEvent{kind: 'r', child: child, gen: gen,
-					rep: report{child: child, epoch: prf.Epoch(f.Epoch), psr: &psr, failed: failed}}
+				// Reports bypass the event loop: straight into the sharded
+				// epoch table, so concurrent children never serialise here.
+				a.ingestReport(report{child: child, epoch: prf.Epoch(f.Epoch), psr: &psr, failed: failed})
 			case TypeFailure:
 				failed, err := core.DecodeContributorsBounded(f.Payload, a.maxSources)
 				if err != nil {
 					ch <- aggEvent{kind: 'd', child: child, gen: gen}
 					return
 				}
-				ch <- aggEvent{kind: 'r', child: child, gen: gen,
-					rep: report{child: child, epoch: prf.Epoch(f.Epoch), failed: failed}}
+				a.ingestReport(report{child: child, epoch: prf.Epoch(f.Epoch), failed: failed})
 			case TypeHello:
 				// A mid-stream hello is a coverage update from a child whose
 				// own subtree changed (a standby that gained children).
@@ -844,204 +1049,107 @@ func (a *AggregatorNode) Run() error {
 		}
 	}()
 
-	pending := map[prf.Epoch]*aggEpochState{}
-	// Fold journal-replayed contributions of still-open epochs into pending,
-	// matched to child slots by coverage key (slot indices are not stable
-	// across restarts; coverage sets are).
+	// Fold journal-replayed contributions of still-open epochs into the epoch
+	// table, matched to child slots by coverage key (slot indices are not
+	// stable across restarts; coverage sets are). Single-threaded: neither the
+	// readers nor the merge plane have started.
 	if a.state != nil && len(a.state.recovered) > 0 {
 		slotByKey := make(map[string]int, len(a.children))
 		for idx, c := range a.children {
 			slotByKey[c.key] = idx
 		}
 		for t, byKey := range a.state.recovered {
-			st := &aggEpochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
+			sl := &epochSlot{epoch: t, reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
 			for key, rep := range byKey {
 				if idx, ok := slotByKey[key]; ok {
 					rep.child = idx
-					st.reports[idx] = rep
+					sl.reports[idx] = rep
+					if rep.psr != nil {
+						sl.acc.Add(rep.psr.C)
+						sl.accN++
+					}
 				}
 			}
-			if len(st.reports) > 0 {
-				pending[t] = st
+			if len(sl.reports) > 0 {
+				sh := a.table.shard(uint64(t))
+				sh.slots[uint64(t)] = sl
+				a.table.open.Add(1)
 			}
 		}
 		a.state.recovered = nil
 	}
 
-	living := len(a.children)
-	lastAllGone := time.Now()
-	for idx, c := range a.children {
+	a.mu.Lock()
+	for _, c := range a.children {
 		c.gen = 1
 		c.alive = true
+	}
+	a.recomputeRegular()
+	a.mu.Unlock()
+	living := len(a.children)
+	lastAllGone := time.Now()
+	a.plane.start(a)
+	for idx, c := range a.children {
 		wg.Add(1)
 		go readChild(idx, 1, c.conn)
 	}
 	a.obs.childrenGauge.Set(int64(living))
 
-	// expects reports whether slot c still owes a report for epoch t: departed
-	// and coverage-stolen slots owe nothing, and neither does a slot whose
-	// fence covers t (its contribution for t travelled through its previous
-	// parent, by the fence invariant).
-	expects := func(c *childState, t prf.Epoch) bool {
-		return !c.departed && len(c.covers) > 0 && uint64(t) > c.fence
-	}
-
-	// contribBuf is flush's reusable contributor scratch — flush only runs on
-	// the Run goroutine and nothing retains the slice past the call.
-	contribBuf := make([]int, 0, len(a.covers))
-
-	flush := func(t prf.Epoch, st *aggEpochState) error {
-		if a.isCrashed() {
-			// A crashed node does nothing more — not even the disconnect-
-			// triggered orphan flush a graceful Close would allow.
-			return errNodeClosed
-		}
-		// Stream the children's PSRs straight into the lazy merge kernel:
-		// no intermediate slice, one modular reduction for the whole epoch.
-		// Contributor attribution works from each report's coverage snapshot
-		// (taken at acceptance), so a slot whose coverage was stolen mid-epoch
-		// still vouches for exactly the ids its PSR actually carries: the
-		// failed set is our covered union minus everything some report
-		// vouches for.
-		merge := a.agg.NewMerge()
-		contrib := contribBuf[:0]
-		for idx := range a.children {
-			rep, ok := st.reports[idx]
-			if !ok {
-				continue
-			}
-			if rep.psr != nil {
-				merge.Add(*rep.psr)
-			}
-			if len(rep.failed) == 0 {
-				contrib = append(contrib, rep.covers...)
-			} else {
-				contrib = append(contrib, idsMinus(rep.covers, rep.failed)...)
-			}
-		}
-		contribBuf = contrib
-		// Slots report in index order and each snapshot is sorted, so in the
-		// steady state the concatenation is already strictly increasing — only
-		// churned topologies pay for the sort.
-		if !idsSorted(contrib) {
-			contrib = core.NormalizeIDs(contrib)
-		}
-		failed := idsMinus(a.covers, contrib)
-		delete(pending, t)
-		a.flushed.put(uint64(t), struct{}{})
-		a.setLastFlushed(uint64(t))
-		a.obs.flushes.Inc()
-		a.obs.tracer.Mark(uint64(t), obs.StageFlush)
-		failed = core.NormalizeIDs(failed)
-		var out Frame
-		if merge.Count() == 0 {
-			a.obs.failureFlushes.Inc()
-			a.obs.tracer.End(uint64(t), "failure")
-			out = Frame{
-				Type: TypeFailure, Epoch: uint64(t),
-				Payload: core.EncodeContributors(failed),
-			}
-		} else {
-			a.obs.tracer.End(uint64(t), "flushed")
-			out = Frame{
-				Type: TypePSR, Epoch: uint64(t),
-				Payload: encodeReport(merge.Final(), failed),
-			}
-		}
-		var err error
-		if a.upfw != nil {
-			err = a.upfw.Enqueue(out)
-		} else {
-			err = a.upstream.Write(out)
-		}
-		if err != nil {
-			// Not journaled as committed: after a restart the contributions
-			// replay and the epoch re-flushes — at-least-once delivery, which
-			// the querier's committed window dedups into exactly-once.
-			return err
-		}
-		a.commitFlush(t, pending)
-		return nil
-	}
-
-	// allRegular caches whether every slot is expected for every epoch — no
-	// slot departed, coverage-stolen empty, or fenced. True in the steady
-	// state; recomputed (O(children)) only on the rare membership events that
-	// can change it: attach, steal, leave.
-	allRegular := true
-	recomputeRegular := func() {
-		allRegular = true
-		for _, c := range a.children {
-			if c.departed || len(c.covers) == 0 || c.fence > 0 {
-				allRegular = false
-				return
-			}
-		}
-	}
-	recomputeRegular()
-
-	// allReported reports whether every slot still expected for t has
-	// reported — the epoch cannot gain anything by waiting. The steady-state
-	// fast path is a count compare; the per-slot scan runs only while some
-	// slot is irregular (failover churn), else per-report scans would cost
-	// O(children²) per epoch.
-	allReported := func(t prf.Epoch, st *aggEpochState) bool {
-		if allRegular {
-			return len(st.reports) == len(a.children)
-		}
-		for idx, c := range a.children {
-			if !expects(c, t) {
-				continue
-			}
-			if _, ok := st.reports[idx]; !ok {
-				return false
-			}
-		}
-		return true
-	}
-
-	// orphanFlush flushes every pending epoch whose outstanding reports can
-	// no longer arrive because each missing expected child is down.
-	orphanFlush := func() error {
-		for t, st := range pending {
-			complete := true
+	// orphanClaims claims every open epoch whose outstanding reports can no
+	// longer arrive because each missing expected child is down. Caller holds
+	// a.mu's write lock; the claimed epochs are submitted after it releases.
+	orphanClaims := func() []uint64 {
+		return a.table.claimWhere(func(t uint64, sl *epochSlot) bool {
 			for idx, c := range a.children {
-				if !expects(c, t) {
+				if !expectsChild(c, t) {
 					continue
 				}
-				if _, ok := st.reports[idx]; !ok && c.alive {
-					complete = false
-					break
+				if _, ok := sl.reports[idx]; !ok && c.alive {
+					return false
 				}
 			}
-			if complete {
-				if err := flush(t, st); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+			return true
+		})
 	}
 
-	// settledFlush flushes every pending epoch that became complete through a
+	// settledClaims claims every open epoch that became complete through a
 	// membership change (a leave, or a fence excusing a slot) rather than a
-	// report arrival.
-	settledFlush := func() error {
-		for t, st := range pending {
-			if allReported(t, st) {
-				if err := flush(t, st); err != nil {
-					return err
+	// report arrival. Caller holds a.mu's write lock.
+	settledClaims := func() []uint64 {
+		return a.table.claimWhere(func(t uint64, sl *epochSlot) bool {
+			if a.allRegular {
+				return len(sl.reports) == len(a.children)
+			}
+			for idx, c := range a.children {
+				if !expectsChild(c, t) {
+					continue
+				}
+				if _, ok := sl.reports[idx]; !ok {
+					return false
 				}
 			}
+			return true
+		})
+	}
+
+	// submitAll hands claimed epochs to the merge plane. Callers must have
+	// released every lock: submit blocks when the plane is saturated, and the
+	// workers need the read lock to make progress.
+	submitAll := func(ts []uint64) {
+		for _, t := range ts {
+			a.plane.submit(t)
 		}
-		return nil
 	}
 
 	// attach wires a connection into slot idx (stealing overlapping coverage
 	// from stale slots for new or updated coverage sets) and refreshes the
-	// upstream coverage claim when the covered union changes.
+	// upstream coverage claim when the covered union changes. Membership
+	// mutation runs under the write lock with the generation bumped; the
+	// upstream sends happen after release so a slow parent link can never
+	// stall the ingest plane.
 	attach := func(ev aggEvent) {
 		key := coversKey(ev.covers)
+		a.mu.Lock()
 		idx := ev.child
 		if idx < 0 {
 			// Accept-path hello: match a returning child to its slot by its
@@ -1066,6 +1174,7 @@ func (a *AggregatorNode) Run() error {
 			// Mid-stream coverage update on a live connection.
 			slot = a.children[idx]
 			if ev.gen != slot.gen {
+				a.mu.Unlock()
 				return // a superseded connection's leftover hello
 			}
 			coverageChanged = slot.key != key
@@ -1087,6 +1196,7 @@ func (a *AggregatorNode) Run() error {
 		default:
 			// Unknown coverage set: a re-homing child, when allowed.
 			if !a.acceptNew {
+				a.mu.Unlock()
 				a.forget(ev.conn) // not one of ours
 				return
 			}
@@ -1108,12 +1218,13 @@ func (a *AggregatorNode) Run() error {
 			slot.alive = true
 			living++
 		}
+		var stolen, union []int
+		unionChanged := false
 		if coverageChanged {
 			// Steal the (re)claimed ids from every stale slot: each source id
 			// is attributed to exactly one slot at any time, and the newest
 			// hello wins. Covers are replaced wholesale, never mutated, so
 			// pending reports keep their acceptance-time snapshots.
-			var stolen []int
 			for i, c := range a.children {
 				if i == idx {
 					continue
@@ -1131,39 +1242,40 @@ func (a *AggregatorNode) Run() error {
 					c.departed = true
 				}
 			}
-			if len(stolen) > 0 {
-				a.obs.steals.Inc()
-				a.sendMember(memberRehome, core.NormalizeIDs(stolen))
-			}
 			// Refresh the covered union and announce growth upstream so the
 			// parent (re)attributes this subtree before its next flush.
-			var union []int
 			for _, c := range a.children {
 				union = append(union, c.covers...)
 			}
 			union = core.NormalizeIDs(union)
-			a.mu.Lock()
-			unionChanged := coversKey(union) != coversKey(a.covers)
+			unionChanged = coversKey(union) != coversKey(a.covers)
 			if unionChanged {
 				a.covers = union
 			}
-			a.mu.Unlock()
-			if unionChanged {
-				a.sendUpstreamBestEffort(Frame{Type: TypeHello, Epoch: a.upstream.Fence(),
-					Payload: core.EncodeContributors(union)})
-			}
 		}
-		if attached {
-			a.sendMember(memberJoin, slot.covers)
-		}
-		recomputeRegular()
+		a.memberGen.Add(1)
+		a.recomputeRegular()
 		liveSlots := 0
 		for _, c := range a.children {
 			if c.alive && !c.departed {
 				liveSlots++
 			}
 		}
+		joinCovers := slot.covers // replaced wholesale: header copy safe past unlock
+		a.mu.Unlock()
+
 		a.obs.childrenGauge.Set(int64(liveSlots))
+		if len(stolen) > 0 {
+			a.obs.steals.Inc()
+			a.sendMember(memberRehome, core.NormalizeIDs(stolen))
+		}
+		if unionChanged {
+			a.sendUpstreamBestEffort(Frame{Type: TypeHello, Epoch: a.upstream.Fence(),
+				Payload: core.EncodeContributors(union)})
+		}
+		if attached {
+			a.sendMember(memberJoin, joinCovers)
+		}
 	}
 
 	// The tick drives both deadline flushes and the exit check, so it must be
@@ -1177,43 +1289,49 @@ func (a *AggregatorNode) Run() error {
 	defer func() {
 		// Close connections first so blocked readers unwind, then drain the
 		// channel while waiting for them — a reader stuck on a full channel
-		// would otherwise deadlock the shutdown.
+		// would otherwise deadlock the shutdown. Only then stop the merge
+		// plane: with the readers gone nothing submits any more, and workers
+		// flushing against the closed node fail fast (fail() drops the error).
 		a.Close()
 		done := make(chan struct{})
 		go func() { wg.Wait(); close(done) }()
+	drained:
 		for {
 			select {
 			case <-ch:
 			case <-done:
-				return
+				break drained
 			}
 		}
+		a.plane.stop()
 	}()
 
 	// Recovered epochs that were fully reported before the crash flush
 	// immediately; partially reported ones wait out the usual deadline for
 	// their missing children to re-send.
-	for t, st := range pending {
-		if allReported(t, st) {
-			if err := flush(t, st); err != nil {
-				return err
-			}
-		}
-	}
+	a.mu.Lock()
+	recoveredReady := settledClaims()
+	a.mu.Unlock()
+	submitAll(recoveredReady)
 
 	for {
 		select {
+		case <-a.failCh:
+			return a.runErr
 		case ev := <-ch:
 			switch ev.kind {
 			case 'h':
 				attach(ev)
 			case 'd':
+				a.mu.Lock()
 				slot := a.children[ev.child]
 				if ev.gen != slot.gen {
+					a.mu.Unlock()
 					continue // a superseded connection unwinding
 				}
 				a.obs.childDisconnects.Inc()
 				slot.conn = nil
+				var orphanIDs []int
 				if slot.alive {
 					slot.alive = false
 					living--
@@ -1221,28 +1339,35 @@ func (a *AggregatorNode) Run() error {
 						lastAllGone = time.Now()
 					}
 					if !slot.departed && len(slot.covers) > 0 {
-						a.sendMember(memberOrphan, slot.covers)
+						orphanIDs = slot.covers
 					}
 				}
-				if err := orphanFlush(); err != nil {
-					return err
-				}
+				// A down child completes no epoch: claim the ones whose every
+				// remaining expected reporter is down too.
+				ts := orphanClaims()
+				a.mu.Unlock()
+				a.sendMember(memberOrphan, orphanIDs)
+				submitAll(ts)
 			case 'l':
 				// A graceful leave covering the slot's whole remaining coverage
 				// drains the slot: its absence from future epochs is expected,
 				// not a failure. A partial leave (some ids of a subtree drained)
 				// just shrinks the coverage claim.
+				a.mu.Lock()
 				slot := a.children[ev.child]
 				if ev.gen != slot.gen {
+					a.mu.Unlock()
 					continue
 				}
 				left := idsIntersect(slot.covers, ev.covers)
 				if len(left) == 0 {
+					a.mu.Unlock()
 					continue
 				}
 				slot.covers = idsMinus(slot.covers, left)
 				slot.key = coversKey(slot.covers)
-				if len(slot.covers) == 0 {
+				fullLeave := len(slot.covers) == 0
+				if fullLeave {
 					slot.departed = true
 					// Drop the leaver's in-flight reports: every flush written
 					// after the leave relay below must carry neither the
@@ -1250,82 +1375,49 @@ func (a *AggregatorNode) Run() error {
 					// which excludes departed sources from the contributor
 					// set — would reject the epoch. An epoch straddling the
 					// boundary degrades to partial, never to a wrong SUM.
-					for _, st := range pending {
-						delete(st.reports, ev.child)
-					}
+					a.table.sweepChild(ev.child)
 				}
-				a.mu.Lock()
 				a.covers = idsMinus(a.covers, left)
+				a.memberGen.Add(1)
+				a.recomputeRegular()
 				a.mu.Unlock()
+				if fullLeave {
+					// Barrier: a merge worker may already have extracted a flush
+					// still carrying the leaver's data. Wait for every in-flight
+					// flush (upstream write included) before relaying the Leave,
+					// so the querier never sees post-leave frames naming the
+					// leaver. Partial leaves keep the claim, so they need none.
+					a.plane.drain()
+				}
 				a.sendMember(memberLeave, left)
-				recomputeRegular()
 				// Tell the parent too: its covered union must shrink before its
 				// next flush, or every future epoch reads as partial.
 				a.sendUpstreamBestEffort(Frame{Type: TypeLeave, Payload: core.EncodeContributors(left)})
-				if err := settledFlush(); err != nil {
-					return err
-				}
+				a.mu.Lock()
+				ts := settledClaims()
+				a.mu.Unlock()
+				submitAll(ts)
 			case 'm':
-				slot := a.children[ev.child]
-				if ev.gen != slot.gen {
+				a.mu.RLock()
+				stale := ev.gen != a.children[ev.child].gen
+				a.mu.RUnlock()
+				if stale {
 					continue
 				}
 				a.sendUpstreamBestEffort(Frame{Type: TypeMember, Payload: ev.payload})
-			case 'r':
-				slot := a.children[ev.rep.child]
-				if uint64(ev.rep.epoch) <= slot.fence {
-					// The child's fence says this epoch may have travelled via a
-					// previous parent — contributing it here could double-count.
-					a.obs.fenceDrops.Inc()
-					continue
-				}
-				if len(slot.covers) == 0 {
-					// A zombie slot whose coverage was wholly stolen or drained:
-					// nothing it reports is attributable any more.
-					a.obs.staleDrops.Inc()
-					continue
-				}
-				if a.flushed.has(uint64(ev.rep.epoch)) {
-					a.obs.lateDrops.Inc()
-					continue // late report for an epoch already forwarded
-				}
-				a.obs.reports.Inc()
-				st, ok := pending[ev.rep.epoch]
-				if !ok {
-					st = &aggEpochState{reports: map[int]report{}, deadline: time.Now().Add(a.timeout)}
-					pending[ev.rep.epoch] = st
-					a.obs.tracer.Begin(uint64(ev.rep.epoch))
-					a.obs.tracer.Mark(uint64(ev.rep.epoch), obs.StageReport)
-				}
-				// Snapshot the slot's coverage at acceptance: flush-time
-				// attribution must describe what this PSR actually contains,
-				// even if the slot's claim changes before the epoch settles.
-				ev.rep.covers = slot.covers
-				a.journalContribution(ev.rep, ev.rep.covers)
-				// Overwriting dedups a reconnected child re-sending an epoch.
-				st.reports[ev.rep.child] = ev.rep
-				if allReported(ev.rep.epoch, st) {
-					if err := flush(ev.rep.epoch, st); err != nil {
-						return err
-					}
-				}
 			}
 		case <-ticker.C:
-			now := time.Now()
-			for t, st := range pending {
-				if now.After(st.deadline) {
-					if err := flush(t, st); err != nil {
-						return err
-					}
-				}
-			}
+			a.claimDeadlines(time.Now())
 			if a.isClosed() {
 				return nil
 			}
 			// A standby (AcceptNew) stays up with zero children indefinitely:
 			// its whole purpose is to be there when orphans arrive.
-			if living == 0 && len(pending) == 0 && !a.acceptNew &&
-				now.Sub(lastAllGone) >= a.reconnectWindow {
+			if living == 0 && a.table.open.Load() == 0 && !a.acceptNew &&
+				time.Since(lastAllGone) >= a.reconnectWindow {
+				// Let in-flight flushes finish their upstream writes before the
+				// deferred shutdown severs the link.
+				a.plane.drain()
 				return nil
 			}
 		}

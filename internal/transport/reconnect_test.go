@@ -214,6 +214,7 @@ func TestAggregatorLateAndDuplicateReports(t *testing.T) {
 		node, err := NewAggregatorNode(AggregatorConfig{
 			ListenAddr: aggAddr, ParentAddr: parentLn.Addr().String(),
 			NumChildren: 2, Timeout: 250 * time.Millisecond,
+			Shards: 1, // single stripe: the cap-1 window hook below must see every flush
 		}, field)
 		builtCh <- built{node, err}
 	}()
@@ -245,7 +246,7 @@ func TestAggregatorLateAndDuplicateReports(t *testing.T) {
 		t.Fatal(b.err)
 	}
 	node := b.node
-	node.flushed.cap = 1 // test hook: remember only the latest flushed epoch
+	node.table.shards[0].flushed.cap = 1 // test hook: remember only the latest flushed epoch
 	runDone := make(chan error, 1)
 	go func() { runDone <- node.Run() }()
 

@@ -1,0 +1,198 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/sies/sies/internal/obs"
+	"github.com/sies/sies/internal/prf"
+	"github.com/sies/sies/internal/uint256"
+)
+
+// DefaultShards is the epoch-table stripe count when AggregatorConfig.Shards
+// is zero. Consecutive epochs map to consecutive stripes (epoch & mask), so
+// the window of in-flight epochs spreads across every stripe even when only a
+// handful are open at once.
+const DefaultShards = 8
+
+// epochSlot is one in-flight epoch inside a shard. All fields are guarded by
+// the owning shard's lock.
+//
+// The fast-path merge happens at ingest: each accepted PSR is folded into the
+// slot's lazily-reduced 512-bit accumulator under the shard lock (a few
+// carry-chain adds), so a flush in the steady state performs exactly one
+// deferred modular reduction for the whole epoch. Overwrites (a reconnected
+// child re-sending), leave sweeps and ingest rollbacks poison the accumulator
+// by setting dirty; a dirty slot's flush rebuilds the merge from the retained
+// per-child reports instead — the slow path only churned epochs pay for.
+type epochSlot struct {
+	epoch    prf.Epoch
+	reports  map[int]report
+	acc      uint256.Accumulator // lazy partial over the non-dirty reports' PSRs
+	accN     int                 // PSRs folded into acc
+	dirty    bool                // acc no longer matches reports; rebuild at flush
+	claimed  bool                // handed to the merge plane; nobody else may flush it
+	deadline time.Time
+	gen      uint64 // membership generation at slot creation (observability)
+}
+
+// epochShard is one stripe of the epoch table: a private lock, the open slots
+// of the epochs striped here, and this stripe's slice of the flushed-epoch
+// dedup window. Keeping the window per shard lets the late-report check ride
+// the shard lock the ingest already holds — no global structure on the hot
+// path.
+type epochShard struct {
+	mu      sync.Mutex
+	slots   map[uint64]*epochSlot
+	flushed *boundedMap[uint64, struct{}]
+
+	_ [40]byte // keep neighbouring shards' hot words off one cache line
+}
+
+// epochShards is the aggregator's concurrent epoch table. Epochs stripe
+// across shards by their low bits, so child readers ingesting different
+// epochs take different locks, and readers racing on the same epoch contend
+// only on that epoch's stripe — never on a global mutex.
+type epochShards struct {
+	mask   uint64
+	shards []epochShard
+
+	open      atomic.Int64 // unflushed slots across all shards
+	contended *obs.Counter // shard-lock acquisitions that found the lock held
+}
+
+// newEpochShards builds a table with n stripes (rounded up to a power of
+// two, min 1) whose flushed windows jointly hold about windowCap epochs.
+func newEpochShards(n, windowCap int, contended *obs.Counter) *epochShards {
+	if n < 1 {
+		n = 1
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	perShard := windowCap / size
+	if perShard < 16 {
+		perShard = 16
+	}
+	t := &epochShards{mask: uint64(size - 1), shards: make([]epochShard, size), contended: contended}
+	for i := range t.shards {
+		t.shards[i].slots = map[uint64]*epochSlot{}
+		t.shards[i].flushed = newBoundedMap[uint64, struct{}](perShard)
+	}
+	return t
+}
+
+// size returns the stripe count.
+func (t *epochShards) size() int { return len(t.shards) }
+
+// shard returns epoch t's stripe.
+func (t *epochShards) shard(e uint64) *epochShard { return &t.shards[e&t.mask] }
+
+// lock acquires sh.mu, counting the acquisitions that had to wait — the
+// shard-contention signal sies_agg_shard_contention_total exposes.
+func (t *epochShards) lock(sh *epochShard) {
+	if sh.mu.TryLock() {
+		return
+	}
+	if t.contended != nil {
+		t.contended.Inc()
+	}
+	sh.mu.Lock()
+}
+
+// hasFlushed reports whether epoch e sits in its stripe's dedup window.
+// Callers on the ingest path use the in-lock check instead; this form exists
+// for the slow paths that do not already hold the shard lock.
+func (t *epochShards) hasFlushed(e uint64) bool {
+	sh := t.shard(e)
+	t.lock(sh)
+	_, ok := sh.flushed.m[e]
+	sh.mu.Unlock()
+	return ok
+}
+
+// markFlushed records epoch e as settled without an open slot — the journal
+// replay path uses it while the node is still single-threaded.
+func (t *epochShards) markFlushed(e uint64) {
+	sh := t.shard(e)
+	sh.flushed.put(e, struct{}{})
+}
+
+// flushedEpochs snapshots every stripe's dedup window, stripe by stripe in
+// insertion order — the deterministic serialisation aggSnapshot writes.
+func (t *epochShards) flushedEpochs() []uint64 {
+	var out []uint64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		t.lock(sh)
+		sh.flushed.each(func(e uint64, _ struct{}) { out = append(out, e) })
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// eachReport visits every report of every open slot under the shard locks,
+// one stripe at a time. The checkpoint re-journal walk uses it; fn must not
+// retain the report's slices past the call.
+func (t *epochShards) eachReport(fn func(report)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		t.lock(sh)
+		for _, sl := range sh.slots {
+			for _, rep := range sl.reports {
+				fn(rep)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// sweepChild removes child idx's report from every open slot — the full-leave
+// drop that keeps post-leave flushes free of the leaver's data. Slots that
+// lose a folded PSR turn dirty so their flush rebuilds from the surviving
+// reports. Runs under the aggregator's slow-path write lock; claimed slots
+// are swept too (their flush extracts state under the shard lock, after us,
+// and so observes the sweep).
+func (t *epochShards) sweepChild(idx int) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		t.lock(sh)
+		for _, sl := range sh.slots {
+			if rep, ok := sl.reports[idx]; ok {
+				delete(sl.reports, idx)
+				if rep.psr != nil {
+					sl.dirty = true
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// claimWhere claims every unclaimed open slot for which keep(epoch, slot)
+// reports true, returning the claimed epochs. Callers submit the returned
+// epochs to the merge plane after releasing any locks they hold.
+func (t *epochShards) claimWhere(keep func(uint64, *epochSlot) bool) []uint64 {
+	var out []uint64
+	for i := range t.shards {
+		sh := &t.shards[i]
+		t.lock(sh)
+		for e, sl := range sh.slots {
+			if !sl.claimed && keep(e, sl) {
+				sl.claimed = true
+				out = append(out, e)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// claimExpired claims every unclaimed slot whose deadline has passed.
+func (t *epochShards) claimExpired(now time.Time) []uint64 {
+	return t.claimWhere(func(_ uint64, sl *epochSlot) bool {
+		return now.After(sl.deadline)
+	})
+}
